@@ -1,0 +1,46 @@
+// Ablation: synchronous vs background merging. With async_merge the
+// cascade leaves the insertion path, flattening the tail of per-window
+// insert latency (the spikes visible in Figure 6); totals stay similar
+// since the same merge work happens either way.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/rtsi_index.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+int main() {
+  using namespace rtsi;
+  const std::size_t init_streams = bench::Scaled(2000);
+  const std::size_t new_streams = bench::Scaled(1000);
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(init_streams + new_streams));
+
+  workload::ReportTable table(
+      "Ablation: merge scheduling and insertion latency (" +
+          std::to_string(new_streams) + " streams inserted)",
+      {"merge mode", "median", "p99", "max", "total"});
+
+  for (const bool async : {false, true}) {
+    auto config = bench::DefaultIndexConfig();
+    config.async_merge = async;
+    core::RtsiIndex index(config);
+    SimulatedClock clock;
+    workload::InitializeIndex(index, corpus, 0, init_streams, clock);
+    index.WaitForMerges();
+
+    const auto stats = workload::MeasureInsertions(index, corpus,
+                                                   init_streams, new_streams,
+                                                   clock);
+    index.WaitForMerges();
+    table.AddRow({async ? "background" : "synchronous",
+                  workload::FormatMicros(stats.PercentileMicros(0.5)),
+                  workload::FormatMicros(stats.PercentileMicros(0.99)),
+                  workload::FormatMicros(stats.max_micros()),
+                  workload::FormatMicros(stats.sum_micros())});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 10: query cost versus the number of queries, RTSI vs LSII.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+int main() {
+  using namespace rtsi;
+  // Past the big-table cache crossover (see EXPERIMENTS.md); the query
+  // gap between RTSI and LSII is cache-driven and needs corpus volume.
+  const std::size_t init_streams = bench::Scaled(10000);
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(init_streams));
+
+  workload::ReportTable table(
+      "Figure 10: query cost vs #queries (" +
+          std::to_string(init_streams) + " streams, k=10)",
+      {"#queries", "RTSI total", "RTSI mean", "LSII total", "LSII mean"});
+
+  // Build both indices once; sweep the query count.
+  auto rtsi_index = bench::MakeIndex("RTSI", bench::DefaultIndexConfig());
+  auto lsii_index = bench::MakeIndex("LSII", bench::DefaultIndexConfig());
+  SimulatedClock clock_a, clock_b;
+  workload::InitializeIndex(*rtsi_index, corpus, 0, init_streams, clock_a);
+  workload::InitializeIndex(*lsii_index, corpus, 0, init_streams, clock_b);
+
+  for (const std::size_t base : {500, 1000, 2000, 4000}) {
+    const std::size_t n = bench::Scaled(base);
+    workload::QueryGenerator gen_a(
+        bench::DefaultQueryConfig(corpus.vocab_size()));
+    workload::QueryGenerator gen_b(
+        bench::DefaultQueryConfig(corpus.vocab_size()));
+    const auto rtsi_stats =
+        workload::MeasureQueries(*rtsi_index, gen_a, n, 10, clock_a);
+    const auto lsii_stats =
+        workload::MeasureQueries(*lsii_index, gen_b, n, 10, clock_b);
+    table.AddRow({std::to_string(n),
+                  workload::FormatMicros(rtsi_stats.sum_micros()),
+                  workload::FormatMicros(rtsi_stats.mean_micros()),
+                  workload::FormatMicros(lsii_stats.sum_micros()),
+                  workload::FormatMicros(lsii_stats.mean_micros())});
+  }
+  table.Print();
+  return 0;
+}

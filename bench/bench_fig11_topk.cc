@@ -1,0 +1,45 @@
+// Figure 11: query cost versus k (the number of results), RTSI vs LSII.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+int main() {
+  using namespace rtsi;
+  const std::size_t init_streams = bench::Scaled(8000);
+  const std::size_t num_queries = bench::Scaled(1000);
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(init_streams));
+
+  auto rtsi_index = bench::MakeIndex("RTSI", bench::DefaultIndexConfig());
+  auto lsii_index = bench::MakeIndex("LSII", bench::DefaultIndexConfig());
+  SimulatedClock clock_a, clock_b;
+  workload::InitializeIndex(*rtsi_index, corpus, 0, init_streams, clock_a);
+  workload::InitializeIndex(*lsii_index, corpus, 0, init_streams, clock_b);
+
+  workload::ReportTable table(
+      "Figure 11: mean query latency vs k (" +
+          std::to_string(num_queries) + " queries each)",
+      {"k", "RTSI mean", "RTSI p99", "LSII mean", "LSII p99"});
+
+  for (const int k : {1, 5, 10, 20, 50, 100}) {
+    workload::QueryGenerator gen_a(
+        bench::DefaultQueryConfig(corpus.vocab_size()));
+    workload::QueryGenerator gen_b(
+        bench::DefaultQueryConfig(corpus.vocab_size()));
+    const auto rtsi_stats =
+        workload::MeasureQueries(*rtsi_index, gen_a, num_queries, k, clock_a);
+    const auto lsii_stats =
+        workload::MeasureQueries(*lsii_index, gen_b, num_queries, k, clock_b);
+    table.AddRow({std::to_string(k),
+                  workload::FormatMicros(rtsi_stats.mean_micros()),
+                  workload::FormatMicros(rtsi_stats.PercentileMicros(0.99)),
+                  workload::FormatMicros(lsii_stats.mean_micros()),
+                  workload::FormatMicros(lsii_stats.PercentileMicros(0.99))});
+  }
+  table.Print();
+  return 0;
+}

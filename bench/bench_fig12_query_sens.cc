@@ -1,0 +1,99 @@
+// Figure 12: query sensitivity — mean query latency while varying delta
+// (the size of I0), rho (the LSM ratio), the freshness weight w_f, and
+// the index size (#streams), RTSI vs LSII.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace rtsi;
+
+double MeanQueryMicros(const char* name, const core::RtsiConfig& config,
+                       std::size_t num_streams, std::size_t num_queries) {
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(num_streams));
+  auto index = bench::MakeIndex(name, config);
+  SimulatedClock clock;
+  workload::InitializeIndex(*index, corpus, 0, num_streams, clock);
+  workload::QueryGenerator gen(
+      bench::DefaultQueryConfig(corpus.vocab_size()));
+  return workload::MeasureQueries(*index, gen, num_queries, 10, clock)
+      .mean_micros();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t num_streams = bench::Scaled(6000);
+  const std::size_t num_queries = bench::Scaled(2000);
+
+  {
+    workload::ReportTable table("Figure 12a: query latency vs delta",
+                                {"delta", "RTSI", "LSII"});
+    for (const std::size_t delta :
+         {16 * 1024, 64 * 1024, 256 * 1024}) {
+      auto config = bench::DefaultIndexConfig();
+      config.lsm.delta = delta;
+      table.AddRow({std::to_string(delta / 1024) + "k",
+                    workload::FormatMicros(MeanQueryMicros(
+                        "RTSI", config, num_streams, num_queries)),
+                    workload::FormatMicros(MeanQueryMicros(
+                        "LSII", config, num_streams, num_queries))});
+    }
+    table.Print();
+  }
+
+  {
+    workload::ReportTable table("Figure 12b: query latency vs rho",
+                                {"rho", "RTSI", "LSII"});
+    for (const double rho : {2.0, 4.0, 8.0}) {
+      auto config = bench::DefaultIndexConfig();
+      config.lsm.rho = rho;
+      table.AddRow({workload::FormatDouble(rho, 1),
+                    workload::FormatMicros(MeanQueryMicros(
+                        "RTSI", config, num_streams, num_queries)),
+                    workload::FormatMicros(MeanQueryMicros(
+                        "LSII", config, num_streams, num_queries))});
+    }
+    table.Print();
+  }
+
+  {
+    workload::ReportTable table(
+        "Figure 12c: query latency vs freshness weight w_f",
+        {"w_f", "RTSI", "LSII"});
+    for (const double wf : {0.1, 0.2, 0.4, 0.6}) {
+      auto config = bench::DefaultIndexConfig();
+      config.weights.frsh = wf;
+      config.weights.rel = 0.8 - wf;
+      table.AddRow({workload::FormatDouble(wf, 1),
+                    workload::FormatMicros(MeanQueryMicros(
+                        "RTSI", config, num_streams, num_queries)),
+                    workload::FormatMicros(MeanQueryMicros(
+                        "LSII", config, num_streams, num_queries))});
+    }
+    table.Print();
+  }
+
+  {
+    workload::ReportTable table(
+        "Figure 12d: query latency vs index size (#streams)",
+        {"#streams", "RTSI", "LSII"});
+    for (const std::size_t base : {3000, 6000, 12000}) {
+      const std::size_t n = bench::Scaled(base);
+      const auto config = bench::DefaultIndexConfig();
+      table.AddRow({std::to_string(n),
+                    workload::FormatMicros(
+                        MeanQueryMicros("RTSI", config, n, num_queries)),
+                    workload::FormatMicros(
+                        MeanQueryMicros("LSII", config, n, num_queries))});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 14: update sensitivity — total update cost while varying delta
+// and rho, RTSI vs LSII. The paper's finding: RTSI is nearly flat across
+// both sweeps, LSII moves more.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace rtsi;
+
+double UpdateMicros(const char* name, const core::RtsiConfig& config,
+                    const workload::SyntheticCorpus& corpus,
+                    std::size_t num_streams, std::size_t num_updates) {
+  auto index = bench::MakeIndex(name, config);
+  SimulatedClock clock;
+  workload::InitializeIndex(*index, corpus, 0, num_streams, clock);
+  return workload::MeasureUpdates(*index, num_updates, num_streams, clock)
+      .sum_micros();
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t num_streams = bench::Scaled(3000);
+  const std::size_t num_updates = bench::Scaled(100000);
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(num_streams));
+
+  {
+    workload::ReportTable table("Figure 14a: update cost vs delta",
+                                {"delta", "RTSI", "LSII"});
+    for (const std::size_t delta : {16 * 1024, 64 * 1024, 256 * 1024}) {
+      auto config = bench::DefaultIndexConfig();
+      config.lsm.delta = delta;
+      table.AddRow(
+          {std::to_string(delta / 1024) + "k",
+           workload::FormatMicros(UpdateMicros("RTSI", config, corpus,
+                                               num_streams, num_updates)),
+           workload::FormatMicros(UpdateMicros("LSII", config, corpus,
+                                               num_streams, num_updates))});
+    }
+    table.Print();
+  }
+
+  {
+    workload::ReportTable table("Figure 14b: update cost vs rho",
+                                {"rho", "RTSI", "LSII"});
+    for (const double rho : {2.0, 4.0, 8.0}) {
+      auto config = bench::DefaultIndexConfig();
+      config.lsm.rho = rho;
+      table.AddRow(
+          {workload::FormatDouble(rho, 1),
+           workload::FormatMicros(UpdateMicros("RTSI", config, corpus,
+                                               num_streams, num_updates)),
+           workload::FormatMicros(UpdateMicros("LSII", config, corpus,
+                                               num_streams, num_updates))});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 15: memory efficiency of Huffman coding — index memory with and
+// without compression, (a) versus delta and (b) versus #streams. The
+// paper's finding: the saving grows with the number of audio streams.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/rtsi_index.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace rtsi;
+
+std::size_t IndexBytes(bool compress, std::size_t delta,
+                       std::size_t num_streams) {
+  auto config = bench::DefaultIndexConfig();
+  config.lsm.compress = compress;
+  config.lsm.delta = delta;
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(num_streams));
+  core::RtsiIndex index(config);
+  SimulatedClock clock;
+  workload::InitializeIndex(index, corpus, 0, num_streams, clock);
+  return index.MemoryBytes();
+}
+
+std::string Saving(std::size_t plain, std::size_t compressed) {
+  if (plain == 0) return "n/a";
+  return workload::FormatDouble(
+             100.0 * (static_cast<double>(plain) - compressed) / plain, 1) +
+         "%";
+}
+
+}  // namespace
+
+int main() {
+  {
+    const std::size_t num_streams = bench::Scaled(3000);
+    workload::ReportTable table(
+        "Figure 15a: memory with/without Huffman coding vs delta (" +
+            std::to_string(num_streams) + " streams)",
+        {"delta", "plain", "huffman", "saving"});
+    for (const std::size_t delta : {16 * 1024, 64 * 1024, 256 * 1024}) {
+      const std::size_t plain = IndexBytes(false, delta, num_streams);
+      const std::size_t compressed = IndexBytes(true, delta, num_streams);
+      table.AddRow({std::to_string(delta / 1024) + "k",
+                    workload::FormatBytes(plain),
+                    workload::FormatBytes(compressed),
+                    Saving(plain, compressed)});
+    }
+    table.Print();
+  }
+
+  {
+    workload::ReportTable table(
+        "Figure 15b: memory with/without Huffman coding vs #streams",
+        {"#streams", "plain", "huffman", "saving"});
+    for (const std::size_t base : {1000, 2000, 4000, 8000}) {
+      const std::size_t n = bench::Scaled(base);
+      const std::size_t plain = IndexBytes(false, 64 * 1024, n);
+      const std::size_t compressed = IndexBytes(true, 64 * 1024, n);
+      table.AddRow({std::to_string(n), workload::FormatBytes(plain),
+                    workload::FormatBytes(compressed),
+                    Saving(plain, compressed)});
+    }
+    table.Print();
+  }
+  return 0;
+}

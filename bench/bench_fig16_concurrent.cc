@@ -1,0 +1,110 @@
+// Figure 16: concurrent querying and insertion. Serial = run the insert
+// batch, then the query batch, on one thread. Concurrent = one inserter
+// thread and one query thread overlapped (mirrors + partial locking let
+// queries proceed during merges). (a) sweeps insertions at a fixed query
+// count; (b) sweeps queries at a fixed insertion count.
+//
+// Note: on a single-core container the concurrent speedup is limited to
+// the overlap of lock waits; the paper's 20-core testbed shows larger
+// gains. The shape to check is that concurrency never loses badly and
+// wins as volume grows.
+
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/latency_stats.h"
+#include "core/rtsi_index.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace rtsi;
+
+struct Timing {
+  double serial_micros;
+  double concurrent_micros;
+};
+
+Timing Run(std::size_t init_streams, std::size_t insert_streams,
+           std::size_t num_queries) {
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(init_streams + 2 * insert_streams));
+
+  Timing timing{};
+  // Serial.
+  {
+    core::RtsiIndex index(bench::DefaultIndexConfig());
+    SimulatedClock clock;
+    workload::InitializeIndex(index, corpus, 0, init_streams, clock);
+    Stopwatch watch;
+    workload::MeasureInsertions(index, corpus, init_streams, insert_streams,
+                                clock);
+    workload::QueryGenerator gen(
+        bench::DefaultQueryConfig(corpus.vocab_size()));
+    workload::MeasureQueries(index, gen, num_queries, 10, clock);
+    timing.serial_micros = watch.ElapsedMicros();
+  }
+  // Concurrent.
+  {
+    core::RtsiIndex index(bench::DefaultIndexConfig());
+    SimulatedClock clock;
+    workload::InitializeIndex(index, corpus, 0, init_streams, clock);
+    Stopwatch watch;
+    std::thread inserter([&] {
+      workload::MeasureInsertions(index, corpus, init_streams,
+                                  insert_streams, clock);
+    });
+    workload::QueryGenerator gen(
+        bench::DefaultQueryConfig(corpus.vocab_size()));
+    workload::MeasureQueries(index, gen, num_queries, 10, clock);
+    inserter.join();
+    timing.concurrent_micros = watch.ElapsedMicros();
+  }
+  return timing;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t init_streams = bench::Scaled(2000);
+
+  {
+    workload::ReportTable table(
+        "Figure 16a: serial vs concurrent, varying #inserted streams "
+        "(queries fixed)",
+        {"#new streams", "serial", "concurrent", "speedup"});
+    const std::size_t num_queries = bench::Scaled(2000);
+    for (const std::size_t base : {200, 400, 800}) {
+      const std::size_t n = bench::Scaled(base);
+      const Timing t = Run(init_streams, n, num_queries);
+      table.AddRow({std::to_string(n),
+                    workload::FormatMicros(t.serial_micros),
+                    workload::FormatMicros(t.concurrent_micros),
+                    workload::FormatDouble(
+                        t.serial_micros / t.concurrent_micros, 2) + "x"});
+    }
+    table.Print();
+  }
+
+  {
+    workload::ReportTable table(
+        "Figure 16b: serial vs concurrent, varying #queries "
+        "(insertions fixed)",
+        {"#queries", "serial", "concurrent", "speedup"});
+    const std::size_t insert_streams = bench::Scaled(300);
+    for (const std::size_t base : {1000, 2000, 4000}) {
+      const std::size_t n = bench::Scaled(base);
+      const Timing t = Run(init_streams, insert_streams, n);
+      table.AddRow({std::to_string(n),
+                    workload::FormatMicros(t.serial_micros),
+                    workload::FormatMicros(t.concurrent_micros),
+                    workload::FormatDouble(
+                        t.serial_micros / t.concurrent_micros, 2) + "x"});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 17: effectiveness of the top-k upper bound — mean query latency
+// versus the number of audio streams, with the bound enabled and
+// disabled. The paper's finding: with the bound, query time stays nearly
+// flat as the index grows.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "core/rtsi_index.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace rtsi;
+
+struct Row {
+  double mean_with_bound;
+  double mean_without_bound;
+  std::size_t pruned_components;
+};
+
+Row Run(std::size_t num_streams, std::size_t num_queries) {
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(num_streams));
+  Row row{};
+  for (const bool use_bound : {true, false}) {
+    auto config = bench::DefaultIndexConfig();
+    config.use_bound = use_bound;
+    core::RtsiIndex index(config);
+    SimulatedClock clock;
+    workload::InitializeIndex(index, corpus, 0, num_streams, clock);
+
+    workload::QueryGenerator gen(
+        bench::DefaultQueryConfig(corpus.vocab_size()));
+    LatencyStats stats;
+    Stopwatch watch;
+    std::size_t pruned = 0;
+    for (std::size_t i = 0; i < num_queries; ++i) {
+      const auto q = gen.Next();
+      core::QueryStats qs;
+      watch.Restart();
+      index.Query(q, 10, clock.Now(), &qs);
+      stats.Record(watch.ElapsedMicros());
+      pruned += qs.components_pruned;
+    }
+    if (use_bound) {
+      row.mean_with_bound = stats.mean_micros();
+      row.pruned_components = pruned;
+    } else {
+      row.mean_without_bound = stats.mean_micros();
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t num_queries = bench::Scaled(1000);
+  workload::ReportTable table(
+      "Figure 17: query latency with/without the top-k bound",
+      {"#streams", "with bound", "without bound", "speedup",
+       "components pruned"});
+  for (const std::size_t base : {1000, 2000, 4000, 8000}) {
+    const std::size_t n = bench::Scaled(base);
+    const Row row = Run(n, num_queries);
+    table.AddRow(
+        {std::to_string(n), workload::FormatMicros(row.mean_with_bound),
+         workload::FormatMicros(row.mean_without_bound),
+         workload::FormatDouble(
+             row.mean_without_bound / row.mean_with_bound, 2) + "x",
+         std::to_string(row.pruned_components)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 7: index initialization — elapsed time and memory versus the
+// number of audio streams, RTSI vs LSII.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/memory_tracker.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+int main() {
+  using namespace rtsi;
+  workload::ReportTable table(
+      "Figure 7: initialization time and memory vs #streams",
+      {"#streams", "RTSI time", "LSII time", "RTSI memory", "LSII memory"});
+
+  for (const std::size_t base : {1000, 2000, 4000, 8000}) {
+    const std::size_t n = bench::Scaled(base);
+    const workload::SyntheticCorpus corpus(bench::DefaultCorpusConfig(n));
+
+    double times[2];
+    std::size_t memory[2];
+    int slot = 0;
+    for (const char* name : {"RTSI", "LSII"}) {
+      auto index = bench::MakeIndex(name, bench::DefaultIndexConfig());
+      SimulatedClock clock;
+      const auto init = workload::InitializeIndex(*index, corpus, 0, n, clock);
+      times[slot] = init.elapsed_micros;
+      memory[slot] = init.index_bytes;
+      ++slot;
+    }
+    table.AddRow({std::to_string(n), workload::FormatMicros(times[0]),
+                  workload::FormatMicros(times[1]),
+                  workload::FormatBytes(memory[0]),
+                  workload::FormatBytes(memory[1])});
+  }
+  table.Print();
+  return 0;
+}

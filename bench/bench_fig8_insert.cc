@@ -1,0 +1,45 @@
+// Figure 8: insertion cost versus the number of insertions (window
+// batches), RTSI vs LSII, on top of an initialized index.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+int main() {
+  using namespace rtsi;
+  const std::size_t init_streams = bench::Scaled(2000);
+
+  workload::ReportTable table(
+      "Figure 8: insertion cost vs #inserted streams (on top of " +
+          std::to_string(init_streams) + " initial streams)",
+      {"#new streams", "RTSI total", "RTSI median", "LSII total",
+       "LSII median"});
+
+  for (const std::size_t base : {250, 500, 1000, 2000}) {
+    const std::size_t n = bench::Scaled(base);
+    const workload::SyntheticCorpus corpus(
+        bench::DefaultCorpusConfig(init_streams + n));
+
+    double total[2], median[2];
+    int slot = 0;
+    for (const char* name : {"RTSI", "LSII"}) {
+      auto index = bench::MakeIndex(name, bench::DefaultIndexConfig());
+      SimulatedClock clock;
+      workload::InitializeIndex(*index, corpus, 0, init_streams, clock);
+      const auto stats =
+          workload::MeasureInsertions(*index, corpus, init_streams, n, clock);
+      total[slot] = stats.sum_micros();
+      median[slot] = stats.PercentileMicros(0.5);
+      ++slot;
+    }
+    table.AddRow({std::to_string(n), workload::FormatMicros(total[0]),
+                  workload::FormatMicros(median[0]),
+                  workload::FormatMicros(total[1]),
+                  workload::FormatMicros(median[1])});
+  }
+  table.Print();
+  return 0;
+}

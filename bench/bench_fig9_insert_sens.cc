@@ -1,0 +1,84 @@
+// Figure 9: insertion sensitivity — total insertion cost while varying
+// delta (the size of I0) and rho (the LSM-tree ratio), RTSI vs LSII.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+namespace {
+
+using namespace rtsi;
+
+struct InsertCost {
+  double total_micros;
+  double median_micros;
+};
+
+InsertCost MeasureWithConfig(const char* name,
+                             const core::RtsiConfig& config,
+                             const workload::SyntheticCorpus& corpus,
+                             std::size_t init_streams,
+                             std::size_t new_streams) {
+  auto index = bench::MakeIndex(name, config);
+  SimulatedClock clock;
+  workload::InitializeIndex(*index, corpus, 0, init_streams, clock);
+  const auto stats = workload::MeasureInsertions(*index, corpus,
+                                                 init_streams, new_streams,
+                                                 clock);
+  return {stats.sum_micros(), stats.PercentileMicros(0.5)};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t init_streams = bench::Scaled(2000);
+  const std::size_t new_streams = bench::Scaled(500);
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(init_streams + new_streams));
+
+  {
+    workload::ReportTable table(
+        "Figure 9a: insertion cost vs delta (size of I0)",
+        {"delta", "RTSI total", "RTSI median", "LSII total",
+         "LSII median"});
+    for (const std::size_t delta :
+         {16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024}) {
+      auto config = bench::DefaultIndexConfig();
+      config.lsm.delta = delta;
+      const InsertCost rtsi_c = MeasureWithConfig("RTSI", config, corpus,
+                                                  init_streams, new_streams);
+      const InsertCost lsii_c = MeasureWithConfig("LSII", config, corpus,
+                                                  init_streams, new_streams);
+      table.AddRow({std::to_string(delta / 1024) + "k",
+                    workload::FormatMicros(rtsi_c.total_micros),
+                    workload::FormatMicros(rtsi_c.median_micros),
+                    workload::FormatMicros(lsii_c.total_micros),
+                    workload::FormatMicros(lsii_c.median_micros)});
+    }
+    table.Print();
+  }
+
+  {
+    workload::ReportTable table(
+        "Figure 9b: insertion cost vs rho (LSM-tree ratio)",
+        {"rho", "RTSI total", "RTSI median", "LSII total", "LSII median"});
+    for (const double rho : {2.0, 3.0, 4.0, 6.0, 8.0}) {
+      auto config = bench::DefaultIndexConfig();
+      config.lsm.rho = rho;
+      const InsertCost rtsi_c = MeasureWithConfig("RTSI", config, corpus,
+                                                  init_streams, new_streams);
+      const InsertCost lsii_c = MeasureWithConfig("LSII", config, corpus,
+                                                  init_streams, new_streams);
+      table.AddRow({workload::FormatDouble(rho, 1),
+                    workload::FormatMicros(rtsi_c.total_micros),
+                    workload::FormatMicros(rtsi_c.median_micros),
+                    workload::FormatMicros(lsii_c.total_micros),
+                    workload::FormatMicros(lsii_c.median_micros)});
+    }
+    table.Print();
+  }
+  return 0;
+}

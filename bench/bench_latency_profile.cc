@@ -1,0 +1,53 @@
+// Real-time SLA profile: full latency distribution (p50/p90/p99/p99.9/
+// max) of every operation class for both indices under the default mixed
+// workload. The paper's "real-time" claim is about tails, not means.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+int main() {
+  using namespace rtsi;
+  const std::size_t init_streams = bench::Scaled(4000);
+  const std::size_t insert_streams = bench::Scaled(500);
+  const std::size_t num_queries = bench::Scaled(2000);
+  const std::size_t num_updates = bench::Scaled(20000);
+  const workload::SyntheticCorpus corpus(
+      bench::DefaultCorpusConfig(init_streams + insert_streams));
+
+  workload::ReportTable table(
+      "Latency profile (" + std::to_string(init_streams) + " streams)",
+      {"operation", "index", "p50", "p90", "p99", "p99.9", "max"});
+
+  for (const char* name : {"RTSI", "LSII"}) {
+    auto index = bench::MakeIndex(name, bench::DefaultIndexConfig());
+    SimulatedClock clock;
+    workload::InitializeIndex(*index, corpus, 0, init_streams, clock);
+
+    const auto inserts = workload::MeasureInsertions(
+        *index, corpus, init_streams, insert_streams, clock);
+    workload::QueryGenerator gen(
+        bench::DefaultQueryConfig(corpus.vocab_size()));
+    const auto queries =
+        workload::MeasureQueries(*index, gen, num_queries, 10, clock);
+    const auto updates = workload::MeasureUpdates(
+        *index, num_updates, init_streams, clock);
+
+    auto add = [&](const char* op, const LatencyStats& stats) {
+      table.AddRow({op, name,
+                    workload::FormatMicros(stats.PercentileMicros(0.50)),
+                    workload::FormatMicros(stats.PercentileMicros(0.90)),
+                    workload::FormatMicros(stats.PercentileMicros(0.99)),
+                    workload::FormatMicros(stats.PercentileMicros(0.999)),
+                    workload::FormatMicros(stats.max_micros())});
+    };
+    add("insert window", inserts);
+    add("query k=10", queries);
+    add("popularity update", updates);
+  }
+  table.Print();
+  return 0;
+}

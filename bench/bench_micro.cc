@@ -1,0 +1,163 @@
+// Google-benchmark micro suite: the hot primitives under the experiment
+// harness — posting-list operations, Huffman coding, scoring, the MFCC
+// front-end, and the random-access path used by query candidates.
+
+#include <benchmark/benchmark.h>
+
+#include "audio/mfcc.h"
+#include "audio/synthesizer.h"
+#include "common/rng.h"
+#include "common/varint.h"
+#include "common/zipf.h"
+#include "core/scorer.h"
+#include "index/compressed_postings.h"
+#include "index/huffman.h"
+#include "index/term_postings.h"
+
+namespace {
+
+using namespace rtsi;
+
+index::TermPostings MakePostings(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  index::TermPostings postings;
+  Timestamp t = 0;
+  for (int i = 0; i < n; ++i) {
+    t += 60'000'000;
+    postings.Append(index::Posting{
+        rng.NextUint64(100000), static_cast<float>(rng.NextUint64(5000)), t,
+        1 + static_cast<TermFreq>(rng.NextUint64(8))});
+  }
+  return postings;
+}
+
+void BM_TermPostingsAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    index::TermPostings postings;
+    for (int i = 0; i < state.range(0); ++i) {
+      postings.Append(index::Posting{static_cast<StreamId>(i), 1.0f,
+                                     static_cast<Timestamp>(i), 1});
+    }
+    benchmark::DoNotOptimize(postings.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TermPostingsAppend)->Arg(1024)->Arg(16384);
+
+void BM_TermPostingsSeal(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    index::TermPostings postings = MakePostings(state.range(0), 7);
+    state.ResumeTiming();
+    postings.Seal();
+    benchmark::DoNotOptimize(postings.sealed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TermPostingsSeal)->Arg(1024)->Arg(16384);
+
+void BM_AggregateForStream(benchmark::State& state) {
+  index::TermPostings postings = MakePostings(state.range(0), 11);
+  postings.Seal();
+  Rng rng(3);
+  index::Posting out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        postings.AggregateForStream(rng.NextUint64(100000), out));
+  }
+}
+BENCHMARK(BM_AggregateForStream)->Arg(1024)->Arg(65536);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(5);
+  ZipfDistribution dist(64, 1.2);
+  std::vector<std::uint8_t> input(state.range(0));
+  for (auto& b : input) b = static_cast<std::uint8_t>(dist(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index::HuffmanEncode(input));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(4096)->Arg(65536);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  Rng rng(6);
+  ZipfDistribution dist(64, 1.2);
+  std::vector<std::uint8_t> input(state.range(0));
+  for (auto& b : input) b = static_cast<std::uint8_t>(dist(rng));
+  const auto blob = index::HuffmanEncode(input);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index::HuffmanDecode(blob, out));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(4096)->Arg(65536);
+
+void BM_CompressedRoundTrip(benchmark::State& state) {
+  const index::TermPostings postings = MakePostings(state.range(0), 13);
+  for (auto _ : state) {
+    const auto compressed =
+        index::CompressedTermPostings::FromPostings(postings);
+    benchmark::DoNotOptimize(compressed.Decode().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompressedRoundTrip)->Arg(1024)->Arg(8192);
+
+void BM_Varint(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<std::uint64_t> values(4096);
+  for (auto& v : values) v = rng() >> rng.NextUint64(64);
+  for (auto _ : state) {
+    std::vector<std::uint8_t> buf;
+    for (const auto v : values) PutVarint64(buf, v);
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      GetVarint64(buf.data(), buf.size(), pos, out);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Varint);
+
+void BM_ScoreComputation(benchmark::State& state) {
+  const core::Scorer scorer(core::ScoreWeights{}, 6.0 * 3600.0);
+  Rng rng(9);
+  for (auto _ : state) {
+    const double score = scorer.Combine(
+        scorer.PopScore(rng.NextUint64(100000), 100000),
+        scorer.RelScore(scorer.TermTfIdf(1 + rng.NextUint64(20), 2.5), 2),
+        scorer.FrshScore(0, static_cast<Timestamp>(rng.NextUint64(1000000))));
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_ScoreComputation);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution dist(60000, 1.0);
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_MfccExtract(benchmark::State& state) {
+  audio::MfccExtractor extractor(audio::MfccConfig{});
+  audio::SynthesizerConfig synth_config;
+  audio::Synthesizer synth(synth_config);
+  Rng rng(11);
+  const audio::PcmBuffer pcm =
+      synth.Render({{500.0, 1500.0, 0.2, 1.0, 0.6}}, rng);  // 1 second.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(pcm).size());
+  }
+}
+BENCHMARK(BM_MfccExtract);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Scalability crossover: median per-window insertion latency (merges
+// excluded by using the median) for RTSI vs LSII as the corpus grows.
+//
+// RTSI's insert path does slightly more bookkeeping per term (live-term
+// table + residency counts), but its hash tables stay small; LSII's
+// single big table grows with the corpus and its per-term probes fall
+// out of cache. The paper's 80k-stream corpus sits far beyond the
+// crossover; this bench locates it on the current machine.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+int main() {
+  using namespace rtsi;
+  workload::ReportTable table(
+      "Insert-path crossover: median per-window latency vs corpus size",
+      {"#streams", "RTSI median", "LSII median", "RTSI mem", "LSII mem"});
+
+  for (const std::size_t base : {2000, 4000, 8000, 16000}) {
+    const std::size_t n = bench::Scaled(base);
+    const std::size_t probe_streams = bench::Scaled(300);
+    const workload::SyntheticCorpus corpus(
+        bench::DefaultCorpusConfig(n + probe_streams));
+
+    double median[2];
+    std::size_t memory[2];
+    int slot = 0;
+    for (const char* name : {"RTSI", "LSII"}) {
+      auto index = bench::MakeIndex(name, bench::DefaultIndexConfig());
+      SimulatedClock clock;
+      workload::InitializeIndex(*index, corpus, 0, n, clock);
+      const auto stats = workload::MeasureInsertions(*index, corpus, n,
+                                                     probe_streams, clock);
+      median[slot] = stats.PercentileMicros(0.5);
+      memory[slot] = index->MemoryBytes();
+      ++slot;
+    }
+    table.AddRow({std::to_string(n), workload::FormatMicros(median[0]),
+                  workload::FormatMicros(median[1]),
+                  workload::FormatBytes(memory[0]),
+                  workload::FormatBytes(memory[1])});
+  }
+  table.Print();
+  return 0;
+}

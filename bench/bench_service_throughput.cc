@@ -1,0 +1,83 @@
+// End-to-end service throughput: words of ground-truth transcript pushed
+// through the full ingestion pipeline (transcription error model, G2P,
+// lattice units, two RTSI trees) per second, plus multi-modal query
+// rates. This measures the whole Figure-4 system, not just the index.
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/latency_stats.h"
+#include "service/search_service.h"
+#include "workload/corpus.h"
+#include "workload/report.h"
+
+int main() {
+  using namespace rtsi;
+  const std::size_t num_streams = bench::Scaled(400);
+  const int queries = 500;
+
+  workload::CorpusConfig corpus_config;
+  corpus_config.num_streams = num_streams;
+  corpus_config.vocab_size = 10'000;
+  corpus_config.words_per_window = 80;
+  corpus_config.avg_windows_per_stream = 6;
+  corpus_config.min_windows_per_stream = 3;
+  const workload::SyntheticCorpus corpus(corpus_config);
+
+  SimulatedClock clock;
+  service::SearchServiceConfig config;
+  config.ingestion.acoustic_path = service::AcousticPath::kDirect;
+  service::SearchService service(config, &clock);
+
+  // Ingest everything through the full pipeline.
+  Stopwatch watch;
+  std::size_t windows = 0, words = 0;
+  for (StreamId s = 0; s < num_streams; ++s) {
+    const int n = corpus.NumWindows(s);
+    for (int w = 0; w < n; ++w) {
+      const auto window_words = corpus.WindowWords(s, w);
+      words += window_words.size();
+      service.IngestWindow(s, window_words, w + 1 < n);
+      ++windows;
+    }
+    service.FinishStream(s);
+    clock.Advance(kMicrosPerSecond);
+  }
+  const double ingest_micros = watch.ElapsedMicros();
+
+  // Keyword queries through the multi-modal processor.
+  Rng rng(11);
+  LatencyStats query_latency;
+  for (int i = 0; i < queries; ++i) {
+    const StreamId target = rng.NextUint64(num_streams);
+    const auto window_words = corpus.WindowWords(target, 0);
+    const std::string query =
+        window_words[rng.NextUint64(window_words.size())] + " " +
+        window_words[rng.NextUint64(window_words.size())];
+    watch.Restart();
+    service.SearchKeywords(query, 10);
+    query_latency.Record(watch.ElapsedMicros());
+  }
+
+  workload::ReportTable table("Service end-to-end throughput",
+                              {"metric", "value"});
+  table.AddRow({"windows ingested", std::to_string(windows)});
+  table.AddRow({"transcript words", std::to_string(words)});
+  table.AddRow({"ingest rate",
+                workload::FormatDouble(windows / (ingest_micros / 1e6), 1) +
+                    " windows/s"});
+  table.AddRow({"audio-time speedup",
+                workload::FormatDouble(
+                    (windows * 60.0) / (ingest_micros / 1e6), 0) +
+                    "x realtime"});
+  table.AddRow({"keyword query mean",
+                workload::FormatMicros(query_latency.mean_micros())});
+  table.AddRow({"keyword query p99",
+                workload::FormatMicros(query_latency.PercentileMicros(0.99))});
+  table.AddRow({"text terms", std::to_string(service.text_dictionary().size())});
+  table.AddRow({"lattice units",
+                std::to_string(service.sound_dictionary().size())});
+  table.Print();
+  return 0;
+}

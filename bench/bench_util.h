@@ -1,0 +1,81 @@
+// Shared setup for the experiment harness binaries.
+//
+// Every bench prints the rows/series of one paper table or figure. The
+// absolute workload sizes are scaled to a laptop-class container via
+// RTSI_BENCH_SCALE (default 1.0 = the sizes hard-coded here; the paper's
+// 80k-stream corpus corresponds to roughly scale 10 and needs a
+// correspondingly large machine).
+
+#ifndef RTSI_BENCH_BENCH_UTIL_H_
+#define RTSI_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "baseline/lsii_index.h"
+#include "core/rtsi_index.h"
+#include "workload/corpus.h"
+#include "workload/query_gen.h"
+
+namespace rtsi::bench {
+
+inline double Scale() {
+  const char* env = std::getenv("RTSI_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+inline std::size_t Scaled(std::size_t base) {
+  return static_cast<std::size_t>(base * Scale());
+}
+
+/// Corpus statistics mirror the Ximalaya dataset's shape at reduced size.
+inline workload::CorpusConfig DefaultCorpusConfig(std::size_t num_streams) {
+  workload::CorpusConfig config;
+  config.num_streams = num_streams;
+  config.vocab_size = 20'000;
+  config.zipf_skew = 1.0;
+  config.avg_windows_per_stream = 8;
+  config.min_windows_per_stream = 3;
+  config.words_per_window = 80;
+  return config;
+}
+
+/// Table III defaults (our documented choices; see DESIGN.md §4).
+inline core::RtsiConfig DefaultIndexConfig() {
+  core::RtsiConfig config;
+  config.lsm.delta = 64 * 1024;
+  config.lsm.rho = 4.0;
+  config.lsm.compress = false;
+  config.lsm.num_l0_shards = 16;
+  config.weights.pop = 0.3;
+  config.weights.rel = 0.5;
+  config.weights.frsh = 0.2;
+  config.freshness_tau_seconds = 6.0 * 3600.0;
+  config.use_bound = true;
+  config.default_k = 10;
+  return config;
+}
+
+inline std::unique_ptr<core::SearchIndex> MakeIndex(
+    const std::string& name, const core::RtsiConfig& config) {
+  if (name == "RTSI") {
+    return std::make_unique<core::RtsiIndex>(config);
+  }
+  return std::make_unique<baseline::LsiiIndex>(config);
+}
+
+inline workload::QueryGenConfig DefaultQueryConfig(std::size_t vocab_size) {
+  workload::QueryGenConfig config;
+  config.vocab_size = vocab_size;
+  config.zipf_skew = 0.8;
+  config.min_terms = 2;
+  config.max_terms = 2;
+  return config;
+}
+
+}  // namespace rtsi::bench
+
+#endif  // RTSI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,189 @@
+// Interactive demo of the multi-modal live audio search service (the
+// paper's future-work item #1: "a demonstration with a user friendly
+// interface").
+//
+//   $ ./interactive_demo
+//   rtsi> ingest 1 morning news politics economy
+//   rtsi> search news
+//   rtsi> voice morning economy      (synthesizes audio, decodes, searches)
+//   rtsi> pop 1 5000
+//   rtsi> stats
+//   rtsi> quit
+//
+// When stdin is not a terminal a scripted session runs instead, so the
+// binary is exercised by automation too.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "service/search_service.h"
+
+namespace {
+
+using namespace rtsi;
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  ingest <id> <word> [word...]   add a 60s window of a live stream\n"
+      "  finish <id>                    broadcast ended\n"
+      "  delete <id>                    remove the stream\n"
+      "  pop <id> <delta>               add plays to the counter\n"
+      "  search <word> [word...]        keyword search (both modalities)\n"
+      "  voice <word> [word...]         synthesize speech, voice-search it\n"
+      "  tick [minutes]                 advance the clock (default 1)\n"
+      "  stats                          index statistics\n"
+      "  help | quit\n");
+}
+
+void PrintResults(const std::vector<service::SearchResult>& results) {
+  if (results.empty()) {
+    std::printf("  (no results)\n");
+    return;
+  }
+  for (const auto& r : results) {
+    std::printf("  stream %llu  fused %.4f (text %.4f, sound %.4f)\n",
+                static_cast<unsigned long long>(r.stream), r.score,
+                r.text_score, r.sound_score);
+  }
+}
+
+bool HandleLine(const std::string& line, service::SearchService& service,
+                SimulatedClock& clock) {
+  std::istringstream in(line);
+  std::string command;
+  if (!(in >> command)) return true;
+
+  if (command == "quit" || command == "exit") return false;
+  if (command == "help") {
+    PrintHelp();
+  } else if (command == "ingest") {
+    StreamId id;
+    if (!(in >> id)) {
+      std::printf("usage: ingest <id> <word...>\n");
+      return true;
+    }
+    std::vector<std::string> words;
+    std::string word;
+    while (in >> word) words.push_back(word);
+    if (words.empty()) {
+      std::printf("usage: ingest <id> <word...>\n");
+      return true;
+    }
+    service.IngestWindow(id, words, /*live=*/true);
+    std::printf("  indexed %zu words into stream %llu (live)\n",
+                words.size(), static_cast<unsigned long long>(id));
+  } else if (command == "finish") {
+    StreamId id;
+    if (in >> id) {
+      service.FinishStream(id);
+      std::printf("  stream %llu finished\n",
+                  static_cast<unsigned long long>(id));
+    }
+  } else if (command == "delete") {
+    StreamId id;
+    if (in >> id) {
+      service.DeleteStream(id);
+      std::printf("  stream %llu deleted\n",
+                  static_cast<unsigned long long>(id));
+    }
+  } else if (command == "pop") {
+    StreamId id;
+    std::uint64_t delta;
+    if (in >> id >> delta) {
+      service.UpdatePopularity(id, delta);
+      std::printf("  +%llu plays on stream %llu\n",
+                  static_cast<unsigned long long>(delta),
+                  static_cast<unsigned long long>(id));
+    }
+  } else if (command == "search") {
+    std::string rest, word;
+    while (in >> word) rest += (rest.empty() ? "" : " ") + word;
+    PrintResults(service.SearchKeywords(rest, 5));
+  } else if (command == "voice") {
+    std::vector<std::string> words;
+    std::string word;
+    while (in >> word) words.push_back(word);
+    const audio::PcmBuffer pcm = service.SynthesizeQuery(words);
+    std::printf("  synthesized %.2fs of speech, decoding...\n",
+                pcm.duration_seconds());
+    PrintResults(service.SearchVoice(pcm, 5));
+  } else if (command == "tick") {
+    int minutes = 1;
+    in >> minutes;
+    clock.Advance(static_cast<Timestamp>(minutes) * kMicrosPerMinute);
+    std::printf("  clock advanced %d minute(s)\n", minutes);
+  } else if (command == "stats") {
+    auto& text = service.text_index();
+    auto& sound = service.sound_index();
+    std::printf("  text tree:  %zu postings, %zu levels, %zu merges\n",
+                text.tree().total_postings(), text.tree().num_levels(),
+                text.GetMergeStats().merges);
+    std::printf("  sound tree: %zu postings, %zu levels\n",
+                sound.tree().total_postings(), sound.tree().num_levels());
+    std::printf("  dictionaries: %zu words, %zu lattice units\n",
+                service.text_dictionary().size(),
+                service.sound_dictionary().size());
+    std::printf("  memory: %.2f MB (text) + %.2f MB (sound)\n",
+                text.MemoryBytes() / (1024.0 * 1024.0),
+                sound.MemoryBytes() / (1024.0 * 1024.0));
+  } else {
+    std::printf("unknown command '%s' (try: help)\n", command.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  SimulatedClock clock;
+  service::SearchServiceConfig config;
+  config.index.lsm.delta = 16 * 1024;
+  config.ingestion.acoustic_path = service::AcousticPath::kFull;
+  config.ingestion.transcriber.word_error_rate = 0.05;
+  service::SearchService service(config, &clock);
+
+  if (isatty(fileno(stdin)) != 0) {
+    std::printf("RTSI multi-modal live audio search — interactive demo\n");
+    PrintHelp();
+    std::string line;
+    std::printf("rtsi> ");
+    std::fflush(stdout);
+    while (std::getline(std::cin, line)) {
+      if (!HandleLine(line, service, clock)) break;
+      std::printf("rtsi> ");
+      std::fflush(stdout);
+    }
+    return 0;
+  }
+
+  // Scripted session (non-interactive stdin).
+  const char* script[] = {
+      "ingest 1 morning news politics economy weather",
+      "ingest 2 jazz saxophone midnight radio session",
+      "ingest 3 football match live goal stadium",
+      "tick 1",
+      "ingest 1 interview minister budget taxes",
+      "search news budget",
+      "search jazz",
+      "voice football stadium",
+      "pop 3 10000",
+      "search live",
+      "finish 1",
+      "delete 2",
+      "search jazz",
+      "stats",
+  };
+  std::printf("RTSI interactive demo (scripted session)\n\n");
+  for (const char* line : script) {
+    std::printf("rtsi> %s\n", line);
+    HandleLine(line, service, clock);
+  }
+  return 0;
+}

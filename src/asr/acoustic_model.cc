@@ -1,0 +1,93 @@
+#include "asr/acoustic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/synthesizer.h"
+
+namespace rtsi::asr {
+namespace {
+
+double SquaredDistance(const audio::MfccFrame& a, const audio::MfccFrame& b) {
+  double acc = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+AcousticModel::AcousticModel(const audio::MfccExtractor& extractor,
+                             std::uint64_t seed) {
+  audio::SynthesizerConfig synth_config;
+  synth_config.sample_rate_hz = extractor.config().sample_rate_hz;
+  synth_config.noise_floor = 0.0;  // Prototypes are built from clean audio.
+  const audio::Synthesizer synth(synth_config);
+
+  Rng rng(seed);
+  prototypes_.resize(PhonemeCount());
+  for (int p = 0; p < PhonemeCount(); ++p) {
+    audio::PhoneSpec spec = PhonemeSpec(static_cast<PhonemeId>(p));
+    spec.duration_seconds = 0.20;  // Long steady state for a stable mean.
+    const audio::PcmBuffer pcm = synth.Render({spec}, rng);
+    const std::vector<audio::MfccFrame> frames = extractor.Extract(pcm);
+
+    audio::MfccFrame mean(extractor.feature_dimension(), 0.0);
+    // Skip the attack/release frames at both ends.
+    const std::size_t skip = frames.size() > 4 ? 2 : 0;
+    std::size_t used = 0;
+    for (std::size_t f = skip; f + skip < frames.size(); ++f) {
+      for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += frames[f][i];
+      ++used;
+    }
+    if (used > 0) {
+      for (double& v : mean) v /= static_cast<double>(used);
+    }
+    prototypes_[p] = std::move(mean);
+  }
+}
+
+std::vector<ScoredPhone> AcousticModel::Classify(
+    const audio::MfccFrame& frame) const {
+  std::vector<double> distances(prototypes_.size());
+  for (std::size_t p = 0; p < prototypes_.size(); ++p) {
+    distances[p] = SquaredDistance(frame, prototypes_[p]);
+  }
+  const double min_distance =
+      *std::min_element(distances.begin(), distances.end());
+
+  // Softmax over negative distances, scaled so the best phone dominates but
+  // close competitors keep visible posterior mass.
+  constexpr double kTemperature = 10.0;
+  std::vector<ScoredPhone> scored(prototypes_.size());
+  double normalizer = 0.0;
+  for (std::size_t p = 0; p < prototypes_.size(); ++p) {
+    const double logit = -(distances[p] - min_distance) / kTemperature;
+    scored[p] = {static_cast<PhonemeId>(p), std::exp(logit)};
+    normalizer += scored[p].posterior;
+  }
+  for (auto& s : scored) s.posterior /= normalizer;
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPhone& a, const ScoredPhone& b) {
+              return a.posterior > b.posterior;
+            });
+  return scored;
+}
+
+PhonemeId AcousticModel::BestPhone(const audio::MfccFrame& frame) const {
+  PhonemeId best = 0;
+  double best_distance = SquaredDistance(frame, prototypes_[0]);
+  for (std::size_t p = 1; p < prototypes_.size(); ++p) {
+    const double d = SquaredDistance(frame, prototypes_[p]);
+    if (d < best_distance) {
+      best_distance = d;
+      best = static_cast<PhonemeId>(p);
+    }
+  }
+  return best;
+}
+
+}  // namespace rtsi::asr

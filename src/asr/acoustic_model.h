@@ -1,0 +1,46 @@
+// Prototype-based acoustic model over MFCC frames.
+//
+// For each phone in the inventory, a prototype MFCC vector is computed by
+// synthesizing the phone's steady state and averaging its MFCC frames.
+// Frames are scored against prototypes by (negative) squared Euclidean
+// distance; posteriors come from a softmax over distances.
+
+#ifndef RTSI_ASR_ACOUSTIC_MODEL_H_
+#define RTSI_ASR_ACOUSTIC_MODEL_H_
+
+#include <vector>
+
+#include "asr/phoneme.h"
+#include "audio/mfcc.h"
+
+namespace rtsi::asr {
+
+struct ScoredPhone {
+  PhonemeId phone = 0;
+  double posterior = 0.0;
+};
+
+class AcousticModel {
+ public:
+  /// Builds prototypes by rendering every phone through `extractor`'s
+  /// configuration. Deterministic given `seed`.
+  explicit AcousticModel(const audio::MfccExtractor& extractor,
+                         std::uint64_t seed = 7);
+
+  /// Ranks all phones for one frame, best first, with softmax posteriors.
+  std::vector<ScoredPhone> Classify(const audio::MfccFrame& frame) const;
+
+  /// The phone whose prototype is closest to `frame`.
+  PhonemeId BestPhone(const audio::MfccFrame& frame) const;
+
+  const std::vector<audio::MfccFrame>& prototypes() const {
+    return prototypes_;
+  }
+
+ private:
+  std::vector<audio::MfccFrame> prototypes_;  // One per phone.
+};
+
+}  // namespace rtsi::asr
+
+#endif  // RTSI_ASR_ACOUSTIC_MODEL_H_

@@ -1,0 +1,54 @@
+// Lattice decoder: PCM audio -> phonetic lattice.
+//
+// Frames are classified against the acoustic model's phone prototypes, runs
+// of identical best phones are collapsed into lattice segments, and each
+// segment keeps the top hypotheses with averaged posteriors. This plays the
+// role of the commercial decoder the paper used ("converted into phonetic
+// lattices"); it is intentionally simple but produces real lattices from
+// real (synthetic) audio through the full MFCC path.
+
+#ifndef RTSI_ASR_DECODER_H_
+#define RTSI_ASR_DECODER_H_
+
+#include <cstddef>
+
+#include "asr/acoustic_model.h"
+#include "asr/lattice.h"
+#include "asr/phone_lm.h"
+#include "audio/mfcc.h"
+#include "audio/pcm.h"
+
+namespace rtsi::asr {
+
+struct DecoderConfig {
+  int max_hypotheses_per_segment = 3;
+  std::size_t min_run_frames = 2;  // Runs shorter than this are merged away.
+
+  /// Viterbi decoding over the phone-bigram model instead of framewise
+  /// argmax: transitions between phones pay `switch_logprob` plus the
+  /// (weighted) bigram score, which smooths over single-frame acoustic
+  /// errors. Requires `phone_lm`.
+  bool use_viterbi = false;
+  const PhoneBigramModel* phone_lm = nullptr;  // Not owned.
+  double self_loop_logprob = -0.105;  // log(0.9): phones persist ~frames.
+  double switch_logprob = -2.303;     // log(0.1).
+  double lm_weight = 1.0;
+};
+
+class LatticeDecoder {
+ public:
+  LatticeDecoder(const audio::MfccExtractor* extractor,
+                 const AcousticModel* model, const DecoderConfig& config);
+
+  /// Decodes a PCM buffer into a phonetic lattice.
+  PhoneticLattice Decode(const audio::PcmBuffer& pcm) const;
+
+ private:
+  const audio::MfccExtractor* extractor_;  // Not owned.
+  const AcousticModel* model_;             // Not owned.
+  DecoderConfig config_;
+};
+
+}  // namespace rtsi::asr
+
+#endif  // RTSI_ASR_DECODER_H_

@@ -1,0 +1,59 @@
+// Phonetic lattices: the sound-based representation indexed by RTSI.
+//
+// A lattice is a sequence of time segments; each segment carries a ranked
+// set of phone hypotheses with posteriors. Indexable "lattice units" are
+// phone n-grams drawn from the hypotheses (the paper indexes lattice units
+// as the terms of the sound LSM-tree).
+
+#ifndef RTSI_ASR_LATTICE_H_
+#define RTSI_ASR_LATTICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asr/phoneme.h"
+
+namespace rtsi::asr {
+
+struct PhoneHypothesis {
+  PhonemeId phone = 0;
+  double posterior = 0.0;  // In (0, 1]; hypotheses in a segment sum <= 1.
+};
+
+struct LatticeSegment {
+  // Ranked best-first; non-empty in a well-formed lattice.
+  std::vector<PhoneHypothesis> hypotheses;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+class PhoneticLattice {
+ public:
+  void AddSegment(LatticeSegment segment) {
+    segments_.push_back(std::move(segment));
+  }
+
+  const std::vector<LatticeSegment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+  std::size_t size() const { return segments_.size(); }
+
+  /// Best (rank-0) phone sequence.
+  std::vector<PhonemeId> BestPath() const;
+
+  /// Indexable lattice units: phone n-grams of order `n` over the best path,
+  /// plus n-grams substituting each segment's second hypothesis when its
+  /// posterior is >= `alt_threshold`. Each unit is rendered as a string
+  /// like "s_ih_ng" suitable for the term dictionary.
+  std::vector<std::string> ExtractUnits(int n, double alt_threshold) const;
+
+ private:
+  std::vector<LatticeSegment> segments_;
+};
+
+/// Renders a phone n-gram as "p1_p2_...".
+std::string UnitName(const std::vector<PhonemeId>& phones);
+
+}  // namespace rtsi::asr
+
+#endif  // RTSI_ASR_LATTICE_H_

@@ -1,0 +1,62 @@
+#include "asr/phone_lm.h"
+
+#include <cmath>
+
+namespace rtsi::asr {
+
+PhoneBigramModel::PhoneBigramModel()
+    : n_(PhonemeCount()),
+      bigram_counts_(static_cast<std::size_t>(n_) * n_, 0),
+      initial_counts_(n_, 0),
+      log_transition_(static_cast<std::size_t>(n_) * n_,
+                      -std::log(static_cast<double>(n_))),
+      log_initial_(n_, -std::log(static_cast<double>(n_))) {}
+
+void PhoneBigramModel::AddSequence(const std::vector<PhonemeId>& phones) {
+  if (phones.empty()) return;
+  ++initial_counts_[phones[0]];
+  for (std::size_t i = 1; i < phones.size(); ++i) {
+    ++bigram_counts_[static_cast<std::size_t>(phones[i - 1]) * n_ +
+                     phones[i]];
+    ++total_bigrams_;
+  }
+}
+
+void PhoneBigramModel::Finalize(double smoothing) {
+  for (int from = 0; from < n_; ++from) {
+    double row_total = 0.0;
+    for (int to = 0; to < n_; ++to) {
+      row_total += static_cast<double>(
+                       bigram_counts_[static_cast<std::size_t>(from) * n_ +
+                                      to]) +
+                   smoothing;
+    }
+    for (int to = 0; to < n_; ++to) {
+      const double count =
+          static_cast<double>(
+              bigram_counts_[static_cast<std::size_t>(from) * n_ + to]) +
+          smoothing;
+      log_transition_[static_cast<std::size_t>(from) * n_ + to] =
+          std::log(count / row_total);
+    }
+  }
+  double initial_total = 0.0;
+  for (int p = 0; p < n_; ++p) {
+    initial_total += static_cast<double>(initial_counts_[p]) + smoothing;
+  }
+  for (int p = 0; p < n_; ++p) {
+    log_initial_[p] = std::log(
+        (static_cast<double>(initial_counts_[p]) + smoothing) /
+        initial_total);
+  }
+}
+
+double PhoneBigramModel::LogTransition(PhonemeId from, PhonemeId to) const {
+  return log_transition_[static_cast<std::size_t>(from) * n_ + to];
+}
+
+double PhoneBigramModel::LogInitial(PhonemeId phone) const {
+  return log_initial_[phone];
+}
+
+}  // namespace rtsi::asr

@@ -1,0 +1,48 @@
+// Phone-bigram language model for lattice decoding.
+//
+// Trained from phone sequences (typically lexicon pronunciations of the
+// corpus vocabulary) with add-k smoothing; the Viterbi decoder uses it to
+// penalize phonotactically implausible transitions, smoothing over
+// single-frame acoustic errors.
+
+#ifndef RTSI_ASR_PHONE_LM_H_
+#define RTSI_ASR_PHONE_LM_H_
+
+#include <vector>
+
+#include "asr/phoneme.h"
+
+namespace rtsi::asr {
+
+class PhoneBigramModel {
+ public:
+  /// Uniform model (all transitions equally likely).
+  PhoneBigramModel();
+
+  /// Accumulates bigram counts from a phone sequence.
+  void AddSequence(const std::vector<PhonemeId>& phones);
+
+  /// Recomputes probabilities from the accumulated counts with add-k
+  /// smoothing. Call after the last AddSequence.
+  void Finalize(double smoothing = 0.5);
+
+  /// log P(to | from); defined for every phone pair (smoothed).
+  double LogTransition(PhonemeId from, PhonemeId to) const;
+
+  /// log P(phone) as the first phone of an utterance.
+  double LogInitial(PhonemeId phone) const;
+
+  std::uint64_t total_bigrams() const { return total_bigrams_; }
+
+ private:
+  int n_;
+  std::vector<std::uint64_t> bigram_counts_;   // n x n.
+  std::vector<std::uint64_t> initial_counts_;  // n.
+  std::vector<double> log_transition_;         // n x n.
+  std::vector<double> log_initial_;            // n.
+  std::uint64_t total_bigrams_ = 0;
+};
+
+}  // namespace rtsi::asr
+
+#endif  // RTSI_ASR_PHONE_LM_H_

@@ -1,0 +1,72 @@
+#include "asr/phoneme.h"
+
+#include <array>
+
+namespace rtsi::asr {
+namespace {
+
+struct PhonemeEntry {
+  std::string_view name;
+  audio::PhoneSpec spec;
+};
+
+// Formants are spread over [240, 2600] Hz so that neighbouring phones are
+// separated by more than the mel filter bandwidth at 16 kHz; fricatives and
+// stops get a noise component.
+constexpr int kNumPhonemes = 28;
+const std::array<PhonemeEntry, kNumPhonemes>& Inventory() {
+  static const std::array<PhonemeEntry, kNumPhonemes> kTable = {{
+      // Vowels: fully voiced, distinct (F1, F2) pairs.
+      {"aa", {700.0, 1220.0, 0.0, 0.090, 0.60}},
+      {"ae", {660.0, 1700.0, 0.0, 0.090, 0.60}},
+      {"ah", {620.0, 1200.0, 0.0, 0.080, 0.60}},
+      {"ao", {560.0, 880.0, 0.0, 0.090, 0.60}},
+      {"eh", {530.0, 1850.0, 0.0, 0.080, 0.60}},
+      {"er", {490.0, 1350.0, 0.0, 0.090, 0.60}},
+      {"ih", {400.0, 1990.0, 0.0, 0.070, 0.60}},
+      {"iy", {270.0, 2290.0, 0.0, 0.090, 0.60}},
+      {"ow", {450.0, 1030.0, 0.0, 0.090, 0.60}},
+      {"uh", {440.0, 1120.0, 0.0, 0.070, 0.60}},
+      {"uw", {300.0, 870.0, 0.0, 0.090, 0.60}},
+      // Nasals and liquids: voiced, lower amplitude.
+      {"m", {280.0, 1300.0, 0.0, 0.060, 0.45}},
+      {"n", {320.0, 1500.0, 0.0, 0.060, 0.45}},
+      {"ng", {330.0, 1100.0, 0.0, 0.065, 0.45}},
+      {"l", {360.0, 1600.0, 0.0, 0.060, 0.50}},
+      {"r", {420.0, 1300.0, 0.0, 0.060, 0.50}},
+      {"w", {290.0, 750.0, 0.0, 0.055, 0.50}},
+      {"y", {260.0, 2200.0, 0.0, 0.055, 0.50}},
+      // Fricatives: noise-dominated with a spectral tilt cue in F2.
+      {"s", {1800.0, 2600.0, 0.85, 0.080, 0.50}},
+      {"sh", {1500.0, 2300.0, 0.85, 0.080, 0.50}},
+      {"f", {1100.0, 2100.0, 0.80, 0.070, 0.45}},
+      {"v", {900.0, 1800.0, 0.45, 0.060, 0.45}},
+      {"z", {1600.0, 2500.0, 0.55, 0.070, 0.50}},
+      {"hh", {800.0, 1700.0, 0.90, 0.055, 0.40}},
+      // Stops: short, mixed noise bursts.
+      {"p", {900.0, 1900.0, 0.65, 0.045, 0.50}},
+      {"t", {1300.0, 2400.0, 0.65, 0.045, 0.50}},
+      {"k", {1100.0, 2000.0, 0.65, 0.045, 0.50}},
+      {"d", {1000.0, 2200.0, 0.40, 0.045, 0.50}},
+  }};
+  return kTable;
+}
+
+}  // namespace
+
+int PhonemeCount() { return kNumPhonemes; }
+
+std::string_view PhonemeName(PhonemeId id) { return Inventory()[id].name; }
+
+const audio::PhoneSpec& PhonemeSpec(PhonemeId id) {
+  return Inventory()[id].spec;
+}
+
+PhonemeId PhonemeByName(std::string_view name) {
+  for (int i = 0; i < kNumPhonemes; ++i) {
+    if (Inventory()[i].name == name) return static_cast<PhonemeId>(i);
+  }
+  return static_cast<PhonemeId>(kNumPhonemes);
+}
+
+}  // namespace rtsi::asr

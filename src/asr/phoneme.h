@@ -1,0 +1,33 @@
+// Phoneme inventory of the simulated speech pipeline.
+//
+// A compact inventory of 28 phones, each with a distinct formant signature
+// (see audio/synthesizer.h). The inventory is fixed at compile time; phones
+// are referenced by dense PhonemeId.
+
+#ifndef RTSI_ASR_PHONEME_H_
+#define RTSI_ASR_PHONEME_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "audio/synthesizer.h"
+
+namespace rtsi::asr {
+
+using PhonemeId = std::uint8_t;
+
+/// Number of phones in the inventory.
+int PhonemeCount();
+
+/// Short name ("aa", "sh", ...). `id` must be < PhonemeCount().
+std::string_view PhonemeName(PhonemeId id);
+
+/// Acoustic rendering parameters of the phone.
+const audio::PhoneSpec& PhonemeSpec(PhonemeId id);
+
+/// Reverse lookup; returns PhonemeCount() if `name` is unknown.
+PhonemeId PhonemeByName(std::string_view name);
+
+}  // namespace rtsi::asr
+
+#endif  // RTSI_ASR_PHONEME_H_

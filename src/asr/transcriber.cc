@@ -1,0 +1,37 @@
+#include "asr/transcriber.h"
+
+#include <utility>
+
+namespace rtsi::asr {
+
+Transcriber::Transcriber(const TranscriberConfig& config,
+                         std::function<std::string(Rng&)> confusion_word)
+    : config_(config), confusion_word_(std::move(confusion_word)) {}
+
+std::vector<std::string> Transcriber::Transcribe(
+    const std::vector<std::string>& truth, Rng& rng) const {
+  std::vector<std::string> out;
+  out.reserve(truth.size());
+  const double wer = config_.word_error_rate;
+  const double sub_cut = config_.substitution_share;
+  const double del_cut = sub_cut + config_.deletion_share;
+
+  for (const std::string& word : truth) {
+    if (!rng.NextBool(wer)) {
+      out.push_back(word);
+      continue;
+    }
+    const double kind = rng.NextDouble();
+    if (kind < sub_cut) {
+      out.push_back(confusion_word_(rng));  // Substitution.
+    } else if (kind < del_cut) {
+      // Deletion: emit nothing.
+    } else {
+      out.push_back(confusion_word_(rng));  // Insertion before the word...
+      out.push_back(word);                  // ...keeping the original too.
+    }
+  }
+  return out;
+}
+
+}  // namespace rtsi::asr

@@ -1,0 +1,47 @@
+// Simulated speech-to-text with a configurable word error rate.
+//
+// Stands in for the Baidu Yuyin service the paper used: given the true word
+// sequence of an audio window, emits a transcript with injected
+// substitution / deletion / insertion errors. The error budget is split
+// 60/20/20 (typical ASR error profiles), and substitutions/insertions draw
+// from a caller-provided confusion vocabulary.
+
+#ifndef RTSI_ASR_TRANSCRIBER_H_
+#define RTSI_ASR_TRANSCRIBER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rtsi::asr {
+
+struct TranscriberConfig {
+  double word_error_rate = 0.08;  // Modern commercial ASR is ~5-10%.
+  double substitution_share = 0.6;
+  double deletion_share = 0.2;
+  // Insertions take the remaining share.
+};
+
+class Transcriber {
+ public:
+  /// `confusion_word(rng)` supplies a random plausible word for
+  /// substitutions and insertions.
+  Transcriber(const TranscriberConfig& config,
+              std::function<std::string(Rng&)> confusion_word);
+
+  /// Applies the error model to `truth`.
+  std::vector<std::string> Transcribe(const std::vector<std::string>& truth,
+                                      Rng& rng) const;
+
+  const TranscriberConfig& config() const { return config_; }
+
+ private:
+  TranscriberConfig config_;
+  std::function<std::string(Rng&)> confusion_word_;
+};
+
+}  // namespace rtsi::asr
+
+#endif  // RTSI_ASR_TRANSCRIBER_H_

@@ -1,0 +1,71 @@
+#include "audio/fft.h"
+
+#include <cmath>
+
+namespace rtsi::audio {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void FftImpl(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Cooley-Tukey butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi / len;
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void Fft(std::vector<std::complex<double>>& data) { FftImpl(data, false); }
+
+void InverseFft(std::vector<std::complex<double>>& data) {
+  FftImpl(data, true);
+}
+
+std::size_t NextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<double> PowerSpectrum(const std::vector<double>& frame,
+                                  std::size_t fft_size) {
+  std::vector<std::complex<double>> buf(fft_size, {0.0, 0.0});
+  for (std::size_t i = 0; i < frame.size() && i < fft_size; ++i) {
+    buf[i] = {frame[i], 0.0};
+  }
+  Fft(buf);
+  std::vector<double> power(fft_size / 2 + 1);
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    power[k] = std::norm(buf[k]);
+  }
+  return power;
+}
+
+}  // namespace rtsi::audio

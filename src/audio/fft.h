@@ -1,0 +1,28 @@
+// Iterative radix-2 complex FFT, used by the MFCC front-end.
+
+#ifndef RTSI_AUDIO_FFT_H_
+#define RTSI_AUDIO_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace rtsi::audio {
+
+/// In-place forward FFT. `data.size()` must be a power of two (>= 1).
+void Fft(std::vector<std::complex<double>>& data);
+
+/// In-place inverse FFT (includes the 1/N scaling).
+void InverseFft(std::vector<std::complex<double>>& data);
+
+/// Power spectrum |X[k]|^2 for k in [0, n/2]. `frame` is zero-padded to
+/// `fft_size` (a power of two, >= frame.size()).
+std::vector<double> PowerSpectrum(const std::vector<double>& frame,
+                                  std::size_t fft_size);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t NextPowerOfTwo(std::size_t n);
+
+}  // namespace rtsi::audio
+
+#endif  // RTSI_AUDIO_FFT_H_

@@ -1,0 +1,82 @@
+#include "audio/mel_filterbank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtsi::audio {
+
+double HzToMel(double hz) { return 2595.0 * std::log10(1.0 + hz / 700.0); }
+
+double MelToHz(double mel) {
+  return 700.0 * (std::pow(10.0, mel / 2595.0) - 1.0);
+}
+
+MelFilterbank::MelFilterbank(int num_filters, int fft_size,
+                             int sample_rate_hz, double low_hz,
+                             double high_hz)
+    : num_filters_(num_filters) {
+  const double low_mel = HzToMel(low_hz);
+  const double high_mel = HzToMel(high_hz);
+  const int num_bins = fft_size / 2 + 1;
+  const double hz_per_bin =
+      static_cast<double>(sample_rate_hz) / static_cast<double>(fft_size);
+
+  // num_filters + 2 equally spaced mel points define the triangle corners.
+  std::vector<double> corner_hz(num_filters + 2);
+  for (int i = 0; i < num_filters + 2; ++i) {
+    const double mel =
+        low_mel + (high_mel - low_mel) * i / (num_filters + 1);
+    corner_hz[i] = MelToHz(mel);
+  }
+
+  filters_.resize(num_filters);
+  for (int f = 0; f < num_filters; ++f) {
+    const double left = corner_hz[f];
+    const double center = corner_hz[f + 1];
+    const double right = corner_hz[f + 2];
+    Filter& filter = filters_[f];
+    filter.first_bin = num_bins;  // Sentinel until the first nonzero weight.
+    for (int bin = 0; bin < num_bins; ++bin) {
+      const double hz = bin * hz_per_bin;
+      double w = 0.0;
+      if (hz > left && hz < center) {
+        w = (hz - left) / (center - left);
+      } else if (hz >= center && hz < right) {
+        w = (right - hz) / (right - center);
+      }
+      if (w > 0.0) {
+        if (filter.first_bin == static_cast<std::size_t>(num_bins)) {
+          filter.first_bin = bin;
+        }
+        filter.weights.push_back(w);
+      } else if (filter.first_bin != static_cast<std::size_t>(num_bins)) {
+        break;  // Past the right edge of the triangle.
+      }
+    }
+    if (filter.weights.empty()) {
+      // Degenerate narrow filter (very small FFT): give it the center bin.
+      const auto bin = static_cast<std::size_t>(
+          std::min<double>(center / hz_per_bin, num_bins - 1));
+      filter.first_bin = bin;
+      filter.weights.push_back(1.0);
+    }
+  }
+}
+
+std::vector<double> MelFilterbank::Apply(
+    const std::vector<double>& power_spectrum) const {
+  std::vector<double> energies(num_filters_, 0.0);
+  for (int f = 0; f < num_filters_; ++f) {
+    const Filter& filter = filters_[f];
+    double acc = 0.0;
+    for (std::size_t i = 0; i < filter.weights.size(); ++i) {
+      const std::size_t bin = filter.first_bin + i;
+      if (bin >= power_spectrum.size()) break;
+      acc += filter.weights[i] * power_spectrum[bin];
+    }
+    energies[f] = acc;
+  }
+  return energies;
+}
+
+}  // namespace rtsi::audio

@@ -1,0 +1,43 @@
+// Triangular mel-scale filterbank applied to power spectra.
+
+#ifndef RTSI_AUDIO_MEL_FILTERBANK_H_
+#define RTSI_AUDIO_MEL_FILTERBANK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rtsi::audio {
+
+/// Frequency (Hz) -> mel scale (O'Shaughnessy formula).
+double HzToMel(double hz);
+
+/// Mel scale -> frequency (Hz).
+double MelToHz(double mel);
+
+/// A bank of `num_filters` triangular filters spanning [low_hz, high_hz],
+/// evaluated on power-spectrum bins of an `fft_size`-point FFT at
+/// `sample_rate_hz`.
+class MelFilterbank {
+ public:
+  MelFilterbank(int num_filters, int fft_size, int sample_rate_hz,
+                double low_hz, double high_hz);
+
+  /// Applies the bank to a power spectrum of size fft_size/2+1; returns
+  /// `num_filters` energies.
+  std::vector<double> Apply(const std::vector<double>& power_spectrum) const;
+
+  int num_filters() const { return num_filters_; }
+
+ private:
+  int num_filters_;
+  // weights_[f] holds (first_bin, per-bin weights) of filter f.
+  struct Filter {
+    std::size_t first_bin;
+    std::vector<double> weights;
+  };
+  std::vector<Filter> filters_;
+};
+
+}  // namespace rtsi::audio
+
+#endif  // RTSI_AUDIO_MEL_FILTERBANK_H_

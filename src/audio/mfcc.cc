@@ -1,0 +1,174 @@
+#include "audio/mfcc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "audio/fft.h"
+
+namespace rtsi::audio {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kLogFloor = 1e-10;
+// Mel energies are floored relative to the frame's strongest filter
+// (-25 dB): near-silent bins then measure the same whether they hold
+// true silence or a low noise floor, which keeps cepstral distances
+// stable under additive noise.
+constexpr double kRelativeFloor = 3e-3;
+
+}  // namespace
+
+std::vector<double> DctII(const std::vector<double>& input,
+                          std::size_t num_outputs) {
+  const std::size_t n = input.size();
+  std::vector<double> out(std::min(num_outputs, n == 0 ? 0 : num_outputs),
+                          0.0);
+  if (n == 0) return out;
+  const double scale0 = std::sqrt(1.0 / n);
+  const double scale = std::sqrt(2.0 / n);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += input[i] * std::cos(kPi * (i + 0.5) * k / n);
+    }
+    out[k] = acc * (k == 0 ? scale0 : scale);
+  }
+  return out;
+}
+
+MfccExtractor::MfccExtractor(const MfccConfig& config)
+    : config_(config),
+      frame_length_(static_cast<std::size_t>(config.frame_length_seconds *
+                                             config.sample_rate_hz)),
+      frame_shift_(static_cast<std::size_t>(config.frame_shift_seconds *
+                                            config.sample_rate_hz)),
+      fft_size_(NextPowerOfTwo(std::max<std::size_t>(frame_length_, 2))),
+      filterbank_(config.num_mel_filters, static_cast<int>(fft_size_),
+                  config.sample_rate_hz, config.low_freq_hz,
+                  std::min(config.high_freq_hz,
+                           config.sample_rate_hz / 2.0)) {
+  window_.resize(frame_length_);
+  for (std::size_t i = 0; i < frame_length_; ++i) {
+    window_[i] =
+        0.54 - 0.46 * std::cos(2.0 * kPi * i /
+                               std::max<std::size_t>(frame_length_ - 1, 1));
+  }
+  // Precompute the DCT rows used for every frame.
+  const int m = config_.num_mel_filters;
+  dct_matrix_.resize(static_cast<std::size_t>(config_.num_coefficients) * m);
+  for (int k = 0; k < config_.num_coefficients; ++k) {
+    const double scale =
+        k == 0 ? std::sqrt(1.0 / m) : std::sqrt(2.0 / m);
+    for (int i = 0; i < m; ++i) {
+      dct_matrix_[static_cast<std::size_t>(k) * m + i] =
+          scale * std::cos(kPi * (i + 0.5) * k / m);
+    }
+  }
+}
+
+std::vector<MfccFrame> ComputeDeltas(const std::vector<MfccFrame>& frames,
+                                     int half_window) {
+  std::vector<MfccFrame> deltas(frames.size());
+  if (frames.empty()) return deltas;
+  const int n = static_cast<int>(frames.size());
+  const int w = std::max(half_window, 1);
+  double denom = 0.0;
+  for (int d = 1; d <= w; ++d) denom += 2.0 * d * d;
+
+  const std::size_t dim = frames[0].size();
+  for (int t = 0; t < n; ++t) {
+    deltas[t].assign(dim, 0.0);
+    for (int d = 1; d <= w; ++d) {
+      const MfccFrame& ahead = frames[std::min(t + d, n - 1)];
+      const MfccFrame& behind = frames[std::max(t - d, 0)];
+      for (std::size_t i = 0; i < dim; ++i) {
+        deltas[t][i] += d * (ahead[i] - behind[i]);
+      }
+    }
+    for (double& v : deltas[t]) v /= denom;
+  }
+  return deltas;
+}
+
+void ApplyCmvn(std::vector<MfccFrame>& frames) {
+  if (frames.empty()) return;
+  const std::size_t dim = frames[0].size();
+  std::vector<double> mean(dim, 0.0);
+  std::vector<double> var(dim, 0.0);
+  for (const MfccFrame& frame : frames) {
+    for (std::size_t i = 0; i < dim; ++i) mean[i] += frame[i];
+  }
+  for (double& m : mean) m /= static_cast<double>(frames.size());
+  for (const MfccFrame& frame : frames) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = frame[i] - mean[i];
+      var[i] += d * d;
+    }
+  }
+  for (double& v : var) {
+    v = std::sqrt(v / static_cast<double>(frames.size()));
+    if (v < 1e-8) v = 1.0;  // Constant dimension: center only.
+  }
+  for (MfccFrame& frame : frames) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      frame[i] = (frame[i] - mean[i]) / var[i];
+    }
+  }
+}
+
+std::vector<MfccFrame> MfccExtractor::Extract(const PcmBuffer& pcm) const {
+  std::vector<MfccFrame> frames;
+  if (pcm.samples.size() < frame_length_ || frame_shift_ == 0) return frames;
+
+  const std::size_t num_frames =
+      (pcm.samples.size() - frame_length_) / frame_shift_ + 1;
+  frames.reserve(num_frames);
+
+  std::vector<double> frame(frame_length_);
+  for (std::size_t f = 0; f < num_frames; ++f) {
+    const std::size_t start = f * frame_shift_;
+    // Pre-emphasis + window.
+    for (std::size_t i = 0; i < frame_length_; ++i) {
+      const double sample = pcm.samples[start + i];
+      const double prev =
+          (start + i) == 0 ? 0.0 : pcm.samples[start + i - 1];
+      frame[i] = (sample - config_.pre_emphasis * prev) * window_[i];
+    }
+    const std::vector<double> power = PowerSpectrum(frame, fft_size_);
+    std::vector<double> mel = filterbank_.Apply(power);
+    double peak = 0.0;
+    for (const double e : mel) peak = std::max(peak, e);
+    const double floor = std::max(peak * kRelativeFloor, kLogFloor);
+    for (double& e : mel) e = std::log(std::max(e, floor));
+
+    MfccFrame coeffs(config_.num_coefficients, 0.0);
+    const int m = config_.num_mel_filters;
+    for (int k = 0; k < config_.num_coefficients; ++k) {
+      double acc = 0.0;
+      const double* row = &dct_matrix_[static_cast<std::size_t>(k) * m];
+      for (int i = 0; i < m; ++i) acc += row[i] * mel[i];
+      coeffs[k] = acc;
+    }
+    frames.push_back(std::move(coeffs));
+  }
+
+  // Optional dynamic features: append delta blocks of increasing order.
+  if (config_.num_delta_orders > 0) {
+    std::vector<MfccFrame> block = frames;  // Static block (copy).
+    std::vector<std::vector<MfccFrame>> delta_blocks;
+    for (int order = 0; order < config_.num_delta_orders; ++order) {
+      block = ComputeDeltas(block, config_.delta_window);
+      delta_blocks.push_back(block);
+    }
+    for (std::size_t t = 0; t < frames.size(); ++t) {
+      for (const auto& deltas : delta_blocks) {
+        frames[t].insert(frames[t].end(), deltas[t].begin(),
+                         deltas[t].end());
+      }
+    }
+  }
+  if (config_.apply_cmvn) ApplyCmvn(frames);
+  return frames;
+}
+
+}  // namespace rtsi::audio

@@ -1,0 +1,86 @@
+// MFCC front-end: framing, pre-emphasis, Hamming window, FFT power
+// spectrum, mel filterbank, log, DCT-II.
+//
+// The paper represents phonetic lattices "using Mel-Frequency Cepstrum
+// Coefficients (MFCC)"; our simulated ASR decodes synthetic waveforms into
+// lattices by matching MFCC frames against per-phoneme prototypes, so this
+// front-end is exercised on the real code path.
+
+#ifndef RTSI_AUDIO_MFCC_H_
+#define RTSI_AUDIO_MFCC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "audio/mel_filterbank.h"
+#include "audio/pcm.h"
+
+namespace rtsi::audio {
+
+struct MfccConfig {
+  int sample_rate_hz = 16000;
+  double frame_length_seconds = 0.025;
+  double frame_shift_seconds = 0.010;
+  int num_mel_filters = 26;
+  int num_coefficients = 13;
+  double pre_emphasis = 0.97;
+  double low_freq_hz = 20.0;
+  double high_freq_hz = 8000.0;  // Clamped to Nyquist.
+
+  /// Delta feature orders appended to each frame: 0 = static only,
+  /// 1 = +delta, 2 = +delta+delta-delta. Frame dimension becomes
+  /// num_coefficients * (num_delta_orders + 1).
+  int num_delta_orders = 0;
+  int delta_window = 2;  // Regression half-window for deltas.
+
+  /// Per-utterance cepstral mean (and variance) normalization applied
+  /// after delta computation.
+  bool apply_cmvn = false;
+};
+
+/// One MFCC feature vector per frame.
+using MfccFrame = std::vector<double>;
+
+class MfccExtractor {
+ public:
+  explicit MfccExtractor(const MfccConfig& config);
+
+  /// Extracts one MfccFrame per 10 ms (frame_shift) of audio. Returns an
+  /// empty vector when the buffer is shorter than one frame.
+  std::vector<MfccFrame> Extract(const PcmBuffer& pcm) const;
+
+  const MfccConfig& config() const { return config_; }
+  std::size_t frame_length_samples() const { return frame_length_; }
+  std::size_t frame_shift_samples() const { return frame_shift_; }
+
+  /// Output feature dimension per frame (static + delta blocks).
+  int feature_dimension() const {
+    return config_.num_coefficients * (config_.num_delta_orders + 1);
+  }
+
+ private:
+  MfccConfig config_;
+  std::size_t frame_length_;
+  std::size_t frame_shift_;
+  std::size_t fft_size_;
+  MelFilterbank filterbank_;
+  std::vector<double> window_;       // Hamming coefficients.
+  std::vector<double> dct_matrix_;   // num_coefficients x num_mel_filters.
+};
+
+/// DCT-II of `input`, keeping the first `num_outputs` coefficients
+/// (orthonormal scaling). Standalone helper, also used in tests.
+std::vector<double> DctII(const std::vector<double>& input,
+                          std::size_t num_outputs);
+
+/// Regression-based delta features: out[t] = sum_{d=1..w} d*(x[t+d]-x[t-d])
+/// / (2 * sum d^2), with edge frames clamped. Exposed for tests.
+std::vector<MfccFrame> ComputeDeltas(const std::vector<MfccFrame>& frames,
+                                     int half_window);
+
+/// Per-utterance cepstral mean-variance normalization, in place.
+void ApplyCmvn(std::vector<MfccFrame>& frames);
+
+}  // namespace rtsi::audio
+
+#endif  // RTSI_AUDIO_MFCC_H_

@@ -1,0 +1,28 @@
+// In-memory PCM audio buffer.
+//
+// The synthetic pipeline works on mono float samples; the paper's real
+// pipeline consumed compressed audio from Ximalaya, but every downstream
+// consumer (the MFCC front-end, the simulated ASR) only needs raw samples.
+
+#ifndef RTSI_AUDIO_PCM_H_
+#define RTSI_AUDIO_PCM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rtsi::audio {
+
+struct PcmBuffer {
+  int sample_rate_hz = 16000;
+  std::vector<float> samples;  // Mono, nominally in [-1, 1].
+
+  double duration_seconds() const {
+    return sample_rate_hz == 0
+               ? 0.0
+               : static_cast<double>(samples.size()) / sample_rate_hz;
+  }
+};
+
+}  // namespace rtsi::audio
+
+#endif  // RTSI_AUDIO_PCM_H_

@@ -1,0 +1,63 @@
+#include "audio/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtsi::audio {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+Synthesizer::Synthesizer(const SynthesizerConfig& config) : config_(config) {}
+
+void Synthesizer::RenderPhone(const PhoneSpec& phone, Rng& rng,
+                              std::vector<float>& out) const {
+  const int rate = config_.sample_rate_hz;
+  const auto num_samples =
+      static_cast<std::size_t>(phone.duration_seconds * rate);
+  const auto taper =
+      static_cast<std::size_t>(config_.edge_taper_seconds * rate);
+
+  const double w1 = 2.0 * kPi * phone.formant1_hz / rate;
+  const double w2 = 2.0 * kPi * phone.formant2_hz / rate;
+  const double voiced_gain = (1.0 - phone.noise_mix) * phone.amplitude;
+  const double noise_gain = phone.noise_mix * phone.amplitude;
+
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    double envelope = 1.0;
+    if (taper > 0) {
+      if (i < taper) {
+        envelope = static_cast<double>(i) / taper;
+      } else if (num_samples - i <= taper) {
+        envelope = static_cast<double>(num_samples - i) / taper;
+      }
+    }
+    const double tone =
+        0.6 * std::sin(w1 * static_cast<double>(i)) +
+        0.4 * std::sin(w2 * static_cast<double>(i));
+    const double noise = 2.0 * rng.NextDouble() - 1.0;
+    const double background =
+        config_.noise_floor * (2.0 * rng.NextDouble() - 1.0);
+    const double sample =
+        envelope * (voiced_gain * tone + noise_gain * noise) + background;
+    out.push_back(static_cast<float>(std::clamp(sample, -1.0, 1.0)));
+  }
+}
+
+PcmBuffer Synthesizer::Render(const std::vector<PhoneSpec>& phones,
+                              Rng& rng) const {
+  PcmBuffer pcm;
+  pcm.sample_rate_hz = config_.sample_rate_hz;
+  std::size_t total = 0;
+  for (const auto& phone : phones) {
+    total += static_cast<std::size_t>(phone.duration_seconds *
+                                      config_.sample_rate_hz);
+  }
+  pcm.samples.reserve(total);
+  for (const auto& phone : phones) RenderPhone(phone, rng, pcm.samples);
+  return pcm;
+}
+
+}  // namespace rtsi::audio

@@ -1,0 +1,54 @@
+// Formant-style waveform synthesizer.
+//
+// Substitutes for real recorded speech: each phone is rendered as a sum of
+// two formant sinusoids (plus a noise component for fricatives) with an
+// amplitude envelope. The result is not intelligible speech, but each phone
+// has a distinct, stable spectral signature, which is exactly what the
+// MFCC-prototype decoder in asr/ needs to recover the phone sequence.
+
+#ifndef RTSI_AUDIO_SYNTHESIZER_H_
+#define RTSI_AUDIO_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "audio/pcm.h"
+#include "common/rng.h"
+
+namespace rtsi::audio {
+
+/// Acoustic realization parameters of one phone.
+struct PhoneSpec {
+  double formant1_hz = 500.0;
+  double formant2_hz = 1500.0;
+  double noise_mix = 0.0;        // 0 = fully voiced, 1 = fully noise.
+  double duration_seconds = 0.08;
+  double amplitude = 0.6;
+};
+
+struct SynthesizerConfig {
+  int sample_rate_hz = 16000;
+  double noise_floor = 0.01;    // Additive background noise amplitude.
+  double edge_taper_seconds = 0.005;  // Attack/release ramp per phone.
+};
+
+class Synthesizer {
+ public:
+  explicit Synthesizer(const SynthesizerConfig& config);
+
+  /// Renders a phone sequence into a PCM buffer. `rng` drives the noise
+  /// components, so rendering is deterministic given the seed.
+  PcmBuffer Render(const std::vector<PhoneSpec>& phones, Rng& rng) const;
+
+  const SynthesizerConfig& config() const { return config_; }
+
+ private:
+  void RenderPhone(const PhoneSpec& phone, Rng& rng,
+                   std::vector<float>& out) const;
+
+  SynthesizerConfig config_;
+};
+
+}  // namespace rtsi::audio
+
+#endif  // RTSI_AUDIO_SYNTHESIZER_H_

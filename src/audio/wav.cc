@@ -1,0 +1,128 @@
+#include "audio/wav.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace rtsi::audio {
+namespace {
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+}  // namespace
+
+Status WriteWav(const PcmBuffer& pcm, const std::string& path) {
+  const std::uint32_t num_samples =
+      static_cast<std::uint32_t>(pcm.samples.size());
+  const std::uint32_t data_bytes = num_samples * 2;
+
+  std::vector<std::uint8_t> header;
+  header.reserve(44);
+  header.insert(header.end(), {'R', 'I', 'F', 'F'});
+  PutU32(header, 36 + data_bytes);
+  header.insert(header.end(), {'W', 'A', 'V', 'E', 'f', 'm', 't', ' '});
+  PutU32(header, 16);                    // fmt chunk size.
+  PutU16(header, 1);                     // PCM.
+  PutU16(header, 1);                     // Mono.
+  PutU32(header, static_cast<std::uint32_t>(pcm.sample_rate_hz));
+  PutU32(header, static_cast<std::uint32_t>(pcm.sample_rate_hz) * 2);
+  PutU16(header, 2);                     // Block align.
+  PutU16(header, 16);                    // Bits per sample.
+  header.insert(header.end(), {'d', 'a', 't', 'a'});
+  PutU32(header, data_bytes);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  bool ok = std::fwrite(header.data(), 1, header.size(), f) == header.size();
+  for (const float sample : pcm.samples) {
+    const float clamped = std::clamp(sample, -1.0f, 1.0f);
+    const auto value = static_cast<std::int16_t>(clamped * 32767.0f);
+    std::uint8_t bytes[2] = {static_cast<std::uint8_t>(value & 0xFF),
+                             static_cast<std::uint8_t>((value >> 8) & 0xFF)};
+    ok = ok && std::fwrite(bytes, 1, 2, f) == 2;
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<PcmBuffer> ReadWav(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(std::max(0L, size)));
+  const std::size_t read = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (read != data.size() || data.size() < 44) {
+    return Status::InvalidArgument("truncated WAV: " + path);
+  }
+  if (std::memcmp(data.data(), "RIFF", 4) != 0 ||
+      std::memcmp(data.data() + 8, "WAVE", 4) != 0) {
+    return Status::InvalidArgument("not a WAV file: " + path);
+  }
+
+  // Walk chunks for fmt and data.
+  std::size_t pos = 12;
+  int sample_rate = 0;
+  int num_channels = 0;
+  int bits = 0;
+  std::size_t data_offset = 0, data_size = 0;
+  while (pos + 8 <= data.size()) {
+    const std::uint32_t chunk_size = GetU32(data.data() + pos + 4);
+    if (std::memcmp(data.data() + pos, "fmt ", 4) == 0 &&
+        pos + 8 + 16 <= data.size()) {
+      const std::uint16_t format = GetU16(data.data() + pos + 8);
+      num_channels = GetU16(data.data() + pos + 10);
+      sample_rate = static_cast<int>(GetU32(data.data() + pos + 12));
+      bits = GetU16(data.data() + pos + 22);
+      if (format != 1) {
+        return Status(StatusCode::kUnimplemented, "only PCM WAV supported");
+      }
+    } else if (std::memcmp(data.data() + pos, "data", 4) == 0) {
+      data_offset = pos + 8;
+      data_size = std::min<std::size_t>(chunk_size,
+                                        data.size() - data_offset);
+    }
+    pos += 8 + chunk_size + (chunk_size & 1);
+  }
+  if (sample_rate == 0 || data_offset == 0 || bits != 16 ||
+      num_channels < 1) {
+    return Status::InvalidArgument("unsupported WAV layout: " + path);
+  }
+
+  PcmBuffer pcm;
+  pcm.sample_rate_hz = sample_rate;
+  const std::size_t frame_bytes = 2 * static_cast<std::size_t>(num_channels);
+  const std::size_t num_frames = data_size / frame_bytes;
+  pcm.samples.reserve(num_frames);
+  for (std::size_t i = 0; i < num_frames; ++i) {
+    const std::uint8_t* p = data.data() + data_offset + i * frame_bytes;
+    const auto value = static_cast<std::int16_t>(GetU16(p));
+    pcm.samples.push_back(static_cast<float>(value) / 32767.0f);
+  }
+  return pcm;
+}
+
+}  // namespace rtsi::audio

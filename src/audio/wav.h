@@ -1,0 +1,25 @@
+// Minimal 16-bit PCM WAV reading and writing (mono).
+//
+// Lets the examples and tools exchange audio with the outside world:
+// synthesized query audio can be saved and inspected, and recorded
+// queries can be fed to the voice-search path.
+
+#ifndef RTSI_AUDIO_WAV_H_
+#define RTSI_AUDIO_WAV_H_
+
+#include <string>
+
+#include "audio/pcm.h"
+#include "common/status.h"
+
+namespace rtsi::audio {
+
+/// Writes `pcm` as a mono 16-bit PCM WAV file.
+Status WriteWav(const PcmBuffer& pcm, const std::string& path);
+
+/// Reads a mono (or first-channel-of-stereo) 16-bit PCM WAV file.
+Result<PcmBuffer> ReadWav(const std::string& path);
+
+}  // namespace rtsi::audio
+
+#endif  // RTSI_AUDIO_WAV_H_

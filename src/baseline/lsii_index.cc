@@ -1,0 +1,184 @@
+#include "baseline/lsii_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/query_util.h"
+#include "core/top_k.h"
+
+namespace rtsi::baseline {
+
+using core::PerTermBound;
+using core::QueryStats;
+using core::ScoredStream;
+using core::TermCount;
+using core::TopKHeap;
+using index::Posting;
+using index::TermPostings;
+
+LsiiIndex::LsiiIndex(const core::RtsiConfig& config)
+    : config_(config),
+      scorer_(config.weights, config.freshness_tau_seconds),
+      tree_(config.lsm) {}
+
+lsm::MergeHooks LsiiIndex::MakeMergeHooks() {
+  lsm::MergeHooks hooks;
+  hooks.is_deleted = [this](StreamId stream) {
+    return big_.IsDeleted(stream);
+  };
+  hooks.on_purged = [this](StreamId stream) { big_.PurgeTerms(stream); };
+  // No on_stream: LSII keeps no per-stream residency bookkeeping.
+  return hooks;
+}
+
+void LsiiIndex::InsertWindow(StreamId stream, Timestamp now,
+                             const std::vector<TermCount>& terms, bool live) {
+  // LSII keeps all audio information in the big hash table; the inverted
+  // lists only position the stream in the three sort orders.
+  std::vector<TermId> first_seen;
+  const bool new_stream =
+      big_.OnInsertWindow(stream, now, live, terms, first_seen);
+  if (new_stream) df_.AddDocument();
+  for (const TermId term : first_seen) df_.AddOccurrence(term);
+
+  std::uint64_t pop_count = 0;
+  Timestamp frsh = 0;
+  big_.GetMeta(stream, pop_count, frsh);
+  const float pop_snapshot = static_cast<float>(pop_count);
+
+  tree_.MarkStreamInL0(stream);
+  for (const TermCount& tc : terms) {
+    if (tc.tf == 0) continue;
+    tree_.AddPosting(tc.term, Posting{stream, pop_snapshot, now, tc.tf});
+  }
+  if (tree_.NeedsMerge()) tree_.MergeCascade(MakeMergeHooks());
+}
+
+void LsiiIndex::FinishStream(StreamId stream) { big_.MarkFinished(stream); }
+
+void LsiiIndex::DeleteStream(StreamId stream) { big_.MarkDeleted(stream); }
+
+void LsiiIndex::UpdatePopularity(StreamId stream, std::uint64_t delta) {
+  big_.AddPopularity(stream, delta);
+}
+
+std::vector<ScoredStream> LsiiIndex::Query(const std::vector<TermId>& terms,
+                                           int k, Timestamp now,
+                                           QueryStats* stats) {
+  QueryStats local_stats;
+  QueryStats& qs = stats != nullptr ? *stats : local_stats;
+  qs = QueryStats{};
+
+  std::vector<TermId> q;
+  for (const TermId term : terms) {
+    if (std::find(q.begin(), q.end(), term) == q.end()) q.push_back(term);
+  }
+  if (q.empty() || k <= 0) return {};
+  const int num_terms = static_cast<int>(q.size());
+
+  std::vector<double> idfs(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) idfs[i] = df_.Idf(q[i]);
+  const std::uint64_t max_pop = big_.max_pop_count();
+
+  TopKHeap heap(k);
+  std::unordered_set<StreamId> scored;
+
+  // All score information comes from the big hash table — the measured
+  // difference to RTSI.
+  auto score_candidate = [&](StreamId stream) {
+    std::uint64_t pop_count = 0;
+    Timestamp frsh = 0;
+    if (!big_.GetMeta(stream, pop_count, frsh)) return;  // Deleted.
+    double tfidf_sum = 0.0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      tfidf_sum += scorer_.TermTfIdf(big_.GetTf(stream, q[i]), idfs[i]);
+    }
+    const double score =
+        scorer_.Combine(scorer_.PopScore(pop_count, max_pop),
+                        scorer_.RelScore(tfidf_sum, num_terms),
+                        scorer_.FrshScore(frsh, now));
+    heap.Offer(stream, score);
+    ++qs.candidates_scored;
+  };
+
+  // I0: single freshness-ordered list per term; scan it.
+  std::unordered_set<StreamId> l0_streams;
+  for (const TermId term : q) {
+    tree_.WithL0Term(term, [&](const TermPostings* postings) {
+      if (postings == nullptr) return;
+      qs.postings_scanned += postings->size();
+      for (const Posting& p : postings->entries()) {
+        l0_streams.insert(p.stream);
+      }
+    });
+  }
+  for (const StreamId stream : l0_streams) {
+    if (!scored.insert(stream).second) continue;
+    score_candidate(stream);
+  }
+
+  // Sealed components, best bound first. The tf headroom uses the global
+  // per-term maximum total (a stream's postings may span components and
+  // LSII has no consolidation invariant to tighten this).
+  const auto snapshot = tree_.SealedSnapshot();
+  struct RankedComponent {
+    const index::InvertedIndex* component;
+    double bound;
+  };
+  std::vector<RankedComponent> ranked;
+  ranked.reserve(snapshot.size());
+  for (const auto& component : snapshot) {
+    std::vector<PerTermBound> per_term(q.size());
+    bool any = false;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      per_term[i].bounds = component->Bounds(q[i]);
+      per_term[i].idf = idfs[i];
+      per_term[i].tf_correction = big_.GetMaxTotal(q[i]);
+      any = any || per_term[i].bounds.present;
+    }
+    if (!any) continue;
+    const double bound = core::ComponentBound(scorer_, per_term, now,
+                                              max_pop, config_.bound_mode);
+    ranked.push_back({component.get(), bound});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedComponent& a, const RankedComponent& b) {
+              return a.bound > b.bound;
+            });
+
+  std::vector<Posting> round;
+  for (std::size_t c = 0; c < ranked.size(); ++c) {
+    if (config_.use_bound && heap.full() &&
+        heap.KthScore() >= ranked[c].bound) {
+      qs.components_pruned += ranked.size() - c;
+      qs.terminated_early = true;
+      break;
+    }
+    ++qs.components_visited;
+    core::ComponentTraversal traversal(*ranked[c].component, q);
+    while (traversal.NextRound(round)) {
+      for (const Posting& p : round) {
+        if (!scored.insert(p.stream).second) continue;
+        score_candidate(p.stream);
+      }
+      qs.postings_scanned += round.size();
+      round.clear();
+      if (config_.use_bound && heap.full()) {
+        const double tau = traversal.Threshold(scorer_, idfs, now, max_pop,
+                                               config_.bound_mode);
+        if (heap.KthScore() >= tau) {
+          qs.terminated_early = true;
+          break;
+        }
+      }
+    }
+  }
+
+  return heap.SortedResults();
+}
+
+std::size_t LsiiIndex::MemoryBytes() const {
+  return tree_.MemoryBytes() + big_.MemoryBytes() + df_.MemoryBytes();
+}
+
+}  // namespace rtsi::baseline

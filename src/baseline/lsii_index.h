@@ -1,0 +1,59 @@
+// The extended LSII baseline (Section V-A).
+//
+// Same LSM-tree of inverted indices as RTSI, but every score ingredient
+// lives in the big hash table: queries fetch popularity, freshness and the
+// per-term totals of each candidate from BigTable; inserts must update the
+// big table for *every* stream; popularity updates hit the big table too.
+// Level 0 keeps a single freshness-ordered list per term (the unsealed
+// TermPostings state); the two extra sorted lists are created when I0 is
+// merged, exactly as the paper describes.
+
+#ifndef RTSI_BASELINE_LSII_INDEX_H_
+#define RTSI_BASELINE_LSII_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/big_table.h"
+#include "core/config.h"
+#include "core/doc_freq.h"
+#include "core/scorer.h"
+#include "core/search_index.h"
+#include "lsm/lsm_tree.h"
+
+namespace rtsi::baseline {
+
+class LsiiIndex : public core::SearchIndex {
+ public:
+  explicit LsiiIndex(const core::RtsiConfig& config);
+
+  void InsertWindow(StreamId stream, Timestamp now,
+                    const std::vector<core::TermCount>& terms,
+                    bool live) override;
+  void FinishStream(StreamId stream) override;
+  void DeleteStream(StreamId stream) override;
+  void UpdatePopularity(StreamId stream, std::uint64_t delta) override;
+  std::vector<core::ScoredStream> Query(const std::vector<TermId>& terms,
+                                        int k, Timestamp now,
+                                        core::QueryStats* stats) override;
+  using core::SearchIndex::Query;
+  std::size_t MemoryBytes() const override;
+  std::string name() const override { return "LSII"; }
+
+  const lsm::LsmTree& tree() const { return tree_; }
+  const BigTable& big_table() const { return big_; }
+  lsm::MergeStats GetMergeStats() const { return tree_.GetMergeStats(); }
+
+ private:
+  lsm::MergeHooks MakeMergeHooks();
+
+  core::RtsiConfig config_;
+  core::Scorer scorer_;
+  lsm::LsmTree tree_;
+  BigTable big_;
+  core::DocumentFrequencyTable df_;
+};
+
+}  // namespace rtsi::baseline
+
+#endif  // RTSI_BASELINE_LSII_INDEX_H_

@@ -1,0 +1,64 @@
+// Metadata-only search baseline (Section I / II-A related work).
+//
+// The paper motivates full-content indexing by observing that existing
+// services "mainly compare query keywords with titles/categories/tags of
+// the audio streams ... hence many related audio streams are not
+// retrieved". This baseline models that approach: it indexes only the
+// first few terms of a stream's first window (its "title/tags") into a
+// flat inverted index, ignores everything said later, and scores with
+// the same Equation-1 model. bench_quality_metadata quantifies the
+// recall gap against RTSI's full-content index.
+
+#ifndef RTSI_BASELINE_METADATA_INDEX_H_
+#define RTSI_BASELINE_METADATA_INDEX_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/doc_freq.h"
+#include "core/scorer.h"
+#include "core/search_index.h"
+#include "index/stream_info_table.h"
+
+namespace rtsi::baseline {
+
+class MetadataIndex : public core::SearchIndex {
+ public:
+  /// Indexes at most `metadata_terms` distinct terms from each stream's
+  /// first window.
+  MetadataIndex(const core::RtsiConfig& config, int metadata_terms = 8);
+
+  void InsertWindow(StreamId stream, Timestamp now,
+                    const std::vector<core::TermCount>& terms,
+                    bool live) override;
+  void FinishStream(StreamId stream) override;
+  void DeleteStream(StreamId stream) override;
+  void UpdatePopularity(StreamId stream, std::uint64_t delta) override;
+  std::vector<core::ScoredStream> Query(const std::vector<TermId>& terms,
+                                        int k, Timestamp now,
+                                        core::QueryStats* stats) override;
+  using core::SearchIndex::Query;
+  std::size_t MemoryBytes() const override;
+  std::string name() const override { return "metadata-only"; }
+
+ private:
+  core::RtsiConfig config_;
+  core::Scorer scorer_;
+  int metadata_terms_;
+
+  mutable std::mutex mu_;
+  // term -> (stream -> tf). Flat; metadata is tiny.
+  std::unordered_map<TermId, std::unordered_map<StreamId, TermFreq>>
+      postings_;
+  std::unordered_set<StreamId> seen_;  // Streams whose metadata is stored.
+  index::StreamInfoTable streams_;
+  core::DocumentFrequencyTable df_;
+};
+
+}  // namespace rtsi::baseline
+
+#endif  // RTSI_BASELINE_METADATA_INDEX_H_

@@ -1,0 +1,12 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace rtsi {
+
+Timestamp WallClock::Now() const {
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+}
+
+}  // namespace rtsi

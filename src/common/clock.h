@@ -1,0 +1,53 @@
+// Clock abstraction used for freshness scores and live-arrival scheduling.
+//
+// All index code reads time through a Clock* so experiments can drive a
+// SimulatedClock deterministically (e.g., advance 60 simulated seconds per
+// live audio window) while examples may use the wall clock.
+
+#ifndef RTSI_COMMON_CLOCK_H_
+#define RTSI_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace rtsi {
+
+/// Interface: microseconds since an arbitrary epoch, monotone non-decreasing.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp Now() const = 0;
+};
+
+/// Deterministic, manually advanced clock. Thread-safe.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  /// Moves time forward by `delta` microseconds; returns the new time.
+  Timestamp Advance(Timestamp delta) {
+    return now_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+
+  /// Jumps to an absolute time (must not move backwards in normal use).
+  void SetTime(Timestamp t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+/// Monotonic wall clock (CLOCK_MONOTONIC), for examples and benches.
+class WallClock : public Clock {
+ public:
+  Timestamp Now() const override;
+};
+
+}  // namespace rtsi
+
+#endif  // RTSI_COMMON_CLOCK_H_

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial), used to checksum snapshot files.
+
+#ifndef RTSI_COMMON_CRC32_H_
+#define RTSI_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rtsi {
+
+/// Incrementally extends a CRC-32. Start with crc = 0.
+std::uint32_t Crc32(std::uint32_t crc, const void* data, std::size_t size);
+
+}  // namespace rtsi
+
+#endif  // RTSI_COMMON_CRC32_H_

@@ -1,0 +1,93 @@
+#include "common/latency_stats.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace rtsi {
+
+LatencyStats::LatencyStats()
+    : count_(0), sum_(0), min_(0), max_(0), buckets_(kNumBuckets, 0) {}
+
+int LatencyStats::BucketFor(double micros) {
+  if (micros < 1.0) return 0;
+  const double log = std::log10(micros);
+  int bucket = static_cast<int>(log * kBucketsPerDecade);
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double LatencyStats::BucketUpperBound(int bucket) {
+  return std::pow(10.0, static_cast<double>(bucket + 1) / kBucketsPerDecade);
+}
+
+void LatencyStats::Record(double micros) {
+  if (count_ == 0) {
+    min_ = max_ = micros;
+  } else {
+    min_ = std::min(min_, micros);
+    max_ = std::max(max_, micros);
+  }
+  ++count_;
+  sum_ += micros;
+  ++buckets_[BucketFor(micros)];
+}
+
+void LatencyStats::Merge(const LatencyStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double LatencyStats::PercentileMicros(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * (count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string LatencyStats::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.2fus p50=%.1fus p99=%.1fus max=%.1fus", count_,
+                mean_micros(), PercentileMicros(0.50), PercentileMicros(0.99),
+                max_micros());
+  return buf;
+}
+
+void LatencyStats::Reset() {
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+Stopwatch::Stopwatch() { Restart(); }
+
+void Stopwatch::Restart() {
+  start_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+double Stopwatch::ElapsedMicros() const {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(now_ns - start_ns_) / 1000.0;
+}
+
+}  // namespace rtsi

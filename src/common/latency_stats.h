@@ -1,0 +1,68 @@
+// Latency/throughput statistics used by the workload driver and benches.
+//
+// Records microsecond samples into a log-scaled histogram; reports count,
+// mean, min/max and approximate percentiles. Thread-compatible: one writer,
+// or external synchronization.
+
+#ifndef RTSI_COMMON_LATENCY_STATS_H_
+#define RTSI_COMMON_LATENCY_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtsi {
+
+class LatencyStats {
+ public:
+  LatencyStats();
+
+  /// Records one sample, in microseconds.
+  void Record(double micros);
+
+  /// Merges another stats object into this one.
+  void Merge(const LatencyStats& other);
+
+  std::size_t count() const { return count_; }
+  double sum_micros() const { return sum_; }
+  double mean_micros() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min_micros() const { return count_ == 0 ? 0.0 : min_; }
+  double max_micros() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Approximate percentile (q in [0,1]) from the histogram buckets.
+  double PercentileMicros(double q) const;
+
+  /// One-line summary: "n=... mean=...us p50=... p99=... max=...".
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  static constexpr int kBucketsPerDecade = 20;
+  static constexpr int kNumBuckets = 8 * kBucketsPerDecade;  // up to 1e8 us
+
+  static int BucketFor(double micros);
+  static double BucketUpperBound(int bucket);
+
+  std::size_t count_;
+  double sum_;
+  double min_;
+  double max_;
+  std::vector<std::uint64_t> buckets_;
+};
+
+/// Simple stopwatch over the wall clock, returning elapsed microseconds.
+class Stopwatch {
+ public:
+  Stopwatch();
+  void Restart();
+  double ElapsedMicros() const;
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace rtsi
+
+#endif  // RTSI_COMMON_LATENCY_STATS_H_

@@ -1,0 +1,35 @@
+#include "common/memory_tracker.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rtsi {
+namespace {
+
+// Reads a "Vm...: <kB> kB" line from /proc/self/status.
+std::size_t ReadProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len, ": %llu", &value) == 1) {
+        kb = static_cast<std::size_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::size_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
+
+std::size_t PeakRssBytes() { return ReadProcStatusKb("VmHWM") * 1024; }
+
+}  // namespace rtsi

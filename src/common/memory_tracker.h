@@ -1,0 +1,57 @@
+// Byte accounting for index structures plus process-level RSS probing.
+//
+// The paper reports "maximal resident memory"; benches report both the
+// logical bytes tracked by each index (exact, comparable between RTSI and
+// LSII) and the process peak RSS from /proc/self/status (VmHWM).
+
+#ifndef RTSI_COMMON_MEMORY_TRACKER_H_
+#define RTSI_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace rtsi {
+
+/// A thread-safe byte counter owned by one index instance.
+class MemoryTracker {
+ public:
+  MemoryTracker() : bytes_(0), peak_(0) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  void Add(std::size_t bytes) {
+    const std::size_t now =
+        bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Racy max update: fine for statistics.
+    std::size_t prev = peak_.load(std::memory_order_relaxed);
+    while (now > prev &&
+           !peak_.compare_exchange_weak(prev, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  void Sub(std::size_t bytes) {
+    bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  std::size_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> bytes_;
+  std::atomic<std::size_t> peak_;
+};
+
+/// Current resident set size of the process in bytes (VmRSS), 0 on failure.
+std::size_t CurrentRssBytes();
+
+/// Peak resident set size of the process in bytes (VmHWM), 0 on failure.
+std::size_t PeakRssBytes();
+
+}  // namespace rtsi
+
+#endif  // RTSI_COMMON_MEMORY_TRACKER_H_

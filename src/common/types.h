@@ -1,0 +1,46 @@
+// Core identifier and scalar types shared by every RTSI module.
+//
+// The index layers deal exclusively in integer ids: audio streams are
+// identified by StreamId, dictionary terms (text words or phonetic lattice
+// units) by TermId, and time by microsecond Timestamps from a Clock.
+
+#ifndef RTSI_COMMON_TYPES_H_
+#define RTSI_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace rtsi {
+
+/// Identifier of an audio stream. Assigned by the ingestion layer, dense
+/// from 0 for synthetic corpora.
+using StreamId = std::uint64_t;
+
+/// Identifier of an indexable term (a text word or a phonetic lattice unit).
+using TermId = std::uint32_t;
+
+/// Microseconds since an arbitrary epoch (the simulated clock's origin).
+using Timestamp = std::int64_t;
+
+/// Term frequency of a term within (a window of) one audio stream.
+using TermFreq = std::uint32_t;
+
+inline constexpr StreamId kInvalidStreamId =
+    std::numeric_limits<StreamId>::max();
+inline constexpr TermId kInvalidTermId = std::numeric_limits<TermId>::max();
+
+/// One term of an audio window with its in-window frequency. Defined here
+/// (rather than in core/) because the index-layer hash tables batch whole
+/// windows.
+struct TermCount {
+  TermId term = 0;
+  TermFreq tf = 0;
+};
+
+inline constexpr Timestamp kMicrosPerSecond = 1'000'000;
+inline constexpr Timestamp kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr Timestamp kMicrosPerHour = 60 * kMicrosPerMinute;
+
+}  // namespace rtsi
+
+#endif  // RTSI_COMMON_TYPES_H_

@@ -1,0 +1,36 @@
+#include "common/varint.h"
+
+namespace rtsi {
+
+void PutVarint64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+bool GetVarint64(const std::uint8_t* data, std::size_t size, std::size_t& pos,
+                 std::uint64_t& value) {
+  std::uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && pos < size; shift += 7) {
+    const std::uint8_t byte = data[pos++];
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t VarintLength(std::uint64_t value) {
+  std::size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace rtsi

@@ -1,0 +1,40 @@
+// LEB128 variable-length integer coding and ZigZag transform.
+//
+// The compressed posting-list representation stores deltas of stream ids,
+// timestamps and term frequencies as varint byte streams which are then
+// entropy-coded with the canonical Huffman codec (see index/huffman.h).
+
+#ifndef RTSI_COMMON_VARINT_H_
+#define RTSI_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rtsi {
+
+/// Appends `value` to `out` as unsigned LEB128 (1-10 bytes).
+void PutVarint64(std::vector<std::uint8_t>& out, std::uint64_t value);
+
+/// Decodes an unsigned LEB128 value from data[pos...]. Advances `pos`.
+/// Returns false on truncated or overlong (>10 byte) input.
+bool GetVarint64(const std::uint8_t* data, std::size_t size, std::size_t& pos,
+                 std::uint64_t& value);
+
+/// Bytes PutVarint64 would append for `value`.
+std::size_t VarintLength(std::uint64_t value);
+
+/// ZigZag: maps signed to unsigned so small-magnitude values stay small.
+inline std::uint64_t ZigZagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t ZigZagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace rtsi
+
+#endif  // RTSI_COMMON_VARINT_H_

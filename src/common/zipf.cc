@@ -1,0 +1,53 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+namespace rtsi {
+namespace {
+
+// pow((1+x), 1-s) / (1-s) with the s == 1 limit handled as log1p.
+double HIntegral(double x, double s) {
+  const double log1px = std::log1p(x);
+  if (std::abs(1.0 - s) < 1e-12) return log1px;
+  return std::expm1((1.0 - s) * log1px) / (1.0 - s);
+}
+
+double HIntegralInverse(double x, double s) {
+  if (std::abs(1.0 - s) < 1e-12) return std::expm1(x);
+  double t = x * (1.0 - s);
+  if (t < -1.0) t = -1.0;  // Numerical guard near the lower tail.
+  return std::expm1(std::log1p(t) / (1.0 - s));
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double s)
+    : n_(n == 0 ? 1 : n), s_(s) {
+  // Hörmann & Derflinger sample k in [1, n]; we shift to [0, n-1] on return.
+  h_x1_ = HIntegral(1.5, s_) - 1.0;
+  h_n_ = HIntegral(static_cast<double>(n_) + 0.5, s_);
+  eta_ = 2.0 - HIntegralInverse(HIntegral(2.5, s_) - std::pow(2.0, -s_), s_);
+}
+
+double ZipfDistribution::H(double x) const { return HIntegral(x, s_); }
+
+double ZipfDistribution::HInverse(double x) const {
+  return HIntegralInverse(x, s_);
+}
+
+std::uint64_t ZipfDistribution::operator()(Rng& rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    // Accept k if u lies under the hat at k.
+    if (k - x <= eta_ || u >= H(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<std::uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace rtsi

@@ -1,0 +1,45 @@
+// Zipf-distributed sampling over {0, ..., n-1}.
+//
+// Term occurrences in transcribed speech are heavily skewed; the corpus
+// generator draws words from this distribution (the paper's Ximalaya corpus
+// has ~400 unique words per 16-minute stream out of a large vocabulary,
+// which a Zipf(~1.0) vocabulary reproduces).
+
+#ifndef RTSI_COMMON_ZIPF_H_
+#define RTSI_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rtsi {
+
+/// Samples rank r in {0..n-1} with probability proportional to 1/(r+1)^s.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger (1996), which
+/// needs O(1) memory and no per-instance precomputation proportional to n.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `s` (skew) must be > 0 and != 1 is handled too.
+  ZipfDistribution(std::uint64_t n, double s);
+
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double eta_;  // Hörmann's s-dependent constant (their name: s).
+};
+
+}  // namespace rtsi
+
+#endif  // RTSI_COMMON_ZIPF_H_

@@ -1,0 +1,74 @@
+#include "core/explain.h"
+
+#include <cstdio>
+
+namespace rtsi::core {
+namespace {
+
+const char* SourceName(ScoreBreakdown::Source source) {
+  switch (source) {
+    case ScoreBreakdown::Source::kLiveTable:
+      return "live-table";
+    case ScoreBreakdown::Source::kL0Scan:
+      return "L0";
+    case ScoreBreakdown::Source::kSealedComponent:
+      return "sealed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string QueryExplanation::ToString() const {
+  std::string out;
+  char buf[256];
+
+  out += "query terms:";
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), " %u(idf=%.2f)", terms[i],
+                  i < idfs.size() ? idfs[i] : 0.0);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  k=%d\n", k);
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "candidates: %zu from live table, %zu from L0\n",
+                live_table_candidates, l0_candidates);
+  out += buf;
+
+  for (const auto& component : components) {
+    std::snprintf(buf, sizeof(buf),
+                  "component L%d (%zu postings): bound=%.4f %s%s\n",
+                  component.level, component.num_postings,
+                  component.upper_bound,
+                  component.visited ? "visited" : "PRUNED",
+                  component.terminated_early ? " (early termination)" : "");
+    out += buf;
+    if (component.visited) {
+      std::snprintf(buf, sizeof(buf), "  postings yielded: %zu\n",
+                    component.postings_yielded);
+      out += buf;
+    }
+  }
+
+  int rank = 1;
+  for (const auto& r : results) {
+    std::snprintf(buf, sizeof(buf),
+                  "#%d stream %llu  score=%.4f  (pop=%.3f rel=%.3f "
+                  "frsh=%.3f)  via %s  tfs=[",
+                  rank++, static_cast<unsigned long long>(r.stream),
+                  r.total, r.pop_score, r.rel_score, r.frsh_score,
+                  SourceName(r.source));
+    out += buf;
+    for (std::size_t i = 0; i < r.term_tfs.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%u", i > 0 ? "," : "",
+                    r.term_tfs[i]);
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace rtsi::core

@@ -1,0 +1,117 @@
+#include "core/query_util.h"
+
+#include <algorithm>
+
+namespace rtsi::core {
+
+using index::Posting;
+using index::SortKey;
+
+double ComponentBound(const Scorer& scorer,
+                      const std::vector<PerTermBound>& terms, Timestamp now,
+                      std::uint64_t max_pop_count, BoundMode mode) {
+  bool any_present = false;
+  std::uint64_t pop_bound_count = 0;
+  Timestamp frsh_bound = 0;
+  double tfidf_sum = 0.0;
+  for (const PerTermBound& term : terms) {
+    if (!term.bounds.present) continue;
+    any_present = true;
+    pop_bound_count =
+        std::max(pop_bound_count,
+                 static_cast<std::uint64_t>(term.bounds.max_pop));
+    frsh_bound = std::max(frsh_bound, term.bounds.max_frsh);
+    const TermFreq tf_bound =
+        std::max(term.bounds.max_tf, term.tf_correction);
+    tfidf_sum += scorer.TermTfIdf(tf_bound, term.idf);
+  }
+  if (!any_present) return 0.0;
+  if (mode == BoundMode::kGlobalPop) pop_bound_count = max_pop_count;
+
+  const double pop_score = scorer.PopScore(pop_bound_count, max_pop_count);
+  const double frsh_score = scorer.FrshScore(frsh_bound, now);
+  const double rel_score =
+      scorer.RelScore(tfidf_sum, static_cast<int>(terms.size()));
+  return scorer.Combine(pop_score, rel_score, frsh_score);
+}
+
+ComponentTraversal::ComponentTraversal(const index::InvertedIndex& component,
+                                       const std::vector<TermId>& terms) {
+  cursors_.reserve(terms.size());
+  for (const TermId term : terms) {
+    TermCursor cursor;
+    cursor.view = component.View(term);
+    cursor.exhausted = !cursor.view || cursor.view->empty();
+    cursors_.push_back(std::move(cursor));
+  }
+}
+
+bool ComponentTraversal::NextRound(std::vector<Posting>& out) {
+  bool yielded = false;
+  for (TermCursor& cursor : cursors_) {
+    if (cursor.exhausted) continue;
+    const std::size_t n = cursor.view->size();
+    for (int key = 0; key < index::kNumSortKeys; ++key) {
+      std::size_t& pos = cursor.pos[key];
+      if (pos < n) {
+        out.push_back(cursor.view->At(static_cast<SortKey>(key), pos));
+        ++pos;
+        ++postings_yielded_;
+        yielded = true;
+      }
+    }
+    // A term is exhausted once any of its lists has been fully consumed:
+    // every posting appears in all three lists, so a drained list implies
+    // every posting of the term has been yielded at least once.
+    for (int key = 0; key < index::kNumSortKeys; ++key) {
+      if (cursor.pos[key] >= n) {
+        cursor.exhausted = true;
+        break;
+      }
+    }
+  }
+  return yielded;
+}
+
+double ComponentTraversal::Threshold(const Scorer& scorer,
+                                     const std::vector<double>& idfs,
+                                     Timestamp now,
+                                     std::uint64_t max_pop_count,
+                                     BoundMode mode) const {
+  bool any_active = false;
+  std::uint64_t pop_bound_count = 0;
+  Timestamp frsh_bound = 0;
+  double tfidf_sum = 0.0;
+  for (std::size_t i = 0; i < cursors_.size(); ++i) {
+    const TermCursor& cursor = cursors_[i];
+    if (cursor.exhausted) continue;
+    any_active = true;
+    const Posting& pop_head =
+        cursor.view->At(SortKey::kPopularity, cursor.pos[0]);
+    const Posting& frsh_head =
+        cursor.view->At(SortKey::kFreshness, cursor.pos[1]);
+    const Posting& tf_head =
+        cursor.view->At(SortKey::kTermFrequency, cursor.pos[2]);
+    pop_bound_count = std::max(
+        pop_bound_count, static_cast<std::uint64_t>(pop_head.pop));
+    frsh_bound = std::max(frsh_bound, frsh_head.frsh);
+    tfidf_sum += scorer.TermTfIdf(tf_head.tf, idfs[i]);
+  }
+  if (!any_active) return 0.0;
+  if (mode == BoundMode::kGlobalPop) pop_bound_count = max_pop_count;
+
+  const double pop_score = scorer.PopScore(pop_bound_count, max_pop_count);
+  const double frsh_score = scorer.FrshScore(frsh_bound, now);
+  const double rel_score =
+      scorer.RelScore(tfidf_sum, static_cast<int>(cursors_.size()));
+  return scorer.Combine(pop_score, rel_score, frsh_score);
+}
+
+bool ComponentTraversal::Find(std::size_t term_index, StreamId stream,
+                              Posting& out) const {
+  const TermCursor& cursor = cursors_[term_index];
+  if (!cursor.view || cursor.view->empty()) return false;
+  return cursor.view->AggregateForStream(stream, out);
+}
+
+}  // namespace rtsi::core

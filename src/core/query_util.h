@@ -1,0 +1,75 @@
+// Query-side helpers shared by RTSI and the extended-LSII baseline:
+// component upper bounds (the sc-top of Algorithm 3) and the
+// threshold-algorithm traversal of a sealed component's three sorted
+// inverted lists.
+
+#ifndef RTSI_CORE_QUERY_UTIL_H_
+#define RTSI_CORE_QUERY_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/scorer.h"
+#include "index/inverted_index.h"
+
+namespace rtsi::core {
+
+/// Per-query-term inputs for a component bound.
+struct PerTermBound {
+  index::TermBounds bounds;   // Maxima of the term inside the component.
+  double idf = 0.0;
+  TermFreq tf_correction = 0;  // Extra tf headroom for multi-component
+                               // streams (0 when the owner guarantees
+                               // consolidated totals; LSII uses its global
+                               // per-term max total).
+};
+
+/// Largest possible score of any stream whose postings for the query terms
+/// lie in a component with these maxima. Returns 0 when no term is
+/// present.
+double ComponentBound(const Scorer& scorer,
+                      const std::vector<PerTermBound>& terms, Timestamp now,
+                      std::uint64_t max_pop_count, BoundMode mode);
+
+/// Round-based sorted access over one sealed component (Algorithm 3 lines
+/// 10-17): each round yields the next unchecked posting from each of the
+/// three sorted lists of every query term ("GetTop3"), and Threshold()
+/// bounds the score of every posting not yet yielded.
+class ComponentTraversal {
+ public:
+  ComponentTraversal(const index::InvertedIndex& component,
+                     const std::vector<TermId>& terms);
+
+  /// Appends this round's postings (up to 3 per live term) to `out`.
+  /// Returns false when every term is exhausted (nothing appended).
+  bool NextRound(std::vector<index::Posting>& out);
+
+  /// Upper bound on the score of all unchecked postings, from the current
+  /// cursor values. `idfs` aligns with the constructor's `terms`.
+  double Threshold(const Scorer& scorer, const std::vector<double>& idfs,
+                   Timestamp now, std::uint64_t max_pop_count,
+                   BoundMode mode) const;
+
+  /// Random access used when scoring a candidate discovered via another
+  /// term: aggregated posting of `stream` for terms[i], if present.
+  bool Find(std::size_t term_index, StreamId stream,
+            index::Posting& out) const;
+
+  std::size_t postings_yielded() const { return postings_yielded_; }
+
+ private:
+  struct TermCursor {
+    index::TermPostingsView view;
+    std::size_t pos[index::kNumSortKeys] = {0, 0, 0};
+    bool exhausted = false;
+  };
+
+  std::vector<TermCursor> cursors_;
+  std::size_t postings_yielded_ = 0;
+};
+
+}  // namespace rtsi::core
+
+#endif  // RTSI_CORE_QUERY_UTIL_H_

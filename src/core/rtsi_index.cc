@@ -1,0 +1,364 @@
+#include "core/rtsi_index.h"
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/query_util.h"
+#include "core/top_k.h"
+
+namespace rtsi::core {
+
+using index::Posting;
+using index::StreamInfo;
+using index::TermPostings;
+
+RtsiIndex::RtsiIndex(const RtsiConfig& config)
+    : config_(config),
+      scorer_(config.weights, config.freshness_tau_seconds),
+      tree_(config.lsm) {
+  if (config.async_merge) {
+    merge_executor_ = std::make_unique<ThreadPool>(1);
+  }
+}
+
+RtsiIndex::~RtsiIndex() { WaitForMerges(); }
+
+void RtsiIndex::WaitForMerges() {
+  if (merge_executor_ != nullptr) merge_executor_->Wait();
+}
+
+lsm::MergeHooks RtsiIndex::MakeMergeHooks() {
+  lsm::MergeHooks hooks;
+  hooks.is_deleted = [this](StreamId stream) {
+    return streams_.IsDeleted(stream);
+  };
+  hooks.on_purged = [this](StreamId stream) {
+    live_terms_.RemoveStream(stream);
+  };
+  hooks.on_stream = [this](StreamId stream, bool in_both) {
+    if (!in_both) return;
+    // The merge consolidated two of this stream's component residencies;
+    // once it lives in a single component and stopped broadcasting, the
+    // per-component tf is the total and the live-term entries can go.
+    const auto [count, live] = streams_.DecrementComponentCount(stream);
+    if (count <= 1 && !live) live_terms_.RemoveStream(stream);
+  };
+  return hooks;
+}
+
+void RtsiIndex::DrainPendingFinished() {
+  std::vector<StreamId> pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    if (pending_finished_.empty()) return;
+    pending.assign(pending_finished_.begin(), pending_finished_.end());
+    pending_finished_.clear();
+  }
+  // These streams finished with all postings in L0; the cascade that just
+  // ran consolidated them into a single sealed component.
+  for (const StreamId stream : pending) {
+    if (streams_.GetComponentCount(stream) <= 1 &&
+        !tree_.StreamInL0(stream)) {
+      live_terms_.RemoveStream(stream);
+    }
+  }
+}
+
+void RtsiIndex::InsertWindow(StreamId stream, Timestamp now,
+                             const std::vector<TermCount>& terms, bool live) {
+  // Algorithm 1. Lines 1-3: append to I0's lists and update hash tables.
+  std::uint64_t pop_count = 0;
+  const bool new_stream = streams_.OnInsert(stream, now, live, &pop_count);
+  if (new_stream) df_.AddDocument();
+  if (tree_.MarkStreamInL0(stream)) {
+    streams_.IncrementComponentCount(stream);
+  }
+  const float pop_snapshot = static_cast<float>(pop_count);
+
+  const std::vector<TermFreq> totals = live_terms_.AddWindow(stream, terms);
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const TermCount& tc = terms[i];
+    if (tc.tf == 0) continue;
+    if (totals[i] == tc.tf) df_.AddOccurrence(tc.term);  // First window.
+    tree_.AddPosting(tc.term, Posting{stream, pop_snapshot, now, tc.tf});
+  }
+
+  // Lines 4-7: merge cascade when I0 exceeds delta. With async_merge the
+  // cascade runs on the background executor and insertion latency stays
+  // flat; the mirror set keeps queries exact either way.
+  if (tree_.NeedsMerge()) {
+    if (merge_executor_ == nullptr) {
+      tree_.MergeCascade(MakeMergeHooks());
+      DrainPendingFinished();
+    } else if (!merge_scheduled_.exchange(true)) {
+      merge_executor_->Submit([this] {
+        merge_scheduled_.store(false);
+        tree_.MergeCascade(MakeMergeHooks());
+        DrainPendingFinished();
+      });
+    }
+  }
+}
+
+void RtsiIndex::FinishStream(StreamId stream) {
+  streams_.MarkFinished(stream);
+  if (streams_.GetComponentCount(stream) <= 1) {
+    if (!tree_.StreamInL0(stream)) {
+      live_terms_.RemoveStream(stream);
+    } else {
+      // Still has (possibly duplicate) postings in L0; evict from the
+      // live-term table after the next merge consolidates them.
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_finished_.insert(stream);
+    }
+  }
+  // Streams spanning several components are evicted by the merge hook
+  // once consolidation brings them down to one residency.
+}
+
+void RtsiIndex::DeleteStream(StreamId stream) {
+  streams_.MarkDeleted(stream);  // Lazy: postings purged at merges.
+  live_terms_.RemoveStream(stream);
+}
+
+void RtsiIndex::UpdatePopularity(StreamId stream, std::uint64_t delta) {
+  // The RTSI update path touches only the small per-stream table; the
+  // popularity snapshots inside sealed lists stay as-is (the bound mode
+  // decides how to stay conservative).
+  streams_.AddPopularity(stream, delta);
+}
+
+std::vector<ScoredStream> RtsiIndex::Query(const std::vector<TermId>& terms,
+                                           int k, Timestamp now,
+                                           QueryStats* stats) {
+  return QueryImpl(terms, k, now, QueryFilter{}, stats, nullptr);
+}
+
+std::vector<ScoredStream> RtsiIndex::QueryFiltered(
+    const std::vector<TermId>& terms, int k, Timestamp now,
+    const QueryFilter& filter, QueryStats* stats) {
+  return QueryImpl(terms, k, now, filter, stats, nullptr);
+}
+
+QueryExplanation RtsiIndex::ExplainQuery(const std::vector<TermId>& terms,
+                                         int k, Timestamp now,
+                                         const QueryFilter& filter) {
+  QueryExplanation explanation;
+  QueryImpl(terms, k, now, filter, nullptr, &explanation);
+  return explanation;
+}
+
+std::vector<ScoredStream> RtsiIndex::QueryImpl(
+    const std::vector<TermId>& terms, int k, Timestamp now,
+    const QueryFilter& filter, QueryStats* stats,
+    QueryExplanation* explain) {
+  QueryStats local_stats;
+  QueryStats& qs = stats != nullptr ? *stats : local_stats;
+  qs = QueryStats{};
+
+  // Deduplicate query terms, preserving order.
+  std::vector<TermId> q;
+  for (const TermId term : terms) {
+    if (std::find(q.begin(), q.end(), term) == q.end()) q.push_back(term);
+  }
+  if (explain != nullptr) {
+    explain->terms = q;
+    explain->k = k;
+    explain->now = now;
+  }
+  if (q.empty() || k <= 0) return {};
+  const int num_terms = static_cast<int>(q.size());
+
+  std::vector<double> idfs(q.size());
+  for (std::size_t i = 0; i < q.size(); ++i) idfs[i] = df_.Idf(q[i]);
+  if (explain != nullptr) explain->idfs = idfs;
+  const std::uint64_t max_pop = streams_.max_pop_count();
+
+  TopKHeap heap(k);
+  std::unordered_set<StreamId> scored;
+  std::unordered_map<StreamId, ScoreBreakdown> breakdowns;
+
+  auto score_candidate = [&](StreamId stream, double tfidf_sum,
+                             ScoreBreakdown::Source source,
+                             const std::vector<TermFreq>* tfs) {
+    StreamInfo info;
+    if (!streams_.Get(stream, info)) return;  // Deleted or unknown.
+    if (filter.live_only && !info.live) return;
+    if (info.frsh < filter.min_frsh) return;
+    const double pop_score = scorer_.PopScore(info.pop_count, max_pop);
+    const double rel_score = scorer_.RelScore(tfidf_sum, num_terms);
+    const double frsh_score = scorer_.FrshScore(info.frsh, now);
+    const double score = scorer_.Combine(pop_score, rel_score, frsh_score);
+    heap.Offer(stream, score);
+    ++qs.candidates_scored;
+    if (explain != nullptr) {
+      ScoreBreakdown breakdown;
+      breakdown.stream = stream;
+      breakdown.pop_score = pop_score;
+      breakdown.rel_score = rel_score;
+      breakdown.frsh_score = frsh_score;
+      breakdown.total = score;
+      breakdown.source = source;
+      if (tfs != nullptr) breakdown.term_tfs = *tfs;
+      breakdowns[stream] = std::move(breakdown);
+    }
+  };
+
+  // Phase 1: score every live-table stream touching a query term (the
+  // table is term-keyed, so only matching streams are visited). Their
+  // totals are exact regardless of how many components hold their
+  // postings; afterwards, any unscored candidate is single-component.
+  std::vector<StreamId> table_matches;
+  for (const TermId term : q) {
+    live_terms_.ForEachStreamOfTerm(term, [&](StreamId stream, TermFreq) {
+      table_matches.push_back(stream);
+    });
+  }
+  for (const StreamId stream : table_matches) {
+    if (!scored.insert(stream).second) continue;
+    double tfidf_sum = 0.0;
+    std::vector<TermFreq> tfs(q.size(), 0);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      tfs[i] = live_terms_.GetTotal(stream, q[i]);
+      tfidf_sum += scorer_.TermTfIdf(tfs[i], idfs[i]);
+    }
+    score_candidate(stream, tfidf_sum, ScoreBreakdown::Source::kLiveTable,
+                    &tfs);
+  }
+  if (explain != nullptr) {
+    explain->live_table_candidates = scored.size();
+  }
+
+  // Phase 2: full scan of I0 (it is small by construction). Accumulates
+  // per-stream tf sums, exact for streams whose postings are L0-only.
+  std::unordered_map<StreamId, std::vector<TermFreq>> l0_tf;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    tree_.WithL0Term(q[i], [&](const TermPostings* postings) {
+      if (postings == nullptr) return;
+      qs.postings_scanned += postings->size();
+      for (const Posting& p : postings->entries()) {
+        auto [it, inserted] = l0_tf.try_emplace(p.stream);
+        if (inserted) it->second.assign(q.size(), 0);
+        it->second[i] += p.tf;
+      }
+    });
+  }
+  std::size_t l0_candidates = 0;
+  for (const auto& [stream, tfs] : l0_tf) {
+    if (scored.count(stream) > 0) continue;
+    double tfidf_sum = 0.0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      tfidf_sum += scorer_.TermTfIdf(tfs[i], idfs[i]);
+    }
+    scored.insert(stream);
+    ++l0_candidates;
+    score_candidate(stream, tfidf_sum, ScoreBreakdown::Source::kL0Scan,
+                    &tfs);
+  }
+  if (explain != nullptr) explain->l0_candidates = l0_candidates;
+
+  // Phase 3: sealed components, best upper bound first (Algorithm 3's
+  // sc-top pruning, strengthened by processing in bound order).
+  const auto snapshot = tree_.SealedSnapshot();
+  struct RankedComponent {
+    const index::InvertedIndex* component;
+    double bound;
+    std::size_t explain_slot;
+  };
+  std::vector<RankedComponent> ranked;
+  ranked.reserve(snapshot.size());
+  for (const auto& component : snapshot) {
+    std::vector<PerTermBound> per_term(q.size());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      per_term[i].bounds = component->Bounds(q[i]);
+      per_term[i].idf = idfs[i];
+      per_term[i].tf_correction = 0;  // Consolidation invariant.
+    }
+    const double bound = ComponentBound(scorer_, per_term, now, max_pop,
+                                        config_.bound_mode);
+    std::size_t slot = 0;
+    if (explain != nullptr) {
+      ComponentExplanation ce;
+      ce.level = component->level();
+      ce.num_postings = component->num_postings();
+      ce.upper_bound = bound;
+      slot = explain->components.size();
+      explain->components.push_back(ce);
+    }
+    if (bound > 0.0) ranked.push_back({component.get(), bound, slot});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedComponent& a, const RankedComponent& b) {
+              return a.bound > b.bound;
+            });
+
+  std::vector<Posting> round;
+  for (std::size_t c = 0; c < ranked.size(); ++c) {
+    if (config_.use_bound && heap.full() &&
+        heap.KthScore() >= ranked[c].bound) {
+      qs.components_pruned += ranked.size() - c;
+      qs.terminated_early = true;
+      break;
+    }
+    ++qs.components_visited;
+    if (explain != nullptr) {
+      explain->components[ranked[c].explain_slot].visited = true;
+    }
+    ComponentTraversal traversal(*ranked[c].component, q);
+    while (traversal.NextRound(round)) {
+      for (const Posting& p : round) {
+        if (!scored.insert(p.stream).second) continue;
+        // Unscored here means single-component: every query-term posting
+        // of this stream lives in this component. Random-access them.
+        double tfidf_sum = 0.0;
+        std::vector<TermFreq> tfs(q.size(), 0);
+        for (std::size_t i = 0; i < q.size(); ++i) {
+          Posting found;
+          if (traversal.Find(i, p.stream, found)) {
+            tfs[i] = found.tf;
+            tfidf_sum += scorer_.TermTfIdf(found.tf, idfs[i]);
+          }
+        }
+        score_candidate(p.stream, tfidf_sum,
+                        ScoreBreakdown::Source::kSealedComponent, &tfs);
+      }
+      qs.postings_scanned += round.size();
+      round.clear();
+      if (config_.use_bound && heap.full()) {
+        const double tau = traversal.Threshold(scorer_, idfs, now, max_pop,
+                                               config_.bound_mode);
+        if (heap.KthScore() >= tau) {
+          qs.terminated_early = true;
+          if (explain != nullptr) {
+            explain->components[ranked[c].explain_slot].terminated_early =
+                true;
+          }
+          break;
+        }
+      }
+    }
+    if (explain != nullptr) {
+      explain->components[ranked[c].explain_slot].postings_yielded =
+          traversal.postings_yielded();
+    }
+  }
+
+  std::vector<ScoredStream> results = heap.SortedResults();
+  if (explain != nullptr) {
+    explain->results.reserve(results.size());
+    for (const auto& r : results) {
+      auto it = breakdowns.find(r.stream);
+      if (it != breakdowns.end()) explain->results.push_back(it->second);
+    }
+  }
+  return results;
+}
+
+std::size_t RtsiIndex::MemoryBytes() const {
+  return tree_.MemoryBytes() + streams_.MemoryBytes() +
+         live_terms_.MemoryBytes() + df_.MemoryBytes();
+}
+
+}  // namespace rtsi::core

@@ -1,0 +1,139 @@
+// RTSI: the Real-Time Search Index for live audio streams.
+//
+// Implements the paper's Algorithms 1 (insertion), 2 (merging with
+// mirrors; delegated to lsm::LsmTree) and 3 (top-k query answering with
+// upper-bound early termination), plus popularity updates and lazy
+// deletion.
+//
+// Index anatomy (Section IV-B):
+//  - an LSM-tree of inverted indices whose postings carry (pop snapshot,
+//    freshness, tf) inline, with three sorted lists per term in sealed
+//    components;
+//  - a small per-stream hash table (StreamInfoTable) for the mutable
+//    popularity counter and freshness;
+//  - a small live-term hash table (LiveTermTable) holding total term
+//    frequencies of live (and not-yet-consolidated) streams, so scoring
+//    never visits multiple components.
+//
+// Consolidation invariant: a stream is present in the live-term table iff
+// it is live or its postings span more than one LSM component. Hence any
+// candidate not in the table has all its postings inside a single sealed
+// component, which makes per-component bounds and random accesses exact.
+// (One documented transient exception: a stream finished while its level-0
+// postings are being merged can momentarily evade the table; its score is
+// still computed exactly, only the pruning bound may be optimistic.)
+
+#ifndef RTSI_CORE_RTSI_INDEX_H_
+#define RTSI_CORE_RTSI_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "core/doc_freq.h"
+#include "core/explain.h"
+#include "core/scorer.h"
+#include "core/search_index.h"
+#include "index/live_term_table.h"
+#include "index/stream_info_table.h"
+#include "lsm/lsm_tree.h"
+
+namespace rtsi::core {
+
+/// Optional result filtering for RTSI queries. Filters drop candidates at
+/// scoring time; pruning bounds stay valid (they only ever overestimate).
+struct QueryFilter {
+  /// Return only streams that are currently broadcasting.
+  bool live_only = false;
+  /// Return only streams whose latest window is at/after this timestamp
+  /// (0 = no constraint).
+  Timestamp min_frsh = 0;
+};
+
+class RtsiIndex : public SearchIndex {
+ public:
+  explicit RtsiIndex(const RtsiConfig& config);
+
+  /// Drains the background merge executor (if async_merge is on).
+  ~RtsiIndex() override;
+
+  /// Blocks until no merge is pending or running (async mode; no-op in
+  /// synchronous mode). Benches call this to sequence phases.
+  void WaitForMerges();
+
+  // SearchIndex:
+  void InsertWindow(StreamId stream, Timestamp now,
+                    const std::vector<TermCount>& terms, bool live) override;
+  void FinishStream(StreamId stream) override;
+  void DeleteStream(StreamId stream) override;
+  void UpdatePopularity(StreamId stream, std::uint64_t delta) override;
+  std::vector<ScoredStream> Query(const std::vector<TermId>& terms, int k,
+                                  Timestamp now, QueryStats* stats) override;
+  using SearchIndex::Query;
+
+  /// Top-k search restricted by `filter` (e.g. live streams only — the
+  /// "search live broadcasts" product feature).
+  std::vector<ScoredStream> QueryFiltered(const std::vector<TermId>& terms,
+                                          int k, Timestamp now,
+                                          const QueryFilter& filter,
+                                          QueryStats* stats = nullptr);
+
+  /// Answers the query and explains it: candidate sources, per-component
+  /// bounds and prune decisions, and per-result score decompositions.
+  QueryExplanation ExplainQuery(const std::vector<TermId>& terms, int k,
+                                Timestamp now,
+                                const QueryFilter& filter = QueryFilter{});
+  std::size_t MemoryBytes() const override;
+  std::string name() const override { return "RTSI"; }
+
+  // Introspection for tests and benches.
+  const lsm::LsmTree& tree() const { return tree_; }
+  const index::StreamInfoTable& stream_table() const { return streams_; }
+  const index::LiveTermTable& live_table() const { return live_terms_; }
+  const DocumentFrequencyTable& doc_freq() const { return df_; }
+  const RtsiConfig& config() const { return config_; }
+  lsm::MergeStats GetMergeStats() const { return tree_.GetMergeStats(); }
+
+  // Mutable access for the snapshot-restore path only
+  // (storage/snapshot.h); not part of the public indexing API.
+  lsm::LsmTree& mutable_tree() { return tree_; }
+  index::StreamInfoTable& mutable_stream_table() { return streams_; }
+  index::LiveTermTable& mutable_live_table() { return live_terms_; }
+  DocumentFrequencyTable& mutable_doc_freq() { return df_; }
+
+ private:
+  lsm::MergeHooks MakeMergeHooks();
+
+  /// Evicts finished, now-consolidated streams from the live-term table
+  /// (queued by FinishStream while their postings were still in L0).
+  void DrainPendingFinished();
+
+  /// Shared implementation behind Query / QueryFiltered / ExplainQuery.
+  std::vector<ScoredStream> QueryImpl(const std::vector<TermId>& terms,
+                                      int k, Timestamp now,
+                                      const QueryFilter& filter,
+                                      QueryStats* stats,
+                                      QueryExplanation* explain);
+
+  RtsiConfig config_;
+  Scorer scorer_;
+  lsm::LsmTree tree_;
+  index::StreamInfoTable streams_;
+  index::LiveTermTable live_terms_;
+  DocumentFrequencyTable df_;
+  std::mutex pending_mu_;
+  std::unordered_set<StreamId> pending_finished_;
+  std::atomic<bool> merge_scheduled_{false};
+  // Declared last: destroyed first, draining queued merges while the
+  // members above are still alive.
+  std::unique_ptr<ThreadPool> merge_executor_;
+};
+
+}  // namespace rtsi::core
+
+#endif  // RTSI_CORE_RTSI_INDEX_H_

@@ -1,0 +1,49 @@
+// Scoring (Equation 1): f(q,p) = wp*pop(p) + wr*rel(q,p) + wf*frsh(p).
+//
+// - pop:  log-scaled play counter, normalized by the global maximum.
+// - frsh: exponential decay of the stream's age, newest = 1.
+// - rel:  per-term (1 + ln tf) * idf, averaged over query terms and
+//         squashed to [0, 1) with x / (1 + x). The squash is monotone, so
+//         upper bounds computed from per-list maxima stay valid.
+
+#ifndef RTSI_CORE_SCORER_H_
+#define RTSI_CORE_SCORER_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/config.h"
+
+namespace rtsi::core {
+
+class Scorer {
+ public:
+  Scorer(const ScoreWeights& weights, double freshness_tau_seconds);
+
+  /// Popularity in [0, 1]: log1p(count) / log1p(max_count).
+  double PopScore(std::uint64_t pop_count, std::uint64_t max_pop_count) const;
+
+  /// Freshness in (0, 1]: exp(-(now - frsh) / tau).
+  double FrshScore(Timestamp frsh, Timestamp now) const;
+
+  /// Contribution of one query term: (1 + ln tf) * idf; 0 when tf == 0.
+  double TermTfIdf(TermFreq tf, double idf) const;
+
+  /// Relevance in [0, 1): squash(sum_tfidf / num_query_terms).
+  double RelScore(double tfidf_sum, int num_query_terms) const;
+
+  /// Equation 1.
+  double Combine(double pop_score, double rel_score,
+                 double frsh_score) const;
+
+  const ScoreWeights& weights() const { return weights_; }
+  double tau_seconds() const { return tau_seconds_; }
+
+ private:
+  ScoreWeights weights_;
+  double tau_seconds_;
+};
+
+}  // namespace rtsi::core
+
+#endif  // RTSI_CORE_SCORER_H_

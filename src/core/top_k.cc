@@ -1,0 +1,38 @@
+#include "core/top_k.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rtsi::core {
+
+TopKHeap::TopKHeap(int k) : k_(k < 1 ? 1 : static_cast<std::size_t>(k)) {}
+
+void TopKHeap::Offer(StreamId stream, double score) {
+  if (heap_.size() < k_) {
+    heap_.push({stream, score});
+    return;
+  }
+  if (score > heap_.top().score) {
+    heap_.pop();
+    heap_.push({stream, score});
+  }
+}
+
+double TopKHeap::KthScore() const {
+  if (heap_.size() < k_) return -std::numeric_limits<double>::infinity();
+  return heap_.top().score;
+}
+
+std::vector<ScoredStream> TopKHeap::SortedResults() const {
+  auto copy = heap_;
+  std::vector<ScoredStream> results;
+  results.reserve(copy.size());
+  while (!copy.empty()) {
+    results.push_back(copy.top());
+    copy.pop();
+  }
+  std::reverse(results.begin(), results.end());
+  return results;
+}
+
+}  // namespace rtsi::core

@@ -1,0 +1,46 @@
+// Bounded top-k result heap.
+
+#ifndef RTSI_CORE_TOP_K_H_
+#define RTSI_CORE_TOP_K_H_
+
+#include <cstddef>
+#include <queue>
+#include <vector>
+
+#include "core/search_index.h"
+
+namespace rtsi::core {
+
+/// Keeps the k highest-scoring streams offered to it. Offer() is O(log k);
+/// ties are broken arbitrarily.
+class TopKHeap {
+ public:
+  explicit TopKHeap(int k);
+
+  void Offer(StreamId stream, double score);
+
+  bool full() const { return heap_.size() >= k_; }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Score of the current k-th (worst retained) result;
+  /// -infinity while not full.
+  double KthScore() const;
+
+  /// Results sorted by descending score.
+  std::vector<ScoredStream> SortedResults() const;
+
+ private:
+  struct MinFirst {
+    bool operator()(const ScoredStream& a, const ScoredStream& b) const {
+      return a.score > b.score;
+    }
+  };
+
+  std::size_t k_;
+  std::priority_queue<ScoredStream, std::vector<ScoredStream>, MinFirst>
+      heap_;
+};
+
+}  // namespace rtsi::core
+
+#endif  // RTSI_CORE_TOP_K_H_

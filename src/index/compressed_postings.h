@@ -1,0 +1,56 @@
+// Huffman-compressed representation of a sealed posting list.
+//
+// Used by sealed LSM components when compression is enabled (Figure 15).
+// Postings are serialized column-wise with delta/varint coding, then the
+// byte stream is entropy-coded (index/huffman.h). The per-term maxima stay
+// uncompressed so query upper bounds never require a decode; the full list
+// is decoded (and re-sealed) only when a query actually traverses the term.
+
+#ifndef RTSI_INDEX_COMPRESSED_POSTINGS_H_
+#define RTSI_INDEX_COMPRESSED_POSTINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/term_postings.h"
+
+namespace rtsi::index {
+
+class CompressedTermPostings {
+ public:
+  /// Compresses `postings` (arrival order is preserved; permutations are
+  /// rebuilt on decode).
+  static CompressedTermPostings FromPostings(const TermPostings& postings);
+
+  /// Decompresses into a sealed TermPostings. Returns an empty list if the
+  /// blob is corrupt (cannot happen for blobs produced by FromPostings).
+  TermPostings Decode() const;
+
+  /// Decodes a standalone blob (snapshot restore path).
+  static TermPostings DecodeBlob(const std::vector<std::uint8_t>& blob);
+
+  /// The self-contained compressed bytes (snapshot save path).
+  const std::vector<std::uint8_t>& blob() const { return blob_; }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  float max_pop() const { return max_pop_; }
+  Timestamp max_frsh() const { return max_frsh_; }
+  TermFreq max_tf() const { return max_tf_; }
+
+  std::size_t MemoryBytes() const {
+    return blob_.capacity() + sizeof(*this);
+  }
+
+ private:
+  std::vector<std::uint8_t> blob_;
+  std::size_t count_ = 0;
+  float max_pop_ = 0.0f;
+  Timestamp max_frsh_ = 0;
+  TermFreq max_tf_ = 0;
+};
+
+}  // namespace rtsi::index
+
+#endif  // RTSI_INDEX_COMPRESSED_POSTINGS_H_

@@ -1,0 +1,222 @@
+#include "index/huffman.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <queue>
+
+namespace rtsi::index {
+namespace {
+
+constexpr int kNumSymbols = 256;
+constexpr int kMaxCodeLength = 32;
+
+// Blob layout:
+//   u32  original size (little endian)
+//   256  code lengths (one byte each; 0 = symbol absent)
+//   ...  bit stream, MSB first
+//
+// Single-symbol inputs get code length 1 for that symbol.
+
+struct Node {
+  std::uint64_t freq;
+  int symbol;       // -1 for internal nodes.
+  int left, right;  // Indices into the node pool.
+};
+
+void ComputeCodeLengths(const std::array<std::uint64_t, kNumSymbols>& freq,
+                        std::array<std::uint8_t, kNumSymbols>& lengths) {
+  lengths.fill(0);
+  std::vector<Node> pool;
+  using HeapItem = std::pair<std::uint64_t, int>;  // (freq, pool index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  for (int s = 0; s < kNumSymbols; ++s) {
+    if (freq[s] > 0) {
+      pool.push_back({freq[s], s, -1, -1});
+      heap.emplace(freq[s], static_cast<int>(pool.size()) - 1);
+    }
+  }
+  if (heap.empty()) return;
+  if (heap.size() == 1) {
+    lengths[pool[heap.top().second].symbol] = 1;
+    return;
+  }
+  while (heap.size() > 1) {
+    const auto [fa, a] = heap.top();
+    heap.pop();
+    const auto [fb, b] = heap.top();
+    heap.pop();
+    pool.push_back({fa + fb, -1, a, b});
+    heap.emplace(fa + fb, static_cast<int>(pool.size()) - 1);
+  }
+  // Depth-first traversal assigning depths as code lengths.
+  std::vector<std::pair<int, int>> stack = {{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = pool[idx];
+    if (node.symbol >= 0) {
+      lengths[node.symbol] =
+          static_cast<std::uint8_t>(std::max(depth, 1));
+    } else {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+}
+
+// Canonical code assignment: symbols ordered by (length, symbol value).
+void AssignCanonicalCodes(const std::array<std::uint8_t, kNumSymbols>& lengths,
+                          std::array<std::uint32_t, kNumSymbols>& codes) {
+  std::vector<int> symbols;
+  for (int s = 0; s < kNumSymbols; ++s) {
+    if (lengths[s] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (const int s : symbols) {
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+}
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void Write(std::uint32_t code, int num_bits) {
+    for (int i = num_bits - 1; i >= 0; --i) {
+      acc_ = (acc_ << 1) | ((code >> i) & 1u);
+      if (++filled_ == 8) {
+        out_.push_back(static_cast<std::uint8_t>(acc_));
+        acc_ = 0;
+        filled_ = 0;
+      }
+    }
+  }
+
+  void Flush() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - filled_)));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::uint32_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> HuffmanEncode(
+    const std::vector<std::uint8_t>& input) {
+  std::vector<std::uint8_t> blob;
+  if (input.empty()) return blob;
+
+  std::array<std::uint64_t, kNumSymbols> freq{};
+  for (const std::uint8_t byte : input) ++freq[byte];
+
+  std::array<std::uint8_t, kNumSymbols> lengths;
+  ComputeCodeLengths(freq, lengths);
+  // Length-limit: flatten the distribution until every code fits in 32
+  // bits (only reachable with near-Fibonacci frequency profiles).
+  while (*std::max_element(lengths.begin(), lengths.end()) > kMaxCodeLength) {
+    for (auto& f : freq) {
+      if (f > 0) f = (f >> 1) + 1;
+    }
+    ComputeCodeLengths(freq, lengths);
+  }
+  std::array<std::uint32_t, kNumSymbols> codes{};
+  AssignCanonicalCodes(lengths, codes);
+
+  blob.reserve(4 + kNumSymbols + input.size() / 2);
+  const auto size32 = static_cast<std::uint32_t>(input.size());
+  blob.push_back(static_cast<std::uint8_t>(size32));
+  blob.push_back(static_cast<std::uint8_t>(size32 >> 8));
+  blob.push_back(static_cast<std::uint8_t>(size32 >> 16));
+  blob.push_back(static_cast<std::uint8_t>(size32 >> 24));
+  blob.insert(blob.end(), lengths.begin(), lengths.end());
+
+  BitWriter writer(blob);
+  for (const std::uint8_t byte : input) {
+    writer.Write(codes[byte], lengths[byte]);
+  }
+  writer.Flush();
+  return blob;
+}
+
+bool HuffmanDecode(const std::vector<std::uint8_t>& blob,
+                   std::vector<std::uint8_t>& output) {
+  output.clear();
+  if (blob.empty()) return true;
+  if (blob.size() < 4 + kNumSymbols) return false;
+
+  const std::uint32_t original_size =
+      static_cast<std::uint32_t>(blob[0]) |
+      (static_cast<std::uint32_t>(blob[1]) << 8) |
+      (static_cast<std::uint32_t>(blob[2]) << 16) |
+      (static_cast<std::uint32_t>(blob[3]) << 24);
+
+  std::array<std::uint8_t, kNumSymbols> lengths;
+  std::memcpy(lengths.data(), blob.data() + 4, kNumSymbols);
+  for (const std::uint8_t len : lengths) {
+    if (len > kMaxCodeLength) return false;
+  }
+  std::array<std::uint32_t, kNumSymbols> codes{};
+  AssignCanonicalCodes(lengths, codes);
+
+  // Canonical decode tables per length: first code and symbol list.
+  std::array<std::vector<int>, kMaxCodeLength + 1> symbols_by_length;
+  for (int s = 0; s < kNumSymbols; ++s) {
+    if (lengths[s] > 0) symbols_by_length[lengths[s]].push_back(s);
+  }
+  std::array<std::uint32_t, kMaxCodeLength + 1> first_code{};
+  {
+    std::uint32_t code = 0;
+    for (int len = 1; len <= kMaxCodeLength; ++len) {
+      first_code[len] = code;
+      code = (code + static_cast<std::uint32_t>(
+                         symbols_by_length[len].size()))
+             << 1;
+    }
+  }
+
+  output.reserve(original_size);
+  std::uint32_t acc = 0;
+  int acc_bits = 0;
+  std::size_t pos = 4 + kNumSymbols;
+  std::size_t bit_in_byte = 0;
+  while (output.size() < original_size) {
+    if (pos >= blob.size()) return false;  // Truncated stream.
+    acc = (acc << 1) |
+          ((blob[pos] >> (7 - bit_in_byte)) & 1u);
+    ++acc_bits;
+    if (++bit_in_byte == 8) {
+      bit_in_byte = 0;
+      ++pos;
+    }
+    if (acc_bits > kMaxCodeLength) return false;
+    const auto& bucket = symbols_by_length[acc_bits];
+    if (!bucket.empty()) {
+      const std::uint32_t offset = acc - first_code[acc_bits];
+      if (acc >= first_code[acc_bits] && offset < bucket.size()) {
+        output.push_back(static_cast<std::uint8_t>(bucket[offset]));
+        acc = 0;
+        acc_bits = 0;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rtsi::index

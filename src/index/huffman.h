@@ -1,0 +1,28 @@
+// Canonical Huffman coding over byte streams.
+//
+// The paper applies Huffman coding to the inverted lists of sealed LSM
+// components (Section IV, Figure 15): audio streams produce long lists, so
+// entropy-coding the varint-serialized postings yields large memory
+// savings. The encoded blob is self-contained: a 256-entry code-length
+// header followed by the bit stream.
+
+#ifndef RTSI_INDEX_HUFFMAN_H_
+#define RTSI_INDEX_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rtsi::index {
+
+/// Encodes `input` into a self-describing Huffman blob.
+/// Empty input yields an empty blob.
+std::vector<std::uint8_t> HuffmanEncode(const std::vector<std::uint8_t>& input);
+
+/// Decodes a blob produced by HuffmanEncode. Returns false on malformed
+/// input (truncated header/stream, invalid code lengths).
+bool HuffmanDecode(const std::vector<std::uint8_t>& blob,
+                   std::vector<std::uint8_t>& output);
+
+}  // namespace rtsi::index
+
+#endif  // RTSI_INDEX_HUFFMAN_H_

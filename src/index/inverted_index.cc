@@ -1,0 +1,98 @@
+#include "index/inverted_index.h"
+
+#include <cassert>
+
+namespace rtsi::index {
+
+void InvertedIndex::Add(TermId term, const Posting& posting) {
+  assert(!compressed_);
+  terms_[term].Append(posting);
+  ++num_postings_;
+}
+
+void InvertedIndex::Put(TermId term, TermPostings postings) {
+  assert(!compressed_);
+  num_postings_ += postings.size();
+  auto it = terms_.find(term);
+  if (it == terms_.end()) {
+    terms_.emplace(term, std::move(postings));
+  } else {
+    num_postings_ -= it->second.size();
+    it->second = std::move(postings);
+  }
+}
+
+const TermPostings* InvertedIndex::GetPlain(TermId term) const {
+  if (compressed_) return nullptr;
+  auto it = terms_.find(term);
+  return it == terms_.end() ? nullptr : &it->second;
+}
+
+TermPostingsView InvertedIndex::View(TermId term) const {
+  if (compressed_) {
+    auto it = compressed_terms_.find(term);
+    if (it == compressed_terms_.end()) return TermPostingsView();
+    return TermPostingsView(it->second.Decode());
+  }
+  auto it = terms_.find(term);
+  if (it == terms_.end()) return TermPostingsView();
+  return TermPostingsView(&it->second);
+}
+
+TermBounds InvertedIndex::Bounds(TermId term) const {
+  TermBounds bounds;
+  if (compressed_) {
+    auto it = compressed_terms_.find(term);
+    if (it == compressed_terms_.end()) return bounds;
+    bounds = {it->second.max_pop(), it->second.max_frsh(),
+              it->second.max_tf(), true};
+    return bounds;
+  }
+  auto it = terms_.find(term);
+  if (it == terms_.end()) return bounds;
+  bounds = {it->second.max_pop(), it->second.max_frsh(),
+            it->second.max_tf(), true};
+  return bounds;
+}
+
+void InvertedIndex::SealAll() {
+  for (auto& [term, postings] : terms_) postings.Seal();
+}
+
+void InvertedIndex::CompressAll() {
+  if (compressed_) return;
+  compressed_terms_.reserve(terms_.size());
+  for (auto& [term, postings] : terms_) {
+    compressed_terms_.emplace(term,
+                              CompressedTermPostings::FromPostings(postings));
+  }
+  terms_.clear();
+  compressed_ = true;
+}
+
+std::unordered_map<TermId, TermPostings> InvertedIndex::TakeTerms() {
+  assert(!compressed_);
+  std::unordered_map<TermId, TermPostings> out;
+  out.swap(terms_);
+  num_postings_ = 0;
+  return out;
+}
+
+std::size_t InvertedIndex::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  if (compressed_) {
+    // Bucket overhead of the hash map plus per-term blobs.
+    bytes += compressed_terms_.bucket_count() * sizeof(void*);
+    for (const auto& [term, compressed] : compressed_terms_) {
+      bytes += sizeof(term) + compressed.MemoryBytes();
+    }
+  } else {
+    bytes += terms_.bucket_count() * sizeof(void*);
+    for (const auto& [term, postings] : terms_) {
+      bytes += sizeof(term) + postings.MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace rtsi::index

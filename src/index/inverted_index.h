@@ -1,0 +1,128 @@
+// One inverted-index component of the LSM-tree (an "I_i" in the paper).
+//
+// A component maps TermId -> postings. Level-0 components are mutable
+// (append-only per term); components produced by merges are sealed, and
+// optionally Huffman-compressed. Queries access terms through
+// TermPostingsView, which hides whether a decode was necessary.
+
+#ifndef RTSI_INDEX_INVERTED_INDEX_H_
+#define RTSI_INDEX_INVERTED_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "index/compressed_postings.h"
+#include "index/posting.h"
+#include "index/term_postings.h"
+
+namespace rtsi::index {
+
+/// Read access to a term's postings: either a pointer into the component
+/// (plain storage) or an owned decoded copy (compressed storage).
+class TermPostingsView {
+ public:
+  TermPostingsView() = default;
+  explicit TermPostingsView(const TermPostings* borrowed)
+      : borrowed_(borrowed) {}
+  explicit TermPostingsView(TermPostings owned)
+      : owned_(std::move(owned)), has_owned_(true) {}
+
+  const TermPostings* get() const {
+    return has_owned_ ? &owned_ : borrowed_;
+  }
+  const TermPostings& operator*() const { return *get(); }
+  const TermPostings* operator->() const { return get(); }
+  explicit operator bool() const { return has_owned_ || borrowed_ != nullptr; }
+
+ private:
+  const TermPostings* borrowed_ = nullptr;
+  TermPostings owned_;
+  bool has_owned_ = false;
+};
+
+/// Upper bounds of one term inside one component, for query pruning.
+struct TermBounds {
+  float max_pop = 0.0f;
+  Timestamp max_frsh = 0;
+  TermFreq max_tf = 0;
+  bool present = false;
+};
+
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(int level = 0) : level_(level) {}
+
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+
+  /// Appends `posting` to `term`'s list. Only valid on uncompressed,
+  /// unsealed components (level 0).
+  void Add(TermId term, const Posting& posting);
+
+  /// Moves a whole posting list in (used by merges). The component takes
+  /// ownership; posting count is updated.
+  void Put(TermId term, TermPostings postings);
+
+  /// Plain postings of `term`, or nullptr if absent or compressed away.
+  const TermPostings* GetPlain(TermId term) const;
+
+  /// Unified read access; empty view when the term is absent.
+  TermPostingsView View(TermId term) const;
+
+  /// Per-term maxima without decoding (pruning bounds).
+  TermBounds Bounds(TermId term) const;
+
+  /// Seals every term list (sorts the three views). Idempotent.
+  void SealAll();
+
+  /// Converts every plain list to the Huffman-compressed representation.
+  /// Requires SealAll() first (merge output is always sealed).
+  void CompressAll();
+
+  bool compressed() const { return compressed_; }
+  int level() const { return level_; }
+  void set_level(int level) { level_ = level; }
+
+  std::size_t num_terms() const {
+    return compressed_ ? compressed_terms_.size() : terms_.size();
+  }
+  std::size_t num_postings() const { return num_postings_; }
+  bool empty() const { return num_postings_ == 0; }
+
+  /// Heap bytes of all posting storage (exact for the structures we own).
+  std::size_t MemoryBytes() const;
+
+  /// Moves all plain term lists out, leaving the component empty.
+  /// Used when freezing level 0 into an immutable component.
+  std::unordered_map<TermId, TermPostings> TakeTerms();
+
+  /// Calls fn(TermId, const TermPostings&) for every term. On compressed
+  /// components each term is decoded for the duration of the call.
+  template <typename Fn>
+  void ForEachTerm(Fn&& fn) const {
+    if (compressed_) {
+      for (const auto& [term, compressed] : compressed_terms_) {
+        const TermPostings decoded = compressed.Decode();
+        fn(term, decoded);
+      }
+    } else {
+      for (const auto& [term, postings] : terms_) {
+        fn(term, postings);
+      }
+    }
+  }
+
+ private:
+  int level_;
+  bool compressed_ = false;
+  std::size_t num_postings_ = 0;
+  std::unordered_map<TermId, TermPostings> terms_;
+  std::unordered_map<TermId, CompressedTermPostings> compressed_terms_;
+};
+
+}  // namespace rtsi::index
+
+#endif  // RTSI_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,168 @@
+#include "index/live_term_table.h"
+
+#include <algorithm>
+
+namespace rtsi::index {
+
+void LiveTermTable::BumpMaxTotal(TermId term, TermFreq total) {
+  std::lock_guard<std::mutex> lock(max_mu_);
+  TermFreq& current = max_total_[term];
+  if (total > current) current = total;
+}
+
+TermFreq LiveTermTable::Add(StreamId stream, TermId term, TermFreq tf) {
+  TermFreq total;
+  {
+    TermShard& shard = TermShardFor(term);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    TermFreq& slot = shard.map[term][stream];
+    const bool first = slot == 0;
+    slot += tf;
+    total = slot;
+    if (first) {
+      StreamShard& stream_shard = StreamShardFor(stream);
+      std::lock_guard<std::mutex> stream_lock(stream_shard.mu);
+      stream_shard.terms_of_stream[stream].push_back(term);
+    }
+  }
+  BumpMaxTotal(term, total);
+  return total;
+}
+
+std::vector<TermFreq> LiveTermTable::AddWindow(
+    StreamId stream, const std::vector<TermCount>& terms) {
+  std::vector<TermFreq> totals(terms.size(), 0);
+  std::vector<TermId> first_seen;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (terms[i].tf == 0) continue;
+    TermShard& shard = TermShardFor(terms[i].term);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    TermFreq& slot = shard.map[terms[i].term][stream];
+    if (slot == 0) first_seen.push_back(terms[i].term);
+    slot += terms[i].tf;
+    totals[i] = slot;
+  }
+  if (!first_seen.empty()) {
+    StreamShard& stream_shard = StreamShardFor(stream);
+    std::lock_guard<std::mutex> lock(stream_shard.mu);
+    auto& list = stream_shard.terms_of_stream[stream];
+    list.insert(list.end(), first_seen.begin(), first_seen.end());
+  }
+  {
+    std::lock_guard<std::mutex> lock(max_mu_);
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      if (totals[i] == 0) continue;
+      TermFreq& current = max_total_[terms[i].term];
+      if (totals[i] > current) current = totals[i];
+    }
+  }
+  return totals;
+}
+
+TermFreq LiveTermTable::GetTotal(StreamId stream, TermId term) const {
+  const TermShard& shard = TermShardFor(term);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto term_it = shard.map.find(term);
+  if (term_it == shard.map.end()) return 0;
+  auto stream_it = term_it->second.find(stream);
+  return stream_it == term_it->second.end() ? 0 : stream_it->second;
+}
+
+bool LiveTermTable::ContainsStream(StreamId stream) const {
+  const StreamShard& shard = StreamShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.terms_of_stream.count(stream) > 0;
+}
+
+void LiveTermTable::RemoveStream(StreamId stream) {
+  std::vector<TermId> terms;
+  {
+    StreamShard& shard = StreamShardFor(stream);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.terms_of_stream.find(stream);
+    if (it == shard.terms_of_stream.end()) return;
+    terms.swap(it->second);
+    shard.terms_of_stream.erase(it);
+  }
+  for (const TermId term : terms) {
+    TermShard& shard = TermShardFor(term);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(term);
+    if (it == shard.map.end()) continue;
+    it->second.erase(stream);
+    if (it->second.empty()) shard.map.erase(it);
+  }
+}
+
+TermFreq LiveTermTable::GetMaxTotal(TermId term) const {
+  std::lock_guard<std::mutex> lock(max_mu_);
+  auto it = max_total_.find(term);
+  return it == max_total_.end() ? 0 : it->second;
+}
+
+std::unordered_map<TermId, TermFreq> LiveTermTable::MaterializeStream(
+    StreamId stream) const {
+  std::vector<TermId> terms;
+  {
+    const StreamShard& shard = StreamShardFor(stream);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.terms_of_stream.find(stream);
+    if (it != shard.terms_of_stream.end()) terms = it->second;
+  }
+  std::unordered_map<TermId, TermFreq> out;
+  out.reserve(terms.size());
+  for (const TermId term : terms) {
+    const TermFreq total = GetTotal(stream, term);
+    if (total > 0) out[term] = total;
+  }
+  return out;
+}
+
+std::size_t LiveTermTable::num_streams() const {
+  std::size_t total = 0;
+  for (const StreamShard& shard : stream_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.terms_of_stream.size();
+  }
+  return total;
+}
+
+std::size_t LiveTermTable::num_entries() const {
+  std::size_t total = 0;
+  for (const TermShard& shard : term_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [term, streams] : shard.map) total += streams.size();
+  }
+  return total;
+}
+
+std::size_t LiveTermTable::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const TermShard& shard : term_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes += shard.map.bucket_count() * sizeof(void*);
+    for (const auto& [term, streams] : shard.map) {
+      bytes += sizeof(term) + 2 * sizeof(void*) +
+               streams.bucket_count() * sizeof(void*) +
+               streams.size() *
+                   (sizeof(StreamId) + sizeof(TermFreq) + 2 * sizeof(void*));
+    }
+  }
+  for (const StreamShard& shard : stream_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes += shard.terms_of_stream.bucket_count() * sizeof(void*);
+    for (const auto& [stream, terms] : shard.terms_of_stream) {
+      bytes += sizeof(stream) + 2 * sizeof(void*) +
+               terms.capacity() * sizeof(TermId);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(max_mu_);
+    bytes += max_total_.bucket_count() * sizeof(void*) +
+             max_total_.size() *
+                 (sizeof(TermId) + sizeof(TermFreq) + 2 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace rtsi::index

@@ -1,0 +1,139 @@
+// RTSI's live-term hash table (Section IV-B).
+//
+// "We maintain another small hash table which keeps track of the existing
+// term frequency of a term" — the table is keyed by term: for each term
+// it holds the total accumulated frequency per tracked stream, so (a) the
+// *total* tf of a live stream is available in O(1) even though its
+// postings are scattered across multiple LSM components, and (b) a query
+// can enumerate exactly the tracked streams matching a term without
+// scanning the table. The table is small: it only covers streams that are
+// currently broadcasting (plus finished streams whose postings have not
+// yet been consolidated into a single component — see the invariant in
+// core/rtsi_index.h).
+
+#ifndef RTSI_INDEX_LIVE_TERM_TABLE_H_
+#define RTSI_INDEX_LIVE_TERM_TABLE_H_
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rtsi::index {
+
+class LiveTermTable {
+ public:
+  LiveTermTable() = default;
+
+  LiveTermTable(const LiveTermTable&) = delete;
+  LiveTermTable& operator=(const LiveTermTable&) = delete;
+
+  /// Accumulates `tf` for (stream, term); returns the new total.
+  TermFreq Add(StreamId stream, TermId term, TermFreq tf);
+
+  /// Batched window insertion. Returns the new total per term, aligned
+  /// with `terms` (0 for entries with tf == 0).
+  std::vector<TermFreq> AddWindow(StreamId stream,
+                                  const std::vector<TermCount>& terms);
+
+  /// Total accumulated tf, or 0 when the pair is not tracked.
+  TermFreq GetTotal(StreamId stream, TermId term) const;
+
+  /// True when the stream has any tracked terms.
+  bool ContainsStream(StreamId stream) const;
+
+  /// Drops all entries of a stream (broadcast finished and consolidated,
+  /// or stream deleted).
+  void RemoveStream(StreamId stream);
+
+  /// Monotone upper bound on the total tf of `term` over every stream
+  /// that is (or ever was) tracked. Used to keep query upper bounds valid
+  /// for streams whose postings span multiple components.
+  TermFreq GetMaxTotal(TermId term) const;
+
+  /// Calls fn(StreamId, TermFreq total) for every tracked stream
+  /// containing `term`, under the term's shard lock; `fn` must not
+  /// reenter the table. This is the query pre-scan: cost proportional to
+  /// the number of *matching* tracked streams.
+  template <typename Fn>
+  void ForEachStreamOfTerm(TermId term, Fn&& fn) const {
+    const TermShard& shard = TermShardFor(term);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(term);
+    if (it == shard.map.end()) return;
+    for (const auto& [stream, total] : it->second) {
+      fn(stream, total);
+    }
+  }
+
+  /// Calls fn(StreamId, const std::unordered_map<TermId, TermFreq>&) for
+  /// every tracked stream (test/diagnostic helper; materializes each
+  /// stream's term map).
+  template <typename Fn>
+  void ForEachStream(Fn&& fn) const {
+    for (const StreamShard& shard : stream_shards_) {
+      std::vector<StreamId> streams;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        streams.reserve(shard.terms_of_stream.size());
+        for (const auto& [stream, terms] : shard.terms_of_stream) {
+          streams.push_back(stream);
+        }
+      }
+      for (const StreamId stream : streams) {
+        fn(stream, MaterializeStream(stream));
+      }
+    }
+  }
+
+  /// Number of tracked streams.
+  std::size_t num_streams() const;
+
+  /// Number of tracked (stream, term) pairs.
+  std::size_t num_entries() const;
+
+  std::size_t MemoryBytes() const;
+
+ private:
+  static constexpr std::size_t kNumShards = 64;
+
+  // term -> (stream -> total tf). The primary structure.
+  struct TermShard {
+    mutable std::mutex mu;
+    std::unordered_map<TermId, std::unordered_map<StreamId, TermFreq>> map;
+  };
+  // stream -> its terms, for RemoveStream / ContainsStream.
+  struct StreamShard {
+    mutable std::mutex mu;
+    std::unordered_map<StreamId, std::vector<TermId>> terms_of_stream;
+  };
+
+  TermShard& TermShardFor(TermId term) {
+    return term_shards_[term % kNumShards];
+  }
+  const TermShard& TermShardFor(TermId term) const {
+    return term_shards_[term % kNumShards];
+  }
+  StreamShard& StreamShardFor(StreamId stream) {
+    return stream_shards_[stream % kNumShards];
+  }
+  const StreamShard& StreamShardFor(StreamId stream) const {
+    return stream_shards_[stream % kNumShards];
+  }
+
+  std::unordered_map<TermId, TermFreq> MaterializeStream(
+      StreamId stream) const;
+
+  void BumpMaxTotal(TermId term, TermFreq total);
+
+  TermShard term_shards_[kNumShards];
+  StreamShard stream_shards_[kNumShards];
+  mutable std::mutex max_mu_;
+  std::unordered_map<TermId, TermFreq> max_total_;
+};
+
+}  // namespace rtsi::index
+
+#endif  // RTSI_INDEX_LIVE_TERM_TABLE_H_

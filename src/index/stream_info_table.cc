@@ -1,0 +1,127 @@
+#include "index/stream_info_table.h"
+
+#include <algorithm>
+
+namespace rtsi::index {
+
+bool StreamInfoTable::OnInsert(StreamId stream, Timestamp frsh, bool live,
+                               std::uint64_t* pop_count) {
+  Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, created] = shard.map.try_emplace(stream);
+  (void)created;
+  StreamInfo& info = it->second;
+  const bool first_content = !info.content_seen;
+  info.content_seen = true;
+  info.frsh = std::max(info.frsh, frsh);
+  info.live = live;
+  if (pop_count != nullptr) *pop_count = info.pop_count;
+  return first_content;
+}
+
+void StreamInfoTable::IncrementComponentCount(StreamId stream) {
+  Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.map[stream].component_count;
+}
+
+std::pair<std::uint32_t, bool> StreamInfoTable::DecrementComponentCount(
+    StreamId stream) {
+  Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(stream);
+  if (it == shard.map.end()) return {0, false};
+  StreamInfo& info = it->second;
+  if (info.component_count > 0) --info.component_count;
+  return {info.component_count, info.live};
+}
+
+std::uint32_t StreamInfoTable::GetComponentCount(StreamId stream) const {
+  const Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(stream);
+  return it == shard.map.end() ? 0 : it->second.component_count;
+}
+
+bool StreamInfoTable::IsLive(StreamId stream) const {
+  const Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(stream);
+  return it != shard.map.end() && it->second.live && !it->second.deleted;
+}
+
+std::uint64_t StreamInfoTable::AddPopularity(StreamId stream,
+                                             std::uint64_t delta) {
+  std::uint64_t count;
+  {
+    Shard& shard = ShardFor(stream);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    StreamInfo& info = shard.map[stream];
+    info.pop_count += delta;
+    count = info.pop_count;
+  }
+  BumpMaxPop(count);
+  return count;
+}
+
+void StreamInfoTable::MarkFinished(StreamId stream) {
+  Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(stream);
+  if (it != shard.map.end()) it->second.live = false;
+}
+
+void StreamInfoTable::MarkDeleted(StreamId stream) {
+  Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  StreamInfo& info = shard.map[stream];
+  info.deleted = true;
+  info.live = false;
+}
+
+bool StreamInfoTable::Get(StreamId stream, StreamInfo& info) const {
+  const Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(stream);
+  if (it == shard.map.end() || it->second.deleted) return false;
+  info = it->second;
+  return true;
+}
+
+bool StreamInfoTable::IsDeleted(StreamId stream) const {
+  const Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(stream);
+  return it != shard.map.end() && it->second.deleted;
+}
+
+void StreamInfoTable::RestoreEntry(StreamId stream, const StreamInfo& info) {
+  {
+    Shard& shard = ShardFor(stream);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[stream] = info;
+  }
+  BumpMaxPop(info.pop_count);
+}
+
+std::size_t StreamInfoTable::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::size_t StreamInfoTable::MemoryBytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes += shard.map.bucket_count() * sizeof(void*) +
+             shard.map.size() *
+                 (sizeof(StreamId) + sizeof(StreamInfo) + 2 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace rtsi::index

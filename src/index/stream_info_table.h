@@ -1,0 +1,133 @@
+// RTSI's small per-stream hash table (Section IV-B).
+//
+// Keyed by StreamId only — |P| entries, independent of the number of terms
+// — holding the mutable score ingredients: the popularity counter and the
+// freshness timestamp, plus liveness and lazy-deletion flags. Sharded
+// mutexes allow concurrent updates with queries. Contrast with LSII's big
+// table (baseline/big_table.h) which additionally stores every (stream,
+// term) frequency.
+
+#ifndef RTSI_INDEX_STREAM_INFO_TABLE_H_
+#define RTSI_INDEX_STREAM_INFO_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/types.h"
+
+namespace rtsi::index {
+
+struct StreamInfo {
+  std::uint64_t pop_count = 0;  // Play counter / likes (raw popularity).
+  Timestamp frsh = 0;           // Timestamp of the latest content window.
+  std::uint32_t component_count = 0;  // LSM components holding postings.
+  bool content_seen = false;    // At least one window was indexed
+                                // (distinguishes real documents from
+                                // metadata-only entries created by early
+                                // popularity updates).
+  bool live = false;            // Still broadcasting?
+  bool deleted = false;         // Lazy deletion tombstone.
+};
+
+class StreamInfoTable {
+ public:
+  StreamInfoTable() = default;
+
+  StreamInfoTable(const StreamInfoTable&) = delete;
+  StreamInfoTable& operator=(const StreamInfoTable&) = delete;
+
+  /// Called on every window insertion: creates or refreshes the entry.
+  /// Returns true on the stream's first *content* window (popularity
+  /// updates may have created the entry earlier without content). If
+  /// `pop_count` is non-null, receives the current popularity counter
+  /// (the insertion snapshot) without a second lookup.
+  bool OnInsert(StreamId stream, Timestamp frsh, bool live,
+                std::uint64_t* pop_count = nullptr);
+
+  /// Increments the number of LSM components holding the stream's
+  /// postings (first posting in a fresh L0 epoch).
+  void IncrementComponentCount(StreamId stream);
+
+  /// Decrements the component count after a merge consolidated two of the
+  /// stream's component residencies. Returns the new count and whether the
+  /// stream is still live.
+  std::pair<std::uint32_t, bool> DecrementComponentCount(StreamId stream);
+
+  /// Current component count (0 for unknown streams).
+  std::uint32_t GetComponentCount(StreamId stream) const;
+
+  bool IsLive(StreamId stream) const;
+
+  /// Popularity update (e.g. play counter increment). Creates the entry if
+  /// needed. Returns the new counter.
+  std::uint64_t AddPopularity(StreamId stream, std::uint64_t delta);
+
+  /// Marks the broadcast finished (stream stays queryable).
+  void MarkFinished(StreamId stream);
+
+  /// Lazy deletion: tombstones the stream; postings are purged at merges.
+  void MarkDeleted(StreamId stream);
+
+  /// Copies the entry into `info`. Returns false when the stream is
+  /// unknown or deleted.
+  bool Get(StreamId stream, StreamInfo& info) const;
+
+  bool IsDeleted(StreamId stream) const;
+
+  /// Largest popularity counter ever observed (safe upper bound even after
+  /// in-place popularity updates that stale the sorted lists).
+  std::uint64_t max_pop_count() const {
+    return max_pop_count_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t size() const;
+  std::size_t MemoryBytes() const;
+
+  /// Calls fn(StreamId, const StreamInfo&) for every entry (including
+  /// tombstones), one shard lock at a time. Snapshot save path.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [stream, info] : shard.map) {
+        fn(stream, info);
+      }
+    }
+  }
+
+  /// Installs a raw entry (snapshot restore path); refreshes the global
+  /// popularity maximum.
+  void RestoreEntry(StreamId stream, const StreamInfo& info);
+
+ private:
+  static constexpr std::size_t kNumShards = 64;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<StreamId, StreamInfo> map;
+  };
+
+  Shard& ShardFor(StreamId stream) {
+    return shards_[stream % kNumShards];
+  }
+  const Shard& ShardFor(StreamId stream) const {
+    return shards_[stream % kNumShards];
+  }
+
+  void BumpMaxPop(std::uint64_t count) {
+    std::uint64_t prev = max_pop_count_.load(std::memory_order_relaxed);
+    while (count > prev && !max_pop_count_.compare_exchange_weak(
+                               prev, count, std::memory_order_relaxed)) {
+    }
+  }
+
+  Shard shards_[kNumShards];
+  std::atomic<std::uint64_t> max_pop_count_{0};
+};
+
+}  // namespace rtsi::index
+
+#endif  // RTSI_INDEX_STREAM_INFO_TABLE_H_

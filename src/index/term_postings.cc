@@ -1,0 +1,110 @@
+#include "index/term_postings.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace rtsi::index {
+
+void TermPostings::Append(const Posting& posting) {
+  assert(!sealed_ && "cannot append to a sealed posting list");
+  entries_.push_back(posting);
+  max_pop_ = std::max(max_pop_, posting.pop);
+  max_frsh_ = std::max(max_frsh_, posting.frsh);
+  max_tf_ = std::max(max_tf_, posting.tf);
+}
+
+void TermPostings::Seal() {
+  if (sealed_) return;
+  by_pop_.resize(entries_.size());
+  by_tf_.resize(entries_.size());
+  by_stream_.resize(entries_.size());
+  std::iota(by_pop_.begin(), by_pop_.end(), 0);
+  std::iota(by_tf_.begin(), by_tf_.end(), 0);
+  std::iota(by_stream_.begin(), by_stream_.end(), 0);
+  std::sort(by_stream_.begin(), by_stream_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return entries_[a].stream < entries_[b].stream;
+            });
+  std::stable_sort(by_pop_.begin(), by_pop_.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return entries_[a].pop > entries_[b].pop;
+                   });
+  std::stable_sort(by_tf_.begin(), by_tf_.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return entries_[a].tf > entries_[b].tf;
+                   });
+  sealed_ = true;
+}
+
+const Posting& TermPostings::At(SortKey key, std::size_t i) const {
+  switch (key) {
+    case SortKey::kFreshness:
+      // Arrival order is ascending frsh; descending = reverse.
+      return entries_[entries_.size() - 1 - i];
+    case SortKey::kPopularity:
+      assert(sealed_);
+      return entries_[by_pop_[i]];
+    case SortKey::kTermFrequency:
+      assert(sealed_);
+      return entries_[by_tf_[i]];
+  }
+  return entries_[i];  // Unreachable.
+}
+
+bool TermPostings::AggregateForStream(StreamId stream, Posting& out) const {
+  assert(sealed_);
+  // Binary search for the first occurrence in the by-stream permutation.
+  std::size_t lo = 0;
+  std::size_t hi = by_stream_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (entries_[by_stream_[mid]].stream < stream) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= by_stream_.size() || entries_[by_stream_[lo]].stream != stream) {
+    return false;
+  }
+  out = entries_[by_stream_[lo]];
+  for (std::size_t i = lo + 1; i < by_stream_.size(); ++i) {
+    const Posting& p = entries_[by_stream_[i]];
+    if (p.stream != stream) break;
+    out.tf += p.tf;
+    out.frsh = std::max(out.frsh, p.frsh);
+    out.pop = std::max(out.pop, p.pop);
+  }
+  return true;
+}
+
+std::size_t TermPostings::MemoryBytes() const {
+  return entries_.capacity() * sizeof(Posting) +
+         by_pop_.capacity() * sizeof(std::uint32_t) +
+         by_tf_.capacity() * sizeof(std::uint32_t) +
+         by_stream_.capacity() * sizeof(std::uint32_t) + sizeof(*this);
+}
+
+bool TermPostings::IsSorted(SortKey key) const {
+  if (entries_.size() <= 1) return true;
+  if (key != SortKey::kFreshness && !sealed_) return false;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Posting& prev = At(key, i - 1);
+    const Posting& cur = At(key, i);
+    switch (key) {
+      case SortKey::kPopularity:
+        if (prev.pop < cur.pop) return false;
+        break;
+      case SortKey::kFreshness:
+        if (prev.frsh < cur.frsh) return false;
+        break;
+      case SortKey::kTermFrequency:
+        if (prev.tf < cur.tf) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace rtsi::index

@@ -1,0 +1,80 @@
+// Per-term postings with the RTSI "three sorted inverted lists".
+//
+// Mutable state (inside I0) is a single append-only array: appends arrive
+// in timestamp order, so the freshness-descending list is simply the array
+// reversed, and running maxima keep upper bounds available in O(1).
+// Seal() materializes the popularity- and term-frequency-descending
+// permutations, turning the object into the immutable three-list form the
+// paper draws in Figure 3. (Algorithm 2 lines 6-7: lists that are not yet
+// sorted are sorted during a merge.)
+
+#ifndef RTSI_INDEX_TERM_POSTINGS_H_
+#define RTSI_INDEX_TERM_POSTINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/posting.h"
+
+namespace rtsi::index {
+
+class TermPostings {
+ public:
+  TermPostings() = default;
+
+  // Movable, not copyable (these live inside index maps).
+  TermPostings(TermPostings&&) = default;
+  TermPostings& operator=(TermPostings&&) = default;
+  TermPostings(const TermPostings&) = delete;
+  TermPostings& operator=(const TermPostings&) = delete;
+
+  /// Appends a posting. Only valid while unsealed. Postings must arrive in
+  /// non-decreasing `frsh` order (the live-stream arrival order).
+  void Append(const Posting& posting);
+
+  /// Builds the popularity and term-frequency sorted permutations and
+  /// freezes the object. Idempotent.
+  void Seal();
+
+  bool sealed() const { return sealed_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  const std::vector<Posting>& entries() const { return entries_; }
+
+  /// The i-th posting of the list sorted descending by `key`
+  /// (i in [0, size())). Requires sealed() for kPopularity and
+  /// kTermFrequency; kFreshness works in both states.
+  const Posting& At(SortKey key, std::size_t i) const;
+
+  /// Aggregated posting of `stream` within this list: duplicates (multiple
+  /// windows of the same stream, possible in frozen-but-unmerged L0 data)
+  /// are folded by summing tf and taking the newest frsh / largest pop.
+  /// Requires sealed(). Returns false when the stream is absent.
+  bool AggregateForStream(StreamId stream, Posting& out) const;
+
+  /// Upper bounds over all postings of this term (valid in both states).
+  float max_pop() const { return max_pop_; }
+  Timestamp max_frsh() const { return max_frsh_; }
+  TermFreq max_tf() const { return max_tf_; }
+
+  /// Heap bytes held by this object (entries + permutations).
+  std::size_t MemoryBytes() const;
+
+  /// Testing/merge helper: true when the `key` view is sorted descending.
+  bool IsSorted(SortKey key) const;
+
+ private:
+  std::vector<Posting> entries_;      // Ascending frsh (arrival) order.
+  std::vector<std::uint32_t> by_pop_;  // Permutations, descending; sealed.
+  std::vector<std::uint32_t> by_tf_;
+  std::vector<std::uint32_t> by_stream_;  // Ascending stream id; sealed.
+  bool sealed_ = false;
+  float max_pop_ = 0.0f;
+  Timestamp max_frsh_ = 0;
+  TermFreq max_tf_ = 0;
+};
+
+}  // namespace rtsi::index
+
+#endif  // RTSI_INDEX_TERM_POSTINGS_H_

@@ -1,0 +1,246 @@
+#include "lsm/lsm_tree.h"
+
+#include <algorithm>
+
+namespace rtsi::lsm {
+
+using index::InvertedIndex;
+using index::Posting;
+using index::TermBounds;
+
+LsmTree::LsmTree(const Config& config) : config_(config) {
+  const std::size_t num_shards = std::max<std::size_t>(config.num_l0_shards, 1);
+  l0_shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    l0_shards_.push_back(std::make_unique<L0Shard>());
+  }
+  stream_seen_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    stream_seen_.push_back(std::make_unique<StreamSeenShard>());
+  }
+}
+
+void LsmTree::AddPosting(TermId term, const Posting& posting) {
+  L0Shard& shard = *l0_shards_[term % l0_shards_.size()];
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.index.Add(term, posting);
+  }
+  l0_postings_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool LsmTree::MarkStreamInL0(StreamId stream) {
+  StreamSeenShard& shard = *stream_seen_[stream % stream_seen_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.seen.insert(stream).second;
+}
+
+bool LsmTree::StreamInL0(StreamId stream) const {
+  StreamSeenShard& shard = *stream_seen_[stream % stream_seen_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.seen.count(stream) > 0;
+}
+
+TermBounds LsmTree::L0Bounds(TermId term) const {
+  const L0Shard& shard = *l0_shards_[term % l0_shards_.size()];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.index.Bounds(term);
+}
+
+std::vector<std::shared_ptr<const InvertedIndex>> LsmTree::SealedSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(components_mu_);
+  std::vector<std::shared_ptr<const InvertedIndex>> snapshot;
+  snapshot.reserve(levels_.size() + mirrors_.size());
+  for (const auto& level : levels_) {
+    if (level != nullptr) snapshot.push_back(level);
+  }
+  for (auto& mirror : mirrors_.GetAll()) {
+    snapshot.push_back(std::move(mirror));
+  }
+  return snapshot;
+}
+
+std::shared_ptr<InvertedIndex> LsmTree::FreezeL0() {
+  // Take every shard lock in a fixed order, then drain.
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(l0_shards_.size());
+  for (auto& shard : l0_shards_) {
+    locks.emplace_back(shard->mu);
+  }
+  auto frozen = std::make_shared<InvertedIndex>(0);
+  for (auto& shard : l0_shards_) {
+    for (auto& [term, postings] : shard->index.TakeTerms()) {
+      frozen->Put(term, std::move(postings));
+    }
+  }
+  frozen->SealAll();
+  for (auto& seen_shard : stream_seen_) {
+    std::lock_guard<std::mutex> lock(seen_shard->mu);
+    seen_shard->seen.clear();
+  }
+  l0_postings_.store(0, std::memory_order_relaxed);
+  {
+    // Make the frozen component query-visible before the shard locks drop.
+    std::lock_guard<std::mutex> lock(components_mu_);
+    mirrors_.Register(frozen);
+  }
+  return frozen;
+}
+
+void LsmTree::MergeCascade(const MergeHooks& hooks) {
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  if (!NeedsMerge()) return;
+
+  MergeStats stats;
+  std::shared_ptr<const InvertedIndex> cur = FreezeL0();
+  if (cur->empty()) {
+    std::lock_guard<std::mutex> lock(components_mu_);
+    mirrors_.Unregister(cur.get());
+    return;
+  }
+
+  if (config_.policy == MergePolicy::kFullCompaction) {
+    // Fold the frozen component and every level into one component.
+    while (true) {
+      std::shared_ptr<const InvertedIndex> existing;
+      std::size_t slot = 0;
+      {
+        std::lock_guard<std::mutex> lock(components_mu_);
+        for (; slot < levels_.size(); ++slot) {
+          if (levels_[slot] != nullptr) {
+            existing = levels_[slot];
+            mirrors_.Register(existing);
+            levels_[slot] = nullptr;
+            break;
+          }
+        }
+      }
+      const auto merged =
+          CombineComponents(*cur, existing.get(), 1, config_.compress,
+                            hooks, &stats);
+      {
+        std::lock_guard<std::mutex> lock(components_mu_);
+        mirrors_.Unregister(cur.get());
+        if (existing != nullptr) mirrors_.Unregister(existing.get());
+        if (existing == nullptr) {
+          // Nothing left to fold: install as the single component.
+          if (levels_.empty()) levels_.resize(1);
+          levels_[0] = merged;
+        } else {
+          mirrors_.Register(merged);
+        }
+      }
+      if (existing == nullptr) break;
+      cur = merged;
+    }
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    merge_stats_.merges += stats.merges;
+    merge_stats_.postings_in += stats.postings_in;
+    merge_stats_.postings_out += stats.postings_out;
+    merge_stats_.purged_postings += stats.purged_postings;
+    merge_stats_.consolidated_postings += stats.consolidated_postings;
+    merge_stats_.total_micros += stats.total_micros;
+    return;
+  }
+
+  std::size_t level_index = 0;
+  double capacity = config_.delta * config_.rho;
+  while (true) {
+    // Detach the resident component of this level (if any), keeping it
+    // query-visible through the mirror set.
+    std::shared_ptr<const InvertedIndex> existing;
+    {
+      std::lock_guard<std::mutex> lock(components_mu_);
+      if (levels_.size() <= level_index) levels_.resize(level_index + 1);
+      existing = levels_[level_index];
+      if (existing != nullptr) {
+        mirrors_.Register(existing);
+        levels_[level_index] = nullptr;
+      }
+    }
+
+    const std::shared_ptr<const InvertedIndex> merged = CombineComponents(
+        *cur, existing.get(), static_cast<int>(level_index) + 1,
+        config_.compress, hooks, &stats);
+
+    const bool over_capacity = merged->num_postings() > capacity;
+    {
+      std::lock_guard<std::mutex> lock(components_mu_);
+      mirrors_.Unregister(cur.get());
+      if (existing != nullptr) mirrors_.Unregister(existing.get());
+      if (over_capacity) {
+        // Keep pushing down; stay visible as a mirror meanwhile.
+        mirrors_.Register(merged);
+      } else {
+        levels_[level_index] = merged;
+      }
+    }
+    if (!over_capacity) break;
+    cur = merged;
+    ++level_index;
+    capacity *= config_.rho;
+  }
+
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  merge_stats_.merges += stats.merges;
+  merge_stats_.postings_in += stats.postings_in;
+  merge_stats_.postings_out += stats.postings_out;
+  merge_stats_.purged_postings += stats.purged_postings;
+  merge_stats_.consolidated_postings += stats.consolidated_postings;
+  merge_stats_.total_micros += stats.total_micros;
+}
+
+Status LsmTree::RestoreSealedComponent(
+    std::shared_ptr<const index::InvertedIndex> component) {
+  if (component == nullptr || component->level() < 1) {
+    return Status::InvalidArgument("restored component must have level >= 1");
+  }
+  const auto slot = static_cast<std::size_t>(component->level()) - 1;
+  std::lock_guard<std::mutex> lock(components_mu_);
+  if (levels_.size() <= slot) levels_.resize(slot + 1);
+  if (levels_[slot] != nullptr) {
+    return Status::AlreadyExists("level slot occupied");
+  }
+  levels_[slot] = std::move(component);
+  return Status::Ok();
+}
+
+std::size_t LsmTree::total_postings() const {
+  std::size_t total = l0_postings();
+  std::lock_guard<std::mutex> lock(components_mu_);
+  for (const auto& level : levels_) {
+    if (level != nullptr) total += level->num_postings();
+  }
+  return total;
+}
+
+std::size_t LsmTree::num_levels() const {
+  std::lock_guard<std::mutex> lock(components_mu_);
+  std::size_t count = 0;
+  for (const auto& level : levels_) {
+    if (level != nullptr) ++count;
+  }
+  return count;
+}
+
+std::size_t LsmTree::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& shard : l0_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    bytes += shard->index.MemoryBytes();
+  }
+  std::lock_guard<std::mutex> lock(components_mu_);
+  for (const auto& level : levels_) {
+    if (level != nullptr) bytes += level->MemoryBytes();
+  }
+  bytes += mirrors_.MemoryBytes();
+  return bytes;
+}
+
+MergeStats LsmTree::GetMergeStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return merge_stats_;
+}
+
+}  // namespace rtsi::lsm

@@ -1,0 +1,147 @@
+// The LSM-tree of inverted indices (Figure 2).
+//
+// Level 0 is mutable and sharded by term: insertions lock only the term's
+// shard (the paper's "partially locking the inverted index"), queries take
+// the shard's shared lock for the duration of one term scan. Levels >= 1
+// are immutable components produced by merges. A merge registers its
+// inputs in the MirrorSet before detaching them from the level array, so
+// concurrent queries always observe a complete posting set.
+//
+// The merge cascade follows Algorithm 1: when |I0| exceeds delta, I0 is
+// frozen and merged into I1; while level i exceeds delta * rho^i the merge
+// continues downward.
+
+#ifndef RTSI_LSM_LSM_TREE_H_
+#define RTSI_LSM_LSM_TREE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "index/inverted_index.h"
+#include "lsm/merge.h"
+#include "lsm/mirror_set.h"
+
+namespace rtsi::lsm {
+
+/// How freezes of I0 are folded into the sealed levels.
+enum class MergePolicy {
+  /// The paper's Algorithm 1: level i overflows into level i+1 when it
+  /// exceeds delta * rho^i. Amortized O(log) rewrites per posting.
+  kGeometric,
+  /// Ablation baseline: every freeze merges *everything* into a single
+  /// component. Cheapest possible queries, O(n) rewrite per freeze.
+  kFullCompaction,
+};
+
+class LsmTree {
+ public:
+  struct Config {
+    std::size_t delta = 64 * 1024;  // I0 capacity, in postings.
+    double rho = 4.0;               // Size ratio between adjacent levels.
+    bool compress = false;          // Huffman-compress merged components.
+    std::size_t num_l0_shards = 16;
+    MergePolicy policy = MergePolicy::kGeometric;
+  };
+
+  explicit LsmTree(const Config& config);
+
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
+
+  /// Appends one posting to the term's level-0 list. Thread-safe.
+  void AddPosting(TermId term, const index::Posting& posting);
+
+  /// Records that `stream` has postings in the current L0 epoch; returns
+  /// true on the first call for this stream since the last freeze (the
+  /// caller uses this to maintain per-stream component counts).
+  bool MarkStreamInL0(StreamId stream);
+
+  /// True when `stream` has postings in the current L0 epoch.
+  bool StreamInL0(StreamId stream) const;
+
+  bool NeedsMerge() const {
+    return l0_postings_.load(std::memory_order_relaxed) > config_.delta;
+  }
+
+  /// Runs the merge cascade if I0 is over capacity. Safe to call from any
+  /// thread; merges are serialized. Queries proceed concurrently.
+  void MergeCascade(const MergeHooks& hooks);
+
+  /// Runs `fn(const index::TermPostings*)` for the term's L0 postings
+  /// (nullptr when absent) under the shard's shared lock.
+  template <typename Fn>
+  void WithL0Term(TermId term, Fn&& fn) const {
+    const L0Shard& shard = *l0_shards_[term % l0_shards_.size()];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    fn(shard.index.GetPlain(term));
+  }
+
+  /// Upper bounds of `term` inside L0.
+  index::TermBounds L0Bounds(TermId term) const;
+
+  /// Runs fn(TermId, const index::TermPostings&) for every L0 term, one
+  /// shard at a time under its shared lock (snapshot save path).
+  template <typename Fn>
+  void ForEachL0Term(Fn&& fn) const {
+    for (const auto& shard : l0_shards_) {
+      std::shared_lock<std::shared_mutex> lock(shard->mu);
+      shard->index.ForEachTerm(fn);
+    }
+  }
+
+  /// Installs a sealed component at the level slot implied by its level()
+  /// (snapshot restore path). Fails if the slot is occupied.
+  Status RestoreSealedComponent(
+      std::shared_ptr<const index::InvertedIndex> component);
+
+  /// Immutable components currently visible to queries: non-null levels
+  /// plus any merge mirrors. Never contains duplicates.
+  std::vector<std::shared_ptr<const index::InvertedIndex>> SealedSnapshot()
+      const;
+
+  std::size_t l0_postings() const {
+    return l0_postings_.load(std::memory_order_relaxed);
+  }
+  std::size_t total_postings() const;
+  std::size_t num_levels() const;
+  std::size_t MemoryBytes() const;
+  MergeStats GetMergeStats() const;
+  const MirrorSet& mirrors() const { return mirrors_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct L0Shard {
+    mutable std::shared_mutex mu;
+    index::InvertedIndex index{0};
+  };
+
+  struct StreamSeenShard {
+    std::mutex mu;
+    std::unordered_set<StreamId> seen;
+  };
+
+  /// Freezes L0 into a sealed component registered in the mirror set.
+  std::shared_ptr<index::InvertedIndex> FreezeL0();
+
+  Config config_;
+  std::vector<std::unique_ptr<L0Shard>> l0_shards_;
+  std::vector<std::unique_ptr<StreamSeenShard>> stream_seen_;
+  std::atomic<std::size_t> l0_postings_{0};
+
+  mutable std::mutex components_mu_;  // Guards levels_ and mirror swaps.
+  std::vector<std::shared_ptr<const index::InvertedIndex>> levels_;
+  MirrorSet mirrors_;
+
+  std::mutex merge_mu_;  // At most one merge cascade at a time.
+  mutable std::mutex stats_mu_;
+  MergeStats merge_stats_;
+};
+
+}  // namespace rtsi::lsm
+
+#endif  // RTSI_LSM_LSM_TREE_H_

@@ -1,0 +1,160 @@
+#include "lsm/merge.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/latency_stats.h"
+
+namespace rtsi::lsm {
+namespace {
+
+using index::InvertedIndex;
+using index::Posting;
+using index::TermPostings;
+
+// Folds `entries` of one term from one or both inputs into consolidated
+// per-stream postings. Deletion is resolved per consolidated stream by
+// the caller (one predicate call per stream, not per posting).
+void Accumulate(const TermPostings& postings,
+                std::unordered_map<StreamId, Posting>& consolidated,
+                MergeStats* stats) {
+  for (const Posting& p : postings.entries()) {
+    auto [it, inserted] = consolidated.emplace(p.stream, p);
+    if (!inserted) {
+      Posting& merged = it->second;
+      merged.tf += p.tf;
+      merged.frsh = std::max(merged.frsh, p.frsh);
+      merged.pop = std::max(merged.pop, p.pop);
+      if (stats != nullptr) ++stats->consolidated_postings;
+    }
+  }
+}
+
+// Memoizes the lazy-deletion predicate: one call per distinct stream per
+// merge, no matter how many terms the stream spans. Fires `on_purged` on
+// the first deleted verdict for a stream.
+class DeletionCache {
+ public:
+  DeletionCache(const std::function<bool(StreamId)>& is_deleted,
+                const std::function<void(StreamId)>& on_purged)
+      : is_deleted_(is_deleted), on_purged_(on_purged) {}
+
+  bool operator()(StreamId stream) {
+    if (!is_deleted_) return false;
+    auto it = verdicts_.find(stream);
+    if (it != verdicts_.end()) return it->second;
+    const bool deleted = is_deleted_(stream);
+    verdicts_.emplace(stream, deleted);
+    if (deleted && on_purged_) on_purged_(stream);
+    return deleted;
+  }
+
+ private:
+  const std::function<bool(StreamId)>& is_deleted_;
+  const std::function<void(StreamId)>& on_purged_;
+  std::unordered_map<StreamId, bool> verdicts_;
+};
+
+}  // namespace
+
+std::shared_ptr<InvertedIndex> CombineComponents(
+    const InvertedIndex& a, const InvertedIndex* b, int out_level,
+    bool compress, const MergeHooks& hooks, MergeStats* stats) {
+  Stopwatch watch;
+  auto merged = std::make_shared<InvertedIndex>(out_level);
+
+  std::unordered_set<StreamId> streams_a;
+  std::unordered_set<StreamId> streams_b;
+  std::unordered_set<TermId> terms_a;
+  DeletionCache deleted(hooks.is_deleted, hooks.on_purged);
+  const bool track_streams = static_cast<bool>(hooks.on_stream);
+
+  auto emit = [&](TermId term,
+                  std::unordered_map<StreamId, Posting>& consolidated) {
+    std::vector<Posting> ordered;
+    ordered.reserve(consolidated.size());
+    for (const auto& [stream, posting] : consolidated) {
+      if (deleted(stream)) {
+        if (stats != nullptr) ++stats->purged_postings;
+        continue;
+      }
+      ordered.push_back(posting);
+    }
+    if (ordered.empty()) return;
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Posting& x, const Posting& y) {
+                return x.frsh < y.frsh;  // Append order: ascending frsh.
+              });
+    TermPostings out;
+    for (const Posting& p : ordered) out.Append(p);
+    out.Seal();
+    if (stats != nullptr) stats->postings_out += out.size();
+    merged->Put(term, std::move(out));
+  };
+
+  // Pass 1: every term of `a`, combined with `b`'s postings if present.
+  a.ForEachTerm([&](TermId term, const TermPostings& postings_a) {
+    terms_a.insert(term);
+    std::unordered_map<StreamId, Posting> consolidated;
+    if (track_streams) {
+      for (const Posting& p : postings_a.entries()) {
+        streams_a.insert(p.stream);
+      }
+    }
+    Accumulate(postings_a, consolidated, stats);
+    if (stats != nullptr) stats->postings_in += postings_a.size();
+
+    if (b != nullptr) {
+      const index::TermPostingsView view_b = b->View(term);
+      if (view_b) {
+        if (track_streams) {
+          for (const Posting& p : view_b->entries()) {
+            streams_b.insert(p.stream);
+          }
+        }
+        Accumulate(*view_b, consolidated, stats);
+        if (stats != nullptr) stats->postings_in += view_b->size();
+      }
+    }
+    emit(term, consolidated);
+  });
+
+  // Pass 2: terms only present in `b`.
+  if (b != nullptr) {
+    b->ForEachTerm([&](TermId term, const TermPostings& postings_b) {
+      if (terms_a.count(term) > 0) return;
+      std::unordered_map<StreamId, Posting> consolidated;
+      if (track_streams) {
+        for (const Posting& p : postings_b.entries()) {
+          streams_b.insert(p.stream);
+        }
+      }
+      Accumulate(postings_b, consolidated, stats);
+      if (stats != nullptr) stats->postings_in += postings_b.size();
+      emit(term, consolidated);
+    });
+  }
+
+  // Stream-level bookkeeping for the owner (component counts, live table).
+  if (track_streams) {
+    for (const StreamId stream : streams_a) {
+      if (deleted(stream)) continue;  // on_purged already fired.
+      hooks.on_stream(stream, streams_b.count(stream) > 0);
+    }
+    for (const StreamId stream : streams_b) {
+      if (streams_a.count(stream) > 0 || deleted(stream)) continue;
+      hooks.on_stream(stream, /*in_both=*/false);
+    }
+  }
+
+  if (compress) merged->CompressAll();
+  if (stats != nullptr) {
+    ++stats->merges;
+    stats->total_micros += watch.ElapsedMicros();
+  }
+  return merged;
+}
+
+}  // namespace rtsi::lsm

@@ -1,0 +1,55 @@
+// Component merging (Algorithm 2's CombineLists + lazy deletion).
+//
+// Merging consolidates duplicate postings: a live stream inserts one
+// posting per 60-second window, so the same (term, stream) pair appears
+// many times across (and within) components; the merged component keeps a
+// single posting with the summed term frequency, the newest freshness and
+// the largest popularity snapshot. Postings of deleted streams are purged
+// here (lazy deletion). Hooks let the owning index maintain per-stream
+// component counts and the live-term table.
+
+#ifndef RTSI_LSM_MERGE_H_
+#define RTSI_LSM_MERGE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "index/inverted_index.h"
+
+namespace rtsi::lsm {
+
+struct MergeHooks {
+  /// Lazy deletion predicate; postings of deleted streams are dropped.
+  /// Consulted once per distinct stream per merge (memoized).
+  std::function<bool(StreamId)> is_deleted;
+
+  /// Called once per stream whose postings were purged by this merge.
+  std::function<void(StreamId stream)> on_purged;
+
+  /// Called once per distinct surviving stream seen during the merge.
+  /// `in_both`: the stream had postings in both inputs (its residency
+  /// count dropped by one). Leave unset to skip stream tracking entirely
+  /// (the tracking itself costs one hash-set insert per posting).
+  std::function<void(StreamId stream, bool in_both)> on_stream;
+};
+
+struct MergeStats {
+  std::size_t merges = 0;
+  std::size_t postings_in = 0;
+  std::size_t postings_out = 0;
+  std::size_t purged_postings = 0;
+  std::size_t consolidated_postings = 0;  // Duplicates folded together.
+  double total_micros = 0.0;
+};
+
+/// Combines `a` and (optionally) `b` into a new sealed component at
+/// `out_level`, compressing it when `compress` is set. `b` may be null.
+std::shared_ptr<index::InvertedIndex> CombineComponents(
+    const index::InvertedIndex& a, const index::InvertedIndex* b,
+    int out_level, bool compress, const MergeHooks& hooks,
+    MergeStats* stats);
+
+}  // namespace rtsi::lsm
+
+#endif  // RTSI_LSM_MERGE_H_

@@ -1,0 +1,39 @@
+#include "lsm/mirror_set.h"
+
+#include <algorithm>
+
+namespace rtsi::lsm {
+
+void MirrorSet::Register(
+    std::shared_ptr<const index::InvertedIndex> mirror) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mirrors_.push_back(std::move(mirror));
+}
+
+void MirrorSet::Unregister(const index::InvertedIndex* mirror) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mirrors_.erase(
+      std::remove_if(mirrors_.begin(), mirrors_.end(),
+                     [mirror](const auto& m) { return m.get() == mirror; }),
+      mirrors_.end());
+}
+
+std::vector<std::shared_ptr<const index::InvertedIndex>> MirrorSet::GetAll()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mirrors_;
+}
+
+std::size_t MirrorSet::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return mirrors_.size();
+}
+
+std::size_t MirrorSet::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t bytes = 0;
+  for (const auto& mirror : mirrors_) bytes += mirror->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace rtsi::lsm

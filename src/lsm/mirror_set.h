@@ -1,0 +1,48 @@
+// The mirror set of Algorithm 2.
+//
+// While two components are being merged, immutable references to the
+// pre-merge components are registered here so concurrent queries keep
+// seeing every posting; when the merged component is swapped into the
+// LSM-tree the mirrors are dropped. Registration and the component-list
+// swap are serialized by the LSM-tree, so a snapshot always observes a
+// complete posting set.
+
+#ifndef RTSI_LSM_MIRROR_SET_H_
+#define RTSI_LSM_MIRROR_SET_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace rtsi::lsm {
+
+class MirrorSet {
+ public:
+  MirrorSet() = default;
+
+  MirrorSet(const MirrorSet&) = delete;
+  MirrorSet& operator=(const MirrorSet&) = delete;
+
+  void Register(std::shared_ptr<const index::InvertedIndex> mirror);
+
+  /// Removes the mirror identified by pointer; no-op if absent.
+  void Unregister(const index::InvertedIndex* mirror);
+
+  /// All currently registered mirrors.
+  std::vector<std::shared_ptr<const index::InvertedIndex>> GetAll() const;
+
+  std::size_t size() const;
+
+  /// Extra bytes currently pinned by mirrors.
+  std::size_t MemoryBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const index::InvertedIndex>> mirrors_;
+};
+
+}  // namespace rtsi::lsm
+
+#endif  // RTSI_LSM_MIRROR_SET_H_

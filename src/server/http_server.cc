@@ -1,0 +1,219 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace rtsi::server {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string UrlDecode(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size()) {
+      const int hi = HexValue(in[i + 1]);
+      const int lo = HexValue(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(in[i]);
+      }
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& path, HttpHandler handler) {
+  routes_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind() failed for port " +
+                            std::to_string(port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) return;
+      continue;
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // Read until the end of the headers (requests are small GETs).
+  std::string raw;
+  char buf[4096];
+  while (raw.find("\r\n\r\n") == std::string::npos &&
+         raw.size() < 64 * 1024) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  HttpRequest request;
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) {
+    response = {400, "text/plain", "bad request\n"};
+  } else {
+    // "METHOD /path?query HTTP/1.x"
+    const std::string line = raw.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      response = {400, "text/plain", "bad request line\n"};
+    } else {
+      request.method = line.substr(0, sp1);
+      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::size_t question = target.find('?');
+      if (question != std::string::npos) {
+        std::string query_string = target.substr(question + 1);
+        target.resize(question);
+        std::size_t pos = 0;
+        while (pos < query_string.size()) {
+          std::size_t amp = query_string.find('&', pos);
+          if (amp == std::string::npos) amp = query_string.size();
+          const std::string pair = query_string.substr(pos, amp - pos);
+          const std::size_t eq = pair.find('=');
+          if (eq != std::string::npos) {
+            request.query[UrlDecode(pair.substr(0, eq))] =
+                UrlDecode(pair.substr(eq + 1));
+          } else if (!pair.empty()) {
+            request.query[UrlDecode(pair)] = "";
+          }
+          pos = amp + 1;
+        }
+      }
+      request.path = UrlDecode(target);
+
+      auto it = routes_.find(request.path);
+      if (it == routes_.end()) {
+        response = {404, "text/plain", "not found\n"};
+      } else {
+        response = it->second(request);
+      }
+    }
+  }
+
+  char header[256];
+  std::snprintf(header, sizeof(header),
+                "HTTP/1.0 %d %s\r\nContent-Type: %s\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                response.status, StatusText(response.status),
+                response.content_type.c_str(), response.body.size());
+  (void)!::write(fd, header, std::strlen(header));
+  (void)!::write(fd, response.body.data(), response.body.size());
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace rtsi::server

@@ -1,0 +1,81 @@
+// Minimal embedded HTTP/1.0 server (raw POSIX sockets, no dependencies).
+//
+// Demo-grade by design: one accept thread, requests handled sequentially,
+// GET only. It exists to serve the paper's future-work item — "a
+// demonstration with a user friendly interface" — over the search
+// service (see server/search_handler.h and examples/http_demo.cpp).
+
+#ifndef RTSI_SERVER_HTTP_SERVER_H_
+#define RTSI_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rtsi::server {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;                          // Decoded, without query.
+  std::map<std::string, std::string> query;  // Decoded key=value pairs.
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact path (e.g. "/search").
+  void Route(const std::string& path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop on
+  /// a background thread.
+  Status Start(int port);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start succeeds).
+  int port() const { return port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, HttpHandler> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread accept_thread_;
+};
+
+/// Decodes %XX and '+' in a URL component.
+std::string UrlDecode(const std::string& in);
+
+/// Escapes a string for embedding in a JSON value.
+std::string JsonEscape(const std::string& in);
+
+}  // namespace rtsi::server
+
+#endif  // RTSI_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,162 @@
+#include "server/search_handler.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/rtsi_index.h"
+
+namespace rtsi::server {
+namespace {
+
+const char* kIndexPage = R"(<!doctype html>
+<html><head><title>RTSI live audio search</title></head>
+<body style="font-family: sans-serif; max-width: 40em; margin: 2em auto">
+<h2>RTSI &mdash; multi-modal live audio search</h2>
+<form action="/search">
+  <input name="q" size="40" placeholder="keywords...">
+  <button>search</button>
+</form>
+<p>Endpoints: <code>/search?q=...</code>, <code>/live?q=...</code>,
+<code>/ingest?stream=1&amp;words=a+b+c</code>,
+<code>/finish?stream=1</code>, <code>/pop?stream=1&amp;delta=100</code>,
+<code>/stats</code></p>
+</body></html>
+)";
+
+std::vector<std::string> SplitWords(const std::string& s) {
+  std::vector<std::string> words;
+  std::istringstream in(s);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+std::string ResultsToJson(
+    const std::vector<service::SearchResult>& results) {
+  std::ostringstream out;
+  out << "{\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "{\"stream\":" << results[i].stream
+        << ",\"score\":" << results[i].score
+        << ",\"text_score\":" << results[i].text_score
+        << ",\"sound_score\":" << results[i].sound_score << '}';
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+int QueryInt(const HttpRequest& request, const char* key,
+             int default_value) {
+  auto it = request.query.find(key);
+  if (it == request.query.end()) return default_value;
+  return std::atoi(it->second.c_str());
+}
+
+std::string QueryString(const HttpRequest& request, const char* key) {
+  auto it = request.query.find(key);
+  return it == request.query.end() ? std::string() : it->second;
+}
+
+}  // namespace
+
+void RegisterSearchRoutes(HttpServer& http, service::SearchService& service,
+                          SimulatedClock& clock) {
+  http.Route("/", [](const HttpRequest&) {
+    return HttpResponse{200, "text/html", kIndexPage};
+  });
+
+  http.Route("/search", [&service](const HttpRequest& request) {
+    const std::string q = QueryString(request, "q");
+    if (q.empty()) {
+      return HttpResponse{400, "application/json",
+                          "{\"error\":\"missing q\"}\n"};
+    }
+    const int k = QueryInt(request, "k", 10);
+    return HttpResponse{200, "application/json",
+                        ResultsToJson(service.SearchKeywords(q, k))};
+  });
+
+  http.Route("/live", [&service, &clock](const HttpRequest& request) {
+    const std::string q = QueryString(request, "q");
+    if (q.empty()) {
+      return HttpResponse{400, "application/json",
+                          "{\"error\":\"missing q\"}\n"};
+    }
+    const int k = QueryInt(request, "k", 10);
+    // Live-only search on the text tree via the filtered query API.
+    Rng rng(1);
+    const auto processed =
+        service.query_processor().ProcessKeywords(q, rng);
+    core::QueryFilter filter;
+    filter.live_only = true;
+    const auto results = service.text_index().QueryFiltered(
+        processed.text_terms, k, clock.Now(), filter);
+    std::ostringstream out;
+    out << "{\"live_results\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) out << ',';
+      out << "{\"stream\":" << results[i].stream
+          << ",\"score\":" << results[i].score << '}';
+    }
+    out << "]}\n";
+    return HttpResponse{200, "application/json", out.str()};
+  });
+
+  http.Route("/ingest", [&service](const HttpRequest& request) {
+    const std::string words = QueryString(request, "words");
+    const std::string stream = QueryString(request, "stream");
+    if (words.empty() || stream.empty()) {
+      return HttpResponse{400, "application/json",
+                          "{\"error\":\"need stream and words\"}\n"};
+    }
+    const bool live = QueryInt(request, "live", 1) != 0;
+    const auto word_list = SplitWords(words);
+    service.IngestWindow(std::strtoull(stream.c_str(), nullptr, 10),
+                         word_list, live);
+    return HttpResponse{
+        200, "application/json",
+        "{\"indexed\":" + std::to_string(word_list.size()) + "}\n"};
+  });
+
+  http.Route("/finish", [&service](const HttpRequest& request) {
+    const std::string stream = QueryString(request, "stream");
+    if (stream.empty()) {
+      return HttpResponse{400, "application/json",
+                          "{\"error\":\"need stream\"}\n"};
+    }
+    service.FinishStream(std::strtoull(stream.c_str(), nullptr, 10));
+    return HttpResponse{200, "application/json", "{\"ok\":true}\n"};
+  });
+
+  http.Route("/pop", [&service](const HttpRequest& request) {
+    const std::string stream = QueryString(request, "stream");
+    const int delta = QueryInt(request, "delta", 1);
+    if (stream.empty() || delta <= 0) {
+      return HttpResponse{400, "application/json",
+                          "{\"error\":\"need stream and delta\"}\n"};
+    }
+    service.UpdatePopularity(std::strtoull(stream.c_str(), nullptr, 10),
+                             static_cast<std::uint64_t>(delta));
+    return HttpResponse{200, "application/json", "{\"ok\":true}\n"};
+  });
+
+  http.Route("/stats", [&service](const HttpRequest&) {
+    auto& text = service.text_index();
+    auto& sound = service.sound_index();
+    std::ostringstream out;
+    out << "{\"text_postings\":" << text.tree().total_postings()
+        << ",\"sound_postings\":" << sound.tree().total_postings()
+        << ",\"text_levels\":" << text.tree().num_levels()
+        << ",\"merges\":" << text.GetMergeStats().merges
+        << ",\"streams\":" << text.stream_table().size()
+        << ",\"live_streams\":" << text.live_table().num_streams()
+        << ",\"words\":" << service.text_dictionary().size()
+        << ",\"lattice_units\":" << service.sound_dictionary().size()
+        << ",\"memory_bytes\":"
+        << (text.MemoryBytes() + sound.MemoryBytes()) << "}\n";
+    return HttpResponse{200, "application/json", out.str()};
+  });
+}
+
+}  // namespace rtsi::server

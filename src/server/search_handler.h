@@ -1,0 +1,29 @@
+// HTTP routes over the multi-modal search service:
+//
+//   GET /                 — tiny HTML search page
+//   GET /search?q=...&k=N — fused multi-modal keyword search, JSON
+//   GET /live?q=...&k=N   — text-tree search restricted to live streams
+//   GET /ingest?stream=ID&words=a+b+c[&live=0|1] — index one window
+//   GET /finish?stream=ID — end a broadcast
+//   GET /pop?stream=ID&delta=N — popularity update
+//   GET /stats            — index statistics, JSON
+//
+// Everything is GET for demo simplicity (drive it from a browser bar).
+
+#ifndef RTSI_SERVER_SEARCH_HANDLER_H_
+#define RTSI_SERVER_SEARCH_HANDLER_H_
+
+#include "server/http_server.h"
+#include "service/search_service.h"
+
+namespace rtsi::server {
+
+/// Registers all routes on `http`. `service` and `clock` must outlive the
+/// server. Single-threaded access model (the demo server handles requests
+/// sequentially).
+void RegisterSearchRoutes(HttpServer& http, service::SearchService& service,
+                          SimulatedClock& clock);
+
+}  // namespace rtsi::server
+
+#endif  // RTSI_SERVER_SEARCH_HANDLER_H_

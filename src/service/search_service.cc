@@ -1,0 +1,117 @@
+#include "service/search_service.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "asr/phoneme.h"
+#include "audio/synthesizer.h"
+
+namespace rtsi::service {
+
+SearchService::SearchService(const SearchServiceConfig& config, Clock* clock)
+    : config_(config), clock_(clock), rng_(config.seed) {
+  pipeline_ = std::make_unique<IngestionPipeline>(config.ingestion,
+                                                  &text_dict_, &sound_dict_);
+  query_processor_ = std::make_unique<QueryProcessor>(
+      pipeline_.get(), &text_dict_, &sound_dict_,
+      config.ingestion.lattice_ngram,
+      config.ingestion.lattice_alt_threshold, config.ingestion.stem_text);
+  text_index_ = std::make_unique<core::RtsiIndex>(config.index);
+  sound_index_ = std::make_unique<core::RtsiIndex>(config.index);
+}
+
+void SearchService::IngestWindow(StreamId stream,
+                                 const std::vector<std::string>& words,
+                                 bool live) {
+  const WindowArtifacts artifacts = pipeline_->ProcessWindow(words, rng_);
+  const Timestamp now = clock_->Now();
+  text_index_->InsertWindow(stream, now, artifacts.text_terms, live);
+  sound_index_->InsertWindow(stream, now, artifacts.sound_terms, live);
+}
+
+void SearchService::FinishStream(StreamId stream) {
+  text_index_->FinishStream(stream);
+  sound_index_->FinishStream(stream);
+}
+
+void SearchService::DeleteStream(StreamId stream) {
+  text_index_->DeleteStream(stream);
+  sound_index_->DeleteStream(stream);
+}
+
+void SearchService::UpdatePopularity(StreamId stream, std::uint64_t delta) {
+  text_index_->UpdatePopularity(stream, delta);
+  sound_index_->UpdatePopularity(stream, delta);
+}
+
+std::vector<SearchResult> SearchService::Fuse(
+    const std::vector<core::ScoredStream>& text_results,
+    const std::vector<core::ScoredStream>& sound_results, int k) const {
+  std::unordered_map<StreamId, SearchResult> fused;
+  for (const core::ScoredStream& r : text_results) {
+    SearchResult& result = fused[r.stream];
+    result.stream = r.stream;
+    result.text_score = r.score;
+  }
+  for (const core::ScoredStream& r : sound_results) {
+    SearchResult& result = fused[r.stream];
+    result.stream = r.stream;
+    result.sound_score = r.score;
+  }
+  std::vector<SearchResult> out;
+  out.reserve(fused.size());
+  const double wt = config_.text_weight;
+  for (auto& [stream, result] : fused) {
+    result.score = wt * result.text_score + (1.0 - wt) * result.sound_score;
+    out.push_back(result);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SearchResult& a, const SearchResult& b) {
+              return a.score > b.score;
+            });
+  if (out.size() > static_cast<std::size_t>(k)) out.resize(k);
+  return out;
+}
+
+std::vector<SearchResult> SearchService::SearchKeywords(
+    const std::string& query, int k) {
+  if (k <= 0) k = config_.default_k;
+  const ProcessedQuery processed =
+      query_processor_->ProcessKeywords(query, rng_);
+  const Timestamp now = clock_->Now();
+  // Over-fetch per modality so fusion has material to rerank.
+  const int fetch = 2 * k;
+  const auto text_results =
+      text_index_->Query(processed.text_terms, fetch, now);
+  const auto sound_results =
+      sound_index_->Query(processed.sound_terms, fetch, now);
+  return Fuse(text_results, sound_results, k);
+}
+
+std::vector<SearchResult> SearchService::SearchVoice(
+    const audio::PcmBuffer& pcm, int k) {
+  if (k <= 0) k = config_.default_k;
+  const ProcessedQuery processed = query_processor_->ProcessVoice(pcm, rng_);
+  const Timestamp now = clock_->Now();
+  const int fetch = 2 * k;
+  const auto text_results =
+      text_index_->Query(processed.text_terms, fetch, now);
+  const auto sound_results =
+      sound_index_->Query(processed.sound_terms, fetch, now);
+  return Fuse(text_results, sound_results, k);
+}
+
+audio::PcmBuffer SearchService::SynthesizeQuery(
+    const std::vector<std::string>& words) {
+  std::vector<audio::PhoneSpec> specs;
+  for (const std::string& word : words) {
+    for (const asr::PhonemeId phone : pipeline_->lexicon().Pronounce(word)) {
+      specs.push_back(asr::PhonemeSpec(phone));
+    }
+  }
+  audio::SynthesizerConfig synth_config;
+  const audio::Synthesizer synth(synth_config);
+  return synth.Render(specs, rng_);
+}
+
+}  // namespace rtsi::service

@@ -1,0 +1,93 @@
+// The multi-modal live audio search service: two RTSI LSM-trees (text and
+// sound) behind one ingestion + query facade (Figure 4 end to end).
+
+#ifndef RTSI_SERVICE_SEARCH_SERVICE_H_
+#define RTSI_SERVICE_SEARCH_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/config.h"
+#include "core/rtsi_index.h"
+#include "service/ingestion.h"
+#include "service/query_processor.h"
+#include "text/term_dictionary.h"
+
+namespace rtsi::service {
+
+struct SearchServiceConfig {
+  core::RtsiConfig index;       // Shared by both trees.
+  IngestionConfig ingestion;
+  double text_weight = 0.6;     // Fusion: text vs sound modality.
+  int default_k = 10;
+  std::uint64_t seed = 42;
+};
+
+/// A fused multi-modal result.
+struct SearchResult {
+  StreamId stream = 0;
+  double score = 0.0;       // Fused.
+  double text_score = 0.0;
+  double sound_score = 0.0;
+};
+
+class SearchService {
+ public:
+  SearchService(const SearchServiceConfig& config, Clock* clock);
+
+  /// Ingests one ~60 s window of a live stream, given its ground-truth
+  /// words (what the broadcaster said). Runs ASR simulation, indexes both
+  /// modalities.
+  void IngestWindow(StreamId stream, const std::vector<std::string>& words,
+                    bool live = true);
+
+  void FinishStream(StreamId stream);
+  void DeleteStream(StreamId stream);
+  void UpdatePopularity(StreamId stream, std::uint64_t delta);
+
+  /// Keyword search across both modalities, fused.
+  std::vector<SearchResult> SearchKeywords(const std::string& query, int k);
+
+  /// Voice search: the query is an audio buffer.
+  std::vector<SearchResult> SearchVoice(const audio::PcmBuffer& pcm, int k);
+
+  /// Renders a spoken query from keywords (for demos and tests of the
+  /// voice path).
+  audio::PcmBuffer SynthesizeQuery(const std::vector<std::string>& words);
+
+  core::RtsiIndex& text_index() { return *text_index_; }
+  core::RtsiIndex& sound_index() { return *sound_index_; }
+
+  /// Replaces both indices (snapshot restore path; see
+  /// service/service_snapshot.h).
+  void ReplaceIndices(std::unique_ptr<core::RtsiIndex> text,
+                      std::unique_ptr<core::RtsiIndex> sound) {
+    text_index_ = std::move(text);
+    sound_index_ = std::move(sound);
+  }
+  text::TermDictionary& text_dictionary() { return text_dict_; }
+  text::TermDictionary& sound_dictionary() { return sound_dict_; }
+  IngestionPipeline& pipeline() { return *pipeline_; }
+  const QueryProcessor& query_processor() const { return *query_processor_; }
+
+ private:
+  std::vector<SearchResult> Fuse(
+      const std::vector<core::ScoredStream>& text_results,
+      const std::vector<core::ScoredStream>& sound_results, int k) const;
+
+  SearchServiceConfig config_;
+  Clock* clock_;  // Not owned.
+  text::TermDictionary text_dict_;
+  text::TermDictionary sound_dict_;
+  std::unique_ptr<IngestionPipeline> pipeline_;
+  std::unique_ptr<QueryProcessor> query_processor_;
+  std::unique_ptr<core::RtsiIndex> text_index_;
+  std::unique_ptr<core::RtsiIndex> sound_index_;
+  Rng rng_;
+};
+
+}  // namespace rtsi::service
+
+#endif  // RTSI_SERVICE_SEARCH_SERVICE_H_

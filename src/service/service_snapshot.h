@@ -1,0 +1,31 @@
+// Whole-service persistence: both RTSI trees (text + sound) and both term
+// dictionaries, across three files sharing a path prefix:
+//   <prefix>.text   — text index snapshot (storage/snapshot.h format)
+//   <prefix>.sound  — sound index snapshot
+//   <prefix>.dicts  — term dictionaries (strings in id order + doc freqs)
+//
+// Loading must target a freshly constructed SearchService (empty
+// dictionaries); it replaces the service's indices wholesale.
+
+#ifndef RTSI_SERVICE_SERVICE_SNAPSHOT_H_
+#define RTSI_SERVICE_SERVICE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "service/search_service.h"
+
+namespace rtsi::service {
+
+/// Saves the service's full state. The service must be quiescent.
+Status SaveServiceSnapshot(SearchService& service,
+                           const std::string& path_prefix);
+
+/// Restores state saved by SaveServiceSnapshot into `service`, which must
+/// be freshly constructed (empty dictionaries).
+Status LoadServiceSnapshot(SearchService& service,
+                           const std::string& path_prefix);
+
+}  // namespace rtsi::service
+
+#endif  // RTSI_SERVICE_SERVICE_SNAPSHOT_H_

@@ -1,0 +1,193 @@
+#include "storage/file_io.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/varint.h"
+
+namespace rtsi::storage {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'T', 'S', 'I', 'S', 'N', 'A', 'P'};
+
+}  // namespace
+
+SnapshotWriter::~SnapshotWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SnapshotWriter::Open(const std::string& path,
+                            std::uint32_t format_version) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  Raw(kMagic, sizeof(kMagic));
+  WriteU32(format_version);
+  return Status::Ok();
+}
+
+void SnapshotWriter::Raw(const void* data, std::size_t size) {
+  if (failed_ || file_ == nullptr || size == 0) return;
+  if (std::fwrite(data, 1, size, file_) != size) {
+    failed_ = true;
+    return;
+  }
+  crc_ = Crc32(crc_, data, size);
+  bytes_written_ += size;
+}
+
+void SnapshotWriter::WriteU32(std::uint32_t value) {
+  std::uint8_t buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  Raw(buf, sizeof(buf));
+}
+
+void SnapshotWriter::WriteU64(std::uint64_t value) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  Raw(buf, sizeof(buf));
+}
+
+void SnapshotWriter::WriteVarint(std::uint64_t value) {
+  std::vector<std::uint8_t> buf;
+  PutVarint64(buf, value);
+  Raw(buf.data(), buf.size());
+}
+
+void SnapshotWriter::WriteDouble(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void SnapshotWriter::WriteBytes(const void* data, std::size_t size) {
+  Raw(data, size);
+}
+
+void SnapshotWriter::WriteBlob(const std::vector<std::uint8_t>& blob) {
+  WriteVarint(blob.size());
+  Raw(blob.data(), blob.size());
+}
+
+void SnapshotWriter::WriteString(const std::string& s) {
+  WriteVarint(s.size());
+  Raw(s.data(), s.size());
+}
+
+Status SnapshotWriter::Finish() {
+  if (file_ == nullptr) return Status::FailedPrecondition("not open");
+  // Footer: CRC over everything before it (not CRC-protected itself).
+  const std::uint32_t crc = crc_;
+  std::uint8_t buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  if (!failed_ && std::fwrite(buf, 1, 4, file_) != 4) failed_ = true;
+  if (std::fclose(file_) != 0) failed_ = true;
+  file_ = nullptr;
+  if (failed_) return Status::Internal("snapshot write failed");
+  return Status::Ok();
+}
+
+Status SnapshotReader::Open(const std::string& path,
+                            std::uint32_t expected_version) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open snapshot: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  if (size < static_cast<long>(sizeof(kMagic) + 8)) {
+    std::fclose(file);
+    return Status::Internal("snapshot truncated: " + path);
+  }
+  data_.resize(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(data_.data(), 1, data_.size(), file);
+  std::fclose(file);
+  if (read != data_.size()) {
+    return Status::Internal("short read: " + path);
+  }
+
+  if (std::memcmp(data_.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad snapshot magic: " + path);
+  }
+  payload_end_ = data_.size() - 4;
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(data_[payload_end_ + i])
+                  << (8 * i);
+  }
+  const std::uint32_t actual_crc = Crc32(0, data_.data(), payload_end_);
+  if (stored_crc != actual_crc) {
+    return Status::Internal("snapshot checksum mismatch: " + path);
+  }
+
+  pos_ = sizeof(kMagic);
+  std::uint32_t version = 0;
+  if (!ReadU32(version) || version != expected_version) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  return Status::Ok();
+}
+
+bool SnapshotReader::ReadRaw(void* out, std::size_t size) {
+  if (pos_ + size > payload_end_) return false;
+  std::memcpy(out, data_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+bool SnapshotReader::ReadU32(std::uint32_t& value) {
+  std::uint8_t buf[4];
+  if (!ReadRaw(buf, sizeof(buf))) return false;
+  value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  }
+  return true;
+}
+
+bool SnapshotReader::ReadU64(std::uint64_t& value) {
+  std::uint8_t buf[8];
+  if (!ReadRaw(buf, sizeof(buf))) return false;
+  value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  }
+  return true;
+}
+
+bool SnapshotReader::ReadVarint(std::uint64_t& value) {
+  std::size_t pos = pos_;
+  if (!GetVarint64(data_.data(), payload_end_, pos, value)) return false;
+  pos_ = pos;
+  return true;
+}
+
+bool SnapshotReader::ReadDouble(double& value) {
+  std::uint64_t bits = 0;
+  if (!ReadU64(bits)) return false;
+  std::memcpy(&value, &bits, sizeof(value));
+  return true;
+}
+
+bool SnapshotReader::ReadBlob(std::vector<std::uint8_t>& blob) {
+  std::uint64_t size = 0;
+  if (!ReadVarint(size)) return false;
+  if (pos_ + size > payload_end_) return false;
+  blob.assign(data_.begin() + pos_, data_.begin() + pos_ + size);
+  pos_ += size;
+  return true;
+}
+
+bool SnapshotReader::ReadString(std::string& s) {
+  std::uint64_t size = 0;
+  if (!ReadVarint(size)) return false;
+  if (pos_ + size > payload_end_) return false;
+  s.assign(reinterpret_cast<const char*>(data_.data() + pos_),
+           static_cast<std::size_t>(size));
+  pos_ += size;
+  return true;
+}
+
+}  // namespace rtsi::storage

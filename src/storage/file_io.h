@@ -1,0 +1,82 @@
+// Buffered, checksummed file primitives for index snapshots.
+//
+// A snapshot is a stream of length-prefixed records; the writer maintains
+// a running CRC-32 over everything written and appends it in a footer,
+// which the reader verifies before the caller trusts any decoded content.
+
+#ifndef RTSI_STORAGE_FILE_IO_H_
+#define RTSI_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rtsi::storage {
+
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Creates/truncates `path` and writes the header.
+  Status Open(const std::string& path, std::uint32_t format_version);
+
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteVarint(std::uint64_t value);
+  void WriteDouble(double value);
+  void WriteBytes(const void* data, std::size_t size);
+  void WriteBlob(const std::vector<std::uint8_t>& blob);  // Length-prefixed.
+  void WriteString(const std::string& s);                 // Length-prefixed.
+
+  /// Writes the CRC footer and closes. Must be the last call.
+  Status Finish();
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void Raw(const void* data, std::size_t size);
+
+  std::FILE* file_ = nullptr;
+  std::uint32_t crc_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  bool failed_ = false;
+};
+
+class SnapshotReader {
+ public:
+  SnapshotReader() = default;
+
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  /// Reads the whole file, verifies magic, version and CRC.
+  Status Open(const std::string& path, std::uint32_t expected_version);
+
+  bool ReadU32(std::uint32_t& value);
+  bool ReadU64(std::uint64_t& value);
+  bool ReadVarint(std::uint64_t& value);
+  bool ReadDouble(double& value);
+  bool ReadBlob(std::vector<std::uint8_t>& blob);
+  bool ReadString(std::string& s);
+
+  /// True when every payload byte has been consumed.
+  bool AtEnd() const { return pos_ == payload_end_; }
+
+ private:
+  bool ReadRaw(void* out, std::size_t size);
+
+  std::vector<std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::size_t payload_end_ = 0;
+};
+
+}  // namespace rtsi::storage
+
+#endif  // RTSI_STORAGE_FILE_IO_H_

@@ -1,0 +1,157 @@
+#include "storage/journal.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+#include "storage/snapshot.h"
+
+namespace rtsi::storage {
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status JournalWriter::Open(const std::string& path, bool flush_each_record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return Status::FailedPrecondition("already open");
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open journal: " + path);
+  }
+  path_ = path;
+  flush_each_record_ = flush_each_record;
+  return Status::Ok();
+}
+
+Status JournalWriter::Append(const workload::TraceOp& op) {
+  const std::string line = workload::Trace::FormatOp(op);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::FailedPrecondition("journal closed");
+  if (std::fputs(line.c_str(), file_) < 0 ||
+      std::fputc('\n', file_) == EOF) {
+    return Status::Internal("journal append failed");
+  }
+  if (flush_each_record_ && std::fflush(file_) != 0) {
+    return Status::Internal("journal flush failed");
+  }
+  ++records_;
+  return Status::Ok();
+}
+
+Status JournalWriter::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::FailedPrecondition("journal closed");
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "w");  // Truncate.
+  if (file_ == nullptr) {
+    return Status::Internal("cannot truncate journal: " + path_);
+  }
+  records_ = 0;
+  return Status::Ok();
+}
+
+Status JournalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::Ok();
+  const bool ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  return ok ? Status::Ok() : Status::Internal("journal close failed");
+}
+
+DurableIndex::DurableIndex(std::unique_ptr<core::RtsiIndex> index,
+                           std::string snapshot_path)
+    : index_(std::move(index)), snapshot_path_(std::move(snapshot_path)) {}
+
+Result<std::unique_ptr<DurableIndex>> DurableIndex::Open(
+    const core::RtsiConfig& config, const std::string& snapshot_path,
+    const std::string& journal_path, bool flush_each_record) {
+  // 1. Base state: the snapshot, if one exists.
+  std::unique_ptr<core::RtsiIndex> index;
+  if (FileExists(snapshot_path)) {
+    auto loaded = LoadIndexSnapshot(snapshot_path);
+    if (!loaded.ok()) return loaded.status();
+    index = std::move(loaded).value();
+  } else {
+    index = std::make_unique<core::RtsiIndex>(config);
+  }
+
+  // 2. Replay the journal tail, if any.
+  if (FileExists(journal_path)) {
+    auto trace = workload::Trace::LoadFromFile(journal_path);
+    if (!trace.ok()) return trace.status();
+    workload::ReplayTrace(trace.value(), *index);
+  }
+
+  auto durable = std::unique_ptr<DurableIndex>(
+      new DurableIndex(std::move(index), snapshot_path));
+  const Status status =
+      durable->journal_.Open(journal_path, flush_each_record);
+  if (!status.ok()) return status;
+  return durable;
+}
+
+void DurableIndex::InsertWindow(StreamId stream, Timestamp now,
+                                const std::vector<core::TermCount>& terms,
+                                bool live) {
+  workload::TraceOp op;
+  op.kind = workload::TraceOp::Kind::kInsert;
+  op.stream = stream;
+  op.now = now;
+  op.live = live;
+  op.terms = terms;
+  journal_.Append(op);
+  index_->InsertWindow(stream, now, terms, live);
+}
+
+void DurableIndex::FinishStream(StreamId stream) {
+  workload::TraceOp op;
+  op.kind = workload::TraceOp::Kind::kFinish;
+  op.stream = stream;
+  journal_.Append(op);
+  index_->FinishStream(stream);
+}
+
+void DurableIndex::DeleteStream(StreamId stream) {
+  workload::TraceOp op;
+  op.kind = workload::TraceOp::Kind::kDelete;
+  op.stream = stream;
+  journal_.Append(op);
+  index_->DeleteStream(stream);
+}
+
+void DurableIndex::UpdatePopularity(StreamId stream, std::uint64_t delta) {
+  workload::TraceOp op;
+  op.kind = workload::TraceOp::Kind::kUpdate;
+  op.stream = stream;
+  op.delta = delta;
+  journal_.Append(op);
+  index_->UpdatePopularity(stream, delta);
+}
+
+std::vector<core::ScoredStream> DurableIndex::Query(
+    const std::vector<TermId>& terms, int k, Timestamp now,
+    core::QueryStats* stats) {
+  return index_->Query(terms, k, now, stats);
+}
+
+std::size_t DurableIndex::MemoryBytes() const {
+  return index_->MemoryBytes();
+}
+
+Status DurableIndex::Checkpoint() {
+  index_->WaitForMerges();
+  Status status = SaveIndexSnapshot(*index_, snapshot_path_);
+  if (!status.ok()) return status;
+  return journal_.Reset();
+}
+
+}  // namespace rtsi::storage

@@ -1,0 +1,98 @@
+// Durability: an operation journal (write-ahead log) and point-in-time
+// recovery.
+//
+// DurableIndex decorates any SearchIndex: every mutating operation is
+// appended to a journal file (in the human-readable workload-trace
+// format) before being applied. Recovery = load the latest snapshot,
+// then replay the journal tail. Checkpoint() writes a fresh snapshot and
+// truncates the journal.
+//
+// The journal format is workload::Trace's line format, so journals are
+// also valid benchmark traces.
+
+#ifndef RTSI_STORAGE_JOURNAL_H_
+#define RTSI_STORAGE_JOURNAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/rtsi_index.h"
+#include "workload/trace.h"
+
+namespace rtsi::storage {
+
+/// Appends trace-format operation lines to a file, optionally flushing
+/// after every record.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens for append (creates if missing).
+  Status Open(const std::string& path, bool flush_each_record = false);
+
+  /// Appends one operation. Thread-safe.
+  Status Append(const workload::TraceOp& op);
+
+  /// Truncates the journal (after a checkpoint).
+  Status Reset();
+
+  Status Close();
+
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  bool flush_each_record_ = false;
+  std::uint64_t records_ = 0;
+};
+
+/// A journaled RTSI index: snapshot + journal = crash-recoverable state.
+class DurableIndex : public core::SearchIndex {
+ public:
+  /// Creates/opens the journal at `journal_path`. `flush_each_record`
+  /// trades insert latency for durability of every single op.
+  static Result<std::unique_ptr<DurableIndex>> Open(
+      const core::RtsiConfig& config, const std::string& snapshot_path,
+      const std::string& journal_path, bool flush_each_record = false);
+
+  // SearchIndex (mutations are journaled before being applied):
+  void InsertWindow(StreamId stream, Timestamp now,
+                    const std::vector<core::TermCount>& terms,
+                    bool live) override;
+  void FinishStream(StreamId stream) override;
+  void DeleteStream(StreamId stream) override;
+  void UpdatePopularity(StreamId stream, std::uint64_t delta) override;
+  std::vector<core::ScoredStream> Query(const std::vector<TermId>& terms,
+                                        int k, Timestamp now,
+                                        core::QueryStats* stats) override;
+  using core::SearchIndex::Query;
+  std::size_t MemoryBytes() const override;
+  std::string name() const override { return "RTSI+journal"; }
+
+  /// Writes a snapshot of the current state and truncates the journal.
+  Status Checkpoint();
+
+  core::RtsiIndex& index() { return *index_; }
+
+ private:
+  DurableIndex(std::unique_ptr<core::RtsiIndex> index,
+               std::string snapshot_path);
+
+  std::unique_ptr<core::RtsiIndex> index_;
+  std::string snapshot_path_;
+  JournalWriter journal_;
+};
+
+}  // namespace rtsi::storage
+
+#endif  // RTSI_STORAGE_JOURNAL_H_

@@ -1,0 +1,39 @@
+// Index snapshots: save the complete state of an RtsiIndex to one
+// checksummed file and rebuild an identical index from it.
+//
+// Sealed components are stored in the Huffman-compressed posting format
+// (index/compressed_postings.h) regardless of the in-memory
+// representation, so snapshots are compact. The saved state covers the
+// configuration, the document-frequency table, the stream-info table
+// (including tombstones and component counts), the live-term table, every
+// sealed LSM component, and the mutable L0 postings — queries against the
+// restored index return byte-identical results.
+//
+// Saving requires a quiescent index (no concurrent writers).
+
+#ifndef RTSI_STORAGE_SNAPSHOT_H_
+#define RTSI_STORAGE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/rtsi_index.h"
+
+namespace rtsi::storage {
+
+/// Current snapshot format version.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Writes the full index state to `path` (created/truncated).
+Status SaveIndexSnapshot(const core::RtsiIndex& index,
+                         const std::string& path);
+
+/// Rebuilds an index from `path`. On success the returned index answers
+/// queries identically to the saved one.
+Result<std::unique_ptr<core::RtsiIndex>> LoadIndexSnapshot(
+    const std::string& path);
+
+}  // namespace rtsi::storage
+
+#endif  // RTSI_STORAGE_SNAPSHOT_H_

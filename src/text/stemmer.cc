@@ -1,0 +1,77 @@
+#include "text/stemmer.h"
+
+#include <array>
+#include <cctype>
+
+namespace rtsi::text {
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+bool HasVowel(std::string_view s) {
+  for (const char c : s) {
+    if (IsVowel(c)) return true;
+  }
+  return false;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+// Doubled consonant at the end ("running" -> "runn" -> "run").
+bool EndsWithDoubleConsonant(std::string_view s) {
+  if (s.size() < 2) return false;
+  const char last = s[s.size() - 1];
+  return last == s[s.size() - 2] && !IsVowel(last);
+}
+
+}  // namespace
+
+std::string Stemmer::Stem(std::string_view token) const {
+  if (token.size() < 4) return std::string(token);
+  for (const char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        static_cast<unsigned char>(c) >= 0x80) {
+      return std::string(token);  // Ids/numbers/UTF-8: leave alone.
+    }
+  }
+
+  std::string s(token);
+
+  // Plural / verb endings, longest first.
+  if (EndsWith(s, "sses")) {
+    s.resize(s.size() - 2);  // addresses -> address.
+  } else if (EndsWith(s, "ies")) {
+    s.resize(s.size() - 2);  // stories -> story-ish ("stori" -> +y below).
+    s.back() = 'y';
+  } else if (EndsWith(s, "ness")) {
+    s.resize(s.size() - 4);  // darkness -> dark.
+  } else if (EndsWith(s, "s") && !EndsWith(s, "ss") && s.size() > 4) {
+    s.resize(s.size() - 1);  // streams -> stream.
+  }
+
+  if (EndsWith(s, "ing") && s.size() > 6 &&
+      HasVowel(std::string_view(s).substr(0, s.size() - 3))) {
+    s.resize(s.size() - 3);  // streaming -> stream.
+    if (EndsWithDoubleConsonant(s)) s.resize(s.size() - 1);  // running->run.
+  } else if (EndsWith(s, "ed") && s.size() > 5 &&
+             HasVowel(std::string_view(s).substr(0, s.size() - 2))) {
+    s.resize(s.size() - 2);  // streamed -> stream.
+    if (EndsWithDoubleConsonant(s)) s.resize(s.size() - 1);
+  }
+
+  if (EndsWith(s, "ly") && s.size() > 5) {
+    s.resize(s.size() - 2);  // quickly -> quick.
+  }
+  if (EndsWith(s, "ation") && s.size() > 7) {
+    s.resize(s.size() - 5);
+    s += 'e';  // information -> informe-ish; stable, collision-free enough.
+  }
+  return s;
+}
+
+}  // namespace rtsi::text

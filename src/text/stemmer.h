@@ -1,0 +1,25 @@
+// Lightweight English suffix stemmer (Porter-inspired).
+//
+// Folds inflected forms ("streams", "streaming", "streamed") onto one
+// index term, improving recall of the text modality. Optional: the
+// ingestion pipeline applies it when configured (Chinese-style corpora
+// tokenized upstream would disable it).
+
+#ifndef RTSI_TEXT_STEMMER_H_
+#define RTSI_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace rtsi::text {
+
+class Stemmer {
+ public:
+  /// Returns the stem of a lowercase token. Tokens shorter than 4
+  /// characters and tokens with digits are returned unchanged.
+  std::string Stem(std::string_view token) const;
+};
+
+}  // namespace rtsi::text
+
+#endif  // RTSI_TEXT_STEMMER_H_

@@ -1,0 +1,34 @@
+// Tokenization of transcribed text into index terms.
+//
+// Splits on non-alphanumeric bytes, lowercases ASCII, and passes multi-byte
+// UTF-8 sequences through untouched (so CJK transcripts segmented upstream
+// survive). Tokens shorter than `min_token_length` are dropped.
+
+#ifndef RTSI_TEXT_TOKENIZER_H_
+#define RTSI_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtsi::text {
+
+struct TokenizerConfig {
+  std::size_t min_token_length = 2;
+  std::size_t max_token_length = 64;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(const TokenizerConfig& config = {});
+
+  /// Splits `text` into lowercase tokens.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  TokenizerConfig config_;
+};
+
+}  // namespace rtsi::text
+
+#endif  // RTSI_TEXT_TOKENIZER_H_

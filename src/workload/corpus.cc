@@ -1,0 +1,68 @@
+#include "workload/corpus.h"
+
+#include <unordered_map>
+
+namespace rtsi::workload {
+namespace {
+
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  // SplitMix-style mixing.
+  std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  return x;
+}
+
+}  // namespace
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig& config)
+    : config_(config),
+      word_dist_(config.vocab_size, config.zipf_skew),
+      popularity_dist_(config.max_initial_popularity + 1, 1.2) {}
+
+Rng SyntheticCorpus::WindowRng(StreamId stream, int window) const {
+  return Rng(HashCombine(HashCombine(config_.seed, stream),
+                         static_cast<std::uint64_t>(window) + 1));
+}
+
+int SyntheticCorpus::NumWindows(StreamId stream) const {
+  Rng rng(HashCombine(config_.seed ^ 0xabcdefULL, stream));
+  const int span =
+      2 * (config_.avg_windows_per_stream - config_.min_windows_per_stream);
+  if (span <= 0) return config_.min_windows_per_stream;
+  return config_.min_windows_per_stream +
+         static_cast<int>(rng.NextUint64(static_cast<std::uint64_t>(span) + 1));
+}
+
+std::vector<core::TermCount> SyntheticCorpus::WindowTerms(StreamId stream,
+                                                          int window) const {
+  Rng rng = WindowRng(stream, window);
+  std::unordered_map<TermId, TermFreq> counts;
+  counts.reserve(config_.words_per_window);
+  for (int i = 0; i < config_.words_per_window; ++i) {
+    ++counts[static_cast<TermId>(word_dist_(rng))];
+  }
+  std::vector<core::TermCount> out;
+  out.reserve(counts.size());
+  for (const auto& [term, tf] : counts) out.push_back({term, tf});
+  return out;
+}
+
+std::vector<std::string> SyntheticCorpus::WindowWords(StreamId stream,
+                                                      int window) const {
+  Rng rng = WindowRng(stream, window);
+  std::vector<std::string> words;
+  words.reserve(config_.words_per_window);
+  for (int i = 0; i < config_.words_per_window; ++i) {
+    words.push_back("w" + std::to_string(word_dist_(rng)));
+  }
+  return words;
+}
+
+std::uint64_t SyntheticCorpus::InitialPopularity(StreamId stream) const {
+  Rng rng(HashCombine(config_.seed ^ 0x5eedULL, stream));
+  return config_.max_initial_popularity / (1 + popularity_dist_(rng));
+}
+
+}  // namespace rtsi::workload

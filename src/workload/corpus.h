@@ -1,0 +1,67 @@
+// Synthetic Ximalaya-like corpus (DESIGN.md substitution table).
+//
+// The paper's dataset: 80k streams, ~16 minutes each, 32M words total,
+// ~400 unique words per stream, transcripts with stop words removed.
+// This generator reproduces those statistics: every stream is a sequence
+// of 60-second windows; each window draws ~130 tokens from a Zipf(1.0)
+// vocabulary. Generation is deterministic per (seed, stream, window), so
+// benches can re-derive any window without storing the corpus.
+
+#ifndef RTSI_WORKLOAD_CORPUS_H_
+#define RTSI_WORKLOAD_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "core/search_index.h"
+
+namespace rtsi::workload {
+
+struct CorpusConfig {
+  std::size_t num_streams = 80'000;
+  std::size_t vocab_size = 60'000;
+  double zipf_skew = 1.0;
+  int avg_windows_per_stream = 16;  // 16 windows x 60 s = 16 minutes.
+  int min_windows_per_stream = 4;
+  int words_per_window = 130;       // ~2000 tokens per 16-minute stream.
+  std::uint64_t max_initial_popularity = 100'000;
+  std::uint64_t seed = 12345;
+};
+
+class SyntheticCorpus {
+ public:
+  explicit SyntheticCorpus(const CorpusConfig& config);
+
+  std::size_t num_streams() const { return config_.num_streams; }
+  std::size_t vocab_size() const { return config_.vocab_size; }
+  const CorpusConfig& config() const { return config_; }
+
+  /// Number of 60 s windows of `stream` (deterministic, in
+  /// [min_windows, 2*avg - min_windows]).
+  int NumWindows(StreamId stream) const;
+
+  /// Term counts of one window. TermIds are the Zipf ranks themselves
+  /// (0 = most frequent word).
+  std::vector<core::TermCount> WindowTerms(StreamId stream,
+                                           int window) const;
+
+  /// The same window as word strings ("w<id>"), for the service pipeline.
+  std::vector<std::string> WindowWords(StreamId stream, int window) const;
+
+  /// Initial play counter of the stream (Zipf-skewed: few hits, long tail).
+  std::uint64_t InitialPopularity(StreamId stream) const;
+
+ private:
+  Rng WindowRng(StreamId stream, int window) const;
+
+  CorpusConfig config_;
+  ZipfDistribution word_dist_;
+  ZipfDistribution popularity_dist_;
+};
+
+}  // namespace rtsi::workload
+
+#endif  // RTSI_WORKLOAD_CORPUS_H_

@@ -1,0 +1,30 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+namespace rtsi::workload {
+
+QueryGenerator::QueryGenerator(const QueryGenConfig& config)
+    : config_(config),
+      dist_(config.vocab_size, config.zipf_skew),
+      rng_(config.seed) {}
+
+std::vector<TermId> QueryGenerator::Next() {
+  const int span = config_.max_terms - config_.min_terms;
+  const int num_terms =
+      config_.min_terms +
+      (span > 0 ? static_cast<int>(rng_.NextUint64(span + 1)) : 0);
+  std::vector<TermId> terms;
+  terms.reserve(num_terms);
+  int guard = 0;
+  while (static_cast<int>(terms.size()) < num_terms && guard < 100) {
+    const auto term = static_cast<TermId>(dist_(rng_));
+    if (std::find(terms.begin(), terms.end(), term) == terms.end()) {
+      terms.push_back(term);
+    }
+    ++guard;
+  }
+  return terms;
+}
+
+}  // namespace rtsi::workload

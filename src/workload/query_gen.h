@@ -1,0 +1,39 @@
+// Query generator: 1-3 term queries, Zipf-biased toward frequent words
+// (users query head terms more often than tail terms).
+
+#ifndef RTSI_WORKLOAD_QUERY_GEN_H_
+#define RTSI_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "common/types.h"
+
+namespace rtsi::workload {
+
+struct QueryGenConfig {
+  std::size_t vocab_size = 60'000;
+  double zipf_skew = 0.8;
+  int min_terms = 2;  // The paper presents 2-term queries.
+  int max_terms = 2;
+  std::uint64_t seed = 777;
+};
+
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(const QueryGenConfig& config);
+
+  /// Next query's term ids (distinct within the query).
+  std::vector<TermId> Next();
+
+ private:
+  QueryGenConfig config_;
+  ZipfDistribution dist_;
+  Rng rng_;
+};
+
+}  // namespace rtsi::workload
+
+#endif  // RTSI_WORKLOAD_QUERY_GEN_H_

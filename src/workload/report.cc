@@ -1,0 +1,79 @@
+#include "workload/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rtsi::workload {
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::printf("\n== %s ==\n", title_.c_str());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]), headers_[c].c_str());
+  }
+  std::printf("\n");
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatBytes(std::size_t bytes) {
+  char buf[64];
+  if (bytes >= 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fGB",
+                  static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024ULL * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB",
+                  static_cast<double>(bytes) / (1024.0 * 1024));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fKB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+std::string FormatMicros(double micros) {
+  char buf[64];
+  if (micros >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", micros / 1e6);
+  } else if (micros >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", micros / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", micros);
+  }
+  return buf;
+}
+
+}  // namespace rtsi::workload

@@ -1,0 +1,34 @@
+// Aligned-table reporting for the bench binaries: every bench prints the
+// rows/series of the corresponding paper table or figure.
+
+#ifndef RTSI_WORKLOAD_REPORT_H_
+#define RTSI_WORKLOAD_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace rtsi::workload {
+
+class ReportTable {
+ public:
+  ReportTable(std::string title, std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Prints title, headers and rows with aligned columns to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats helpers: fixed precision, thousands-free plain formats.
+std::string FormatDouble(double value, int precision = 2);
+std::string FormatBytes(std::size_t bytes);
+std::string FormatMicros(double micros);
+
+}  // namespace rtsi::workload
+
+#endif  // RTSI_WORKLOAD_REPORT_H_

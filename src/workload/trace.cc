@@ -1,0 +1,231 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/rng.h"
+#include "workload/corpus.h"
+#include "workload/query_gen.h"
+
+namespace rtsi::workload {
+
+std::string Trace::FormatOp(const TraceOp& op) {
+  std::ostringstream out;
+  switch (op.kind) {
+    case TraceOp::Kind::kInsert:
+      out << "I " << op.stream << ' ' << op.now << ' ' << (op.live ? 1 : 0);
+      for (const auto& tc : op.terms) {
+        out << ' ' << tc.term << ':' << tc.tf;
+      }
+      break;
+    case TraceOp::Kind::kFinish:
+      out << "F " << op.stream;
+      break;
+    case TraceOp::Kind::kDelete:
+      out << "D " << op.stream;
+      break;
+    case TraceOp::Kind::kUpdate:
+      out << "U " << op.stream << ' ' << op.delta;
+      break;
+    case TraceOp::Kind::kQuery:
+      out << "Q " << op.k << ' ' << op.now;
+      for (const auto& tc : op.terms) {
+        out << ' ' << tc.term;
+      }
+      break;
+  }
+  return out.str();
+}
+
+bool Trace::ParseLine(const std::string& line, TraceOp& op,
+                      bool* is_comment) {
+  if (is_comment != nullptr) *is_comment = false;
+  std::istringstream in(line);
+  std::string tag;
+  if (!(in >> tag) || tag[0] == '#') {
+    if (is_comment != nullptr) *is_comment = true;
+    return false;
+  }
+  op = TraceOp{};
+  if (tag == "I") {
+    int live = 0;
+    if (!(in >> op.stream >> op.now >> live)) return false;
+    op.kind = TraceOp::Kind::kInsert;
+    op.live = live != 0;
+    std::string pair;
+    while (in >> pair) {
+      const std::size_t colon = pair.find(':');
+      if (colon == std::string::npos) return false;
+      core::TermCount tc;
+      tc.term = static_cast<TermId>(std::stoul(pair.substr(0, colon)));
+      tc.tf = static_cast<TermFreq>(std::stoul(pair.substr(colon + 1)));
+      op.terms.push_back(tc);
+    }
+    return true;
+  }
+  if (tag == "F" || tag == "D") {
+    if (!(in >> op.stream)) return false;
+    op.kind = tag == "F" ? TraceOp::Kind::kFinish : TraceOp::Kind::kDelete;
+    return true;
+  }
+  if (tag == "U") {
+    if (!(in >> op.stream >> op.delta)) return false;
+    op.kind = TraceOp::Kind::kUpdate;
+    return true;
+  }
+  if (tag == "Q") {
+    if (!(in >> op.k >> op.now)) return false;
+    op.kind = TraceOp::Kind::kQuery;
+    std::uint64_t term = 0;
+    while (in >> term) {
+      op.terms.push_back({static_cast<TermId>(term), 1});
+    }
+    return !op.terms.empty();
+  }
+  return false;
+}
+
+Status Trace::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  bool ok =
+      std::fputs("# RTSI workload trace v1\n", f) >= 0;
+  for (const TraceOp& op : ops_) {
+    const std::string line = FormatOp(op);
+    ok = ok && std::fputs(line.c_str(), f) >= 0 && std::fputc('\n', f) >= 0;
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return Status::Internal("trace write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Trace> Trace::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  Trace trace;
+  char buf[1 << 16];
+  int line_number = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++line_number;
+    TraceOp op;
+    bool is_comment = false;
+    if (ParseLine(buf, op, &is_comment)) {
+      trace.Add(std::move(op));
+    } else if (!is_comment) {
+      std::fclose(f);
+      return Status::InvalidArgument("bad trace line " +
+                                     std::to_string(line_number));
+    }
+  }
+  std::fclose(f);
+  return trace;
+}
+
+ReplayResult ReplayTrace(const Trace& trace, core::SearchIndex& index) {
+  ReplayResult result;
+  Stopwatch watch;
+  std::vector<TermId> query_terms;
+  for (const TraceOp& op : trace.ops()) {
+    switch (op.kind) {
+      case TraceOp::Kind::kInsert:
+        watch.Restart();
+        index.InsertWindow(op.stream, op.now, op.terms, op.live);
+        result.insertions.Record(watch.ElapsedMicros());
+        break;
+      case TraceOp::Kind::kFinish:
+        index.FinishStream(op.stream);
+        ++result.finishes;
+        break;
+      case TraceOp::Kind::kDelete:
+        index.DeleteStream(op.stream);
+        ++result.deletions;
+        break;
+      case TraceOp::Kind::kUpdate:
+        watch.Restart();
+        index.UpdatePopularity(op.stream, op.delta);
+        result.updates.Record(watch.ElapsedMicros());
+        break;
+      case TraceOp::Kind::kQuery: {
+        query_terms.clear();
+        for (const auto& tc : op.terms) query_terms.push_back(tc.term);
+        watch.Restart();
+        index.Query(query_terms, op.k, op.now);
+        result.queries.Record(watch.ElapsedMicros());
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+Trace RecordMixedTrace(const SyntheticCorpus& corpus, QueryGenerator& gen,
+                       std::size_t init_streams, std::size_t total_ops,
+                       int query_percent, int k, std::uint64_t seed) {
+  Trace trace;
+  Timestamp now = 0;
+
+  // Initialization phase: every window of the initial streams.
+  for (StreamId s = 0; s < init_streams; ++s) {
+    const int windows = corpus.NumWindows(s);
+    for (int w = 0; w < windows; ++w) {
+      now += kMicrosPerSecond;
+      TraceOp op;
+      op.kind = TraceOp::Kind::kInsert;
+      op.stream = s;
+      op.now = now;
+      op.live = w + 1 < windows;
+      op.terms = corpus.WindowTerms(s, w);
+      trace.Add(std::move(op));
+    }
+    TraceOp finish;
+    finish.kind = TraceOp::Kind::kFinish;
+    finish.stream = s;
+    trace.Add(std::move(finish));
+  }
+
+  // Mixed phase.
+  Rng rng(seed);
+  StreamId stream = init_streams;
+  int window = 0;
+  int windows_in_stream = corpus.NumWindows(stream);
+  for (std::size_t i = 0; i < total_ops; ++i) {
+    now += 100'000;
+    if (rng.NextBool(query_percent / 100.0)) {
+      TraceOp op;
+      op.kind = TraceOp::Kind::kQuery;
+      op.k = k;
+      op.now = now;
+      for (const TermId term : gen.Next()) op.terms.push_back({term, 1});
+      trace.Add(std::move(op));
+    } else if (rng.NextBool(0.1)) {
+      TraceOp op;
+      op.kind = TraceOp::Kind::kUpdate;
+      op.stream = rng.NextUint64(stream + 1);
+      op.delta = 1 + rng.NextUint64(20);
+      trace.Add(std::move(op));
+    } else {
+      TraceOp op;
+      op.kind = TraceOp::Kind::kInsert;
+      op.stream = stream;
+      op.now = now;
+      op.live = window + 1 < windows_in_stream;
+      op.terms = corpus.WindowTerms(stream, window);
+      const bool last = !op.live;
+      trace.Add(std::move(op));
+      if (last) {
+        TraceOp finish;
+        finish.kind = TraceOp::Kind::kFinish;
+        finish.stream = stream;
+        trace.Add(std::move(finish));
+        ++stream;
+        window = 0;
+        windows_in_stream = corpus.NumWindows(stream);
+      } else {
+        ++window;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace rtsi::workload

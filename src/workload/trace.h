@@ -1,0 +1,90 @@
+// Workload traces: record a sequence of index operations to a text file
+// and replay it against any SearchIndex. This is the paper's future-work
+// item "develop a benchmark of the audio streams for other researchers":
+// a trace pins down the exact operation mix, so different index
+// implementations can be compared on identical input.
+//
+// Trace format (one op per line, '#' comments allowed):
+//   I <stream> <now> <live:0|1> <term:tf> [term:tf ...]   insert window
+//   F <stream>                                            finish
+//   D <stream>                                            delete
+//   U <stream> <delta>                                    popularity update
+//   Q <k> <now> <term> [term ...]                         query
+
+#ifndef RTSI_WORKLOAD_TRACE_H_
+#define RTSI_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/latency_stats.h"
+#include "common/status.h"
+#include "core/search_index.h"
+
+namespace rtsi::workload {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t {
+    kInsert,
+    kFinish,
+    kDelete,
+    kUpdate,
+    kQuery,
+  };
+
+  Kind kind = Kind::kInsert;
+  StreamId stream = 0;       // kInsert/kFinish/kDelete/kUpdate.
+  Timestamp now = 0;         // kInsert/kQuery.
+  bool live = false;         // kInsert.
+  std::uint64_t delta = 0;   // kUpdate.
+  int k = 10;                // kQuery.
+  std::vector<core::TermCount> terms;  // kInsert (tf) / kQuery (tf unused).
+};
+
+/// In-memory trace with text-file (de)serialization.
+class Trace {
+ public:
+  void Add(TraceOp op) { ops_.push_back(std::move(op)); }
+
+  const std::vector<TraceOp>& ops() const { return ops_; }
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<Trace> LoadFromFile(const std::string& path);
+
+  /// Serializes one op to its trace line (no newline).
+  static std::string FormatOp(const TraceOp& op);
+
+  /// Parses one line; returns false for malformed input. Blank lines and
+  /// '#' comments yield false with *is_comment set.
+  static bool ParseLine(const std::string& line, TraceOp& op,
+                        bool* is_comment);
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+struct ReplayResult {
+  LatencyStats insertions;
+  LatencyStats queries;
+  LatencyStats updates;
+  std::size_t finishes = 0;
+  std::size_t deletions = 0;
+};
+
+/// Applies every op of `trace` to `index`, in order, timing each class.
+ReplayResult ReplayTrace(const Trace& trace, core::SearchIndex& index);
+
+/// Records a synthetic mixed workload as a trace (initialization windows
+/// followed by `total_ops` mixed operations with `query_percent` queries).
+class SyntheticCorpus;
+class QueryGenerator;
+Trace RecordMixedTrace(const SyntheticCorpus& corpus, QueryGenerator& gen,
+                       std::size_t init_streams, std::size_t total_ops,
+                       int query_percent, int k, std::uint64_t seed = 31);
+
+}  // namespace rtsi::workload
+
+#endif  // RTSI_WORKLOAD_TRACE_H_

@@ -1,0 +1,263 @@
+// Tests of the simulated speech pipeline: phoneme inventory, lexicon/G2P,
+// acoustic model, lattice decoder and the noisy transcriber.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asr/acoustic_model.h"
+#include "asr/decoder.h"
+#include "asr/lattice.h"
+#include "asr/lexicon.h"
+#include "asr/phoneme.h"
+#include "asr/transcriber.h"
+#include "audio/mfcc.h"
+#include "audio/synthesizer.h"
+#include "common/rng.h"
+
+namespace rtsi::asr {
+namespace {
+
+TEST(PhonemeTest, InventoryHasDistinctNames) {
+  std::set<std::string> names;
+  for (int p = 0; p < PhonemeCount(); ++p) {
+    names.insert(std::string(PhonemeName(static_cast<PhonemeId>(p))));
+  }
+  EXPECT_EQ(static_cast<int>(names.size()), PhonemeCount());
+}
+
+TEST(PhonemeTest, ReverseLookupRoundTrips) {
+  for (int p = 0; p < PhonemeCount(); ++p) {
+    const auto id = static_cast<PhonemeId>(p);
+    EXPECT_EQ(PhonemeByName(PhonemeName(id)), id);
+  }
+  EXPECT_EQ(PhonemeByName("zz"), PhonemeCount());
+}
+
+TEST(PhonemeTest, SpecsHavePositiveDurations) {
+  for (int p = 0; p < PhonemeCount(); ++p) {
+    const auto& spec = PhonemeSpec(static_cast<PhonemeId>(p));
+    EXPECT_GT(spec.duration_seconds, 0.0);
+    EXPECT_GT(spec.formant1_hz, 0.0);
+    EXPECT_LT(spec.formant2_hz, 8000.0);  // Below Nyquist at 16 kHz.
+  }
+}
+
+TEST(LexiconTest, PronunciationIsDeterministic) {
+  Lexicon lexicon;
+  const auto a = lexicon.Pronounce("hello");
+  const auto b = lexicon.Pronounce("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(LexiconTest, DifferentWordsUsuallyDiffer) {
+  Lexicon lexicon;
+  EXPECT_NE(lexicon.Pronounce("cat"), lexicon.Pronounce("dog"));
+  EXPECT_NE(lexicon.Pronounce("stream"), lexicon.Pronounce("audio"));
+}
+
+TEST(LexiconTest, DigraphsAreSinglePhones) {
+  Lexicon lexicon;
+  // "sh" maps to one phone, not s + h.
+  EXPECT_EQ(lexicon.Pronounce("sh").size(), 1u);
+  EXPECT_EQ(lexicon.Pronounce("ng").size(), 1u);
+}
+
+TEST(LexiconTest, EmptyOrUnknownWordStillPronounceable) {
+  Lexicon lexicon;
+  EXPECT_FALSE(lexicon.Pronounce("").empty());
+  EXPECT_FALSE(lexicon.Pronounce("!!!").empty());
+}
+
+TEST(LexiconTest, ExplicitPronunciationOverridesG2p) {
+  Lexicon lexicon;
+  std::vector<PhonemeId> custom = {PhonemeByName("iy")};
+  lexicon.AddPronunciation("xyz", custom);
+  EXPECT_EQ(lexicon.Pronounce("xyz"), custom);
+}
+
+TEST(LexiconTest, EntriesSnapshotGrowsWithCache) {
+  Lexicon lexicon;
+  lexicon.Pronounce("one");
+  lexicon.Pronounce("two");
+  EXPECT_EQ(lexicon.Entries().size(), 2u);
+}
+
+TEST(LatticeTest, BestPathFollowsTopHypotheses) {
+  PhoneticLattice lattice;
+  for (int i = 0; i < 3; ++i) {
+    LatticeSegment segment;
+    segment.hypotheses.push_back({static_cast<PhonemeId>(i), 0.8});
+    segment.hypotheses.push_back({static_cast<PhonemeId>(i + 5), 0.2});
+    lattice.AddSegment(std::move(segment));
+  }
+  const auto path = lattice.BestPath();
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_EQ(path[2], 2);
+}
+
+TEST(LatticeTest, UnitNamesJoinWithUnderscore) {
+  const std::vector<PhonemeId> phones = {PhonemeByName("s"),
+                                         PhonemeByName("iy")};
+  EXPECT_EQ(UnitName(phones), "s_iy");
+}
+
+TEST(LatticeTest, ExtractUnitsGeneratesNgramsAndAlternatives) {
+  PhoneticLattice lattice;
+  for (int i = 0; i < 4; ++i) {
+    LatticeSegment segment;
+    segment.hypotheses.push_back({static_cast<PhonemeId>(i), 0.6});
+    segment.hypotheses.push_back({static_cast<PhonemeId>(i + 10), 0.4});
+    lattice.AddSegment(std::move(segment));
+  }
+  const auto bigrams = lattice.ExtractUnits(2, 0.3);
+  // 3 best-path bigrams + 2 alternatives each = 9 units.
+  EXPECT_EQ(bigrams.size(), 9u);
+
+  // High alternative threshold removes the substituted variants.
+  const auto strict = lattice.ExtractUnits(2, 0.9);
+  EXPECT_EQ(strict.size(), 3u);
+}
+
+TEST(LatticeTest, TooShortLatticeYieldsNoUnits) {
+  PhoneticLattice lattice;
+  LatticeSegment segment;
+  segment.hypotheses.push_back({0, 1.0});
+  lattice.AddSegment(std::move(segment));
+  EXPECT_TRUE(lattice.ExtractUnits(3, 0.2).empty());
+}
+
+class AcousticFixture : public ::testing::Test {
+ protected:
+  AcousticFixture()
+      : extractor_(audio::MfccConfig{}), model_(extractor_) {}
+
+  audio::MfccExtractor extractor_;
+  AcousticModel model_;
+};
+
+TEST_F(AcousticFixture, PrototypesExistForEveryPhone) {
+  EXPECT_EQ(model_.prototypes().size(),
+            static_cast<std::size_t>(PhonemeCount()));
+}
+
+TEST_F(AcousticFixture, ClassifiesCleanVowelsCorrectly) {
+  audio::SynthesizerConfig synth_config;
+  synth_config.noise_floor = 0.0;
+  const audio::Synthesizer synth(synth_config);
+  Rng rng(11);
+
+  // Pure vowels have deterministic spectra; the model must recover them.
+  for (const char* name : {"iy", "aa", "uw", "eh"}) {
+    const PhonemeId phone = PhonemeByName(name);
+    audio::PhoneSpec spec = PhonemeSpec(phone);
+    spec.duration_seconds = 0.2;
+    const auto frames = extractor_.Extract(synth.Render({spec}, rng));
+    ASSERT_GT(frames.size(), 4u);
+    const auto& mid = frames[frames.size() / 2];
+    EXPECT_EQ(model_.BestPhone(mid), phone) << name;
+  }
+}
+
+TEST_F(AcousticFixture, PosteriorsAreNormalized) {
+  audio::MfccFrame frame(13, 0.5);
+  const auto scored = model_.Classify(frame);
+  ASSERT_EQ(scored.size(), static_cast<std::size_t>(PhonemeCount()));
+  double total = 0.0;
+  for (const auto& s : scored) total += s.posterior;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (std::size_t i = 1; i < scored.size(); ++i) {
+    EXPECT_LE(scored[i].posterior, scored[i - 1].posterior);
+  }
+}
+
+TEST_F(AcousticFixture, DecoderRecoversVowelSequence) {
+  audio::SynthesizerConfig synth_config;
+  synth_config.noise_floor = 0.0;
+  const audio::Synthesizer synth(synth_config);
+  Rng rng(13);
+
+  const std::vector<const char*> names = {"iy", "aa", "uw"};
+  std::vector<audio::PhoneSpec> specs;
+  std::vector<PhonemeId> truth;
+  for (const char* name : names) {
+    const PhonemeId phone = PhonemeByName(name);
+    audio::PhoneSpec spec = PhonemeSpec(phone);
+    spec.duration_seconds = 0.15;
+    specs.push_back(spec);
+    truth.push_back(phone);
+  }
+  const audio::PcmBuffer pcm = synth.Render(specs, rng);
+
+  DecoderConfig decoder_config;
+  const LatticeDecoder decoder(&extractor_, &model_, decoder_config);
+  const PhoneticLattice lattice = decoder.Decode(pcm);
+  const auto path = lattice.BestPath();
+
+  // The decoded path must contain the true phones in order (transition
+  // segments may insert extras).
+  std::size_t truth_pos = 0;
+  for (const PhonemeId phone : path) {
+    if (truth_pos < truth.size() && phone == truth[truth_pos]) ++truth_pos;
+  }
+  EXPECT_EQ(truth_pos, truth.size())
+      << "decoded path missed phones of the true sequence";
+}
+
+TEST(TranscriberTest, ZeroErrorRateIsIdentity) {
+  TranscriberConfig config;
+  config.word_error_rate = 0.0;
+  Transcriber transcriber(config, [](Rng&) { return std::string("x"); });
+  Rng rng(1);
+  const std::vector<std::string> truth = {"live", "audio", "search"};
+  EXPECT_EQ(transcriber.Transcribe(truth, rng), truth);
+}
+
+TEST(TranscriberTest, ErrorRateRoughlyHonored) {
+  TranscriberConfig config;
+  config.word_error_rate = 0.2;
+  config.substitution_share = 1.0;  // Only substitutions: length preserved.
+  config.deletion_share = 0.0;
+  Transcriber transcriber(config,
+                          [](Rng&) { return std::string("<sub>"); });
+  Rng rng(2);
+  std::vector<std::string> truth(10000, "word");
+  const auto out = transcriber.Transcribe(truth, rng);
+  ASSERT_EQ(out.size(), truth.size());
+  int errors = 0;
+  for (const auto& w : out) {
+    if (w == "<sub>") ++errors;
+  }
+  EXPECT_NEAR(errors / 10000.0, 0.2, 0.02);
+}
+
+TEST(TranscriberTest, DeletionsShortenOutput) {
+  TranscriberConfig config;
+  config.word_error_rate = 0.5;
+  config.substitution_share = 0.0;
+  config.deletion_share = 1.0;
+  Transcriber transcriber(config, [](Rng&) { return std::string("x"); });
+  Rng rng(3);
+  std::vector<std::string> truth(1000, "w");
+  const auto out = transcriber.Transcribe(truth, rng);
+  EXPECT_LT(out.size(), truth.size());
+  EXPECT_NEAR(out.size(), 500.0, 60.0);
+}
+
+TEST(TranscriberTest, InsertionsLengthenOutput) {
+  TranscriberConfig config;
+  config.word_error_rate = 0.5;
+  config.substitution_share = 0.0;
+  config.deletion_share = 0.0;  // All errors are insertions.
+  Transcriber transcriber(config, [](Rng&) { return std::string("x"); });
+  Rng rng(4);
+  std::vector<std::string> truth(1000, "w");
+  const auto out = transcriber.Transcribe(truth, rng);
+  EXPECT_GT(out.size(), truth.size());
+}
+
+}  // namespace
+}  // namespace rtsi::asr

@@ -1,0 +1,62 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include "common/memory_tracker.h"
+
+namespace rtsi {
+namespace {
+
+TEST(SimulatedClockTest, StartsAtGivenTime) {
+  SimulatedClock clock(1000);
+  EXPECT_EQ(clock.Now(), 1000);
+}
+
+TEST(SimulatedClockTest, AdvanceMovesForward) {
+  SimulatedClock clock;
+  EXPECT_EQ(clock.Advance(500), 500);
+  EXPECT_EQ(clock.Now(), 500);
+  clock.Advance(kMicrosPerMinute);
+  EXPECT_EQ(clock.Now(), 500 + kMicrosPerMinute);
+}
+
+TEST(SimulatedClockTest, SetTimeJumps) {
+  SimulatedClock clock;
+  clock.SetTime(123456);
+  EXPECT_EQ(clock.Now(), 123456);
+}
+
+TEST(WallClockTest, IsMonotone) {
+  WallClock clock;
+  const Timestamp a = clock.Now();
+  const Timestamp b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(MemoryTrackerTest, TracksAddAndSub) {
+  MemoryTracker tracker;
+  tracker.Add(100);
+  tracker.Add(50);
+  EXPECT_EQ(tracker.bytes(), 150u);
+  tracker.Sub(30);
+  EXPECT_EQ(tracker.bytes(), 120u);
+  EXPECT_EQ(tracker.peak_bytes(), 150u);
+}
+
+TEST(MemoryTrackerTest, PeakSurvivesShrink) {
+  MemoryTracker tracker;
+  tracker.Add(1000);
+  tracker.Sub(1000);
+  EXPECT_EQ(tracker.bytes(), 0u);
+  EXPECT_EQ(tracker.peak_bytes(), 1000u);
+}
+
+TEST(RssTest, ReportsPlausibleResidentSize) {
+  const std::size_t rss = CurrentRssBytes();
+  const std::size_t peak = PeakRssBytes();
+  EXPECT_GT(rss, 1024u * 1024);  // A test binary resident set is > 1 MB.
+  EXPECT_GE(peak, rss / 2);      // Peak can't be wildly below current.
+}
+
+}  // namespace
+}  // namespace rtsi

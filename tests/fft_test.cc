@@ -1,0 +1,104 @@
+#include "audio/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rtsi::audio {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(400), 512u);
+  EXPECT_EQ(NextPowerOfTwo(512), 512u);
+}
+
+TEST(FftTest, DcSignalConcentratesInBinZero) {
+  std::vector<std::complex<double>> data(64, {1.0, 0.0});
+  Fft(data);
+  EXPECT_NEAR(data[0].real(), 64.0, 1e-9);
+  for (std::size_t k = 1; k < data.size(); ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9) << k;
+  }
+}
+
+TEST(FftTest, PureToneConcentratesInItsBin) {
+  const std::size_t n = 256;
+  const int bin = 10;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = {std::cos(2.0 * kPi * bin * i / n), 0.0};
+  }
+  Fft(data);
+  // Real cosine: energy splits between bin and n-bin.
+  EXPECT_NEAR(std::abs(data[bin]), n / 2.0, 1e-6);
+  EXPECT_NEAR(std::abs(data[n - bin]), n / 2.0, 1e-6);
+  EXPECT_NEAR(std::abs(data[bin + 3]), 0.0, 1e-6);
+}
+
+TEST(FftTest, InverseRecoversSignal) {
+  Rng rng(5);
+  std::vector<std::complex<double>> data(128);
+  std::vector<std::complex<double>> original(128);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.NextDouble() - 0.5, rng.NextDouble() - 0.5};
+    original[i] = data[i];
+  }
+  Fft(data);
+  InverseFft(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(9);
+  const std::size_t n = 64;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.NextDouble() - 0.5, 0.0};
+    time_energy += std::norm(x);
+  }
+  Fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-6);
+}
+
+TEST(PowerSpectrumTest, SizeIsHalfPlusOne) {
+  std::vector<double> frame(100, 0.5);
+  const auto power = PowerSpectrum(frame, 128);
+  EXPECT_EQ(power.size(), 65u);
+}
+
+TEST(PowerSpectrumTest, ToneShowsPeakAtExpectedBin) {
+  const std::size_t n = 512;
+  std::vector<double> frame(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    frame[i] = std::sin(2.0 * kPi * 32.0 * i / n);
+  }
+  const auto power = PowerSpectrum(frame, n);
+  std::size_t argmax = 0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    if (power[k] > power[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, 32u);
+}
+
+TEST(FftTest, SingleElementIsIdentity) {
+  std::vector<std::complex<double>> data = {{3.0, -1.0}};
+  Fft(data);
+  EXPECT_NEAR(data[0].real(), 3.0, 1e-12);
+  EXPECT_NEAR(data[0].imag(), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtsi::audio

@@ -1,0 +1,131 @@
+#include "storage/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace rtsi::storage {
+namespace {
+
+const char* kPath = "/tmp/rtsi_file_io_test.bin";
+
+TEST(FileIoTest, PrimitivesRoundTrip) {
+  {
+    SnapshotWriter writer;
+    ASSERT_TRUE(writer.Open(kPath, 7).ok());
+    writer.WriteU32(0xDEADBEEF);
+    writer.WriteU64(0x0123456789ABCDEFULL);
+    writer.WriteVarint(300);
+    writer.WriteDouble(3.14159);
+    writer.WriteBlob({1, 2, 3, 4, 5});
+    writer.WriteString("hello snapshot");
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(kPath, 7).ok());
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0, varint = 0;
+  double d = 0;
+  std::vector<std::uint8_t> blob;
+  std::string s;
+  ASSERT_TRUE(reader.ReadU32(u32));
+  ASSERT_TRUE(reader.ReadU64(u64));
+  ASSERT_TRUE(reader.ReadVarint(varint));
+  ASSERT_TRUE(reader.ReadDouble(d));
+  ASSERT_TRUE(reader.ReadBlob(blob));
+  ASSERT_TRUE(reader.ReadString(s));
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(varint, 300u);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(blob, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(s, "hello snapshot");
+  EXPECT_TRUE(reader.AtEnd());
+  std::remove(kPath);
+}
+
+TEST(FileIoTest, VersionMismatchRejected) {
+  {
+    SnapshotWriter writer;
+    ASSERT_TRUE(writer.Open(kPath, 1).ok());
+    writer.WriteU32(5);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  SnapshotReader reader;
+  EXPECT_FALSE(reader.Open(kPath, 2).ok());
+  std::remove(kPath);
+}
+
+TEST(FileIoTest, ReadPastEndFails) {
+  {
+    SnapshotWriter writer;
+    ASSERT_TRUE(writer.Open(kPath, 1).ok());
+    writer.WriteU32(5);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(kPath, 1).ok());
+  std::uint32_t value = 0;
+  ASSERT_TRUE(reader.ReadU32(value));
+  std::uint64_t extra = 0;
+  EXPECT_FALSE(reader.ReadU64(extra));
+  std::remove(kPath);
+}
+
+TEST(FileIoTest, CorruptedPayloadDetected) {
+  {
+    SnapshotWriter writer;
+    ASSERT_TRUE(writer.Open(kPath, 1).ok());
+    for (int i = 0; i < 100; ++i) writer.WriteU64(i);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  std::FILE* f = std::fopen(kPath, "r+b");
+  std::fseek(f, 40, SEEK_SET);
+  std::fputc(0x5A, f);
+  std::fclose(f);
+  SnapshotReader reader;
+  EXPECT_FALSE(reader.Open(kPath, 1).ok());
+  std::remove(kPath);
+}
+
+TEST(FileIoTest, RandomBlobsRoundTrip) {
+  Rng rng(5);
+  std::vector<std::vector<std::uint8_t>> blobs;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> blob(rng.NextUint64(5000));
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng());
+    blobs.push_back(std::move(blob));
+  }
+  {
+    SnapshotWriter writer;
+    ASSERT_TRUE(writer.Open(kPath, 3).ok());
+    for (const auto& blob : blobs) writer.WriteBlob(blob);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(kPath, 3).ok());
+  for (const auto& expected : blobs) {
+    std::vector<std::uint8_t> got;
+    ASSERT_TRUE(reader.ReadBlob(got));
+    ASSERT_EQ(got, expected);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+  std::remove(kPath);
+}
+
+TEST(FileIoTest, EmptyPayloadIsValid) {
+  {
+    SnapshotWriter writer;
+    ASSERT_TRUE(writer.Open(kPath, 1).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  SnapshotReader reader;
+  ASSERT_TRUE(reader.Open(kPath, 1).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  std::remove(kPath);
+}
+
+}  // namespace
+}  // namespace rtsi::storage

@@ -1,0 +1,191 @@
+// StreamInfoTable and LiveTermTable tests (RTSI's two small hash tables).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "index/live_term_table.h"
+#include "index/stream_info_table.h"
+
+namespace rtsi::index {
+namespace {
+
+TEST(StreamInfoTableTest, OnInsertCreatesOnce) {
+  StreamInfoTable table;
+  EXPECT_TRUE(table.OnInsert(1, 100, true));
+  EXPECT_FALSE(table.OnInsert(1, 200, true));
+  StreamInfo info;
+  ASSERT_TRUE(table.Get(1, info));
+  EXPECT_EQ(info.frsh, 200);
+  EXPECT_TRUE(info.live);
+}
+
+TEST(StreamInfoTableTest, FreshnessNeverMovesBackwards) {
+  StreamInfoTable table;
+  table.OnInsert(1, 500, true);
+  table.OnInsert(1, 300, true);  // Stale timestamp must not regress.
+  StreamInfo info;
+  ASSERT_TRUE(table.Get(1, info));
+  EXPECT_EQ(info.frsh, 500);
+}
+
+TEST(StreamInfoTableTest, PopularityAccumulatesAndTracksMax) {
+  StreamInfoTable table;
+  table.AddPopularity(1, 10);
+  table.AddPopularity(1, 5);
+  table.AddPopularity(2, 100);
+  StreamInfo info;
+  ASSERT_TRUE(table.Get(1, info));
+  EXPECT_EQ(info.pop_count, 15u);
+  EXPECT_EQ(table.max_pop_count(), 100u);
+}
+
+TEST(StreamInfoTableTest, MarkFinishedClearsLive) {
+  StreamInfoTable table;
+  table.OnInsert(1, 100, true);
+  EXPECT_TRUE(table.IsLive(1));
+  table.MarkFinished(1);
+  EXPECT_FALSE(table.IsLive(1));
+  StreamInfo info;
+  EXPECT_TRUE(table.Get(1, info));  // Still queryable.
+}
+
+TEST(StreamInfoTableTest, DeletedStreamsInvisibleToGet) {
+  StreamInfoTable table;
+  table.OnInsert(1, 100, true);
+  table.MarkDeleted(1);
+  StreamInfo info;
+  EXPECT_FALSE(table.Get(1, info));
+  EXPECT_TRUE(table.IsDeleted(1));
+  EXPECT_FALSE(table.IsLive(1));
+}
+
+TEST(StreamInfoTableTest, ComponentCountLifecycle) {
+  StreamInfoTable table;
+  table.OnInsert(1, 100, true);
+  table.IncrementComponentCount(1);
+  table.IncrementComponentCount(1);
+  EXPECT_EQ(table.GetComponentCount(1), 2u);
+  auto [count, live] = table.DecrementComponentCount(1);
+  EXPECT_EQ(count, 1u);
+  EXPECT_TRUE(live);
+  table.MarkFinished(1);
+  auto [count2, live2] = table.DecrementComponentCount(1);
+  EXPECT_EQ(count2, 0u);
+  EXPECT_FALSE(live2);
+}
+
+TEST(StreamInfoTableTest, DecrementOnUnknownStreamIsSafe) {
+  StreamInfoTable table;
+  auto [count, live] = table.DecrementComponentCount(42);
+  EXPECT_EQ(count, 0u);
+  EXPECT_FALSE(live);
+}
+
+TEST(StreamInfoTableTest, SizeCountsEntries) {
+  StreamInfoTable table;
+  for (StreamId s = 0; s < 100; ++s) table.OnInsert(s, 1, true);
+  EXPECT_EQ(table.size(), 100u);
+  EXPECT_GT(table.MemoryBytes(), 100 * sizeof(StreamInfo));
+}
+
+TEST(StreamInfoTableTest, ConcurrentPopularityUpdates) {
+  StreamInfoTable table;
+  constexpr int kThreads = 8;
+  constexpr int kUpdates = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table] {
+      for (int i = 0; i < kUpdates; ++i) table.AddPopularity(i % 10, 1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::uint64_t total = 0;
+  for (StreamId s = 0; s < 10; ++s) {
+    StreamInfo info;
+    ASSERT_TRUE(table.Get(s, info));
+    total += info.pop_count;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kUpdates);
+}
+
+TEST(LiveTermTableTest, AddAccumulatesTotals) {
+  LiveTermTable table;
+  EXPECT_EQ(table.Add(1, 100, 3), 3u);
+  EXPECT_EQ(table.Add(1, 100, 4), 7u);
+  EXPECT_EQ(table.GetTotal(1, 100), 7u);
+  EXPECT_EQ(table.GetTotal(1, 101), 0u);
+  EXPECT_EQ(table.GetTotal(2, 100), 0u);
+}
+
+TEST(LiveTermTableTest, MaxTotalIsMonotone) {
+  LiveTermTable table;
+  table.Add(1, 100, 3);
+  table.Add(2, 100, 10);
+  table.Add(1, 100, 2);
+  EXPECT_EQ(table.GetMaxTotal(100), 10u);
+  table.RemoveStream(2);
+  // Monotone bound survives removal (it is a bound, not an exact max).
+  EXPECT_EQ(table.GetMaxTotal(100), 10u);
+}
+
+TEST(LiveTermTableTest, RemoveStreamDropsAllTerms) {
+  LiveTermTable table;
+  table.Add(1, 100, 1);
+  table.Add(1, 101, 2);
+  table.Add(2, 100, 3);
+  EXPECT_TRUE(table.ContainsStream(1));
+  table.RemoveStream(1);
+  EXPECT_FALSE(table.ContainsStream(1));
+  EXPECT_EQ(table.GetTotal(1, 100), 0u);
+  EXPECT_EQ(table.GetTotal(2, 100), 3u);
+  EXPECT_EQ(table.num_streams(), 1u);
+}
+
+TEST(LiveTermTableTest, CountsStreamsAndEntries) {
+  LiveTermTable table;
+  table.Add(1, 100, 1);
+  table.Add(1, 101, 1);
+  table.Add(2, 100, 1);
+  EXPECT_EQ(table.num_streams(), 2u);
+  EXPECT_EQ(table.num_entries(), 3u);
+}
+
+TEST(LiveTermTableTest, ForEachStreamVisitsEverything) {
+  LiveTermTable table;
+  table.Add(1, 100, 1);
+  table.Add(2, 101, 2);
+  table.Add(3, 102, 3);
+  std::size_t streams = 0;
+  TermFreq total = 0;
+  table.ForEachStream(
+      [&](StreamId, const std::unordered_map<TermId, TermFreq>& terms) {
+        ++streams;
+        for (const auto& [term, tf] : terms) total += tf;
+      });
+  EXPECT_EQ(streams, 3u);
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(LiveTermTableTest, ConcurrentAddsAreConsistent) {
+  LiveTermTable table;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table] {
+      for (int i = 0; i < 1000; ++i) {
+        table.Add(i % 7, i % 13, 1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  TermFreq total = 0;
+  table.ForEachStream(
+      [&](StreamId, const std::unordered_map<TermId, TermFreq>& terms) {
+        for (const auto& [term, tf] : terms) total += tf;
+      });
+  EXPECT_EQ(total, static_cast<TermFreq>(kThreads * 1000));
+}
+
+}  // namespace
+}  // namespace rtsi::index

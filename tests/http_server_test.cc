@@ -1,0 +1,152 @@
+// The embedded HTTP server and the search routes, exercised over real
+// loopback sockets.
+
+#include "server/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "server/search_handler.h"
+#include "service/search_service.h"
+
+namespace rtsi::server {
+namespace {
+
+std::string Get(int port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(UrlDecodeTest, DecodesEscapesAndPlus) {
+  EXPECT_EQ(UrlDecode("hello+world"), "hello world");
+  EXPECT_EQ(UrlDecode("a%20b%2Fc"), "a b/c");
+  EXPECT_EQ(UrlDecode("100%"), "100%");  // Trailing % passes through.
+  EXPECT_EQ(UrlDecode(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+}
+
+TEST(HttpServerTest, ServesRoutesAndQueryParams) {
+  HttpServer server;
+  server.Route("/echo", [](const HttpRequest& request) {
+    auto it = request.query.find("msg");
+    return HttpResponse{200, "text/plain",
+                        it == request.query.end() ? "none" : it->second};
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string response = Get(server.port(), "/echo?msg=hello+there");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("hello there"), std::string::npos);
+
+  const std::string missing = Get(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 2u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotent) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Stop();
+  server.Stop();
+  SUCCEED();
+}
+
+class SearchRoutesTest : public ::testing::Test {
+ protected:
+  SearchRoutesTest() : service_(MakeConfig(), &clock_) {
+    RegisterSearchRoutes(server_, service_, clock_);
+    EXPECT_TRUE(server_.Start(0).ok());
+    service_.IngestWindow(1, {"quantum", "physics", "lecture"});
+    service_.IngestWindow(2, {"football", "goal", "stadium"});
+    clock_.Advance(kMicrosPerMinute);
+  }
+
+  static service::SearchServiceConfig MakeConfig() {
+    service::SearchServiceConfig config;
+    config.ingestion.acoustic_path = service::AcousticPath::kDirect;
+    config.ingestion.transcriber.word_error_rate = 0.0;
+    return config;
+  }
+
+  SimulatedClock clock_;
+  service::SearchService service_;
+  HttpServer server_;
+};
+
+TEST_F(SearchRoutesTest, SearchReturnsMatchingStream) {
+  const std::string response =
+      Get(server_.port(), "/search?q=quantum+physics");
+  EXPECT_NE(response.find("\"stream\":1"), std::string::npos);
+  EXPECT_EQ(response.find("\"stream\":2"), std::string::npos);
+}
+
+TEST_F(SearchRoutesTest, SearchWithoutQueryIs400) {
+  const std::string response = Get(server_.port(), "/search");
+  EXPECT_NE(response.find("400"), std::string::npos);
+}
+
+TEST_F(SearchRoutesTest, IngestThenSearchRoundTrip) {
+  Get(server_.port(), "/ingest?stream=7&words=volcano+eruption+alert");
+  const std::string response = Get(server_.port(), "/search?q=volcano");
+  EXPECT_NE(response.find("\"stream\":7"), std::string::npos);
+}
+
+TEST_F(SearchRoutesTest, LiveFilterExcludesFinished) {
+  Get(server_.port(), "/finish?stream=1");
+  const std::string live = Get(server_.port(), "/live?q=quantum");
+  EXPECT_EQ(live.find("\"stream\":1"), std::string::npos);
+  const std::string all = Get(server_.port(), "/search?q=quantum");
+  EXPECT_NE(all.find("\"stream\":1"), std::string::npos);
+}
+
+TEST_F(SearchRoutesTest, PopUpdatesRanking) {
+  Get(server_.port(), "/ingest?stream=3&words=football+highlights");
+  Get(server_.port(), "/pop?stream=3&delta=100000");
+  const std::string response = Get(server_.port(), "/search?q=football&k=1");
+  EXPECT_NE(response.find("\"stream\":3"), std::string::npos);
+}
+
+TEST_F(SearchRoutesTest, StatsReportsCounts) {
+  const std::string response = Get(server_.port(), "/stats");
+  EXPECT_NE(response.find("\"text_postings\""), std::string::npos);
+  EXPECT_NE(response.find("\"streams\":2"), std::string::npos);
+}
+
+TEST_F(SearchRoutesTest, IndexPageIsHtml) {
+  const std::string response = Get(server_.port(), "/");
+  EXPECT_NE(response.find("text/html"), std::string::npos);
+  EXPECT_NE(response.find("RTSI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtsi::server

@@ -1,0 +1,99 @@
+#include "index/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace rtsi::index {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(HuffmanTest, EmptyInputRoundTrips) {
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(HuffmanDecode(HuffmanEncode({}), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HuffmanTest, SingleByteRoundTrips) {
+  const auto input = Bytes("a");
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(HuffmanDecode(HuffmanEncode(input), out));
+  EXPECT_EQ(out, input);
+}
+
+TEST(HuffmanTest, SingleSymbolRunRoundTrips) {
+  const std::vector<std::uint8_t> input(1000, 0x42);
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(HuffmanDecode(HuffmanEncode(input), out));
+  EXPECT_EQ(out, input);
+}
+
+TEST(HuffmanTest, TextRoundTrips) {
+  const auto input =
+      Bytes("the quick brown fox jumps over the lazy dog 0123456789");
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(HuffmanDecode(HuffmanEncode(input), out));
+  EXPECT_EQ(out, input);
+}
+
+TEST(HuffmanTest, SkewedInputCompresses) {
+  // Zipf-distributed bytes (like varint posting streams) must shrink.
+  Rng rng(7);
+  ZipfDistribution dist(64, 1.3);
+  std::vector<std::uint8_t> input(20000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(dist(rng));
+  const auto blob = HuffmanEncode(input);
+  EXPECT_LT(blob.size(), input.size());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(HuffmanDecode(blob, out));
+  EXPECT_EQ(out, input);
+}
+
+TEST(HuffmanTest, UniformRandomInputStillRoundTrips) {
+  Rng rng(9);
+  std::vector<std::uint8_t> input(5000);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(HuffmanDecode(HuffmanEncode(input), out));
+  EXPECT_EQ(out, input);
+}
+
+TEST(HuffmanTest, TruncatedBlobFailsCleanly) {
+  auto blob = HuffmanEncode(Bytes("hello huffman world"));
+  blob.resize(blob.size() - 1);
+  std::vector<std::uint8_t> out;
+  // Either the final symbols are missing or the stream is detected as
+  // truncated; it must not crash and must report failure.
+  EXPECT_FALSE(HuffmanDecode(blob, out));
+}
+
+TEST(HuffmanTest, GarbageHeaderFailsCleanly) {
+  std::vector<std::uint8_t> blob = {1, 2, 3};
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(HuffmanDecode(blob, out));
+}
+
+class HuffmanSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HuffmanSeedSweep, RandomDistributionsRoundTrip) {
+  Rng rng(GetParam());
+  // A random alphabet size and skew per seed.
+  const std::size_t alphabet = 2 + rng.NextUint64(254);
+  ZipfDistribution dist(alphabet, 0.5 + rng.NextDouble() * 1.5);
+  std::vector<std::uint8_t> input(1 + rng.NextUint64(30000));
+  for (auto& b : input) b = static_cast<std::uint8_t>(dist(rng));
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(HuffmanDecode(HuffmanEncode(input), out));
+  ASSERT_EQ(out, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanSeedSweep, ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace rtsi::index

@@ -1,0 +1,236 @@
+// Cross-module integration tests: live-arrival workloads over the full
+// RTSI stack, concurrent insert/query/update against a merging tree, and
+// the query-during-merge mirror guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "baseline/lsii_index.h"
+#include "common/rng.h"
+#include "core/rtsi_index.h"
+#include "workload/corpus.h"
+#include "workload/driver.h"
+#include "workload/query_gen.h"
+
+namespace rtsi {
+namespace {
+
+using core::RtsiConfig;
+using core::RtsiIndex;
+using core::TermCount;
+
+RtsiConfig MergeHeavyConfig() {
+  RtsiConfig config;
+  config.lsm.delta = 300;
+  config.lsm.rho = 2.0;
+  config.lsm.num_l0_shards = 8;
+  return config;
+}
+
+TEST(IntegrationTest, LiveCorpusWorkloadEndToEnd) {
+  workload::CorpusConfig corpus_config;
+  corpus_config.num_streams = 120;
+  corpus_config.vocab_size = 500;
+  corpus_config.avg_windows_per_stream = 5;
+  corpus_config.min_windows_per_stream = 2;
+  corpus_config.words_per_window = 40;
+  const workload::SyntheticCorpus corpus(corpus_config);
+
+  RtsiIndex index(MergeHeavyConfig());
+  SimulatedClock clock;
+  const auto init = workload::InitializeIndex(index, corpus, 0, 120, clock);
+  EXPECT_GT(init.windows_inserted, 0u);
+  EXPECT_GT(index.GetMergeStats().merges, 0u);  // delta=300 forces merges.
+
+  // Head terms must return full result pages.
+  const auto results = index.Query({0, 1}, 10, clock.Now());
+  EXPECT_EQ(results.size(), 10u);
+  // Scores are sorted descending.
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i].score, results[i - 1].score);
+  }
+}
+
+TEST(IntegrationTest, EveryInsertedStreamIsFindable) {
+  // After arbitrary merging, a query for a stream's dedicated term finds
+  // it (no stream lost across freezes/merges/mirrors).
+  auto config = MergeHeavyConfig();
+  config.lsm.delta = 100;
+  RtsiIndex index(config);
+  Timestamp t = 0;
+  constexpr int kStreams = 150;
+  for (StreamId s = 0; s < kStreams; ++s) {
+    // Term 1000+s is unique to stream s; term 5 is shared.
+    std::vector<TermCount> terms = {{static_cast<TermId>(1000 + s), 2},
+                                    {5, 1}};
+    index.InsertWindow(s, t += kMicrosPerSecond, terms, false);
+    index.FinishStream(s);
+  }
+  for (StreamId s = 0; s < kStreams; ++s) {
+    const auto results =
+        index.Query({static_cast<TermId>(1000 + s)}, 3, t);
+    ASSERT_EQ(results.size(), 1u) << "stream " << s;
+    EXPECT_EQ(results[0].stream, s);
+  }
+}
+
+TEST(IntegrationTest, ConcurrentInsertQueryUpdateIsSane) {
+  auto config = MergeHeavyConfig();
+  config.lsm.delta = 500;
+  RtsiIndex index(config);
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> queries_done{0};
+  std::atomic<std::size_t> updates_done{0};
+
+  std::thread query_thread([&] {
+    Rng rng(1);
+    while (!stop.load()) {
+      const std::vector<TermId> q = {
+          static_cast<TermId>(rng.NextUint64(40)),
+          static_cast<TermId>(rng.NextUint64(40))};
+      const auto results = index.Query(q, 10, 1'000'000'000);
+      // Results must be sorted and deduplicated.
+      std::set<StreamId> seen;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(seen.insert(results[i].stream).second);
+        if (i > 0) ASSERT_LE(results[i].score, results[i - 1].score);
+      }
+      queries_done.fetch_add(1);
+    }
+  });
+
+  std::thread update_thread([&] {
+    Rng rng(2);
+    while (!stop.load()) {
+      index.UpdatePopularity(rng.NextUint64(200), 1);
+      updates_done.fetch_add(1);
+    }
+  });
+
+  Rng rng(3);
+  Timestamp t = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto stream = static_cast<StreamId>(rng.NextUint64(200));
+    std::vector<TermCount> terms;
+    for (int j = 0; j < 5; ++j) {
+      terms.push_back({static_cast<TermId>(rng.NextUint64(40)),
+                       1 + static_cast<TermFreq>(rng.NextUint64(3))});
+    }
+    index.InsertWindow(stream, t += kMicrosPerSecond, terms, true);
+  }
+  stop.store(true);
+  query_thread.join();
+  update_thread.join();
+
+  EXPECT_GT(queries_done.load(), 0u);
+  EXPECT_GT(updates_done.load(), 0u);
+  EXPECT_GT(index.GetMergeStats().merges, 0u);
+}
+
+TEST(IntegrationTest, QueriesDuringMergeSeeAllStreams) {
+  // Force large merges while a reader repeatedly checks that a sentinel
+  // set of streams stays visible (the mirror guarantee).
+  auto config = MergeHeavyConfig();
+  config.lsm.delta = 400;
+  RtsiIndex index(config);
+
+  Timestamp t = 0;
+  constexpr TermId kSentinelTerm = 7777;
+  for (StreamId s = 0; s < 20; ++s) {
+    index.InsertWindow(s, t += kMicrosPerSecond,
+                       {{kSentinelTerm, 3}}, false);
+    index.FinishStream(s);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violation{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const auto results = index.Query({kSentinelTerm}, 50, 1'000'000'000);
+      if (results.size() != 20u) {
+        violation.store(true);
+        return;
+      }
+    }
+  });
+
+  Rng rng(9);
+  for (int i = 0; i < 6000; ++i) {
+    std::vector<TermCount> terms = {
+        {static_cast<TermId>(rng.NextUint64(500)), 1}};
+    index.InsertWindow(100 + rng.NextUint64(300), t += kMicrosPerSecond,
+                       terms, false);
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_GT(index.GetMergeStats().merges, 1u);
+}
+
+TEST(IntegrationTest, RtsiAndLsiiProcessIdenticalWorkloads) {
+  workload::CorpusConfig corpus_config;
+  corpus_config.num_streams = 60;
+  corpus_config.vocab_size = 300;
+  corpus_config.avg_windows_per_stream = 4;
+  corpus_config.min_windows_per_stream = 2;
+  corpus_config.words_per_window = 30;
+  const workload::SyntheticCorpus corpus(corpus_config);
+
+  auto config = MergeHeavyConfig();
+  RtsiIndex rtsi(config);
+  baseline::LsiiIndex lsii(config);
+  SimulatedClock clock_a, clock_b;
+  workload::InitializeIndex(rtsi, corpus, 0, 60, clock_a);
+  workload::InitializeIndex(lsii, corpus, 0, 60, clock_b);
+
+  // Both must return result sets of the same size for head queries (exact
+  // order can differ once multi-window streams span components in LSII's
+  // approximate-bound regime, but recall must hold).
+  for (TermId term = 0; term < 10; ++term) {
+    const auto r1 = rtsi.Query({term}, 20, clock_a.Now());
+    const auto r2 = lsii.Query({term}, 20, clock_b.Now());
+    EXPECT_EQ(r1.size(), r2.size()) << term;
+  }
+}
+
+TEST(IntegrationTest, HuffmanIndexAnswersIdenticallyToPlain) {
+  auto plain_config = MergeHeavyConfig();
+  plain_config.lsm.delta = 150;
+  auto compressed_config = plain_config;
+  compressed_config.lsm.compress = true;
+
+  RtsiIndex plain(plain_config);
+  RtsiIndex compressed(compressed_config);
+  Rng rng(21);
+  Timestamp t = 0;
+  for (StreamId s = 0; s < 200; ++s) {
+    std::vector<TermCount> terms;
+    std::set<TermId> used;
+    for (int i = 0; i < 6; ++i) {
+      const auto term = static_cast<TermId>(rng.NextUint64(60));
+      if (used.insert(term).second) {
+        terms.push_back({term, 1 + static_cast<TermFreq>(rng.NextUint64(4))});
+      }
+    }
+    t += kMicrosPerSecond;
+    plain.InsertWindow(s, t, terms, false);
+    compressed.InsertWindow(s, t, terms, false);
+    plain.FinishStream(s);
+    compressed.FinishStream(s);
+  }
+  for (TermId a = 0; a < 20; ++a) {
+    const auto r1 = plain.Query({a, a + 20}, 10, t);
+    const auto r2 = compressed.Query({a, a + 20}, 10, t);
+    ASSERT_EQ(r1.size(), r2.size()) << a;
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      ASSERT_NEAR(r1[i].score, r2[i].score, 1e-9) << a << " " << i;
+    }
+  }
+  EXPECT_LT(compressed.MemoryBytes(), plain.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace rtsi

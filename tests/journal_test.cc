@@ -1,0 +1,166 @@
+// Durability: journaled operations, crash recovery (snapshot + journal
+// tail), and checkpointing.
+
+#include "storage/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace rtsi::storage {
+namespace {
+
+using core::RtsiConfig;
+using core::TermCount;
+
+const char* kSnapPath = "/tmp/rtsi_journal_test.snap";
+const char* kJournalPath = "/tmp/rtsi_journal_test.journal";
+
+void Cleanup() {
+  std::remove(kSnapPath);
+  std::remove(kJournalPath);
+}
+
+RtsiConfig SmallConfig() {
+  RtsiConfig config;
+  config.lsm.delta = 300;
+  config.lsm.num_l0_shards = 4;
+  return config;
+}
+
+TEST(JournalWriterTest, AppendAndReset) {
+  Cleanup();
+  JournalWriter writer;
+  ASSERT_TRUE(writer.Open(kJournalPath).ok());
+  workload::TraceOp op;
+  op.kind = workload::TraceOp::Kind::kFinish;
+  op.stream = 5;
+  ASSERT_TRUE(writer.Append(op).ok());
+  ASSERT_TRUE(writer.Append(op).ok());
+  EXPECT_EQ(writer.records_written(), 2u);
+  ASSERT_TRUE(writer.Reset().ok());
+  EXPECT_EQ(writer.records_written(), 0u);
+  ASSERT_TRUE(writer.Close().ok());
+  Cleanup();
+}
+
+TEST(DurableIndexTest, FreshOpenWorksWithoutFiles) {
+  Cleanup();
+  auto opened = DurableIndex::Open(SmallConfig(), kSnapPath, kJournalPath);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto& index = *opened.value();
+  index.InsertWindow(1, 1000, {{10, 3}}, true);
+  EXPECT_EQ(index.Query({10}, 5, 2000).size(), 1u);
+  Cleanup();
+}
+
+TEST(DurableIndexTest, RecoversFromJournalAlone) {
+  Cleanup();
+  {
+    auto opened =
+        DurableIndex::Open(SmallConfig(), kSnapPath, kJournalPath, true);
+    ASSERT_TRUE(opened.ok());
+    auto& index = *opened.value();
+    index.InsertWindow(1, 1000, {{10, 3}, {11, 1}}, true);
+    index.InsertWindow(2, 2000, {{10, 1}}, true);
+    index.UpdatePopularity(2, 500);
+    index.FinishStream(1);
+    index.DeleteStream(2);
+    // "Crash": no checkpoint, destructor just closes the file.
+  }
+  auto reopened = DurableIndex::Open(SmallConfig(), kSnapPath, kJournalPath);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto& index = *reopened.value();
+  const auto results = index.Query({10}, 5, 3000);
+  ASSERT_EQ(results.size(), 1u);      // Stream 2 deleted.
+  EXPECT_EQ(results[0].stream, 1u);
+  Cleanup();
+}
+
+TEST(DurableIndexTest, CheckpointTruncatesJournalAndSurvivesReopen) {
+  Cleanup();
+  {
+    auto opened = DurableIndex::Open(SmallConfig(), kSnapPath, kJournalPath);
+    ASSERT_TRUE(opened.ok());
+    auto& index = *opened.value();
+    Rng rng(5);
+    Timestamp t = 0;
+    for (StreamId s = 0; s < 150; ++s) {
+      index.InsertWindow(s, t += kMicrosPerSecond,
+                         {{static_cast<TermId>(s % 20), 2}}, false);
+      index.FinishStream(s);
+    }
+    ASSERT_TRUE(index.Checkpoint().ok());
+    // Post-checkpoint ops land in the (now empty) journal.
+    index.InsertWindow(900, t += kMicrosPerSecond, {{7, 5}}, true);
+  }
+  // Journal should only contain the post-checkpoint tail.
+  auto tail = workload::Trace::LoadFromFile(kJournalPath);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail.value().size(), 1u);
+
+  auto reopened = DurableIndex::Open(SmallConfig(), kSnapPath, kJournalPath);
+  ASSERT_TRUE(reopened.ok());
+  auto& index = *reopened.value();
+  EXPECT_EQ(index.index().stream_table().size(), 151u);
+  const auto results = index.Query({7}, 200, 10'000'000'000LL);
+  bool found_tail_stream = false;
+  for (const auto& r : results) {
+    if (r.stream == 900) found_tail_stream = true;
+  }
+  EXPECT_TRUE(found_tail_stream);
+  Cleanup();
+}
+
+TEST(DurableIndexTest, RecoveryMatchesUninterruptedExecution) {
+  Cleanup();
+  // Run the same op sequence (a) straight through on a plain index and
+  // (b) split across a crash + recovery; results must agree.
+  core::RtsiIndex reference(SmallConfig());
+  Rng rng(9);
+  Timestamp t = 0;
+
+  auto apply_ops = [&](core::SearchIndex& target, Rng local_rng,
+                       Timestamp start, int from, int to) {
+    Timestamp now = start;
+    for (int i = from; i < to; ++i) {
+      (void)local_rng;
+      now += kMicrosPerSecond;
+      const auto stream = static_cast<StreamId>(i % 40);
+      target.InsertWindow(stream, now,
+                          {{static_cast<TermId>(i % 25), 1 + i % 3}}, true);
+      if (i % 7 == 0) target.UpdatePopularity(stream, 10);
+    }
+    return now;
+  };
+
+  apply_ops(reference, rng, t, 0, 200);
+  {
+    auto opened = DurableIndex::Open(SmallConfig(), kSnapPath, kJournalPath);
+    ASSERT_TRUE(opened.ok());
+    apply_ops(*opened.value(), rng, t, 0, 120);
+    // Crash here.
+  }
+  {
+    auto reopened =
+        DurableIndex::Open(SmallConfig(), kSnapPath, kJournalPath);
+    ASSERT_TRUE(reopened.ok());
+    apply_ops(*reopened.value(), rng, t + 120 * kMicrosPerSecond, 120, 200);
+
+    const Timestamp now = 10'000'000'000LL;
+    for (TermId q = 0; q < 25; ++q) {
+      const auto r1 = reference.Query({q}, 10, now);
+      const auto r2 = reopened.value()->Query({q}, 10, now);
+      ASSERT_EQ(r1.size(), r2.size()) << q;
+      for (std::size_t i = 0; i < r1.size(); ++i) {
+        ASSERT_NEAR(r1[i].score, r2[i].score, 1e-9) << q << " rank " << i;
+      }
+    }
+  }
+  Cleanup();
+}
+
+}  // namespace
+}  // namespace rtsi::storage

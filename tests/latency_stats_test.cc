@@ -1,0 +1,82 @@
+#include "common/latency_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rtsi {
+namespace {
+
+TEST(LatencyStatsTest, EmptyStatsAreZero) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_micros(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.PercentileMicros(0.99), 0.0);
+}
+
+TEST(LatencyStatsTest, TracksMinMaxMean) {
+  LatencyStats stats;
+  stats.Record(10.0);
+  stats.Record(20.0);
+  stats.Record(30.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.min_micros(), 10.0);
+  EXPECT_DOUBLE_EQ(stats.max_micros(), 30.0);
+  EXPECT_DOUBLE_EQ(stats.mean_micros(), 20.0);
+}
+
+TEST(LatencyStatsTest, PercentilesAreOrdered) {
+  LatencyStats stats;
+  for (int i = 1; i <= 1000; ++i) stats.Record(static_cast<double>(i));
+  const double p50 = stats.PercentileMicros(0.5);
+  const double p90 = stats.PercentileMicros(0.9);
+  const double p99 = stats.PercentileMicros(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Log buckets are coarse; allow a bucket of slack.
+  EXPECT_NEAR(p50, 500.0, 100.0);
+  EXPECT_LE(p99, stats.max_micros());
+}
+
+TEST(LatencyStatsTest, MergeCombinesCounts) {
+  LatencyStats a, b;
+  a.Record(5.0);
+  a.Record(10.0);
+  b.Record(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.max_micros(), 100.0);
+  EXPECT_DOUBLE_EQ(a.min_micros(), 5.0);
+}
+
+TEST(LatencyStatsTest, MergeIntoEmpty) {
+  LatencyStats a, b;
+  b.Record(42.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min_micros(), 42.0);
+}
+
+TEST(LatencyStatsTest, ResetClearsEverything) {
+  LatencyStats stats;
+  stats.Record(7.0);
+  stats.Reset();
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.max_micros(), 0.0);
+}
+
+TEST(LatencyStatsTest, SummaryMentionsCount) {
+  LatencyStats stats;
+  stats.Record(1.0);
+  stats.Record(2.0);
+  EXPECT_NE(stats.Summary().find("n=2"), std::string::npos);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeElapsed) {
+  Stopwatch watch;
+  double total = 0.0;
+  for (int i = 0; i < 10000; ++i) total += i;
+  (void)total;
+  EXPECT_GE(watch.ElapsedMicros(), 0.0);
+}
+
+}  // namespace
+}  // namespace rtsi

@@ -1,0 +1,101 @@
+// Full-compaction merge policy: single sealed component, identical query
+// results to the geometric policy.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/rtsi_index.h"
+
+namespace rtsi::core {
+namespace {
+
+RtsiConfig PolicyConfig(lsm::MergePolicy policy) {
+  RtsiConfig config;
+  config.lsm.delta = 150;
+  config.lsm.num_l0_shards = 4;
+  config.lsm.policy = policy;
+  return config;
+}
+
+TEST(MergePolicyTest, FullCompactionKeepsOneComponent) {
+  RtsiIndex index(PolicyConfig(lsm::MergePolicy::kFullCompaction));
+  Timestamp t = 0;
+  for (StreamId s = 0; s < 400; ++s) {
+    index.InsertWindow(s, t += kMicrosPerSecond, {{s % 30, 2}}, false);
+    index.FinishStream(s);
+  }
+  EXPECT_LE(index.tree().num_levels(), 1u);
+  EXPECT_EQ(index.tree().total_postings(), 400u);
+  EXPECT_GT(index.GetMergeStats().merges, 0u);
+}
+
+TEST(MergePolicyTest, PoliciesReturnIdenticalResults) {
+  RtsiIndex geometric(PolicyConfig(lsm::MergePolicy::kGeometric));
+  RtsiIndex full(PolicyConfig(lsm::MergePolicy::kFullCompaction));
+
+  Rng rng(3);
+  Timestamp t = 0;
+  for (StreamId s = 0; s < 500; ++s) {
+    std::vector<TermCount> terms;
+    std::set<TermId> used;
+    for (int i = 0; i < 4; ++i) {
+      const auto term = static_cast<TermId>(rng.NextUint64(40));
+      if (used.insert(term).second) {
+        terms.push_back({term, 1 + static_cast<TermFreq>(rng.NextUint64(3))});
+      }
+    }
+    t += kMicrosPerSecond;
+    geometric.InsertWindow(s, t, terms, false);
+    full.InsertWindow(s, t, terms, false);
+    geometric.FinishStream(s);
+    full.FinishStream(s);
+  }
+  for (TermId q = 0; q < 40; ++q) {
+    const auto r1 = geometric.Query({q, (q + 13) % 40}, 10, t);
+    const auto r2 = full.Query({q, (q + 13) % 40}, 10, t);
+    ASSERT_EQ(r1.size(), r2.size()) << q;
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      ASSERT_NEAR(r1[i].score, r2[i].score, 1e-9) << q << " rank " << i;
+    }
+  }
+}
+
+TEST(MergePolicyTest, FullCompactionDoesMoreMergeWork) {
+  lsm::MergeStats stats_geometric, stats_full;
+  for (const auto policy : {lsm::MergePolicy::kGeometric,
+                            lsm::MergePolicy::kFullCompaction}) {
+    RtsiIndex index(PolicyConfig(policy));
+    Timestamp t = 0;
+    for (StreamId s = 0; s < 1500; ++s) {
+      index.InsertWindow(s, t += kMicrosPerSecond, {{s % 10, 1}}, false);
+      index.FinishStream(s);
+    }
+    if (policy == lsm::MergePolicy::kGeometric) {
+      stats_geometric = index.GetMergeStats();
+    } else {
+      stats_full = index.GetMergeStats();
+    }
+  }
+  EXPECT_GT(stats_full.postings_in, stats_geometric.postings_in);
+}
+
+TEST(MergePolicyTest, LazyDeletionStillWorks) {
+  RtsiIndex index(PolicyConfig(lsm::MergePolicy::kFullCompaction));
+  Timestamp t = 0;
+  for (StreamId s = 0; s < 200; ++s) {
+    index.InsertWindow(s, t += kMicrosPerSecond, {{5, 1}}, false);
+    index.FinishStream(s);
+  }
+  for (StreamId s = 0; s < 100; ++s) index.DeleteStream(s);
+  for (StreamId s = 500; s < 700; ++s) {
+    index.InsertWindow(s, t += kMicrosPerSecond, {{6, 1}}, false);
+    index.FinishStream(s);
+  }
+  EXPECT_GT(index.GetMergeStats().purged_postings, 0u);
+  EXPECT_EQ(index.Query({5}, 500, t).size(), 100u);
+}
+
+}  // namespace
+}  // namespace rtsi::core

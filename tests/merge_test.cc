@@ -1,0 +1,175 @@
+#include "lsm/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rtsi::lsm {
+namespace {
+
+using index::InvertedIndex;
+using index::Posting;
+
+Posting P(StreamId s, float pop, Timestamp frsh, TermFreq tf) {
+  return Posting{s, pop, frsh, tf};
+}
+
+TEST(MergeTest, CombineWithNullConsolidatesDuplicates) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.Add(1, P(10, 2.0f, 200, 3));  // Same stream, later window.
+  a.Add(1, P(11, 5.0f, 150, 1));
+  a.SealAll();
+
+  MergeStats stats;
+  const auto merged =
+      CombineComponents(a, nullptr, 1, false, MergeHooks{}, &stats);
+  ASSERT_NE(merged->GetPlain(1), nullptr);
+  EXPECT_EQ(merged->GetPlain(1)->size(), 2u);
+
+  Posting out;
+  ASSERT_TRUE(merged->GetPlain(1)->AggregateForStream(10, out));
+  EXPECT_EQ(out.tf, 5u);
+  EXPECT_EQ(out.frsh, 200);
+  EXPECT_FLOAT_EQ(out.pop, 2.0f);
+  EXPECT_EQ(stats.consolidated_postings, 1u);
+}
+
+TEST(MergeTest, CombineMergesTermsFromBothInputs) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.Add(2, P(10, 1.0f, 100, 1));
+  a.SealAll();
+  InvertedIndex b(1);
+  b.Add(1, P(20, 3.0f, 50, 4));
+  b.Add(3, P(30, 2.0f, 60, 5));
+  b.SealAll();
+
+  MergeStats stats;
+  const auto merged =
+      CombineComponents(a, &b, 2, false, MergeHooks{}, &stats);
+  EXPECT_EQ(merged->num_terms(), 3u);
+  EXPECT_EQ(merged->num_postings(), 4u);
+  EXPECT_EQ(merged->GetPlain(1)->size(), 2u);
+  EXPECT_EQ(stats.postings_in, 4u);
+  EXPECT_EQ(stats.postings_out, 4u);
+}
+
+TEST(MergeTest, CrossComponentDuplicatesAreConsolidated) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 300, 2));
+  a.SealAll();
+  InvertedIndex b(1);
+  b.Add(1, P(10, 4.0f, 100, 6));
+  b.SealAll();
+
+  const auto merged =
+      CombineComponents(a, &b, 2, false, MergeHooks{}, nullptr);
+  ASSERT_EQ(merged->GetPlain(1)->size(), 1u);
+  const Posting& p = merged->GetPlain(1)->entries()[0];
+  EXPECT_EQ(p.tf, 8u);
+  EXPECT_EQ(p.frsh, 300);
+  EXPECT_FLOAT_EQ(p.pop, 4.0f);
+}
+
+TEST(MergeTest, LazyDeletionPurgesPostings) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.Add(1, P(11, 1.0f, 110, 3));
+  a.SealAll();
+
+  MergeHooks hooks;
+  hooks.is_deleted = [](StreamId s) { return s == 10; };
+  MergeStats stats;
+  const auto merged = CombineComponents(a, nullptr, 1, false, hooks, &stats);
+  EXPECT_EQ(merged->num_postings(), 1u);
+  EXPECT_EQ(stats.purged_postings, 1u);
+  Posting out;
+  EXPECT_FALSE(merged->GetPlain(1)->AggregateForStream(10, out));
+}
+
+TEST(MergeTest, TermFullyPurgedDisappears) {
+  InvertedIndex a(0);
+  a.Add(7, P(10, 1.0f, 100, 2));
+  a.SealAll();
+  MergeHooks hooks;
+  hooks.is_deleted = [](StreamId) { return true; };
+  const auto merged = CombineComponents(a, nullptr, 1, false, hooks, nullptr);
+  EXPECT_EQ(merged->num_terms(), 0u);
+  EXPECT_EQ(merged->num_postings(), 0u);
+}
+
+TEST(MergeTest, OnStreamHookSeesMembership) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.Add(1, P(11, 1.0f, 110, 3));
+  a.SealAll();
+  InvertedIndex b(1);
+  b.Add(2, P(11, 1.0f, 50, 1));
+  b.Add(2, P(12, 1.0f, 60, 1));
+  b.SealAll();
+
+  std::set<StreamId> only_a, both, only_b;
+  MergeHooks hooks;
+  hooks.on_stream = [&](StreamId s, bool in_both) {
+    if (in_both) {
+      both.insert(s);
+    } else if (s == 12) {
+      only_b.insert(s);
+    } else {
+      only_a.insert(s);
+    }
+  };
+  CombineComponents(a, &b, 2, false, hooks, nullptr);
+  EXPECT_EQ(both, std::set<StreamId>{11});
+  EXPECT_EQ(only_a, std::set<StreamId>{10});
+  EXPECT_EQ(only_b, std::set<StreamId>{12});
+}
+
+TEST(MergeTest, OutputIsSealedAndSorted) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 3.0f, 100, 2));
+  a.Add(1, P(11, 1.0f, 110, 9));
+  a.Add(1, P(12, 7.0f, 120, 4));
+  a.SealAll();
+  const auto merged =
+      CombineComponents(a, nullptr, 1, false, MergeHooks{}, nullptr);
+  const auto* postings = merged->GetPlain(1);
+  ASSERT_NE(postings, nullptr);
+  EXPECT_TRUE(postings->sealed());
+  EXPECT_TRUE(postings->IsSorted(index::SortKey::kPopularity));
+  EXPECT_TRUE(postings->IsSorted(index::SortKey::kFreshness));
+  EXPECT_TRUE(postings->IsSorted(index::SortKey::kTermFrequency));
+}
+
+TEST(MergeTest, CompressedOutputWhenRequested) {
+  InvertedIndex a(0);
+  for (int i = 0; i < 50; ++i) {
+    a.Add(1, P(i, static_cast<float>(i), 100 + i, 1));
+  }
+  a.SealAll();
+  const auto merged =
+      CombineComponents(a, nullptr, 1, true, MergeHooks{}, nullptr);
+  EXPECT_TRUE(merged->compressed());
+  EXPECT_EQ(merged->num_postings(), 50u);
+  const auto view = merged->View(1);
+  ASSERT_TRUE(static_cast<bool>(view));
+  EXPECT_EQ(view->size(), 50u);
+}
+
+TEST(MergeTest, CompressedInputCanBeMerged) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.SealAll();
+  InvertedIndex b(1);
+  b.Add(1, P(20, 2.0f, 50, 3));
+  b.SealAll();
+  b.CompressAll();
+
+  const auto merged =
+      CombineComponents(a, &b, 2, false, MergeHooks{}, nullptr);
+  EXPECT_EQ(merged->num_postings(), 2u);
+}
+
+}  // namespace
+}  // namespace rtsi::lsm

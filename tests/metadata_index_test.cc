@@ -1,0 +1,55 @@
+#include "baseline/metadata_index.h"
+
+#include <gtest/gtest.h>
+
+namespace rtsi::baseline {
+namespace {
+
+core::RtsiConfig SmallConfig() {
+  core::RtsiConfig config;
+  config.lsm.delta = 100;
+  return config;
+}
+
+TEST(MetadataIndexTest, IndexesOnlyLeadingTermsOfFirstWindow) {
+  MetadataIndex index(SmallConfig(), /*metadata_terms=*/2);
+  index.InsertWindow(1, 1000, {{10, 1}, {11, 1}, {12, 1}}, true);
+  index.InsertWindow(1, 2000, {{13, 5}}, true);  // Later window: ignored.
+
+  EXPECT_EQ(index.Query({10}, 5, 3000).size(), 1u);
+  EXPECT_EQ(index.Query({11}, 5, 3000).size(), 1u);
+  EXPECT_TRUE(index.Query({12}, 5, 3000).empty());  // Beyond the cap.
+  EXPECT_TRUE(index.Query({13}, 5, 3000).empty());  // Said later.
+}
+
+TEST(MetadataIndexTest, ScoringModelMatchesCore) {
+  MetadataIndex index(SmallConfig());
+  index.InsertWindow(1, 1000, {{10, 2}}, false);
+  index.InsertWindow(2, 1000, {{10, 2}}, false);
+  index.UpdatePopularity(2, 10000);
+  const auto results = index.Query({10}, 2, 2000);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].stream, 2u);  // Popularity breaks the tie.
+}
+
+TEST(MetadataIndexTest, DeleteHidesStream) {
+  MetadataIndex index(SmallConfig());
+  index.InsertWindow(1, 1000, {{10, 1}}, true);
+  index.DeleteStream(1);
+  EXPECT_TRUE(index.Query({10}, 5, 2000).empty());
+}
+
+TEST(MetadataIndexTest, UsesFarLessMemoryThanItWouldFullText) {
+  MetadataIndex index(SmallConfig(), 4);
+  std::vector<core::TermCount> big_window;
+  for (TermId t = 0; t < 200; ++t) big_window.push_back({t, 1});
+  for (StreamId s = 0; s < 50; ++s) {
+    index.InsertWindow(s, 1000 + s, big_window, false);
+  }
+  // 50 streams x 4 metadata terms, not 50 x 200.
+  EXPECT_TRUE(index.Query({100}, 5, 5000).empty());
+  EXPECT_EQ(index.Query({2}, 100, 5000).size(), 50u);
+}
+
+}  // namespace
+}  // namespace rtsi::baseline

@@ -1,0 +1,130 @@
+// Dynamic-feature extensions of the MFCC front-end: delta features,
+// CMVN, and their interaction with the acoustic model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asr/acoustic_model.h"
+#include "asr/phoneme.h"
+#include "audio/mfcc.h"
+#include "audio/synthesizer.h"
+#include "common/rng.h"
+
+namespace rtsi::audio {
+namespace {
+
+PcmBuffer OneSecondTone() {
+  SynthesizerConfig config;
+  config.noise_floor = 0.0;
+  Synthesizer synth(config);
+  Rng rng(1);
+  return synth.Render({{500.0, 1500.0, 0.0, 1.0, 0.6}}, rng);
+}
+
+TEST(DeltaFeaturesTest, ConstantSignalHasZeroDeltas) {
+  std::vector<MfccFrame> frames(10, MfccFrame(5, 3.0));
+  const auto deltas = ComputeDeltas(frames, 2);
+  ASSERT_EQ(deltas.size(), 10u);
+  for (const auto& d : deltas) {
+    for (const double v : d) EXPECT_NEAR(v, 0.0, 1e-12);
+  }
+}
+
+TEST(DeltaFeaturesTest, LinearRampHasConstantDelta) {
+  std::vector<MfccFrame> frames;
+  for (int t = 0; t < 20; ++t) {
+    frames.push_back(MfccFrame(3, 2.0 * t));  // Slope 2 per frame.
+  }
+  const auto deltas = ComputeDeltas(frames, 2);
+  // Interior frames see the exact slope.
+  for (int t = 3; t < 17; ++t) {
+    for (const double v : deltas[t]) EXPECT_NEAR(v, 2.0, 1e-9);
+  }
+}
+
+TEST(DeltaFeaturesTest, EmptyInputYieldsEmpty) {
+  EXPECT_TRUE(ComputeDeltas({}, 2).empty());
+}
+
+TEST(CmvnTest, NormalizesMeanAndVariance) {
+  Rng rng(3);
+  std::vector<MfccFrame> frames;
+  for (int t = 0; t < 100; ++t) {
+    MfccFrame f(4);
+    for (double& v : f) v = 10.0 + 5.0 * (rng.NextDouble() - 0.5);
+    frames.push_back(f);
+  }
+  ApplyCmvn(frames);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (const auto& f : frames) mean += f[i];
+    mean /= frames.size();
+    for (const auto& f : frames) var += (f[i] - mean) * (f[i] - mean);
+    var /= frames.size();
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-6);
+  }
+}
+
+TEST(CmvnTest, ConstantDimensionCentersOnly) {
+  std::vector<MfccFrame> frames(10, MfccFrame(2, 7.0));
+  ApplyCmvn(frames);
+  for (const auto& f : frames) {
+    EXPECT_NEAR(f[0], 0.0, 1e-9);
+  }
+}
+
+TEST(MfccDeltaTest, FeatureDimensionGrowsWithOrders) {
+  for (int orders = 0; orders <= 2; ++orders) {
+    MfccConfig config;
+    config.num_delta_orders = orders;
+    MfccExtractor extractor(config);
+    EXPECT_EQ(extractor.feature_dimension(), 13 * (orders + 1));
+    const auto frames = extractor.Extract(OneSecondTone());
+    ASSERT_FALSE(frames.empty());
+    EXPECT_EQ(frames[0].size(),
+              static_cast<std::size_t>(13 * (orders + 1)));
+  }
+}
+
+TEST(MfccDeltaTest, SteadyToneHasSmallDeltas) {
+  MfccConfig config;
+  config.num_delta_orders = 1;
+  MfccExtractor extractor(config);
+  const auto frames = extractor.Extract(OneSecondTone());
+  ASSERT_GT(frames.size(), 10u);
+  // Mid-utterance frames of a steady tone: delta block near zero versus
+  // the static block magnitude.
+  const auto& mid = frames[frames.size() / 2];
+  double static_mag = 0.0, delta_mag = 0.0;
+  for (int i = 0; i < 13; ++i) static_mag += std::abs(mid[i]);
+  for (int i = 13; i < 26; ++i) delta_mag += std::abs(mid[i]);
+  EXPECT_LT(delta_mag, static_mag * 0.1);
+}
+
+TEST(MfccDeltaTest, AcousticModelWorksWithDynamicFeatures) {
+  MfccConfig config;
+  config.num_delta_orders = 2;
+  config.apply_cmvn = false;
+  MfccExtractor extractor(config);
+  asr::AcousticModel model(extractor);
+  EXPECT_EQ(model.prototypes()[0].size(), 39u);
+
+  // Clean vowels must still classify correctly with the wider features.
+  SynthesizerConfig synth_config;
+  synth_config.noise_floor = 0.0;
+  Synthesizer synth(synth_config);
+  Rng rng(13);
+  for (const char* name : {"iy", "aa"}) {
+    const asr::PhonemeId phone = asr::PhonemeByName(name);
+    PhoneSpec spec = asr::PhonemeSpec(phone);
+    spec.duration_seconds = 0.2;
+    const auto frames = extractor.Extract(synth.Render({spec}, rng));
+    ASSERT_GT(frames.size(), 4u);
+    EXPECT_EQ(model.BestPhone(frames[frames.size() / 2]), phone) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rtsi::audio

@@ -1,0 +1,140 @@
+#include "audio/mfcc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "audio/mel_filterbank.h"
+#include "audio/synthesizer.h"
+#include "common/rng.h"
+
+namespace rtsi::audio {
+namespace {
+
+TEST(MelScaleTest, RoundTrips) {
+  for (double hz : {100.0, 440.0, 1000.0, 4000.0, 7999.0}) {
+    EXPECT_NEAR(MelToHz(HzToMel(hz)), hz, 1e-6) << hz;
+  }
+}
+
+TEST(MelScaleTest, IsMonotone) {
+  double prev = HzToMel(10.0);
+  for (double hz = 20.0; hz < 8000.0; hz += 100.0) {
+    const double mel = HzToMel(hz);
+    EXPECT_GT(mel, prev);
+    prev = mel;
+  }
+}
+
+TEST(MelFilterbankTest, FiltersCoverSpectrumWithoutGaps) {
+  const int fft_size = 512;
+  MelFilterbank bank(26, fft_size, 16000, 20.0, 8000.0);
+  // A flat power spectrum must produce nonzero energy in every filter.
+  std::vector<double> flat(fft_size / 2 + 1, 1.0);
+  const auto energies = bank.Apply(flat);
+  ASSERT_EQ(energies.size(), 26u);
+  for (int f = 0; f < 26; ++f) {
+    EXPECT_GT(energies[f], 0.0) << "filter " << f;
+  }
+}
+
+TEST(MelFilterbankTest, LowToneExcitesLowFiltersMost) {
+  const int fft_size = 512;
+  const int rate = 16000;
+  MelFilterbank bank(26, fft_size, rate, 20.0, 8000.0);
+  std::vector<double> power(fft_size / 2 + 1, 0.0);
+  // Energy at ~300 Hz.
+  power[static_cast<std::size_t>(300.0 * fft_size / rate)] = 100.0;
+  const auto energies = bank.Apply(power);
+  std::size_t argmax = 0;
+  for (std::size_t f = 1; f < energies.size(); ++f) {
+    if (energies[f] > energies[argmax]) argmax = f;
+  }
+  EXPECT_LT(argmax, 8u);  // Should land in the low third of the bank.
+}
+
+TEST(DctTest, ConstantInputIsOnlyCoefficientZero) {
+  std::vector<double> input(26, 2.0);
+  const auto out = DctII(input, 13);
+  ASSERT_EQ(out.size(), 13u);
+  EXPECT_GT(std::abs(out[0]), 1.0);
+  for (std::size_t k = 1; k < out.size(); ++k) {
+    EXPECT_NEAR(out[k], 0.0, 1e-9) << k;
+  }
+}
+
+TEST(DctTest, EmptyInputYieldsEmptyOutput) {
+  const auto out = DctII({}, 13);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MfccExtractorTest, FrameCountMatchesDuration) {
+  MfccConfig config;
+  MfccExtractor extractor(config);
+  PcmBuffer pcm;
+  pcm.sample_rate_hz = 16000;
+  pcm.samples.assign(16000, 0.1f);  // 1 second.
+  const auto frames = extractor.Extract(pcm);
+  // (16000 - 400) / 160 + 1 = 98 frames.
+  EXPECT_EQ(frames.size(), 98u);
+  for (const auto& frame : frames) {
+    EXPECT_EQ(frame.size(), 13u);
+  }
+}
+
+TEST(MfccExtractorTest, TooShortBufferYieldsNothing) {
+  MfccExtractor extractor(MfccConfig{});
+  PcmBuffer pcm;
+  pcm.samples.assign(100, 0.1f);
+  EXPECT_TRUE(extractor.Extract(pcm).empty());
+}
+
+TEST(MfccExtractorTest, DistinctTonesGiveDistinctCoefficients) {
+  MfccExtractor extractor(MfccConfig{});
+  SynthesizerConfig synth_config;
+  synth_config.noise_floor = 0.0;
+  Synthesizer synth(synth_config);
+  Rng rng(3);
+
+  PhoneSpec low{300.0, 900.0, 0.0, 0.3, 0.6};
+  PhoneSpec high{1800.0, 2600.0, 0.0, 0.3, 0.6};
+  const auto frames_low = extractor.Extract(synth.Render({low}, rng));
+  const auto frames_high = extractor.Extract(synth.Render({high}, rng));
+  ASSERT_FALSE(frames_low.empty());
+  ASSERT_FALSE(frames_high.empty());
+
+  // Compare mid-frames (steady state): should differ markedly.
+  const auto& a = frames_low[frames_low.size() / 2];
+  const auto& b = frames_high[frames_high.size() / 2];
+  double distance = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    distance += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  EXPECT_GT(distance, 1.0);
+}
+
+TEST(SynthesizerTest, RenderDurationMatchesSpecs) {
+  SynthesizerConfig config;
+  Synthesizer synth(config);
+  Rng rng(1);
+  std::vector<PhoneSpec> phones = {{500, 1500, 0.0, 0.1, 0.5},
+                                   {700, 1200, 0.5, 0.05, 0.5}};
+  const PcmBuffer pcm = synth.Render(phones, rng);
+  EXPECT_EQ(pcm.samples.size(),
+            static_cast<std::size_t>(0.15 * config.sample_rate_hz));
+}
+
+TEST(SynthesizerTest, SamplesStayInRange) {
+  SynthesizerConfig config;
+  Synthesizer synth(config);
+  Rng rng(2);
+  const PcmBuffer pcm =
+      synth.Render({{600, 1600, 0.5, 0.2, 1.0}}, rng);
+  for (const float s : pcm.samples) {
+    ASSERT_GE(s, -1.0f);
+    ASSERT_LE(s, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace rtsi::audio

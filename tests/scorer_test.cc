@@ -1,0 +1,149 @@
+#include "core/scorer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/doc_freq.h"
+#include "core/top_k.h"
+
+namespace rtsi::core {
+namespace {
+
+Scorer DefaultScorer() { return Scorer(ScoreWeights{}, 6.0 * 3600.0); }
+
+TEST(ScorerTest, PopScoreNormalized) {
+  const Scorer scorer = DefaultScorer();
+  EXPECT_DOUBLE_EQ(scorer.PopScore(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(scorer.PopScore(100, 100), 1.0);
+  const double mid = scorer.PopScore(10, 100);
+  EXPECT_GT(mid, 0.0);
+  EXPECT_LT(mid, 1.0);
+}
+
+TEST(ScorerTest, PopScoreZeroMaxIsZero) {
+  const Scorer scorer = DefaultScorer();
+  EXPECT_DOUBLE_EQ(scorer.PopScore(0, 0), 0.0);
+}
+
+TEST(ScorerTest, PopScoreMonotoneInCount) {
+  const Scorer scorer = DefaultScorer();
+  double prev = -1.0;
+  for (std::uint64_t count : {0ULL, 1ULL, 10ULL, 100ULL, 1000ULL}) {
+    const double s = scorer.PopScore(count, 1000);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ScorerTest, FreshnessDecaysWithAge) {
+  const Scorer scorer = DefaultScorer();
+  const Timestamp now = 100 * kMicrosPerHour;
+  const double fresh = scorer.FrshScore(now, now);
+  const double hour_old = scorer.FrshScore(now - kMicrosPerHour, now);
+  const double day_old = scorer.FrshScore(now - 24 * kMicrosPerHour, now);
+  EXPECT_DOUBLE_EQ(fresh, 1.0);
+  EXPECT_GT(fresh, hour_old);
+  EXPECT_GT(hour_old, day_old);
+  EXPECT_GT(day_old, 0.0);
+}
+
+TEST(ScorerTest, FutureTimestampClampsToOne) {
+  const Scorer scorer = DefaultScorer();
+  EXPECT_DOUBLE_EQ(scorer.FrshScore(200, 100), 1.0);
+}
+
+TEST(ScorerTest, TfIdfZeroForAbsentTerm) {
+  const Scorer scorer = DefaultScorer();
+  EXPECT_DOUBLE_EQ(scorer.TermTfIdf(0, 3.0), 0.0);
+  EXPECT_GT(scorer.TermTfIdf(1, 3.0), 0.0);
+}
+
+TEST(ScorerTest, TfIdfSublinearInTf) {
+  const Scorer scorer = DefaultScorer();
+  const double tf1 = scorer.TermTfIdf(1, 1.0);
+  const double tf10 = scorer.TermTfIdf(10, 1.0);
+  const double tf100 = scorer.TermTfIdf(100, 1.0);
+  EXPECT_LT(tf10 - tf1, 10.0 * tf1);
+  EXPECT_LT(tf100 - tf10, tf10 - tf1 + 1e-9 + (tf10 - tf1));
+}
+
+TEST(ScorerTest, RelScoreBoundedAndMonotone) {
+  const Scorer scorer = DefaultScorer();
+  double prev = -1.0;
+  for (double sum : {0.0, 0.5, 1.0, 5.0, 100.0}) {
+    const double rel = scorer.RelScore(sum, 2);
+    EXPECT_GE(rel, 0.0);
+    EXPECT_LT(rel, 1.0);
+    EXPECT_GT(rel, prev - 1e-12);
+    prev = rel;
+  }
+}
+
+TEST(ScorerTest, CombineAppliesWeights) {
+  ScoreWeights weights;
+  weights.pop = 1.0;
+  weights.rel = 0.0;
+  weights.frsh = 0.0;
+  const Scorer scorer(weights, 3600.0);
+  EXPECT_DOUBLE_EQ(scorer.Combine(0.7, 0.9, 0.1), 0.7);
+}
+
+TEST(DocFreqTest, IdfOrdersRareAboveCommon) {
+  DocumentFrequencyTable df;
+  for (int i = 0; i < 1000; ++i) {
+    df.AddDocument();
+    df.AddOccurrence(1);  // Term 1 in every doc.
+  }
+  df.AddOccurrence(2);  // Term 2 in one doc.
+  EXPECT_GT(df.Idf(2), df.Idf(1));
+  EXPECT_GT(df.Idf(1), 0.0);
+  EXPECT_EQ(df.DocumentFrequency(1), 1000u);
+  EXPECT_EQ(df.num_documents(), 1000u);
+}
+
+TEST(DocFreqTest, UnknownTermHasHighestIdf) {
+  DocumentFrequencyTable df;
+  for (int i = 0; i < 100; ++i) df.AddDocument();
+  df.AddOccurrence(1);
+  EXPECT_GE(df.Idf(999), df.Idf(1));
+}
+
+TEST(TopKHeapTest, KeepsBestK) {
+  TopKHeap heap(3);
+  for (int i = 0; i < 10; ++i) {
+    heap.Offer(i, static_cast<double>(i));
+  }
+  const auto results = heap.SortedResults();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].stream, 9u);
+  EXPECT_EQ(results[1].stream, 8u);
+  EXPECT_EQ(results[2].stream, 7u);
+  EXPECT_DOUBLE_EQ(heap.KthScore(), 7.0);
+}
+
+TEST(TopKHeapTest, NotFullKthIsMinusInfinity) {
+  TopKHeap heap(5);
+  heap.Offer(1, 10.0);
+  EXPECT_FALSE(heap.full());
+  EXPECT_LT(heap.KthScore(), -1e300);
+}
+
+TEST(TopKHeapTest, RejectsLowScoresWhenFull) {
+  TopKHeap heap(2);
+  heap.Offer(1, 10.0);
+  heap.Offer(2, 20.0);
+  heap.Offer(3, 5.0);  // Rejected.
+  const auto results = heap.SortedResults();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].stream, 2u);
+  EXPECT_EQ(results[1].stream, 1u);
+}
+
+TEST(TopKHeapTest, KOfZeroClampedToOne) {
+  TopKHeap heap(0);
+  heap.Offer(1, 1.0);
+  heap.Offer(2, 2.0);
+  EXPECT_EQ(heap.SortedResults().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rtsi::core

@@ -1,0 +1,108 @@
+// Whole-service snapshots: dictionaries + both modality trees.
+
+#include "service/service_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace rtsi::service {
+namespace {
+
+SearchServiceConfig SmallServiceConfig() {
+  SearchServiceConfig config;
+  config.index.lsm.delta = 2000;
+  config.ingestion.acoustic_path = AcousticPath::kDirect;
+  config.ingestion.transcriber.word_error_rate = 0.0;
+  return config;
+}
+
+void RemoveSnapshotFiles(const std::string& prefix) {
+  std::remove((prefix + ".text").c_str());
+  std::remove((prefix + ".sound").c_str());
+  std::remove((prefix + ".dicts").c_str());
+}
+
+TEST(ServiceSnapshotTest, RoundTripPreservesSearchResults) {
+  const std::string prefix = "/tmp/rtsi_service_snap_roundtrip";
+  SimulatedClock clock;
+  SearchService original(SmallServiceConfig(), &clock);
+  original.IngestWindow(1, {"quantum", "physics", "lecture", "series"});
+  original.IngestWindow(2, {"football", "league", "highlights"});
+  original.IngestWindow(3, {"cooking", "pasta", "recipes"});
+  original.UpdatePopularity(2, 5000);
+  original.FinishStream(3);
+  clock.Advance(kMicrosPerMinute);
+
+  ASSERT_TRUE(SaveServiceSnapshot(original, prefix).ok());
+
+  SimulatedClock clock2;
+  clock2.SetTime(clock.Now());
+  SearchService restored(SmallServiceConfig(), &clock2);
+  const Status status = LoadServiceSnapshot(restored, prefix);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_EQ(restored.text_dictionary().size(),
+            original.text_dictionary().size());
+  EXPECT_EQ(restored.sound_dictionary().size(),
+            original.sound_dictionary().size());
+
+  for (const char* query : {"quantum physics", "football", "pasta"}) {
+    const auto r1 = original.SearchKeywords(query, 5);
+    const auto r2 = restored.SearchKeywords(query, 5);
+    ASSERT_EQ(r1.size(), r2.size()) << query;
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      EXPECT_EQ(r1[i].stream, r2[i].stream) << query;
+      EXPECT_NEAR(r1[i].score, r2[i].score, 1e-9) << query;
+    }
+  }
+  RemoveSnapshotFiles(prefix);
+}
+
+TEST(ServiceSnapshotTest, RestoredServiceAcceptsNewContent) {
+  const std::string prefix = "/tmp/rtsi_service_snap_continue";
+  SimulatedClock clock;
+  SearchService original(SmallServiceConfig(), &clock);
+  original.IngestWindow(1, {"archive", "episode", "history"});
+  ASSERT_TRUE(SaveServiceSnapshot(original, prefix).ok());
+
+  SimulatedClock clock2;
+  SearchService restored(SmallServiceConfig(), &clock2);
+  ASSERT_TRUE(LoadServiceSnapshot(restored, prefix).ok());
+  restored.IngestWindow(9, {"fresh", "broadcast", "tonight"});
+  clock2.Advance(kMicrosPerMinute);
+
+  EXPECT_FALSE(restored.SearchKeywords("history", 3).empty());
+  const auto fresh = restored.SearchKeywords("broadcast", 3);
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh[0].stream, 9u);
+  RemoveSnapshotFiles(prefix);
+}
+
+TEST(ServiceSnapshotTest, LoadIntoNonEmptyServiceFails) {
+  const std::string prefix = "/tmp/rtsi_service_snap_nonempty";
+  SimulatedClock clock;
+  SearchService original(SmallServiceConfig(), &clock);
+  original.IngestWindow(1, {"content"});
+  ASSERT_TRUE(SaveServiceSnapshot(original, prefix).ok());
+
+  SimulatedClock clock2;
+  SearchService busy(SmallServiceConfig(), &clock2);
+  busy.IngestWindow(5, {"already", "here"});
+  const Status status = LoadServiceSnapshot(busy, prefix);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  RemoveSnapshotFiles(prefix);
+}
+
+TEST(ServiceSnapshotTest, MissingFilesReported) {
+  SimulatedClock clock;
+  SearchService service(SmallServiceConfig(), &clock);
+  EXPECT_FALSE(
+      LoadServiceSnapshot(service, "/tmp/rtsi_no_such_prefix_xyz").ok());
+}
+
+}  // namespace
+}  // namespace rtsi::service

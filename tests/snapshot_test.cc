@@ -1,0 +1,208 @@
+// Snapshot save/restore: round-trip fidelity, corruption detection, and
+// continued operation (inserts + merges) after restore.
+
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "workload/corpus.h"
+#include "workload/driver.h"
+
+namespace rtsi::storage {
+namespace {
+
+using core::RtsiConfig;
+using core::RtsiIndex;
+using core::TermCount;
+
+std::string TempPath(const char* name) {
+  return std::string("/tmp/rtsi_snapshot_test_") + name + ".snap";
+}
+
+RtsiConfig SmallConfig() {
+  RtsiConfig config;
+  config.lsm.delta = 200;
+  config.lsm.num_l0_shards = 4;
+  return config;
+}
+
+// Builds a nontrivial index: merges, live + finished + deleted streams,
+// popularity updates, L0 residue.
+std::unique_ptr<RtsiIndex> BuildPopulatedIndex(const RtsiConfig& config) {
+  auto index = std::make_unique<RtsiIndex>(config);
+  Rng rng(7);
+  Timestamp t = 0;
+  for (StreamId s = 0; s < 120; ++s) {
+    const int windows = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int w = 0; w < windows; ++w) {
+      std::vector<TermCount> terms;
+      std::set<TermId> used;
+      for (int i = 0; i < 6; ++i) {
+        const auto term = static_cast<TermId>(rng.NextUint64(40));
+        if (used.insert(term).second) {
+          terms.push_back(
+              {term, 1 + static_cast<TermFreq>(rng.NextUint64(4))});
+        }
+      }
+      t += kMicrosPerSecond;
+      index->InsertWindow(s, t, terms, w + 1 < windows);
+    }
+    if (s % 3 != 0) index->FinishStream(s);  // Every third stays live.
+    if (s % 17 == 0) index->DeleteStream(s);
+    index->UpdatePopularity(s, rng.NextUint64(500));
+  }
+  return index;
+}
+
+TEST(SnapshotTest, Crc32KnownVector) {
+  // CRC-32 of "123456789" is the classic check value.
+  EXPECT_EQ(Crc32(0, "123456789", 9), 0xCBF43926u);
+}
+
+TEST(SnapshotTest, RoundTripPreservesQueryResults) {
+  const std::string path = TempPath("roundtrip");
+  const RtsiConfig config = SmallConfig();
+  auto original = BuildPopulatedIndex(config);
+  ASSERT_TRUE(SaveIndexSnapshot(*original, path).ok());
+
+  auto loaded_result = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  auto& loaded = *loaded_result.value();
+
+  EXPECT_EQ(loaded.tree().total_postings(),
+            original->tree().total_postings());
+  EXPECT_EQ(loaded.stream_table().size(), original->stream_table().size());
+  EXPECT_EQ(loaded.live_table().num_entries(),
+            original->live_table().num_entries());
+  EXPECT_EQ(loaded.doc_freq().num_documents(),
+            original->doc_freq().num_documents());
+
+  const Timestamp now = 1'000'000'000;
+  for (TermId a = 0; a < 40; ++a) {
+    const auto r1 = original->Query({a, (a + 11) % 40}, 10, now);
+    const auto r2 = loaded.Query({a, (a + 11) % 40}, 10, now);
+    ASSERT_EQ(r1.size(), r2.size()) << a;
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      ASSERT_EQ(r1[i].stream, r2[i].stream) << a << " rank " << i;
+      ASSERT_NEAR(r1[i].score, r2[i].score, 1e-12) << a << " rank " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RestoredIndexKeepsWorking) {
+  const std::string path = TempPath("keepworking");
+  auto original = BuildPopulatedIndex(SmallConfig());
+  ASSERT_TRUE(SaveIndexSnapshot(*original, path).ok());
+  auto loaded_result = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded_result.ok());
+  auto& loaded = *loaded_result.value();
+
+  // New insertions must merge cleanly with restored components.
+  Timestamp t = 2'000'000'000;
+  for (StreamId s = 1000; s < 1200; ++s) {
+    loaded.InsertWindow(s, t += kMicrosPerSecond, {{5, 2}, {900, 1}}, false);
+    loaded.FinishStream(s);
+  }
+  const auto results = loaded.Query({900}, 300, t);
+  EXPECT_EQ(results.size(), 200u);
+  EXPECT_GT(loaded.GetMergeStats().merges, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, CompressedConfigRoundTrips) {
+  const std::string path = TempPath("compressed");
+  RtsiConfig config = SmallConfig();
+  config.lsm.compress = true;
+  auto original = BuildPopulatedIndex(config);
+  ASSERT_TRUE(SaveIndexSnapshot(*original, path).ok());
+  auto loaded_result = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded_result.ok());
+  auto& loaded = *loaded_result.value();
+  EXPECT_TRUE(loaded.config().lsm.compress);
+  EXPECT_EQ(loaded.tree().total_postings(),
+            original->tree().total_postings());
+  const auto r1 = original->Query({3}, 10, 1'000'000'000);
+  const auto r2 = loaded.Query({3}, 10, 1'000'000'000);
+  ASSERT_EQ(r1.size(), r2.size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DetectsCorruption) {
+  const std::string path = TempPath("corrupt");
+  auto original = BuildPopulatedIndex(SmallConfig());
+  ASSERT_TRUE(SaveIndexSnapshot(*original, path).ok());
+
+  // Flip one byte in the middle.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  const int byte = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(byte ^ 0xFF, f);
+  std::fclose(f);
+
+  const auto result = LoadIndexSnapshot(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, DetectsTruncation) {
+  const std::string path = TempPath("truncated");
+  auto original = BuildPopulatedIndex(SmallConfig());
+  ASSERT_TRUE(SaveIndexSnapshot(*original, path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<char> data(size / 2);
+  ASSERT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+
+  EXPECT_FALSE(LoadIndexSnapshot(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileReportsNotFound) {
+  const auto result = LoadIndexSnapshot("/tmp/does_not_exist_rtsi.snap");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, BadMagicRejected) {
+  const std::string path = TempPath("badmagic");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[] = "NOTASNAPSHOTFILE________________";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  const auto result = LoadIndexSnapshot(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EmptyIndexRoundTrips) {
+  const std::string path = TempPath("empty");
+  RtsiIndex index(SmallConfig());
+  ASSERT_TRUE(SaveIndexSnapshot(index, path).ok());
+  auto result = LoadIndexSnapshot(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->tree().total_postings(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtsi::storage

@@ -1,0 +1,95 @@
+#include "text/stemmer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "service/search_service.h"
+
+namespace rtsi::text {
+namespace {
+
+TEST(StemmerTest, FoldsPlurals) {
+  Stemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("streams"), "stream");
+  EXPECT_EQ(stemmer.Stem("podcasts"), "podcast");
+  EXPECT_EQ(stemmer.Stem("stories"), "story");
+  EXPECT_EQ(stemmer.Stem("addresses"), "address");
+}
+
+TEST(StemmerTest, FoldsVerbForms) {
+  Stemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("streaming"), "stream");
+  EXPECT_EQ(stemmer.Stem("streamed"), "stream");
+  EXPECT_EQ(stemmer.Stem("running"), "run");
+  EXPECT_EQ(stemmer.Stem("broadcasting"), "broadcast");
+}
+
+TEST(StemmerTest, InflectionsShareAStem) {
+  Stemmer stemmer;
+  const std::string base = stemmer.Stem("stream");
+  EXPECT_EQ(stemmer.Stem("streams"), base);
+  EXPECT_EQ(stemmer.Stem("streaming"), base);
+  EXPECT_EQ(stemmer.Stem("streamed"), base);
+}
+
+TEST(StemmerTest, LeavesShortAndSpecialTokensAlone) {
+  Stemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("its"), "its");
+  EXPECT_EQ(stemmer.Stem("abc"), "abc");
+  EXPECT_EQ(stemmer.Stem("w1234"), "w1234");   // Synthetic corpus ids.
+  EXPECT_EQ(stemmer.Stem("音频流"), "音频流");  // UTF-8 untouched.
+}
+
+TEST(StemmerTest, DoesNotMangleNonSuffixWords) {
+  Stemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("jazz"), "jazz");
+  EXPECT_EQ(stemmer.Stem("chess"), "chess");  // "ss" is not a plural.
+  EXPECT_EQ(stemmer.Stem("ring"), "ring");    // Too short for -ing strip.
+}
+
+TEST(StemmerTest, AdverbsAndNominalizations) {
+  Stemmer stemmer;
+  EXPECT_EQ(stemmer.Stem("quickly"), "quick");
+  EXPECT_EQ(stemmer.Stem("darkness"), "dark");
+}
+
+TEST(StemmerServiceTest, StemmedServiceMatchesInflectedQueries) {
+  SimulatedClock clock;
+  service::SearchServiceConfig config;
+  config.ingestion.acoustic_path = service::AcousticPath::kDirect;
+  config.ingestion.transcriber.word_error_rate = 0.0;
+  config.ingestion.stem_text = true;
+  service::SearchService search(config, &clock);
+
+  search.IngestWindow(1, {"streaming", "music", "concerts"});
+  clock.Advance(kMicrosPerMinute);
+
+  // Inflected query forms hit the same stems.
+  for (const char* query : {"stream", "streams", "streamed", "concert"}) {
+    const auto results = search.SearchKeywords(query, 3);
+    ASSERT_FALSE(results.empty()) << query;
+    EXPECT_EQ(results[0].stream, 1u) << query;
+    EXPECT_GT(results[0].text_score, 0.0) << query;
+  }
+}
+
+TEST(StemmerServiceTest, UnstemmedServiceMissesInflections) {
+  SimulatedClock clock;
+  service::SearchServiceConfig config;
+  config.ingestion.acoustic_path = service::AcousticPath::kDirect;
+  config.ingestion.transcriber.word_error_rate = 0.0;
+  config.ingestion.stem_text = false;
+  service::SearchService search(config, &clock);
+
+  search.IngestWindow(1, {"streaming", "music"});
+  clock.Advance(kMicrosPerMinute);
+  const auto results = search.SearchKeywords("streams", 3);
+  // Text modality misses; only sound similarity could rescue, and for a
+  // different inflection the lattice units differ too.
+  for (const auto& r : results) {
+    EXPECT_EQ(r.text_score, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rtsi::text

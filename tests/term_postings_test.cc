@@ -1,0 +1,135 @@
+#include "index/term_postings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rtsi::index {
+namespace {
+
+Posting MakePosting(StreamId stream, float pop, Timestamp frsh, TermFreq tf) {
+  return Posting{stream, pop, frsh, tf};
+}
+
+TEST(TermPostingsTest, AppendTracksMaxima) {
+  TermPostings postings;
+  postings.Append(MakePosting(1, 5.0f, 100, 3));
+  postings.Append(MakePosting(2, 9.0f, 200, 1));
+  postings.Append(MakePosting(3, 2.0f, 300, 7));
+  EXPECT_FLOAT_EQ(postings.max_pop(), 9.0f);
+  EXPECT_EQ(postings.max_frsh(), 300);
+  EXPECT_EQ(postings.max_tf(), 7u);
+  EXPECT_EQ(postings.size(), 3u);
+}
+
+TEST(TermPostingsTest, FreshnessViewIsReverseArrival) {
+  TermPostings postings;
+  postings.Append(MakePosting(1, 0, 100, 1));
+  postings.Append(MakePosting(2, 0, 200, 1));
+  postings.Append(MakePosting(3, 0, 300, 1));
+  EXPECT_EQ(postings.At(SortKey::kFreshness, 0).stream, 3u);
+  EXPECT_EQ(postings.At(SortKey::kFreshness, 2).stream, 1u);
+}
+
+TEST(TermPostingsTest, SealBuildsDescendingViews) {
+  TermPostings postings;
+  postings.Append(MakePosting(1, 5.0f, 100, 3));
+  postings.Append(MakePosting(2, 9.0f, 200, 1));
+  postings.Append(MakePosting(3, 2.0f, 300, 7));
+  postings.Seal();
+  EXPECT_TRUE(postings.sealed());
+
+  EXPECT_EQ(postings.At(SortKey::kPopularity, 0).stream, 2u);
+  EXPECT_EQ(postings.At(SortKey::kPopularity, 2).stream, 3u);
+  EXPECT_EQ(postings.At(SortKey::kTermFrequency, 0).stream, 3u);
+  EXPECT_EQ(postings.At(SortKey::kTermFrequency, 2).stream, 2u);
+}
+
+TEST(TermPostingsTest, IsSortedMatchesViews) {
+  TermPostings postings;
+  postings.Append(MakePosting(1, 5.0f, 100, 3));
+  postings.Append(MakePosting(2, 9.0f, 200, 1));
+  EXPECT_TRUE(postings.IsSorted(SortKey::kFreshness));
+  EXPECT_FALSE(postings.IsSorted(SortKey::kPopularity));  // Unsealed.
+  postings.Seal();
+  EXPECT_TRUE(postings.IsSorted(SortKey::kPopularity));
+  EXPECT_TRUE(postings.IsSorted(SortKey::kTermFrequency));
+}
+
+TEST(TermPostingsTest, AggregateForStreamFindsSingle) {
+  TermPostings postings;
+  postings.Append(MakePosting(5, 1.0f, 10, 2));
+  postings.Append(MakePosting(9, 2.0f, 20, 4));
+  postings.Seal();
+  Posting out;
+  ASSERT_TRUE(postings.AggregateForStream(9, out));
+  EXPECT_EQ(out.tf, 4u);
+  EXPECT_FALSE(postings.AggregateForStream(7, out));
+}
+
+TEST(TermPostingsTest, AggregateForStreamFoldsDuplicates) {
+  TermPostings postings;
+  postings.Append(MakePosting(5, 1.0f, 10, 2));
+  postings.Append(MakePosting(5, 3.0f, 20, 4));
+  postings.Append(MakePosting(5, 2.0f, 30, 1));
+  postings.Append(MakePosting(6, 9.0f, 40, 8));
+  postings.Seal();
+  Posting out;
+  ASSERT_TRUE(postings.AggregateForStream(5, out));
+  EXPECT_EQ(out.tf, 7u);        // 2 + 4 + 1.
+  EXPECT_EQ(out.frsh, 30);      // Newest.
+  EXPECT_FLOAT_EQ(out.pop, 3.0f);  // Largest snapshot.
+}
+
+TEST(TermPostingsTest, EmptyListBehaves) {
+  TermPostings postings;
+  EXPECT_TRUE(postings.empty());
+  postings.Seal();
+  Posting out;
+  EXPECT_FALSE(postings.AggregateForStream(1, out));
+  EXPECT_TRUE(postings.IsSorted(SortKey::kPopularity));
+}
+
+TEST(TermPostingsTest, SealIsIdempotent) {
+  TermPostings postings;
+  postings.Append(MakePosting(1, 1.0f, 1, 1));
+  postings.Seal();
+  postings.Seal();
+  EXPECT_EQ(postings.size(), 1u);
+}
+
+class TermPostingsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TermPostingsProperty, SortedViewsAreTruePermutations) {
+  Rng rng(GetParam());
+  TermPostings postings;
+  Timestamp t = 0;
+  const int n = 200 + static_cast<int>(rng.NextUint64(300));
+  for (int i = 0; i < n; ++i) {
+    t += static_cast<Timestamp>(rng.NextUint64(50));
+    postings.Append(MakePosting(rng.NextUint64(100),
+                                static_cast<float>(rng.NextUint64(1000)), t,
+                                1 + static_cast<TermFreq>(rng.NextUint64(20))));
+  }
+  postings.Seal();
+
+  for (const SortKey key : {SortKey::kPopularity, SortKey::kFreshness,
+                            SortKey::kTermFrequency}) {
+    EXPECT_TRUE(postings.IsSorted(key));
+    // Each view must visit every entry exactly once: sum tf as a cheap
+    // multiset fingerprint.
+    std::uint64_t direct_sum = 0;
+    std::uint64_t view_sum = 0;
+    for (std::size_t i = 0; i < postings.size(); ++i) {
+      direct_sum += postings.entries()[i].tf;
+      view_sum += postings.At(key, i).tf;
+    }
+    EXPECT_EQ(direct_sum, view_sum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TermPostingsProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace rtsi::index

@@ -1,0 +1,151 @@
+// Tokenizer, stop words and term dictionary tests.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "text/stopwords.h"
+#include "text/term_dictionary.h"
+#include "text/tokenizer.h"
+
+namespace rtsi::text {
+namespace {
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("Live Audio, STREAMING search!");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "live");
+  EXPECT_EQ(tokens[1], "audio");
+  EXPECT_EQ(tokens[2], "streaming");
+  EXPECT_EQ(tokens[3], "search");
+}
+
+TEST(TokenizerTest, DropsTooShortTokens) {
+  Tokenizer tokenizer;  // min length 2.
+  const auto tokens = tokenizer.Tokenize("a to b it x yz");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "to");
+  EXPECT_EQ(tokens[1], "it");
+  EXPECT_EQ(tokens[2], "yz");
+}
+
+TEST(TokenizerTest, KeepsDigitsInsideTokens) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("episode42 2024");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "episode42");
+  EXPECT_EQ(tokens[1], "2024");
+}
+
+TEST(TokenizerTest, PassesUtf8BytesThrough) {
+  Tokenizer tokenizer;
+  const auto tokens = tokenizer.Tokenize("音频 streaming");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "音频");
+}
+
+TEST(TokenizerTest, EmptyInputYieldsNothing) {
+  Tokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  ,.;  ").empty());
+}
+
+TEST(TokenizerTest, EnforcesMaxLength) {
+  TokenizerConfig config;
+  config.max_token_length = 5;
+  Tokenizer tokenizer(config);
+  const auto tokens = tokenizer.Tokenize("short verylongtoken");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], "short");
+}
+
+TEST(StopwordTest, DefaultListCatchesCommonWords) {
+  StopwordFilter filter;
+  EXPECT_TRUE(filter.IsStopword("the"));
+  EXPECT_TRUE(filter.IsStopword("and"));
+  EXPECT_FALSE(filter.IsStopword("audio"));
+}
+
+TEST(StopwordTest, FilterRemovesInPlace) {
+  StopwordFilter filter;
+  const auto out =
+      filter.Filter({"the", "live", "audio", "and", "search"});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "live");
+}
+
+TEST(StopwordTest, CustomListOverridesDefault) {
+  StopwordFilter filter({"foo"});
+  EXPECT_TRUE(filter.IsStopword("foo"));
+  EXPECT_FALSE(filter.IsStopword("the"));
+}
+
+TEST(TermDictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  const TermId a = dict.Intern("audio");
+  const TermId b = dict.Intern("audio");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(TermDictionaryTest, IdsAreDense) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Intern("a0"), 0u);
+  EXPECT_EQ(dict.Intern("a1"), 1u);
+  EXPECT_EQ(dict.Intern("a2"), 2u);
+}
+
+TEST(TermDictionaryTest, LookupOfUnknownIsInvalid) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Lookup("nope"), kInvalidTermId);
+}
+
+TEST(TermDictionaryTest, TermStringRoundTrips) {
+  TermDictionary dict;
+  const TermId id = dict.Intern("streaming");
+  EXPECT_EQ(dict.TermString(id), "streaming");
+  EXPECT_EQ(dict.TermString(999), "");
+}
+
+TEST(TermDictionaryTest, DocumentFrequencyAndIdf) {
+  TermDictionary dict;
+  const TermId common = dict.Intern("common");
+  const TermId rare = dict.Intern("rare");
+  for (int i = 0; i < 100; ++i) {
+    dict.AddDocument();
+    dict.AddDocumentOccurrence(common);
+  }
+  dict.AddDocumentOccurrence(rare);
+  EXPECT_EQ(dict.DocumentFrequency(common), 100u);
+  EXPECT_EQ(dict.DocumentFrequency(rare), 1u);
+  EXPECT_GT(dict.InverseDocumentFrequency(rare),
+            dict.InverseDocumentFrequency(common));
+}
+
+TEST(TermDictionaryTest, ConcurrentInternIsConsistent) {
+  TermDictionary dict;
+  constexpr int kThreads = 8;
+  constexpr int kTermsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dict] {
+      for (int i = 0; i < kTermsPerThread; ++i) {
+        dict.Intern("term" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(dict.size(), static_cast<std::size_t>(kTermsPerThread));
+  // Every term resolves and round-trips.
+  for (int i = 0; i < kTermsPerThread; ++i) {
+    const std::string term = "term" + std::to_string(i);
+    const TermId id = dict.Lookup(term);
+    ASSERT_NE(id, kInvalidTermId);
+    EXPECT_EQ(dict.TermString(id), term);
+  }
+}
+
+}  // namespace
+}  // namespace rtsi::text

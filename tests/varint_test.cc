@@ -1,0 +1,103 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace rtsi {
+namespace {
+
+TEST(VarintTest, EncodesSmallValuesInOneByte) {
+  std::vector<std::uint8_t> buf;
+  PutVarint64(buf, 0);
+  PutVarint64(buf, 1);
+  PutVarint64(buf, 127);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {
+      0,    1,    127,  128,   255,   256,
+      16383, 16384, (1ULL << 32) - 1, 1ULL << 32,
+      std::numeric_limits<std::uint64_t>::max()};
+  std::vector<std::uint8_t> buf;
+  for (const auto v : values) PutVarint64(buf, v);
+
+  std::size_t pos = 0;
+  for (const auto expected : values) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), pos, got));
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, LengthMatchesEncoding) {
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t v : {0ULL, 127ULL, 128ULL, 99999ULL, ~0ULL}) {
+    buf.clear();
+    PutVarint64(buf, v);
+    EXPECT_EQ(buf.size(), VarintLength(v)) << v;
+  }
+}
+
+TEST(VarintTest, DetectsTruncatedInput) {
+  std::vector<std::uint8_t> buf;
+  PutVarint64(buf, 1ULL << 40);
+  buf.pop_back();
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  EXPECT_FALSE(GetVarint64(buf.data(), buf.size(), pos, value));
+}
+
+TEST(VarintTest, EmptyInputFails) {
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  EXPECT_FALSE(GetVarint64(nullptr, 0, pos, value));
+}
+
+TEST(ZigZagTest, MapsSignedToCompactUnsigned) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagEncode(2), 4u);
+}
+
+TEST(ZigZagTest, RoundTripsExtremes) {
+  const std::int64_t values[] = {0, 1, -1, 1000, -1000,
+                                 std::numeric_limits<std::int64_t>::max(),
+                                 std::numeric_limits<std::int64_t>::min()};
+  for (const auto v : values) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+}
+
+class VarintRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarintRandomRoundTrip, RoundTripsRandomSequences) {
+  Rng rng(GetParam());
+  std::vector<std::uint64_t> values(1000);
+  for (auto& v : values) {
+    // Mix magnitudes: shift a full-width draw by a random bit count.
+    v = rng() >> rng.NextUint64(64);
+  }
+  std::vector<std::uint8_t> buf;
+  for (const auto v : values) PutVarint64(buf, v);
+
+  std::size_t pos = 0;
+  for (const auto expected : values) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(buf.data(), buf.size(), pos, got));
+    ASSERT_EQ(got, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarintRandomRoundTrip,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace rtsi

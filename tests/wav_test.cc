@@ -1,0 +1,74 @@
+#include "audio/wav.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "audio/synthesizer.h"
+#include "common/rng.h"
+
+namespace rtsi::audio {
+namespace {
+
+TEST(WavTest, RoundTripsSynthesizedAudio) {
+  SynthesizerConfig config;
+  Synthesizer synth(config);
+  Rng rng(1);
+  const PcmBuffer original =
+      synth.Render({{500.0, 1500.0, 0.3, 0.25, 0.6}}, rng);
+
+  const std::string path = "/tmp/rtsi_wav_test_roundtrip.wav";
+  ASSERT_TRUE(WriteWav(original, path).ok());
+
+  const auto loaded = ReadWav(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PcmBuffer& pcm = loaded.value();
+  EXPECT_EQ(pcm.sample_rate_hz, original.sample_rate_hz);
+  ASSERT_EQ(pcm.samples.size(), original.samples.size());
+  // 16-bit quantization: within 1/32767 of the original.
+  for (std::size_t i = 0; i < pcm.samples.size(); i += 37) {
+    EXPECT_NEAR(pcm.samples[i], original.samples[i], 1.0f / 32000.0f) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, EmptyBufferRoundTrips) {
+  PcmBuffer empty;
+  empty.sample_rate_hz = 8000;
+  const std::string path = "/tmp/rtsi_wav_test_empty.wav";
+  ASSERT_TRUE(WriteWav(empty, path).ok());
+  const auto loaded = ReadWav(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().samples.empty());
+  EXPECT_EQ(loaded.value().sample_rate_hz, 8000);
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, ClampsOutOfRangeSamples) {
+  PcmBuffer pcm;
+  pcm.samples = {2.0f, -2.0f, 0.0f};
+  const std::string path = "/tmp/rtsi_wav_test_clamp.wav";
+  ASSERT_TRUE(WriteWav(pcm, path).ok());
+  const auto loaded = ReadWav(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_NEAR(loaded.value().samples[0], 1.0f, 1e-3f);
+  EXPECT_NEAR(loaded.value().samples[1], -1.0f, 1e-3f);
+  std::remove(path.c_str());
+}
+
+TEST(WavTest, RejectsMissingFile) {
+  EXPECT_FALSE(ReadWav("/tmp/no_such_rtsi_file.wav").ok());
+}
+
+TEST(WavTest, RejectsGarbage) {
+  const std::string path = "/tmp/rtsi_wav_test_garbage.wav";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const char junk[64] = "this is definitely not audio data at all.......";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadWav(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtsi::audio

@@ -1,0 +1,76 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rtsi {
+namespace {
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfDistribution dist(100, 1.0);
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = dist(rng);
+    EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfDistribution dist(1, 1.0);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist(rng), 0u);
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  ZipfDistribution dist(1000, 1.0);
+  Rng rng(11);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[dist(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfTest, FrequencyRatioMatchesSkewOne) {
+  // P(0)/P(9) should be ~10 for s=1.
+  ZipfDistribution dist(10000, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(10000, 0);
+  const int n = 2'000'000;
+  for (int i = 0; i < n; ++i) ++counts[dist(rng)];
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[9]);
+  EXPECT_NEAR(ratio, 10.0, 1.5);
+}
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewSweep, HeadMassGrowsWithSkew) {
+  const double s = GetParam();
+  ZipfDistribution dist(10000, s);
+  Rng rng(31);
+  int head = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (dist(rng) < 10) ++head;
+  }
+  // With any positive skew the top-10 ranks of 10k must be
+  // over-represented vs uniform (10/10000 = 0.1%).
+  EXPECT_GT(static_cast<double>(head) / n, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.8, 1.0, 1.2, 1.5));
+
+TEST(ZipfTest, DeterministicGivenSeed) {
+  ZipfDistribution dist(500, 1.1);
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(dist(a), dist(b));
+}
+
+}  // namespace
+}  // namespace rtsi

@@ -1,0 +1,240 @@
+// rtsi_cli — operational command line for the RTSI index.
+//
+//   rtsi_cli record <#init-streams> <#ops> <query%> <out.trace>
+//       Generate a reproducible synthetic workload trace.
+//   rtsi_cli replay <trace> [rtsi|lsii]
+//       Replay a trace against an index and report latency statistics.
+//   rtsi_cli build <trace> <out.snap>
+//       Replay a trace into an RTSI index and save a snapshot.
+//   rtsi_cli stats <snapshot>
+//       Print the statistics of a saved index.
+//   rtsi_cli query <snapshot> <k> <term> [term...]
+//       Load a snapshot and run one query (terms are numeric ids).
+//   rtsi_cli explain <snapshot> <k> <term> [term...]
+//       Like query, but prints the full ranking explanation (candidate
+//       sources, component bounds, prune decisions, score breakdowns).
+//   rtsi_cli synth <out.wav> <word> [word...]
+//       Synthesize a spoken phrase to a WAV file.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asr/lexicon.h"
+#include "audio/synthesizer.h"
+#include "audio/wav.h"
+#include "baseline/lsii_index.h"
+#include "common/rng.h"
+#include "core/rtsi_index.h"
+#include "storage/snapshot.h"
+#include "workload/corpus.h"
+#include "workload/query_gen.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace rtsi;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rtsi_cli record <#init-streams> <#ops> <query%%> "
+               "<out.trace>\n"
+               "  rtsi_cli replay <trace> [rtsi|lsii]\n"
+               "  rtsi_cli build <trace> <out.snap>\n"
+               "  rtsi_cli stats <snapshot>\n"
+               "  rtsi_cli query <snapshot> <k> <term> [term...]\n"
+               "  rtsi_cli explain <snapshot> <k> <term> [term...]\n"
+               "  rtsi_cli synth <out.wav> <word> [word...]\n");
+  return 2;
+}
+
+core::RtsiConfig DefaultConfig() {
+  core::RtsiConfig config;
+  config.lsm.delta = 64 * 1024;
+  return config;
+}
+
+int CmdRecord(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  const std::size_t init_streams = std::strtoul(argv[0], nullptr, 10);
+  const std::size_t ops = std::strtoul(argv[1], nullptr, 10);
+  const int query_percent = std::atoi(argv[2]);
+
+  workload::CorpusConfig corpus_config;
+  corpus_config.num_streams = init_streams + ops;  // Upper bound.
+  const workload::SyntheticCorpus corpus(corpus_config);
+  workload::QueryGenConfig query_config;
+  query_config.vocab_size = corpus_config.vocab_size;
+  workload::QueryGenerator gen(query_config);
+
+  const workload::Trace trace = workload::RecordMixedTrace(
+      corpus, gen, init_streams, ops, query_percent, 10);
+  const Status status = trace.SaveToFile(argv[3]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("recorded %zu ops to %s\n", trace.size(), argv[3]);
+  return 0;
+}
+
+int CmdReplay(int argc, char** argv) {
+  if (argc < 1 || argc > 2) return Usage();
+  auto trace_result = workload::Trace::LoadFromFile(argv[0]);
+  if (!trace_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 trace_result.status().ToString().c_str());
+    return 1;
+  }
+  const bool use_lsii = argc == 2 && std::strcmp(argv[1], "lsii") == 0;
+
+  std::unique_ptr<core::SearchIndex> index;
+  if (use_lsii) {
+    index = std::make_unique<baseline::LsiiIndex>(DefaultConfig());
+  } else {
+    index = std::make_unique<core::RtsiIndex>(DefaultConfig());
+  }
+  const workload::ReplayResult result =
+      workload::ReplayTrace(trace_result.value(), *index);
+  std::printf("%s replay of %s:\n", index->name().c_str(), argv[0]);
+  std::printf("  insertions: %s\n", result.insertions.Summary().c_str());
+  std::printf("  queries:    %s\n", result.queries.Summary().c_str());
+  std::printf("  updates:    %s\n", result.updates.Summary().c_str());
+  std::printf("  finishes:   %zu, deletions: %zu\n", result.finishes,
+              result.deletions);
+  std::printf("  index memory: %.2f MB\n",
+              index->MemoryBytes() / (1024.0 * 1024.0));
+  return 0;
+}
+
+int CmdBuild(int argc, char** argv) {
+  if (argc != 2) return Usage();
+  auto trace_result = workload::Trace::LoadFromFile(argv[0]);
+  if (!trace_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 trace_result.status().ToString().c_str());
+    return 1;
+  }
+  core::RtsiIndex index(DefaultConfig());
+  workload::ReplayTrace(trace_result.value(), index);
+  const Status status = storage::SaveIndexSnapshot(index, argv[1]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("built index (%zu postings) and saved snapshot to %s\n",
+              index.tree().total_postings(), argv[1]);
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  auto loaded = storage::LoadIndexSnapshot(argv[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const core::RtsiIndex& index = *loaded.value();
+  std::printf("snapshot %s:\n", argv[0]);
+  std::printf("  postings:     %zu (L0: %zu, levels: %zu)\n",
+              index.tree().total_postings(), index.tree().l0_postings(),
+              index.tree().num_levels());
+  std::printf("  streams:      %zu\n", index.stream_table().size());
+  std::printf("  live table:   %zu streams, %zu entries\n",
+              index.live_table().num_streams(),
+              index.live_table().num_entries());
+  std::printf("  documents:    %llu\n",
+              static_cast<unsigned long long>(
+                  index.doc_freq().num_documents()));
+  std::printf("  memory:       %.2f MB\n",
+              index.MemoryBytes() / (1024.0 * 1024.0));
+  std::printf("  config:       delta=%zu rho=%.1f huffman=%s\n",
+              index.config().lsm.delta, index.config().lsm.rho,
+              index.config().lsm.compress ? "on" : "off");
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto loaded = storage::LoadIndexSnapshot(argv[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const int k = std::atoi(argv[1]);
+  std::vector<TermId> terms;
+  for (int i = 2; i < argc; ++i) {
+    terms.push_back(static_cast<TermId>(std::strtoul(argv[i], nullptr, 10)));
+  }
+  core::QueryStats stats;
+  const auto results =
+      loaded.value()->Query(terms, k, 1'000'000'000'000LL, &stats);
+  for (const auto& r : results) {
+    std::printf("stream %llu  score %.6f\n",
+                static_cast<unsigned long long>(r.stream), r.score);
+  }
+  std::printf("(%zu candidates scored, %zu postings scanned%s)\n",
+              stats.candidates_scored, stats.postings_scanned,
+              stats.terminated_early ? ", early termination" : "");
+  return 0;
+}
+
+int CmdExplain(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto loaded = storage::LoadIndexSnapshot(argv[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const int k = std::atoi(argv[1]);
+  std::vector<TermId> terms;
+  for (int i = 2; i < argc; ++i) {
+    terms.push_back(static_cast<TermId>(std::strtoul(argv[i], nullptr, 10)));
+  }
+  const auto explanation =
+      loaded.value()->ExplainQuery(terms, k, 1'000'000'000'000LL);
+  std::fputs(explanation.ToString().c_str(), stdout);
+  return 0;
+}
+
+int CmdSynth(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  asr::Lexicon lexicon;
+  std::vector<audio::PhoneSpec> specs;
+  for (int i = 1; i < argc; ++i) {
+    for (const asr::PhonemeId phone : lexicon.Pronounce(argv[i])) {
+      specs.push_back(asr::PhonemeSpec(phone));
+    }
+  }
+  audio::SynthesizerConfig synth_config;
+  const audio::Synthesizer synth(synth_config);
+  Rng rng(1);
+  const audio::PcmBuffer pcm = synth.Render(specs, rng);
+  const Status status = audio::WriteWav(pcm, argv[0]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %.2fs of speech to %s\n", pcm.duration_seconds(),
+              argv[0]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "record") return CmdRecord(argc - 2, argv + 2);
+  if (command == "replay") return CmdReplay(argc - 2, argv + 2);
+  if (command == "build") return CmdBuild(argc - 2, argv + 2);
+  if (command == "stats") return CmdStats(argc - 2, argv + 2);
+  if (command == "query") return CmdQuery(argc - 2, argv + 2);
+  if (command == "explain") return CmdExplain(argc - 2, argv + 2);
+  if (command == "synth") return CmdSynth(argc - 2, argv + 2);
+  return Usage();
+}
