@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_query_sens.dir/bench_fig12_query_sens.cc.o"
+  "CMakeFiles/bench_fig12_query_sens.dir/bench_fig12_query_sens.cc.o.d"
+  "bench_fig12_query_sens"
+  "bench_fig12_query_sens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_query_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

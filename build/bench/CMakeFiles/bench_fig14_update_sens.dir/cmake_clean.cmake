@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_update_sens.dir/bench_fig14_update_sens.cc.o"
+  "CMakeFiles/bench_fig14_update_sens.dir/bench_fig14_update_sens.cc.o.d"
+  "bench_fig14_update_sens"
+  "bench_fig14_update_sens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_update_sens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_huffman.dir/bench_fig15_huffman.cc.o"
+  "CMakeFiles/bench_fig15_huffman.dir/bench_fig15_huffman.cc.o.d"
+  "bench_fig15_huffman"
+  "bench_fig15_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig17_bound.cc" "bench/CMakeFiles/bench_fig17_bound.dir/bench_fig17_bound.cc.o" "gcc" "bench/CMakeFiles/bench_fig17_bound.dir/bench_fig17_bound.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/rtsi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rtsi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/rtsi_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rtsi_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/rtsi_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/asr/CMakeFiles/rtsi_asr.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/rtsi_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rtsi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtsi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rtsi_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_bound.dir/bench_fig17_bound.cc.o"
+  "CMakeFiles/bench_fig17_bound.dir/bench_fig17_bound.cc.o.d"
+  "bench_fig17_bound"
+  "bench_fig17_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quality_multimodal.dir/bench_quality_multimodal.cc.o"
+  "CMakeFiles/bench_quality_multimodal.dir/bench_quality_multimodal.cc.o.d"
+  "bench_quality_multimodal"
+  "bench_quality_multimodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quality_multimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

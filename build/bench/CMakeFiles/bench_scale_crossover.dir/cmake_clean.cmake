@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_crossover.dir/bench_scale_crossover.cc.o"
+  "CMakeFiles/bench_scale_crossover.dir/bench_scale_crossover.cc.o.d"
+  "bench_scale_crossover"
+  "bench_scale_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

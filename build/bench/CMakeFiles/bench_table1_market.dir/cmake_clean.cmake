@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_market.dir/bench_table1_market.cc.o"
+  "CMakeFiles/bench_table1_market.dir/bench_table1_market.cc.o.d"
+  "bench_table1_market"
+  "bench_table1_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

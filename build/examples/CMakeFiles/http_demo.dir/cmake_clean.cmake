@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_demo.dir/http_demo.cpp.o"
+  "CMakeFiles/http_demo.dir/http_demo.cpp.o.d"
+  "http_demo"
+  "http_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_demo.dir/interactive_demo.cpp.o"
+  "CMakeFiles/interactive_demo.dir/interactive_demo.cpp.o.d"
+  "interactive_demo"
+  "interactive_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

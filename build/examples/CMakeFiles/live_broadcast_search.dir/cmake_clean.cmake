@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_broadcast_search.dir/live_broadcast_search.cpp.o"
+  "CMakeFiles/live_broadcast_search.dir/live_broadcast_search.cpp.o.d"
+  "live_broadcast_search"
+  "live_broadcast_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_broadcast_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_search.dir/voice_search.cpp.o"
+  "CMakeFiles/voice_search.dir/voice_search.cpp.o.d"
+  "voice_search"
+  "voice_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

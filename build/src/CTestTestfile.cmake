@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("audio")
+subdirs("asr")
+subdirs("text")
+subdirs("index")
+subdirs("lsm")
+subdirs("core")
+subdirs("storage")
+subdirs("baseline")
+subdirs("service")
+subdirs("server")
+subdirs("workload")

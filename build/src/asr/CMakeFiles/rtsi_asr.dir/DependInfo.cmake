@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asr/acoustic_model.cc" "src/asr/CMakeFiles/rtsi_asr.dir/acoustic_model.cc.o" "gcc" "src/asr/CMakeFiles/rtsi_asr.dir/acoustic_model.cc.o.d"
+  "/root/repo/src/asr/decoder.cc" "src/asr/CMakeFiles/rtsi_asr.dir/decoder.cc.o" "gcc" "src/asr/CMakeFiles/rtsi_asr.dir/decoder.cc.o.d"
+  "/root/repo/src/asr/lattice.cc" "src/asr/CMakeFiles/rtsi_asr.dir/lattice.cc.o" "gcc" "src/asr/CMakeFiles/rtsi_asr.dir/lattice.cc.o.d"
+  "/root/repo/src/asr/lexicon.cc" "src/asr/CMakeFiles/rtsi_asr.dir/lexicon.cc.o" "gcc" "src/asr/CMakeFiles/rtsi_asr.dir/lexicon.cc.o.d"
+  "/root/repo/src/asr/phone_lm.cc" "src/asr/CMakeFiles/rtsi_asr.dir/phone_lm.cc.o" "gcc" "src/asr/CMakeFiles/rtsi_asr.dir/phone_lm.cc.o.d"
+  "/root/repo/src/asr/phoneme.cc" "src/asr/CMakeFiles/rtsi_asr.dir/phoneme.cc.o" "gcc" "src/asr/CMakeFiles/rtsi_asr.dir/phoneme.cc.o.d"
+  "/root/repo/src/asr/transcriber.cc" "src/asr/CMakeFiles/rtsi_asr.dir/transcriber.cc.o" "gcc" "src/asr/CMakeFiles/rtsi_asr.dir/transcriber.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/audio/CMakeFiles/rtsi_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_asr.dir/acoustic_model.cc.o"
+  "CMakeFiles/rtsi_asr.dir/acoustic_model.cc.o.d"
+  "CMakeFiles/rtsi_asr.dir/decoder.cc.o"
+  "CMakeFiles/rtsi_asr.dir/decoder.cc.o.d"
+  "CMakeFiles/rtsi_asr.dir/lattice.cc.o"
+  "CMakeFiles/rtsi_asr.dir/lattice.cc.o.d"
+  "CMakeFiles/rtsi_asr.dir/lexicon.cc.o"
+  "CMakeFiles/rtsi_asr.dir/lexicon.cc.o.d"
+  "CMakeFiles/rtsi_asr.dir/phone_lm.cc.o"
+  "CMakeFiles/rtsi_asr.dir/phone_lm.cc.o.d"
+  "CMakeFiles/rtsi_asr.dir/phoneme.cc.o"
+  "CMakeFiles/rtsi_asr.dir/phoneme.cc.o.d"
+  "CMakeFiles/rtsi_asr.dir/transcriber.cc.o"
+  "CMakeFiles/rtsi_asr.dir/transcriber.cc.o.d"
+  "librtsi_asr.a"
+  "librtsi_asr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_asr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

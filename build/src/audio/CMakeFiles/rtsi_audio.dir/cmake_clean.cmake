@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_audio.dir/fft.cc.o"
+  "CMakeFiles/rtsi_audio.dir/fft.cc.o.d"
+  "CMakeFiles/rtsi_audio.dir/mel_filterbank.cc.o"
+  "CMakeFiles/rtsi_audio.dir/mel_filterbank.cc.o.d"
+  "CMakeFiles/rtsi_audio.dir/mfcc.cc.o"
+  "CMakeFiles/rtsi_audio.dir/mfcc.cc.o.d"
+  "CMakeFiles/rtsi_audio.dir/synthesizer.cc.o"
+  "CMakeFiles/rtsi_audio.dir/synthesizer.cc.o.d"
+  "CMakeFiles/rtsi_audio.dir/wav.cc.o"
+  "CMakeFiles/rtsi_audio.dir/wav.cc.o.d"
+  "librtsi_audio.a"
+  "librtsi_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

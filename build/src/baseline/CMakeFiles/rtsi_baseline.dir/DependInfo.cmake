@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/big_table.cc" "src/baseline/CMakeFiles/rtsi_baseline.dir/big_table.cc.o" "gcc" "src/baseline/CMakeFiles/rtsi_baseline.dir/big_table.cc.o.d"
+  "/root/repo/src/baseline/lsii_index.cc" "src/baseline/CMakeFiles/rtsi_baseline.dir/lsii_index.cc.o" "gcc" "src/baseline/CMakeFiles/rtsi_baseline.dir/lsii_index.cc.o.d"
+  "/root/repo/src/baseline/metadata_index.cc" "src/baseline/CMakeFiles/rtsi_baseline.dir/metadata_index.cc.o" "gcc" "src/baseline/CMakeFiles/rtsi_baseline.dir/metadata_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/rtsi_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rtsi_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

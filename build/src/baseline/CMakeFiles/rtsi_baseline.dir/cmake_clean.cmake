@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_baseline.dir/big_table.cc.o"
+  "CMakeFiles/rtsi_baseline.dir/big_table.cc.o.d"
+  "CMakeFiles/rtsi_baseline.dir/lsii_index.cc.o"
+  "CMakeFiles/rtsi_baseline.dir/lsii_index.cc.o.d"
+  "CMakeFiles/rtsi_baseline.dir/metadata_index.cc.o"
+  "CMakeFiles/rtsi_baseline.dir/metadata_index.cc.o.d"
+  "librtsi_baseline.a"
+  "librtsi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtsi_baseline.a"
+)

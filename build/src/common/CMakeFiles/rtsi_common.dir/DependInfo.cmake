@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/clock.cc" "src/common/CMakeFiles/rtsi_common.dir/clock.cc.o" "gcc" "src/common/CMakeFiles/rtsi_common.dir/clock.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/common/CMakeFiles/rtsi_common.dir/crc32.cc.o" "gcc" "src/common/CMakeFiles/rtsi_common.dir/crc32.cc.o.d"
+  "/root/repo/src/common/latency_stats.cc" "src/common/CMakeFiles/rtsi_common.dir/latency_stats.cc.o" "gcc" "src/common/CMakeFiles/rtsi_common.dir/latency_stats.cc.o.d"
+  "/root/repo/src/common/memory_tracker.cc" "src/common/CMakeFiles/rtsi_common.dir/memory_tracker.cc.o" "gcc" "src/common/CMakeFiles/rtsi_common.dir/memory_tracker.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/rtsi_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/rtsi_common.dir/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/rtsi_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/rtsi_common.dir/thread_pool.cc.o.d"
+  "/root/repo/src/common/varint.cc" "src/common/CMakeFiles/rtsi_common.dir/varint.cc.o" "gcc" "src/common/CMakeFiles/rtsi_common.dir/varint.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/common/CMakeFiles/rtsi_common.dir/zipf.cc.o" "gcc" "src/common/CMakeFiles/rtsi_common.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_common.dir/clock.cc.o"
+  "CMakeFiles/rtsi_common.dir/clock.cc.o.d"
+  "CMakeFiles/rtsi_common.dir/crc32.cc.o"
+  "CMakeFiles/rtsi_common.dir/crc32.cc.o.d"
+  "CMakeFiles/rtsi_common.dir/latency_stats.cc.o"
+  "CMakeFiles/rtsi_common.dir/latency_stats.cc.o.d"
+  "CMakeFiles/rtsi_common.dir/memory_tracker.cc.o"
+  "CMakeFiles/rtsi_common.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/rtsi_common.dir/status.cc.o"
+  "CMakeFiles/rtsi_common.dir/status.cc.o.d"
+  "CMakeFiles/rtsi_common.dir/thread_pool.cc.o"
+  "CMakeFiles/rtsi_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/rtsi_common.dir/varint.cc.o"
+  "CMakeFiles/rtsi_common.dir/varint.cc.o.d"
+  "CMakeFiles/rtsi_common.dir/zipf.cc.o"
+  "CMakeFiles/rtsi_common.dir/zipf.cc.o.d"
+  "librtsi_common.a"
+  "librtsi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

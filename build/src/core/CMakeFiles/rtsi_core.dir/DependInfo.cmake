@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/doc_freq.cc" "src/core/CMakeFiles/rtsi_core.dir/doc_freq.cc.o" "gcc" "src/core/CMakeFiles/rtsi_core.dir/doc_freq.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/rtsi_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/rtsi_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/query_util.cc" "src/core/CMakeFiles/rtsi_core.dir/query_util.cc.o" "gcc" "src/core/CMakeFiles/rtsi_core.dir/query_util.cc.o.d"
+  "/root/repo/src/core/rtsi_index.cc" "src/core/CMakeFiles/rtsi_core.dir/rtsi_index.cc.o" "gcc" "src/core/CMakeFiles/rtsi_core.dir/rtsi_index.cc.o.d"
+  "/root/repo/src/core/scorer.cc" "src/core/CMakeFiles/rtsi_core.dir/scorer.cc.o" "gcc" "src/core/CMakeFiles/rtsi_core.dir/scorer.cc.o.d"
+  "/root/repo/src/core/top_k.cc" "src/core/CMakeFiles/rtsi_core.dir/top_k.cc.o" "gcc" "src/core/CMakeFiles/rtsi_core.dir/top_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsm/CMakeFiles/rtsi_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rtsi_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_core.dir/doc_freq.cc.o"
+  "CMakeFiles/rtsi_core.dir/doc_freq.cc.o.d"
+  "CMakeFiles/rtsi_core.dir/explain.cc.o"
+  "CMakeFiles/rtsi_core.dir/explain.cc.o.d"
+  "CMakeFiles/rtsi_core.dir/query_util.cc.o"
+  "CMakeFiles/rtsi_core.dir/query_util.cc.o.d"
+  "CMakeFiles/rtsi_core.dir/rtsi_index.cc.o"
+  "CMakeFiles/rtsi_core.dir/rtsi_index.cc.o.d"
+  "CMakeFiles/rtsi_core.dir/scorer.cc.o"
+  "CMakeFiles/rtsi_core.dir/scorer.cc.o.d"
+  "CMakeFiles/rtsi_core.dir/top_k.cc.o"
+  "CMakeFiles/rtsi_core.dir/top_k.cc.o.d"
+  "librtsi_core.a"
+  "librtsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/compressed_postings.cc" "src/index/CMakeFiles/rtsi_index.dir/compressed_postings.cc.o" "gcc" "src/index/CMakeFiles/rtsi_index.dir/compressed_postings.cc.o.d"
+  "/root/repo/src/index/huffman.cc" "src/index/CMakeFiles/rtsi_index.dir/huffman.cc.o" "gcc" "src/index/CMakeFiles/rtsi_index.dir/huffman.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/rtsi_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/rtsi_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/live_term_table.cc" "src/index/CMakeFiles/rtsi_index.dir/live_term_table.cc.o" "gcc" "src/index/CMakeFiles/rtsi_index.dir/live_term_table.cc.o.d"
+  "/root/repo/src/index/stream_info_table.cc" "src/index/CMakeFiles/rtsi_index.dir/stream_info_table.cc.o" "gcc" "src/index/CMakeFiles/rtsi_index.dir/stream_info_table.cc.o.d"
+  "/root/repo/src/index/term_postings.cc" "src/index/CMakeFiles/rtsi_index.dir/term_postings.cc.o" "gcc" "src/index/CMakeFiles/rtsi_index.dir/term_postings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_index.dir/compressed_postings.cc.o"
+  "CMakeFiles/rtsi_index.dir/compressed_postings.cc.o.d"
+  "CMakeFiles/rtsi_index.dir/huffman.cc.o"
+  "CMakeFiles/rtsi_index.dir/huffman.cc.o.d"
+  "CMakeFiles/rtsi_index.dir/inverted_index.cc.o"
+  "CMakeFiles/rtsi_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/rtsi_index.dir/live_term_table.cc.o"
+  "CMakeFiles/rtsi_index.dir/live_term_table.cc.o.d"
+  "CMakeFiles/rtsi_index.dir/stream_info_table.cc.o"
+  "CMakeFiles/rtsi_index.dir/stream_info_table.cc.o.d"
+  "CMakeFiles/rtsi_index.dir/term_postings.cc.o"
+  "CMakeFiles/rtsi_index.dir/term_postings.cc.o.d"
+  "librtsi_index.a"
+  "librtsi_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/lsm_tree.cc" "src/lsm/CMakeFiles/rtsi_lsm.dir/lsm_tree.cc.o" "gcc" "src/lsm/CMakeFiles/rtsi_lsm.dir/lsm_tree.cc.o.d"
+  "/root/repo/src/lsm/merge.cc" "src/lsm/CMakeFiles/rtsi_lsm.dir/merge.cc.o" "gcc" "src/lsm/CMakeFiles/rtsi_lsm.dir/merge.cc.o.d"
+  "/root/repo/src/lsm/mirror_set.cc" "src/lsm/CMakeFiles/rtsi_lsm.dir/mirror_set.cc.o" "gcc" "src/lsm/CMakeFiles/rtsi_lsm.dir/mirror_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/rtsi_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

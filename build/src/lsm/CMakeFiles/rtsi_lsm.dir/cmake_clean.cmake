@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_lsm.dir/lsm_tree.cc.o"
+  "CMakeFiles/rtsi_lsm.dir/lsm_tree.cc.o.d"
+  "CMakeFiles/rtsi_lsm.dir/merge.cc.o"
+  "CMakeFiles/rtsi_lsm.dir/merge.cc.o.d"
+  "CMakeFiles/rtsi_lsm.dir/mirror_set.cc.o"
+  "CMakeFiles/rtsi_lsm.dir/mirror_set.cc.o.d"
+  "librtsi_lsm.a"
+  "librtsi_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

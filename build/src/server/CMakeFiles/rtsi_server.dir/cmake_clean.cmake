@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_server.dir/http_server.cc.o"
+  "CMakeFiles/rtsi_server.dir/http_server.cc.o.d"
+  "CMakeFiles/rtsi_server.dir/search_handler.cc.o"
+  "CMakeFiles/rtsi_server.dir/search_handler.cc.o.d"
+  "librtsi_server.a"
+  "librtsi_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

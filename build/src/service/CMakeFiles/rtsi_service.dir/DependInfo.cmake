@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/ingestion.cc" "src/service/CMakeFiles/rtsi_service.dir/ingestion.cc.o" "gcc" "src/service/CMakeFiles/rtsi_service.dir/ingestion.cc.o.d"
+  "/root/repo/src/service/query_processor.cc" "src/service/CMakeFiles/rtsi_service.dir/query_processor.cc.o" "gcc" "src/service/CMakeFiles/rtsi_service.dir/query_processor.cc.o.d"
+  "/root/repo/src/service/search_service.cc" "src/service/CMakeFiles/rtsi_service.dir/search_service.cc.o" "gcc" "src/service/CMakeFiles/rtsi_service.dir/search_service.cc.o.d"
+  "/root/repo/src/service/service_snapshot.cc" "src/service/CMakeFiles/rtsi_service.dir/service_snapshot.cc.o" "gcc" "src/service/CMakeFiles/rtsi_service.dir/service_snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rtsi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/rtsi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/asr/CMakeFiles/rtsi_asr.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/rtsi_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rtsi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rtsi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/rtsi_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rtsi_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_service.dir/ingestion.cc.o"
+  "CMakeFiles/rtsi_service.dir/ingestion.cc.o.d"
+  "CMakeFiles/rtsi_service.dir/query_processor.cc.o"
+  "CMakeFiles/rtsi_service.dir/query_processor.cc.o.d"
+  "CMakeFiles/rtsi_service.dir/search_service.cc.o"
+  "CMakeFiles/rtsi_service.dir/search_service.cc.o.d"
+  "CMakeFiles/rtsi_service.dir/service_snapshot.cc.o"
+  "CMakeFiles/rtsi_service.dir/service_snapshot.cc.o.d"
+  "librtsi_service.a"
+  "librtsi_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

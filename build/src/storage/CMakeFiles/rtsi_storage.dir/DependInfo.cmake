@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/file_io.cc" "src/storage/CMakeFiles/rtsi_storage.dir/file_io.cc.o" "gcc" "src/storage/CMakeFiles/rtsi_storage.dir/file_io.cc.o.d"
+  "/root/repo/src/storage/journal.cc" "src/storage/CMakeFiles/rtsi_storage.dir/journal.cc.o" "gcc" "src/storage/CMakeFiles/rtsi_storage.dir/journal.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/storage/CMakeFiles/rtsi_storage.dir/snapshot.cc.o" "gcc" "src/storage/CMakeFiles/rtsi_storage.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/rtsi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/rtsi_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rtsi_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtsi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rtsi_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_storage.dir/file_io.cc.o"
+  "CMakeFiles/rtsi_storage.dir/file_io.cc.o.d"
+  "CMakeFiles/rtsi_storage.dir/journal.cc.o"
+  "CMakeFiles/rtsi_storage.dir/journal.cc.o.d"
+  "CMakeFiles/rtsi_storage.dir/snapshot.cc.o"
+  "CMakeFiles/rtsi_storage.dir/snapshot.cc.o.d"
+  "librtsi_storage.a"
+  "librtsi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

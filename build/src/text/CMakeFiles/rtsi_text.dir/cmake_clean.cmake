@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_text.dir/stemmer.cc.o"
+  "CMakeFiles/rtsi_text.dir/stemmer.cc.o.d"
+  "CMakeFiles/rtsi_text.dir/stopwords.cc.o"
+  "CMakeFiles/rtsi_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/rtsi_text.dir/term_dictionary.cc.o"
+  "CMakeFiles/rtsi_text.dir/term_dictionary.cc.o.d"
+  "CMakeFiles/rtsi_text.dir/tokenizer.cc.o"
+  "CMakeFiles/rtsi_text.dir/tokenizer.cc.o.d"
+  "librtsi_text.a"
+  "librtsi_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

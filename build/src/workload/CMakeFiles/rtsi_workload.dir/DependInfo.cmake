@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/corpus.cc" "src/workload/CMakeFiles/rtsi_workload.dir/corpus.cc.o" "gcc" "src/workload/CMakeFiles/rtsi_workload.dir/corpus.cc.o.d"
+  "/root/repo/src/workload/driver.cc" "src/workload/CMakeFiles/rtsi_workload.dir/driver.cc.o" "gcc" "src/workload/CMakeFiles/rtsi_workload.dir/driver.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/workload/CMakeFiles/rtsi_workload.dir/query_gen.cc.o" "gcc" "src/workload/CMakeFiles/rtsi_workload.dir/query_gen.cc.o.d"
+  "/root/repo/src/workload/report.cc" "src/workload/CMakeFiles/rtsi_workload.dir/report.cc.o" "gcc" "src/workload/CMakeFiles/rtsi_workload.dir/report.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/rtsi_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/rtsi_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rtsi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/rtsi_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/rtsi_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rtsi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_workload.dir/corpus.cc.o"
+  "CMakeFiles/rtsi_workload.dir/corpus.cc.o.d"
+  "CMakeFiles/rtsi_workload.dir/driver.cc.o"
+  "CMakeFiles/rtsi_workload.dir/driver.cc.o.d"
+  "CMakeFiles/rtsi_workload.dir/query_gen.cc.o"
+  "CMakeFiles/rtsi_workload.dir/query_gen.cc.o.d"
+  "CMakeFiles/rtsi_workload.dir/report.cc.o"
+  "CMakeFiles/rtsi_workload.dir/report.cc.o.d"
+  "CMakeFiles/rtsi_workload.dir/trace.cc.o"
+  "CMakeFiles/rtsi_workload.dir/trace.cc.o.d"
+  "librtsi_workload.a"
+  "librtsi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_test.dir/asr_test.cc.o"
+  "CMakeFiles/asr_test.dir/asr_test.cc.o.d"
+  "asr_test"
+  "asr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_merge_test.dir/async_merge_test.cc.o"
+  "CMakeFiles/async_merge_test.dir/async_merge_test.cc.o.d"
+  "async_merge_test"
+  "async_merge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

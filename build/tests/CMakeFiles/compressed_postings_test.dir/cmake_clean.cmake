@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_postings_test.dir/compressed_postings_test.cc.o"
+  "CMakeFiles/compressed_postings_test.dir/compressed_postings_test.cc.o.d"
+  "compressed_postings_test"
+  "compressed_postings_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_postings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_tables_test.dir/hash_tables_test.cc.o"
+  "CMakeFiles/hash_tables_test.dir/hash_tables_test.cc.o.d"
+  "hash_tables_test"
+  "hash_tables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_stats_test.dir/latency_stats_test.cc.o"
+  "CMakeFiles/latency_stats_test.dir/latency_stats_test.cc.o.d"
+  "latency_stats_test"
+  "latency_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsii_index_test.dir/lsii_index_test.cc.o"
+  "CMakeFiles/lsii_index_test.dir/lsii_index_test.cc.o.d"
+  "lsii_index_test"
+  "lsii_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsii_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsii_oracle_test.dir/lsii_oracle_test.cc.o"
+  "CMakeFiles/lsii_oracle_test.dir/lsii_oracle_test.cc.o.d"
+  "lsii_oracle_test"
+  "lsii_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsii_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadata_index_test.dir/metadata_index_test.cc.o"
+  "CMakeFiles/metadata_index_test.dir/metadata_index_test.cc.o.d"
+  "metadata_index_test"
+  "metadata_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadata_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcc_features_test.dir/mfcc_features_test.cc.o"
+  "CMakeFiles/mfcc_features_test.dir/mfcc_features_test.cc.o.d"
+  "mfcc_features_test"
+  "mfcc_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcc_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfcc_test.dir/mfcc_test.cc.o"
+  "CMakeFiles/mfcc_test.dir/mfcc_test.cc.o.d"
+  "mfcc_test"
+  "mfcc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phone_lm_test.dir/phone_lm_test.cc.o"
+  "CMakeFiles/phone_lm_test.dir/phone_lm_test.cc.o.d"
+  "phone_lm_test"
+  "phone_lm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phone_lm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

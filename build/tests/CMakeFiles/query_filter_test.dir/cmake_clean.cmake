@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_filter_test.dir/query_filter_test.cc.o"
+  "CMakeFiles/query_filter_test.dir/query_filter_test.cc.o.d"
+  "query_filter_test"
+  "query_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_util_test.dir/query_util_test.cc.o"
+  "CMakeFiles/query_util_test.dir/query_util_test.cc.o.d"
+  "query_util_test"
+  "query_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranking_invariants_test.dir/ranking_invariants_test.cc.o"
+  "CMakeFiles/ranking_invariants_test.dir/ranking_invariants_test.cc.o.d"
+  "ranking_invariants_test"
+  "ranking_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranking_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

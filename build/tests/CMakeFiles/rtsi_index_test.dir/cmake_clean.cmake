@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_index_test.dir/rtsi_index_test.cc.o"
+  "CMakeFiles/rtsi_index_test.dir/rtsi_index_test.cc.o.d"
+  "rtsi_index_test"
+  "rtsi_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_fuzz_test.dir/snapshot_fuzz_test.cc.o"
+  "CMakeFiles/snapshot_fuzz_test.dir/snapshot_fuzz_test.cc.o.d"
+  "snapshot_fuzz_test"
+  "snapshot_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

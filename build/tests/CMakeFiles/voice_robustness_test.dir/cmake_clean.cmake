@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_robustness_test.dir/voice_robustness_test.cc.o"
+  "CMakeFiles/voice_robustness_test.dir/voice_robustness_test.cc.o.d"
+  "voice_robustness_test"
+  "voice_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

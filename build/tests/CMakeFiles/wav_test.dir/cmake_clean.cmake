@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wav_test.dir/wav_test.cc.o"
+  "CMakeFiles/wav_test.dir/wav_test.cc.o.d"
+  "wav_test"
+  "wav_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wav_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

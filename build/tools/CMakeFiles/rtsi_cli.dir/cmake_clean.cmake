@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsi_cli.dir/rtsi_cli.cc.o"
+  "CMakeFiles/rtsi_cli.dir/rtsi_cli.cc.o.d"
+  "rtsi_cli"
+  "rtsi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
