@@ -1,0 +1,175 @@
+// Parallel query executor: mean/percentile query latency versus
+// query_threads (0 = the sequential path) across corpora with different
+// sealed-component counts. Emits BENCH_parallel_query.json so the perf
+// trajectory of the read path is tracked from this PR on.
+//
+// A result checksum is computed per setting and must be identical across
+// all thread counts of one corpus: the executor is required to be
+// bit-identical to the sequential path.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/latency_stats.h"
+#include "workload/driver.h"
+#include "workload/report.h"
+
+namespace {
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t ResultChecksum(
+    const std::vector<rtsi::core::ScoredStream>& results) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& r : results) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(r.score));
+    std::memcpy(&bits, &r.score, sizeof(bits));
+    h = Mix(h, r.stream);
+    h = Mix(h, bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rtsi;
+
+  // Small delta and near-flat rho keep many sealed levels alive, which is
+  // the regime parallel traversal targets (a big corpus naturally ends up
+  // here; this reaches it at container scale). k is large and queries are
+  // 4-term: upper-bound pruning makes small-k queries terminate after a
+  // handful of rounds in the best component, leaving too little work to
+  // parallelize — the executor targets the expensive tail (large fetch
+  // depth for cross-modality fusion, broad voice queries), so that is
+  // what this bench measures.
+  core::RtsiConfig base = bench::DefaultIndexConfig();
+  base.lsm.delta = 1024;
+  base.lsm.rho = 1.3;
+  // The executor always prunes with the sound kGlobalPop ceilings; give
+  // the sequential baseline the same mode so every row shares one pruning
+  // semantics and the checksums are comparable.
+  base.bound_mode = core::BoundMode::kGlobalPop;
+
+  const std::size_t num_queries = bench::Scaled(400);
+  const int k = 100;
+  const std::vector<int> thread_settings = {0, 1, 2, 4, 8};
+
+  // Wall-clock speedup requires actual cores: on a single-CPU host every
+  // thread setting time-slices one core and the sweep degenerates into an
+  // honest measurement of the executor's overhead (expect speedup <= 1).
+  // Recorded so readers can interpret the rows.
+  const double cpus = static_cast<double>(std::thread::hardware_concurrency());
+
+  bench::JsonReport report("parallel_query");
+  report.Field("scale", bench::Scale());
+  report.Field("cpus", cpus);
+  report.Field("k", static_cast<double>(k));
+  report.Field("delta", static_cast<double>(base.lsm.delta));
+  report.Field("rho", base.lsm.rho);
+
+  workload::ReportTable table(
+      "Parallel query executor: latency vs query_threads (k=" +
+          std::to_string(k) + ")",
+      {"streams", "components", "threads", "mean", "p50", "p99", "speedup",
+       "checksum"});
+
+  for (const std::size_t base_streams : {4000, 12000}) {
+    const std::size_t num_streams = bench::Scaled(base_streams);
+    const workload::SyntheticCorpus corpus(
+        bench::DefaultCorpusConfig(num_streams));
+    double sequential_mean = 0.0;
+    std::vector<std::uint64_t> per_query_checksums;
+
+    // One index serves every thread setting (queries are read-only), so
+    // the dominant corpus-build cost is paid once per corpus.
+    core::RtsiIndex index(base);
+    SimulatedClock clock;
+    workload::InitializeIndex(index, corpus, 0, num_streams, clock);
+    const std::size_t components = index.tree().SealedSnapshot().size();
+
+    for (const int threads : thread_settings) {
+      index.SetQueryThreads(threads);
+
+      auto query_config = bench::DefaultQueryConfig(corpus.vocab_size());
+      query_config.min_terms = 4;
+      query_config.max_terms = 4;
+
+      workload::QueryGenerator gen(query_config);
+      // Warm-up pass (first queries grow the scratch-pool buffers).
+      for (int w = 0; w < 50; ++w) {
+        index.Query(gen.Next(), k, clock.Now());
+      }
+
+      workload::QueryGenerator measured_gen(query_config);
+      LatencyStats stats;
+      std::uint64_t checksum = 1469598103934665603ull;
+      Stopwatch watch;
+      for (std::size_t i = 0; i < num_queries; ++i) {
+        const auto q = measured_gen.Next();
+        watch.Restart();
+        const auto results = index.Query(q, k, clock.Now());
+        stats.Record(watch.ElapsedMicros());
+        const std::uint64_t qsum = ResultChecksum(results);
+        checksum = Mix(checksum, qsum);
+        // Bit-identity audit against the sequential pass: pinpoint the
+        // first diverging query instead of just flagging the folded sum.
+        if (threads == 0) {
+          per_query_checksums.push_back(qsum);
+        } else if (i < per_query_checksums.size() &&
+                   per_query_checksums[i] != qsum) {
+          std::fprintf(stderr,
+                       "DIVERGENCE streams=%zu threads=%d query=%zu "
+                       "(seq=%016llx par=%016llx)\n",
+                       num_streams, threads, i,
+                       static_cast<unsigned long long>(
+                           per_query_checksums[i]),
+                       static_cast<unsigned long long>(qsum));
+        }
+      }
+
+      if (threads == 0) sequential_mean = stats.mean_micros();
+      const double speedup =
+          stats.mean_micros() > 0.0 ? sequential_mean / stats.mean_micros()
+                                    : 0.0;
+
+      char checksum_hex[32];
+      std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                    static_cast<unsigned long long>(checksum));
+      table.AddRow({std::to_string(num_streams),
+                    std::to_string(components), std::to_string(threads),
+                    workload::FormatMicros(stats.mean_micros()),
+                    workload::FormatMicros(stats.PercentileMicros(0.5)),
+                    workload::FormatMicros(stats.PercentileMicros(0.99)),
+                    std::to_string(speedup), checksum_hex});
+
+      auto& row = report.AddRow();
+      row.Field("streams", static_cast<double>(num_streams))
+          .Field("sealed_components", static_cast<double>(components))
+          .Field("query_threads", static_cast<double>(threads))
+          .Field("queries", static_cast<double>(num_queries))
+          .Field("mean_us", stats.mean_micros())
+          .Field("p50_us", stats.PercentileMicros(0.5))
+          .Field("p95_us", stats.PercentileMicros(0.95))
+          .Field("p99_us", stats.PercentileMicros(0.99))
+          .Field("max_us", stats.max_micros())
+          .Field("total_us", stats.sum_micros())
+          .Field("speedup_vs_sequential", speedup)
+          .Field("checksum", checksum_hex);
+    }
+  }
+
+  table.Print();
+  report.Write("BENCH_parallel_query.json");
+  return 0;
+}

@@ -10,8 +10,11 @@
 #define RTSI_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "baseline/lsii_index.h"
 #include "core/rtsi_index.h"
@@ -75,6 +78,75 @@ inline workload::QueryGenConfig DefaultQueryConfig(std::size_t vocab_size) {
   config.max_terms = 2;
   return config;
 }
+
+/// Minimal machine-readable output for benches that track a perf
+/// trajectory across PRs: a flat JSON object of scalar fields plus one
+/// "rows" array of flat objects. Field order is preserved. Every bench
+/// emitting JSON writes BENCH_<name>.json through this writer so the
+/// files share one schema: {"bench": ..., <meta fields>, "rows": [...]}.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& bench_name) {
+    Field("bench", bench_name);
+  }
+
+  JsonReport& Field(const std::string& key, const std::string& value) {
+    meta_.push_back("\"" + key + "\": \"" + value + "\"");
+    return *this;
+  }
+  JsonReport& Field(const std::string& key, double value) {
+    meta_.push_back("\"" + key + "\": " + Number(value));
+    return *this;
+  }
+
+  class Row {
+   public:
+    Row& Field(const std::string& key, const std::string& value) {
+      fields_.push_back("\"" + key + "\": \"" + value + "\"");
+      return *this;
+    }
+    Row& Field(const std::string& key, double value) {
+      fields_.push_back("\"" + key + "\": " + Number(value));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::string> fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes "BENCH_<name>.json"-style output to `path`.
+  void Write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n";
+    for (const std::string& field : meta_) out << "  " << field << ",\n";
+    out << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "    {";
+      const auto& fields = rows_[i].fields_;
+      for (std::size_t j = 0; j < fields.size(); ++j) {
+        out << fields[j] << (j + 1 < fields.size() ? ", " : "");
+      }
+      out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  static std::string Number(double value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  std::vector<std::string> meta_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace rtsi::bench
 

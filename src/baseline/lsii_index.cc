@@ -137,8 +137,10 @@ std::vector<ScoredStream> LsiiIndex::Query(const std::vector<TermId>& terms,
       any = any || per_term[i].bounds.present;
     }
     if (!any) continue;
-    const double bound = core::ComponentBound(scorer_, per_term, now,
-                                              max_pop, config_.bound_mode);
+    // `now` is a valid live-freshness ceiling here: the workload clock is
+    // monotone, so no stream's freshness can exceed the query timestamp.
+    const double bound = core::ComponentBound(
+        scorer_, per_term, now, max_pop, now, config_.bound_mode);
     ranked.push_back({component.get(), bound});
   }
   std::sort(ranked.begin(), ranked.end(),
@@ -165,7 +167,7 @@ std::vector<ScoredStream> LsiiIndex::Query(const std::vector<TermId>& terms,
       round.clear();
       if (config_.use_bound && heap.full()) {
         const double tau = traversal.Threshold(scorer_, idfs, now, max_pop,
-                                               config_.bound_mode);
+                                               now, config_.bound_mode);
         if (heap.KthScore() >= tau) {
           qs.terminated_early = true;
           break;

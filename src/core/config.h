@@ -20,11 +20,15 @@ struct ScoreWeights {
 
 /// How the popularity part of the pruning bound is computed.
 enum class BoundMode {
-  /// Per-term popularity snapshots from the inverted lists (the paper's
-  /// design). Exact unless popularity updates landed after insertion.
+  /// Per-term popularity/freshness snapshots from the inverted lists (the
+  /// paper's design). Exact unless popularity or freshness updates landed
+  /// after insertion: stale snapshots can under-estimate a component's
+  /// bound, so early termination may drop a drift-affected stream the
+  /// full walk would have returned.
   kSnapshot,
-  /// The global maximum popularity counter: looser but always safe,
-  /// even under concurrent popularity updates.
+  /// Global ceilings — the maximum popularity counter and the maximum
+  /// live freshness: looser but always sound, even under post-seal
+  /// updates — pruning can then never change the result set.
   kGlobalPop,
 };
 
@@ -41,6 +45,20 @@ struct RtsiConfig {
   /// queries are unaffected either way thanks to the mirror set. Off by
   /// default to match the paper's measured setup.
   bool async_merge = false;
+
+  /// Degree of parallelism for the sealed-component phase of a query.
+  /// 0 = the legacy single-threaded path (default; behavior unchanged).
+  /// n >= 1 = the parallel executor with n-way traversal: the querying
+  /// thread plus n-1 workers from a pool owned by the index.
+  ///
+  /// The executor always prunes with the sound kGlobalPop ceilings (a
+  /// timing-dependent kSnapshot prune would make parallel results racy),
+  /// so with query_threads >= 1 results are deterministic and
+  /// bit-identical to the sequential path under kGlobalPop pruning; only
+  /// QueryStats counters may differ, since pruning opportunities depend
+  /// on traversal timing. A kSnapshot baseline can additionally miss
+  /// drift-affected streams that the executor correctly retains.
+  int query_threads = 0;
 };
 
 }  // namespace rtsi::core

@@ -9,7 +9,8 @@ using index::SortKey;
 
 double ComponentBound(const Scorer& scorer,
                       const std::vector<PerTermBound>& terms, Timestamp now,
-                      std::uint64_t max_pop_count, BoundMode mode) {
+                      std::uint64_t max_pop_count, Timestamp max_frsh,
+                      BoundMode mode) {
   bool any_present = false;
   std::uint64_t pop_bound_count = 0;
   Timestamp frsh_bound = 0;
@@ -26,7 +27,14 @@ double ComponentBound(const Scorer& scorer,
     tfidf_sum += scorer.TermTfIdf(tf_bound, term.idf);
   }
   if (!any_present) return 0.0;
-  if (mode == BoundMode::kGlobalPop) pop_bound_count = max_pop_count;
+  if (mode == BoundMode::kGlobalPop) {
+    pop_bound_count = max_pop_count;
+    // Candidates are scored with their *live* freshness, which can exceed
+    // every frsh this component stored (the stream stayed active after
+    // sealing). Like popularity, only the global ceiling keeps the bound
+    // sound.
+    frsh_bound = std::max(frsh_bound, max_frsh);
+  }
 
   const double pop_score = scorer.PopScore(pop_bound_count, max_pop_count);
   const double frsh_score = scorer.FrshScore(frsh_bound, now);
@@ -77,6 +85,7 @@ double ComponentTraversal::Threshold(const Scorer& scorer,
                                      const std::vector<double>& idfs,
                                      Timestamp now,
                                      std::uint64_t max_pop_count,
+                                     Timestamp max_frsh,
                                      BoundMode mode) const {
   bool any_active = false;
   std::uint64_t pop_bound_count = 0;
@@ -98,7 +107,10 @@ double ComponentTraversal::Threshold(const Scorer& scorer,
     tfidf_sum += scorer.TermTfIdf(tf_head.tf, idfs[i]);
   }
   if (!any_active) return 0.0;
-  if (mode == BoundMode::kGlobalPop) pop_bound_count = max_pop_count;
+  if (mode == BoundMode::kGlobalPop) {
+    pop_bound_count = max_pop_count;
+    frsh_bound = std::max(frsh_bound, max_frsh);  // Live-frsh ceiling.
+  }
 
   const double pop_score = scorer.PopScore(pop_bound_count, max_pop_count);
   const double frsh_score = scorer.FrshScore(frsh_bound, now);

@@ -1,6 +1,10 @@
 #include "core/rtsi_index.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <atomic>
+#include <cmath>
+#include <limits>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,9 +25,27 @@ RtsiIndex::RtsiIndex(const RtsiConfig& config)
   if (config.async_merge) {
     merge_executor_ = std::make_unique<ThreadPool>(1);
   }
+  if (config.query_threads > 1) {
+    // The querying thread is one worker of the executor; the pool supplies
+    // the other query_threads - 1.
+    query_pool_ = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(config.query_threads) - 1);
+  }
 }
 
 RtsiIndex::~RtsiIndex() { WaitForMerges(); }
+
+void RtsiIndex::SetQueryThreads(int query_threads) {
+  config_.query_threads = query_threads < 0 ? 0 : query_threads;
+  const auto want = static_cast<std::size_t>(
+      config_.query_threads > 1 ? config_.query_threads - 1 : 0);
+  // Only grow: an oversized pool is idle workers, but shrinking would
+  // require joining threads that might hold scratch leases.
+  if (want > 0 &&
+      (query_pool_ == nullptr || query_pool_->num_threads() < want)) {
+    query_pool_ = std::make_unique<ThreadPool>(want);
+  }
+}
 
 void RtsiIndex::WaitForMerges() {
   if (merge_executor_ != nullptr) merge_executor_->Wait();
@@ -154,54 +176,119 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
     const std::vector<TermId>& terms, int k, Timestamp now,
     const QueryFilter& filter, QueryStats* stats,
     QueryExplanation* explain) {
-  QueryStats local_stats;
-  QueryStats& qs = stats != nullptr ? *stats : local_stats;
-  qs = QueryStats{};
+  // Diagnostics accumulate in a local and are published once on exit, so
+  // the per-candidate increments never write through the caller's pointer.
+  QueryStats qs;
 
-  // Deduplicate query terms, preserving order.
-  std::vector<TermId> q;
+  ScratchLease lease(scratch_pool_);
+  QueryScratch& scratch = *lease;
+
+  // Deduplicate query terms preserving first-seen order. Membership goes
+  // through a sorted flat set: queries hold a handful of terms, so binary
+  // search in a contiguous vector beats both hashing and a quadratic scan.
+  std::vector<TermId>& q = scratch.q;
+  std::vector<TermId>& term_set = scratch.term_set;
+  q.reserve(terms.size());
+  term_set.reserve(terms.size());
   for (const TermId term : terms) {
-    if (std::find(q.begin(), q.end(), term) == q.end()) q.push_back(term);
+    const auto it =
+        std::lower_bound(term_set.begin(), term_set.end(), term);
+    if (it != term_set.end() && *it == term) continue;
+    term_set.insert(it, term);
+    q.push_back(term);
   }
   if (explain != nullptr) {
     explain->terms = q;
     explain->k = k;
     explain->now = now;
   }
-  if (q.empty() || k <= 0) return {};
-  const int num_terms = static_cast<int>(q.size());
+  if (q.empty() || k <= 0) {
+    if (stats != nullptr) *stats = qs;
+    return {};
+  }
+  const std::size_t nq = q.size();
+  const int num_terms = static_cast<int>(nq);
 
-  std::vector<double> idfs(q.size());
-  for (std::size_t i = 0; i < q.size(); ++i) idfs[i] = df_.Idf(q[i]);
+  std::vector<double>& idfs = scratch.idfs;
+  idfs.assign(nq, 0.0);
+  for (std::size_t i = 0; i < nq; ++i) idfs[i] = df_.Idf(q[i]);
   if (explain != nullptr) explain->idfs = idfs;
   const std::uint64_t max_pop = streams_.max_pop_count();
+  const Timestamp max_frsh = streams_.max_frsh();
 
+  // The parallel executor handles every query when query_threads >= 1,
+  // except explanations, which keep the sequential walk's deterministic
+  // per-component bookkeeping. Results are bit-identical either way:
+  // scores are order-independent, the heaps break ties totally, and
+  // pruning only ever drops candidates strictly below the k-th score.
+  const bool use_executor = config_.query_threads > 0 && explain == nullptr;
+  // Whenever the executor is enabled (including its sequential explain
+  // fallback, which must return the same results), pruning uses the
+  // kGlobalPop ceilings. kSnapshot bounds go stale when popularity or
+  // freshness updates land after a component seals, which makes pruning
+  // decisions depend on traversal timing — sound ceilings are what turn
+  // the executor's bit-identity into a theorem instead of a race.
+  const BoundMode bound_mode = config_.query_threads > 0
+                                   ? BoundMode::kGlobalPop
+                                   : config_.bound_mode;
   TopKHeap heap(k);
+  SharedTopK shared(k);
+  const auto offer = [&](StreamId stream, double score) {
+    if (use_executor) {
+      shared.Offer(stream, score);
+    } else {
+      heap.Offer(stream, score);
+    }
+  };
+
   std::unordered_set<StreamId> scored;
   std::unordered_map<StreamId, ScoreBreakdown> breakdowns;
 
-  auto score_candidate = [&](StreamId stream, double tfidf_sum,
-                             ScoreBreakdown::Source source,
-                             const std::vector<TermFreq>* tfs) {
+  // Pure Equation-1 scoring from the tf-idf sum; false when the stream is
+  // deleted/unknown or rejected by the filter. Safe to call from any
+  // worker (sharded-mutex table reads, const scorer).
+  struct PartScores {
+    double pop = 0.0, rel = 0.0, frsh = 0.0, total = 0.0;
+  };
+  const auto compute_score = [&](StreamId stream, double tfidf_sum,
+                                 PartScores& out) {
     StreamInfo info;
-    if (!streams_.Get(stream, info)) return;  // Deleted or unknown.
-    if (filter.live_only && !info.live) return;
-    if (info.frsh < filter.min_frsh) return;
-    const double pop_score = scorer_.PopScore(info.pop_count, max_pop);
-    const double rel_score = scorer_.RelScore(tfidf_sum, num_terms);
-    const double frsh_score = scorer_.FrshScore(info.frsh, now);
-    const double score = scorer_.Combine(pop_score, rel_score, frsh_score);
-    heap.Offer(stream, score);
+    if (!streams_.Get(stream, info)) return false;  // Deleted or unknown.
+    if (filter.live_only && !info.live) return false;
+    if (info.frsh < filter.min_frsh) return false;
+    out.pop = scorer_.PopScore(info.pop_count, max_pop);
+    out.rel = scorer_.RelScore(tfidf_sum, num_terms);
+    out.frsh = scorer_.FrshScore(info.frsh, now);
+    out.total = scorer_.Combine(out.pop, out.rel, out.frsh);
+    return true;
+  };
+
+  // Scoring wrapper for the phases that run on the querying thread only
+  // (it touches qs and the explain breakdowns).
+  const auto score_candidate = [&](StreamId stream, double tfidf_sum,
+                                   ScoreBreakdown::Source source,
+                                   const TermFreq* tfs) {
+    PartScores parts;
+    if (!compute_score(stream, tfidf_sum, parts)) return;
+    offer(stream, parts.total);
     ++qs.candidates_scored;
     if (explain != nullptr) {
+      // A stream scored in several components keeps the breakdown of its
+      // better-ranked (retained) scoring.
+      const auto it = breakdowns.find(stream);
+      if (it != breakdowns.end() &&
+          !TopKHeap::RanksAbove({stream, parts.total},
+                                {stream, it->second.total})) {
+        return;
+      }
       ScoreBreakdown breakdown;
       breakdown.stream = stream;
-      breakdown.pop_score = pop_score;
-      breakdown.rel_score = rel_score;
-      breakdown.frsh_score = frsh_score;
-      breakdown.total = score;
+      breakdown.pop_score = parts.pop;
+      breakdown.rel_score = parts.rel;
+      breakdown.frsh_score = parts.frsh;
+      breakdown.total = parts.total;
       breakdown.source = source;
-      if (tfs != nullptr) breakdown.term_tfs = *tfs;
+      if (tfs != nullptr) breakdown.term_tfs.assign(tfs, tfs + nq);
       breakdowns[stream] = std::move(breakdown);
     }
   };
@@ -210,74 +297,93 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
   // table is term-keyed, so only matching streams are visited). Their
   // totals are exact regardless of how many components hold their
   // postings; afterwards, any unscored candidate is single-component.
-  std::vector<StreamId> table_matches;
+  std::vector<StreamId>& table_matches = scratch.table_matches;
   for (const TermId term : q) {
     live_terms_.ForEachStreamOfTerm(term, [&](StreamId stream, TermFreq) {
       table_matches.push_back(stream);
     });
   }
+  std::vector<TermFreq>& tfs = scratch.tfs;
   for (const StreamId stream : table_matches) {
     if (!scored.insert(stream).second) continue;
     double tfidf_sum = 0.0;
-    std::vector<TermFreq> tfs(q.size(), 0);
-    for (std::size_t i = 0; i < q.size(); ++i) {
+    tfs.assign(nq, 0);
+    for (std::size_t i = 0; i < nq; ++i) {
       tfs[i] = live_terms_.GetTotal(stream, q[i]);
       tfidf_sum += scorer_.TermTfIdf(tfs[i], idfs[i]);
     }
     score_candidate(stream, tfidf_sum, ScoreBreakdown::Source::kLiveTable,
-                    &tfs);
+                    tfs.data());
   }
   if (explain != nullptr) {
     explain->live_table_candidates = scored.size();
   }
 
   // Phase 2: full scan of I0 (it is small by construction). Accumulates
-  // per-stream tf sums, exact for streams whose postings are L0-only.
-  std::unordered_map<StreamId, std::vector<TermFreq>> l0_tf;
-  for (std::size_t i = 0; i < q.size(); ++i) {
+  // per-stream tf sums into a slot-indexed flat matrix (stride nq), exact
+  // for streams whose postings are L0-only.
+  auto& l0_slot = scratch.l0_slot;
+  auto& l0_tf = scratch.l0_tf;
+  auto& l0_streams = scratch.l0_streams;
+  for (std::size_t i = 0; i < nq; ++i) {
     tree_.WithL0Term(q[i], [&](const TermPostings* postings) {
       if (postings == nullptr) return;
       qs.postings_scanned += postings->size();
       for (const Posting& p : postings->entries()) {
-        auto [it, inserted] = l0_tf.try_emplace(p.stream);
-        if (inserted) it->second.assign(q.size(), 0);
-        it->second[i] += p.tf;
+        auto [it, inserted] = l0_slot.try_emplace(
+            p.stream, static_cast<std::uint32_t>(l0_streams.size()));
+        if (inserted) {
+          l0_streams.push_back(p.stream);
+          l0_tf.resize(l0_tf.size() + nq, 0);
+        }
+        l0_tf[static_cast<std::size_t>(it->second) * nq + i] += p.tf;
       }
     });
   }
   std::size_t l0_candidates = 0;
-  for (const auto& [stream, tfs] : l0_tf) {
-    if (scored.count(stream) > 0) continue;
+  for (std::size_t slot = 0; slot < l0_streams.size(); ++slot) {
+    const StreamId stream = l0_streams[slot];
+    if (!scored.insert(stream).second) continue;
+    const TermFreq* stream_tfs = l0_tf.data() + slot * nq;
     double tfidf_sum = 0.0;
-    for (std::size_t i = 0; i < q.size(); ++i) {
-      tfidf_sum += scorer_.TermTfIdf(tfs[i], idfs[i]);
+    for (std::size_t i = 0; i < nq; ++i) {
+      tfidf_sum += scorer_.TermTfIdf(stream_tfs[i], idfs[i]);
     }
-    scored.insert(stream);
     ++l0_candidates;
     score_candidate(stream, tfidf_sum, ScoreBreakdown::Source::kL0Scan,
-                    &tfs);
+                    stream_tfs);
   }
   if (explain != nullptr) explain->l0_candidates = l0_candidates;
 
   // Phase 3: sealed components, best upper bound first (Algorithm 3's
-  // sc-top pruning, strengthened by processing in bound order).
+  // sc-top pruning, strengthened by processing in bound order). From here
+  // on `scored` is read-only in both paths: it marks the phase-1/2
+  // streams whose totals are already exact. A stream whose postings
+  // transiently span several sealed components (sealed at different
+  // times, not yet consolidated by a merge) is scored once per component
+  // with that component's partial tfs; the keep-best-per-stream heap
+  // retains its highest partial deterministically, so sequential and
+  // parallel traversal agree bit-for-bit.
   const auto snapshot = tree_.SealedSnapshot();
   struct RankedComponent {
     const index::InvertedIndex* component;
     double bound;
+    std::size_t order;  // Snapshot position: deterministic sort tie-break.
     std::size_t explain_slot;
   };
   std::vector<RankedComponent> ranked;
   ranked.reserve(snapshot.size());
-  for (const auto& component : snapshot) {
-    std::vector<PerTermBound> per_term(q.size());
-    for (std::size_t i = 0; i < q.size(); ++i) {
+  std::vector<PerTermBound>& per_term = scratch.per_term;
+  for (std::size_t ci = 0; ci < snapshot.size(); ++ci) {
+    const auto& component = snapshot[ci];
+    per_term.assign(nq, PerTermBound{});
+    for (std::size_t i = 0; i < nq; ++i) {
       per_term[i].bounds = component->Bounds(q[i]);
       per_term[i].idf = idfs[i];
       per_term[i].tf_correction = 0;  // Consolidation invariant.
     }
     const double bound = ComponentBound(scorer_, per_term, now, max_pop,
-                                        config_.bound_mode);
+                                        max_frsh, bound_mode);
     std::size_t slot = 0;
     if (explain != nullptr) {
       ComponentExplanation ce;
@@ -287,65 +393,217 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
       slot = explain->components.size();
       explain->components.push_back(ce);
     }
-    if (bound > 0.0) ranked.push_back({component.get(), bound, slot});
+    if (bound > 0.0) ranked.push_back({component.get(), bound, ci, slot});
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const RankedComponent& a, const RankedComponent& b) {
-              return a.bound > b.bound;
+              if (a.bound != b.bound) return a.bound > b.bound;
+              return a.order < b.order;
             });
 
-  std::vector<Posting> round;
-  for (std::size_t c = 0; c < ranked.size(); ++c) {
-    if (config_.use_bound && heap.full() &&
-        heap.KthScore() >= ranked[c].bound) {
-      qs.components_pruned += ranked.size() - c;
-      qs.terminated_early = true;
-      break;
-    }
-    ++qs.components_visited;
-    if (explain != nullptr) {
-      explain->components[ranked[c].explain_slot].visited = true;
-    }
-    ComponentTraversal traversal(*ranked[c].component, q);
-    while (traversal.NextRound(round)) {
-      for (const Posting& p : round) {
-        if (!scored.insert(p.stream).second) continue;
-        // Unscored here means single-component: every query-term posting
-        // of this stream lives in this component. Random-access them.
-        double tfidf_sum = 0.0;
-        std::vector<TermFreq> tfs(q.size(), 0);
-        for (std::size_t i = 0; i < q.size(); ++i) {
-          Posting found;
-          if (traversal.Find(i, p.stream, found)) {
-            tfs[i] = found.tf;
-            tfidf_sum += scorer_.TermTfIdf(found.tf, idfs[i]);
+  const StreamId max_stream = streams_.max_stream_id();
+  if (!use_executor) {
+    std::vector<Posting>& round = scratch.round;
+    StreamSeenFilter seen(scratch, max_stream);
+    for (std::size_t c = 0; c < ranked.size(); ++c) {
+      // Strictly-below pruning: a dropped candidate can never re-enter
+      // via the stream-id tie-break, which keeps the result set identical
+      // under any traversal order (and hence equal to the executor's).
+      if (config_.use_bound && heap.KthScore() > ranked[c].bound) {
+        qs.components_pruned += ranked.size() - c;
+        qs.terminated_early = true;
+        break;
+      }
+      ++qs.components_visited;
+      if (explain != nullptr) {
+        explain->components[ranked[c].explain_slot].visited = true;
+      }
+      ComponentTraversal traversal(*ranked[c].component, q);
+      seen.NextComponent();
+      while (traversal.NextRound(round)) {
+        for (const Posting& p : round) {
+          if (!seen.Insert(p.stream)) continue;
+          if (scored.count(p.stream) > 0) continue;
+          // Resolve every query term's posting for this stream within
+          // this component. Random-access them.
+          double tfidf_sum = 0.0;
+          tfs.assign(nq, 0);
+          for (std::size_t i = 0; i < nq; ++i) {
+            Posting found;
+            if (traversal.Find(i, p.stream, found)) {
+              tfs[i] = found.tf;
+              tfidf_sum += scorer_.TermTfIdf(found.tf, idfs[i]);
+            }
+          }
+          score_candidate(p.stream, tfidf_sum,
+                          ScoreBreakdown::Source::kSealedComponent,
+                          tfs.data());
+        }
+        qs.postings_scanned += round.size();
+        round.clear();
+        if (config_.use_bound && heap.full()) {
+          const double tau = traversal.Threshold(scorer_, idfs, now,
+                                                 max_pop, max_frsh,
+                                                 bound_mode);
+          if (heap.KthScore() > tau) {
+            qs.terminated_early = true;
+            if (explain != nullptr) {
+              explain->components[ranked[c].explain_slot]
+                  .terminated_early = true;
+            }
+            break;
           }
         }
-        score_candidate(p.stream, tfidf_sum,
-                        ScoreBreakdown::Source::kSealedComponent, &tfs);
       }
-      qs.postings_scanned += round.size();
-      round.clear();
-      if (config_.use_bound && heap.full()) {
-        const double tau = traversal.Threshold(scorer_, idfs, now, max_pop,
-                                               config_.bound_mode);
-        if (heap.KthScore() >= tau) {
-          qs.terminated_early = true;
-          if (explain != nullptr) {
-            explain->components[ranked[c].explain_slot].terminated_early =
-                true;
-          }
-          break;
-        }
+      if (explain != nullptr) {
+        explain->components[ranked[c].explain_slot].postings_yielded =
+            traversal.postings_yielded();
       }
     }
-    if (explain != nullptr) {
-      explain->components[ranked[c].explain_slot].postings_yielded =
-          traversal.postings_yielded();
+  } else if (!ranked.empty()) {
+    // Parallel executor: workers claim work units off an atomic cursor
+    // (so the best bounds are traversed first), publish their k-th score
+    // through the SharedTopK, and prune cooperatively against it.
+    //
+    // A settled LSM concentrates most postings in the bottom component,
+    // so component-granular fan-out alone is bounded by that straggler
+    // (Amdahl at the component level). Large components are therefore
+    // split into stream-sliced units: each slice re-runs the (cheap)
+    // cursor scan of the whole component but only resolves tfs and
+    // scores candidates whose stream id falls in its slice. Slices
+    // partition the stream space, so every candidate is still scored by
+    // exactly one worker and the bit-identity argument is untouched.
+    struct WorkUnit {
+      std::size_t comp;         // Index into `ranked`.
+      std::uint32_t slice;
+      std::uint32_t num_slices;
+    };
+    std::size_t ranked_postings = 0;
+    for (const RankedComponent& rc : ranked) {
+      ranked_postings += rc.component->num_postings();
+    }
+    const auto threads =
+        static_cast<std::size_t>(config_.query_threads);
+    std::vector<WorkUnit> units;
+    units.reserve(ranked.size());
+    for (std::size_t c = 0; c < ranked.size(); ++c) {
+      // Slices proportional to the component's posting share, so the
+      // per-worker critical path tracks total_work / threads instead of
+      // max(component). Deterministic (integer arithmetic on snapshot
+      // sizes), hence identical across runs.
+      std::size_t slices = 1;
+      if (threads > 1 && ranked_postings > 0) {
+        const std::size_t share =
+            (ranked[c].component->num_postings() * threads +
+             ranked_postings / 2) /
+            ranked_postings;
+        slices = std::clamp<std::size_t>(share, 1, threads);
+      }
+      for (std::size_t s = 0; s < slices; ++s) {
+        units.push_back({c, static_cast<std::uint32_t>(s),
+                         static_cast<std::uint32_t>(slices)});
+      }
+    }
+    std::atomic<std::size_t> next_unit{0};
+    const auto run_worker = [&](QueryScratch& ws, QueryStats& wqs) {
+      std::vector<Posting>& round = ws.round;
+      StreamSeenFilter seen(ws, max_stream);
+      while (true) {
+        const std::size_t u =
+            next_unit.fetch_add(1, std::memory_order_relaxed);
+        if (u >= units.size()) break;
+        const WorkUnit unit = units[u];
+        const std::size_t c = unit.comp;
+        if (config_.use_bound &&
+            shared.ThresholdScore() > ranked[c].bound) {
+          if (unit.slice == 0) {
+            ++wqs.components_pruned;
+            wqs.terminated_early = true;
+          }
+          continue;
+        }
+        if (unit.slice == 0) ++wqs.components_visited;
+        ComponentTraversal traversal(*ranked[c].component, q);
+        seen.NextComponent();
+        round.clear();
+        bool cut_off = false;
+        // The per-round Threshold() bound is exp()-heavy and a round
+        // yields only ~3 postings per term, so checking every round
+        // dominates a slice's duplicated scan cost. Checking every
+        // kBoundCheckInterval rounds only scans deeper before cutting
+        // off; with the sound kGlobalPop ceilings that can never change
+        // the result set.
+        constexpr std::uint32_t kBoundCheckInterval = 8;
+        std::uint32_t rounds_since_check = 0;
+        while (!cut_off && traversal.NextRound(round)) {
+          for (const Posting& p : round) {
+            if (unit.num_slices > 1 &&
+                p.stream % unit.num_slices != unit.slice) {
+              continue;
+            }
+            if (!seen.Insert(p.stream)) continue;
+            if (scored.count(p.stream) > 0) continue;
+            double tfidf_sum = 0.0;
+            for (std::size_t i = 0; i < nq; ++i) {
+              Posting found;
+              if (traversal.Find(i, p.stream, found)) {
+                tfidf_sum += scorer_.TermTfIdf(found.tf, idfs[i]);
+              }
+            }
+            PartScores parts;
+            if (compute_score(p.stream, tfidf_sum, parts)) {
+              shared.Offer(p.stream, parts.total);
+              ++wqs.candidates_scored;
+            }
+          }
+          // Slices > 0 re-scan postings that slice 0 also walks; count
+          // only slice 0 so the stat keeps its sequential meaning
+          // (distinct postings the traversal reached).
+          if (unit.slice == 0) wqs.postings_scanned += round.size();
+          round.clear();
+          if (config_.use_bound &&
+              ++rounds_since_check >= kBoundCheckInterval) {
+            rounds_since_check = 0;
+            const double threshold = shared.ThresholdScore();
+            if (std::isfinite(threshold) &&
+                threshold > traversal.Threshold(scorer_, idfs, now,
+                                                max_pop, max_frsh,
+                                                bound_mode)) {
+              wqs.terminated_early = true;
+              cut_off = true;
+            }
+          }
+        }
+      }
+    };
+
+    const std::size_t degree = std::min<std::size_t>(
+        static_cast<std::size_t>(config_.query_threads), units.size());
+    std::vector<QueryStats> worker_stats(std::max<std::size_t>(degree, 1));
+    if (degree > 1 && query_pool_ != nullptr) {
+      TaskGroup group(query_pool_.get());
+      for (std::size_t w = 1; w < degree; ++w) {
+        group.Submit([&, w] {
+          ScratchLease worker_lease(scratch_pool_);
+          run_worker(*worker_lease, worker_stats[w]);
+        });
+      }
+      run_worker(scratch, worker_stats[0]);
+      group.Wait();
+    } else {
+      run_worker(scratch, worker_stats[0]);
+    }
+    for (const QueryStats& ws : worker_stats) {
+      qs.components_visited += ws.components_visited;
+      qs.components_pruned += ws.components_pruned;
+      qs.postings_scanned += ws.postings_scanned;
+      qs.candidates_scored += ws.candidates_scored;
+      qs.terminated_early = qs.terminated_early || ws.terminated_early;
     }
   }
 
-  std::vector<ScoredStream> results = heap.SortedResults();
+  std::vector<ScoredStream> results =
+      use_executor ? shared.SortedResults() : heap.SortedResults();
   if (explain != nullptr) {
     explain->results.reserve(results.size());
     for (const auto& r : results) {
@@ -353,6 +611,7 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
       if (it != breakdowns.end()) explain->results.push_back(it->second);
     }
   }
+  if (stats != nullptr) *stats = qs;
   return results;
 }
 

@@ -37,6 +37,7 @@
 #include "core/config.h"
 #include "core/doc_freq.h"
 #include "core/explain.h"
+#include "core/query_scratch.h"
 #include "core/scorer.h"
 #include "core/search_index.h"
 #include "index/live_term_table.h"
@@ -65,6 +66,12 @@ class RtsiIndex : public SearchIndex {
   /// Blocks until no merge is pending or running (async mode; no-op in
   /// synchronous mode). Benches call this to sequence phases.
   void WaitForMerges();
+
+  /// Changes the query parallelism degree (see RtsiConfig::query_threads),
+  /// growing the worker pool if needed. NOT safe concurrently with
+  /// queries; meant for benches that sweep thread counts on one built
+  /// index instead of rebuilding it per setting.
+  void SetQueryThreads(int query_threads);
 
   // SearchIndex:
   void InsertWindow(StreamId stream, Timestamp now,
@@ -129,9 +136,16 @@ class RtsiIndex : public SearchIndex {
   std::mutex pending_mu_;
   std::unordered_set<StreamId> pending_finished_;
   std::atomic<bool> merge_scheduled_{false};
-  // Declared last: destroyed first, draining queued merges while the
-  // members above are still alive.
+  // Recycled query buffers; queries lease one scratch per executing
+  // thread so the scoring hot path never allocates in steady state.
+  mutable ScratchPool scratch_pool_;
+  // Declared last: destroyed first, draining queued merges / in-flight
+  // query tasks while the members above are still alive.
   std::unique_ptr<ThreadPool> merge_executor_;
+  // Workers for the parallel query executor (query_threads - 1 threads;
+  // the querying thread itself is the remaining worker). Null when
+  // query_threads <= 1. Shared by all concurrent queries of this index.
+  std::unique_ptr<ThreadPool> query_pool_;
 };
 
 }  // namespace rtsi::core

@@ -1,6 +1,6 @@
 #include "core/top_k.h"
 
-#include <algorithm>
+#include <iterator>
 #include <limits>
 
 namespace rtsi::core {
@@ -8,31 +8,60 @@ namespace rtsi::core {
 TopKHeap::TopKHeap(int k) : k_(k < 1 ? 1 : static_cast<std::size_t>(k)) {}
 
 void TopKHeap::Offer(StreamId stream, double score) {
-  if (heap_.size() < k_) {
-    heap_.push({stream, score});
+  const auto it = index_.find(stream);
+  if (it != index_.end()) {
+    // Keep-best upsert: replace the retained entry only when the new
+    // score ranks strictly above it.
+    if (!RanksAbove({stream, score}, {stream, it->second})) return;
+    entries_.erase({stream, it->second});
+    entries_.insert({stream, score});
+    it->second = score;
     return;
   }
-  if (score > heap_.top().score) {
-    heap_.pop();
-    heap_.push({stream, score});
+  if (entries_.size() < k_) {
+    entries_.insert({stream, score});
+    index_.emplace(stream, score);
+    return;
+  }
+  const auto worst = std::prev(entries_.end());
+  if (RanksAbove({stream, score}, *worst)) {
+    index_.erase(worst->stream);
+    entries_.erase(worst);
+    entries_.insert({stream, score});
+    index_.emplace(stream, score);
   }
 }
 
 double TopKHeap::KthScore() const {
-  if (heap_.size() < k_) return -std::numeric_limits<double>::infinity();
-  return heap_.top().score;
+  if (entries_.size() < k_) return -std::numeric_limits<double>::infinity();
+  return std::prev(entries_.end())->score;
 }
 
 std::vector<ScoredStream> TopKHeap::SortedResults() const {
-  auto copy = heap_;
-  std::vector<ScoredStream> results;
-  results.reserve(copy.size());
-  while (!copy.empty()) {
-    results.push_back(copy.top());
-    copy.pop();
-  }
-  std::reverse(results.begin(), results.end());
-  return results;
+  return {entries_.begin(), entries_.end()};
+}
+
+SharedTopK::SharedTopK(int k)
+    : heap_(k), threshold_(-std::numeric_limits<double>::infinity()) {}
+
+void SharedTopK::Offer(StreamId stream, double score) {
+  // A candidate strictly below the published k-th score can neither enter
+  // the heap nor win a tie-break; equal scores must take the lock because
+  // the stream id may still rank above the current k-th.
+  if (score < threshold_.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  heap_.Offer(stream, score);
+  threshold_.store(heap_.KthScore(), std::memory_order_relaxed);
+}
+
+std::size_t SharedTopK::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+std::vector<ScoredStream> SharedTopK::SortedResults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.SortedResults();
 }
 
 }  // namespace rtsi::core

@@ -1,44 +1,99 @@
-// Bounded top-k result heap.
+// Bounded top-k result heaps: the single-threaded TopKHeap and the
+// SharedTopK used by the parallel query executor.
+//
+// Both break ties deterministically: results are ordered by (score
+// descending, stream id ascending). The total order makes the retained
+// top-k independent of the order candidates were offered in, which is what
+// lets the parallel executor produce bit-identical results to the
+// sequential query path.
 
 #ifndef RTSI_CORE_TOP_K_H_
 #define RTSI_CORE_TOP_K_H_
 
+#include <atomic>
 #include <cstddef>
-#include <queue>
+#include <mutex>
+#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "core/search_index.h"
 
 namespace rtsi::core {
 
-/// Keeps the k highest-scoring streams offered to it. Offer() is O(log k);
-/// ties are broken arbitrarily.
+/// Keeps the k highest-scoring *distinct* streams offered to it. Offer()
+/// is O(log k); ties are broken by stream id (lower wins), so the retained
+/// set does not depend on offer order. Re-offering a retained stream keeps
+/// only its better-ranked score: a stream whose postings transiently span
+/// several sealed components is scored once per component, and both query
+/// paths must deterministically keep the same (best) partial score.
 class TopKHeap {
  public:
   explicit TopKHeap(int k);
 
   void Offer(StreamId stream, double score);
 
-  bool full() const { return heap_.size() >= k_; }
-  std::size_t size() const { return heap_.size(); }
+  bool full() const { return entries_.size() >= k_; }
+  std::size_t size() const { return entries_.size(); }
 
   /// Score of the current k-th (worst retained) result;
   /// -infinity while not full.
   double KthScore() const;
 
-  /// Results sorted by descending score.
+  /// Results sorted by descending score, ascending stream id on ties.
   std::vector<ScoredStream> SortedResults() const;
 
+  /// Total result order: true when `a` ranks strictly above `b`.
+  static bool RanksAbove(const ScoredStream& a, const ScoredStream& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.stream < b.stream;
+  }
+
  private:
-  struct MinFirst {
+  struct BestFirst {
     bool operator()(const ScoredStream& a, const ScoredStream& b) const {
-      return a.score > b.score;
+      return RanksAbove(a, b);
     }
   };
 
   std::size_t k_;
-  std::priority_queue<ScoredStream, std::vector<ScoredStream>, MinFirst>
-      heap_;
+  // Retained results in rank order plus a stream -> score index for the
+  // keep-best-per-stream upsert; both hold at most k entries.
+  std::set<ScoredStream, BestFirst> entries_;
+  std::unordered_map<StreamId, double> index_;
+};
+
+/// Thread-safe top-k accumulator for the parallel query executor: a
+/// mutex-guarded TopKHeap plus a lock-free published k-th score that
+/// workers read for cooperative pruning.
+///
+/// The published threshold is monotone non-decreasing and is always the
+/// minimum score of k real (distinct within a worker) candidates, hence a
+/// valid lower bound on the final k-th score: pruning any component whose
+/// upper bound is *strictly below* it can never change the result set.
+class SharedTopK {
+ public:
+  explicit SharedTopK(int k);
+
+  /// Thread-safe offer. Candidates strictly below the published threshold
+  /// are rejected without taking the lock.
+  void Offer(StreamId stream, double score);
+
+  /// Lower bound on the final k-th score (-infinity until k candidates
+  /// were offered). Lock-free; safe to read concurrently with Offer().
+  double ThresholdScore() const {
+    return threshold_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t size() const;
+
+  /// Results sorted by descending score, ascending stream id on ties.
+  std::vector<ScoredStream> SortedResults() const;
+
+ private:
+  mutable std::mutex mu_;
+  TopKHeap heap_;
+  std::atomic<double> threshold_;
 };
 
 }  // namespace rtsi::core

@@ -16,13 +16,18 @@ bool StreamInfoTable::OnInsert(StreamId stream, Timestamp frsh, bool live,
   info.frsh = std::max(info.frsh, frsh);
   info.live = live;
   if (pop_count != nullptr) *pop_count = info.pop_count;
+  BumpMaxFrsh(frsh);
+  BumpMaxStream(stream);
   return first_content;
 }
 
 void StreamInfoTable::IncrementComponentCount(StreamId stream) {
-  Shard& shard = ShardFor(stream);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  ++shard.map[stream].component_count;
+  {
+    Shard& shard = ShardFor(stream);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.map[stream].component_count;
+  }
+  BumpMaxStream(stream);
 }
 
 std::pair<std::uint32_t, bool> StreamInfoTable::DecrementComponentCount(
@@ -61,6 +66,7 @@ std::uint64_t StreamInfoTable::AddPopularity(StreamId stream,
     count = info.pop_count;
   }
   BumpMaxPop(count);
+  BumpMaxStream(stream);
   return count;
 }
 
@@ -72,11 +78,14 @@ void StreamInfoTable::MarkFinished(StreamId stream) {
 }
 
 void StreamInfoTable::MarkDeleted(StreamId stream) {
-  Shard& shard = ShardFor(stream);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  StreamInfo& info = shard.map[stream];
-  info.deleted = true;
-  info.live = false;
+  {
+    Shard& shard = ShardFor(stream);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    StreamInfo& info = shard.map[stream];
+    info.deleted = true;
+    info.live = false;
+  }
+  BumpMaxStream(stream);
 }
 
 bool StreamInfoTable::Get(StreamId stream, StreamInfo& info) const {
@@ -102,6 +111,8 @@ void StreamInfoTable::RestoreEntry(StreamId stream, const StreamInfo& info) {
     shard.map[stream] = info;
   }
   BumpMaxPop(info.pop_count);
+  BumpMaxFrsh(info.frsh);
+  BumpMaxStream(stream);
 }
 
 std::size_t StreamInfoTable::size() const {

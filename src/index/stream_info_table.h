@@ -83,6 +83,21 @@ class StreamInfoTable {
     return max_pop_count_.load(std::memory_order_relaxed);
   }
 
+  /// Largest freshness timestamp ever entered. Candidates are scored with
+  /// their *live* frsh, which can exceed every frsh stored in a sealed
+  /// component (the stream stayed active after sealing), so sound pruning
+  /// ceilings must bound freshness globally — exactly like max_pop_count.
+  Timestamp max_frsh() const {
+    return max_frsh_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest stream id ever entered (0 when empty). Queries size their
+  /// dense dedup filters from it; monotone, so a stale read only costs a
+  /// hash-set fallback for the newest ids.
+  StreamId max_stream_id() const {
+    return max_stream_id_.load(std::memory_order_relaxed);
+  }
+
   std::size_t size() const;
   std::size_t MemoryBytes() const;
 
@@ -124,8 +139,24 @@ class StreamInfoTable {
     }
   }
 
+  void BumpMaxFrsh(Timestamp frsh) {
+    Timestamp prev = max_frsh_.load(std::memory_order_relaxed);
+    while (frsh > prev && !max_frsh_.compare_exchange_weak(
+                              prev, frsh, std::memory_order_relaxed)) {
+    }
+  }
+
+  void BumpMaxStream(StreamId stream) {
+    StreamId prev = max_stream_id_.load(std::memory_order_relaxed);
+    while (stream > prev && !max_stream_id_.compare_exchange_weak(
+                                prev, stream, std::memory_order_relaxed)) {
+    }
+  }
+
   Shard shards_[kNumShards];
   std::atomic<std::uint64_t> max_pop_count_{0};
+  std::atomic<Timestamp> max_frsh_{0};
+  std::atomic<StreamId> max_stream_id_{0};
 };
 
 }  // namespace rtsi::index

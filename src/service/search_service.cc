@@ -18,6 +18,12 @@ SearchService::SearchService(const SearchServiceConfig& config, Clock* clock)
       config.ingestion.lattice_alt_threshold, config.ingestion.stem_text);
   text_index_ = std::make_unique<core::RtsiIndex>(config.index);
   sound_index_ = std::make_unique<core::RtsiIndex>(config.index);
+  if (config.index.query_threads > 0) {
+    // Two threads: enough to overlap the offloaded modality of two
+    // concurrent searches. Each RtsiIndex brings its own executor pool,
+    // so a modality task never blocks on this pool's own workers.
+    modality_pool_ = std::make_unique<ThreadPool>(2);
+  }
 }
 
 void SearchService::IngestWindow(StreamId stream,
@@ -25,21 +31,25 @@ void SearchService::IngestWindow(StreamId stream,
                                  bool live) {
   const WindowArtifacts artifacts = pipeline_->ProcessWindow(words, rng_);
   const Timestamp now = clock_->Now();
+  std::shared_lock<std::shared_mutex> lock(indices_mu_);
   text_index_->InsertWindow(stream, now, artifacts.text_terms, live);
   sound_index_->InsertWindow(stream, now, artifacts.sound_terms, live);
 }
 
 void SearchService::FinishStream(StreamId stream) {
+  std::shared_lock<std::shared_mutex> lock(indices_mu_);
   text_index_->FinishStream(stream);
   sound_index_->FinishStream(stream);
 }
 
 void SearchService::DeleteStream(StreamId stream) {
+  std::shared_lock<std::shared_mutex> lock(indices_mu_);
   text_index_->DeleteStream(stream);
   sound_index_->DeleteStream(stream);
 }
 
 void SearchService::UpdatePopularity(StreamId stream, std::uint64_t delta) {
+  std::shared_lock<std::shared_mutex> lock(indices_mu_);
   text_index_->UpdatePopularity(stream, delta);
   sound_index_->UpdatePopularity(stream, delta);
 }
@@ -67,10 +77,32 @@ std::vector<SearchResult> SearchService::Fuse(
   }
   std::sort(out.begin(), out.end(),
             [](const SearchResult& a, const SearchResult& b) {
-              return a.score > b.score;
+              if (a.score != b.score) return a.score > b.score;
+              return a.stream < b.stream;  // Deterministic on ties.
             });
   if (out.size() > static_cast<std::size_t>(k)) out.resize(k);
   return out;
+}
+
+std::vector<SearchResult> SearchService::SearchBothModalities(
+    const std::vector<TermId>& text_terms,
+    const std::vector<TermId>& sound_terms, int fetch, int k) {
+  const Timestamp now = clock_->Now();
+  if (modality_pool_ != nullptr) {
+    // Cross-modality fan-out: the sound tree runs on the modality pool
+    // while this thread searches the text tree; the fuse waits for both.
+    std::vector<core::ScoredStream> sound_results;
+    TaskGroup group(modality_pool_.get());
+    group.Submit([&] {
+      sound_results = sound_index_->Query(sound_terms, fetch, now);
+    });
+    const auto text_results = text_index_->Query(text_terms, fetch, now);
+    group.Wait();
+    return Fuse(text_results, sound_results, k);
+  }
+  const auto text_results = text_index_->Query(text_terms, fetch, now);
+  const auto sound_results = sound_index_->Query(sound_terms, fetch, now);
+  return Fuse(text_results, sound_results, k);
 }
 
 std::vector<SearchResult> SearchService::SearchKeywords(
@@ -78,27 +110,19 @@ std::vector<SearchResult> SearchService::SearchKeywords(
   if (k <= 0) k = config_.default_k;
   const ProcessedQuery processed =
       query_processor_->ProcessKeywords(query, rng_);
-  const Timestamp now = clock_->Now();
   // Over-fetch per modality so fusion has material to rerank.
-  const int fetch = 2 * k;
-  const auto text_results =
-      text_index_->Query(processed.text_terms, fetch, now);
-  const auto sound_results =
-      sound_index_->Query(processed.sound_terms, fetch, now);
-  return Fuse(text_results, sound_results, k);
+  std::shared_lock<std::shared_mutex> lock(indices_mu_);
+  return SearchBothModalities(processed.text_terms, processed.sound_terms,
+                              2 * k, k);
 }
 
 std::vector<SearchResult> SearchService::SearchVoice(
     const audio::PcmBuffer& pcm, int k) {
   if (k <= 0) k = config_.default_k;
   const ProcessedQuery processed = query_processor_->ProcessVoice(pcm, rng_);
-  const Timestamp now = clock_->Now();
-  const int fetch = 2 * k;
-  const auto text_results =
-      text_index_->Query(processed.text_terms, fetch, now);
-  const auto sound_results =
-      sound_index_->Query(processed.sound_terms, fetch, now);
-  return Fuse(text_results, sound_results, k);
+  std::shared_lock<std::shared_mutex> lock(indices_mu_);
+  return SearchBothModalities(processed.text_terms, processed.sound_terms,
+                              2 * k, k);
 }
 
 audio::PcmBuffer SearchService::SynthesizeQuery(

@@ -5,10 +5,13 @@
 #define RTSI_SERVICE_SEARCH_SERVICE_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/rtsi_index.h"
 #include "service/ingestion.h"
@@ -47,7 +50,9 @@ class SearchService {
   void DeleteStream(StreamId stream);
   void UpdatePopularity(StreamId stream, std::uint64_t delta);
 
-  /// Keyword search across both modalities, fused.
+  /// Keyword search across both modalities, fused. When the index is
+  /// configured with query_threads > 0, the text and sound trees are
+  /// searched concurrently (cross-modality fan-out).
   std::vector<SearchResult> SearchKeywords(const std::string& query, int k);
 
   /// Voice search: the query is an audio buffer.
@@ -61,9 +66,12 @@ class SearchService {
   core::RtsiIndex& sound_index() { return *sound_index_; }
 
   /// Replaces both indices (snapshot restore path; see
-  /// service/service_snapshot.h).
+  /// service/service_snapshot.h). Exclusive against in-flight queries and
+  /// ingestion: a restore racing a query must not free the indices the
+  /// query is traversing.
   void ReplaceIndices(std::unique_ptr<core::RtsiIndex> text,
                       std::unique_ptr<core::RtsiIndex> sound) {
+    std::unique_lock<std::shared_mutex> lock(indices_mu_);
     text_index_ = std::move(text);
     sound_index_ = std::move(sound);
   }
@@ -77,14 +85,26 @@ class SearchService {
       const std::vector<core::ScoredStream>& text_results,
       const std::vector<core::ScoredStream>& sound_results, int k) const;
 
+  /// Runs the two single-modality queries (concurrently when the modality
+  /// pool exists) and fuses. Caller must hold indices_mu_ shared.
+  std::vector<SearchResult> SearchBothModalities(
+      const std::vector<TermId>& text_terms,
+      const std::vector<TermId>& sound_terms, int fetch, int k);
+
   SearchServiceConfig config_;
   Clock* clock_;  // Not owned.
   text::TermDictionary text_dict_;
   text::TermDictionary sound_dict_;
   std::unique_ptr<IngestionPipeline> pipeline_;
   std::unique_ptr<QueryProcessor> query_processor_;
+  // Shared for queries/ingestion, exclusive for ReplaceIndices.
+  mutable std::shared_mutex indices_mu_;
   std::unique_ptr<core::RtsiIndex> text_index_;
   std::unique_ptr<core::RtsiIndex> sound_index_;
+  // Cross-modality fan-out workers (one task per query; the calling
+  // thread runs the text tree while the pool runs the sound tree). Null
+  // when query_threads == 0 so the default stays fully sequential.
+  std::unique_ptr<ThreadPool> modality_pool_;
   Rng rng_;
 };
 

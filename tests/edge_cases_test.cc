@@ -185,7 +185,7 @@ TEST_P(BoundSafetyProperty, ComponentBoundDominatesRandomContents) {
   }
   const Timestamp now = 1000;
   const double bound = core::ComponentBound(
-      scorer, per_term, now, max_pop, core::BoundMode::kSnapshot);
+      scorer, per_term, now, max_pop, 0, core::BoundMode::kSnapshot);
 
   // Any stream scored purely from this component's postings must fall
   // under the bound.

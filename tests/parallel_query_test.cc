@@ -1,0 +1,343 @@
+// The parallel query executor must be indistinguishable from the
+// sequential path: bit-identical results (scores AND stream ids) on
+// randomized workloads, with and without filters, for any query_threads
+// setting — plus a concurrent stress test (inserts + async merges +
+// popularity updates racing parallel queries) meant to run under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/rtsi_index.h"
+
+namespace rtsi::core {
+namespace {
+
+RtsiConfig ParallelConfig(int query_threads, bool use_bound = true) {
+  RtsiConfig config;
+  config.lsm.delta = 300;  // Small: the workloads below seal many components.
+  config.lsm.rho = 1.5;
+  config.lsm.num_l0_shards = 4;
+  config.use_bound = use_bound;
+  config.query_threads = query_threads;
+  return config;
+}
+
+// Drives the same randomized insert/finish/delete/update workload into
+// every index of `indices`, so they end up with identical content.
+void BuildWorkload(std::vector<RtsiIndex*> indices, int seed,
+                   Timestamp* end_time) {
+  Rng rng(seed);
+  constexpr int kNumStreams = 120;
+  constexpr int kVocab = 50;
+  Timestamp t = 1000;
+  for (int step = 0; step < 900; ++step) {
+    t += kMicrosPerSecond;
+    const auto stream = static_cast<StreamId>(rng.NextUint64(kNumStreams));
+    const double action = rng.NextDouble();
+    if (action < 0.85) {
+      std::vector<TermCount> terms;
+      std::set<TermId> used;
+      const int num_terms = 1 + static_cast<int>(rng.NextUint64(6));
+      for (int i = 0; i < num_terms; ++i) {
+        const auto term = static_cast<TermId>(rng.NextUint64(kVocab));
+        if (!used.insert(term).second) continue;
+        terms.push_back({term, 1 + static_cast<TermFreq>(rng.NextUint64(4))});
+      }
+      const bool live = rng.NextBool(0.5);
+      for (RtsiIndex* index : indices) {
+        index->InsertWindow(stream, t, terms, live);
+        if (!live) index->FinishStream(stream);
+      }
+    } else if (action < 0.93) {
+      const std::uint64_t delta = 1 + rng.NextUint64(50);
+      for (RtsiIndex* index : indices) {
+        index->UpdatePopularity(stream, delta);
+      }
+    } else {
+      for (RtsiIndex* index : indices) index->DeleteStream(stream);
+    }
+  }
+  *end_time = t;
+}
+
+void ExpectBitIdentical(const std::vector<ScoredStream>& got,
+                        const std::vector<ScoredStream>& want,
+                        const std::string& context) {
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].stream, want[i].stream) << context << " rank " << i;
+    // Bit-identical, not approximately equal: the executor runs the very
+    // same score computation, only the traversal schedule differs.
+    EXPECT_EQ(got[i].score, want[i].score) << context << " rank " << i;
+  }
+}
+
+struct EquivalenceCase {
+  int seed;
+  bool use_bound;
+  BoundMode mode;
+};
+
+class ParallelEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(ParallelEquivalenceTest, ResultsMatchSequentialBitwise) {
+  const EquivalenceCase param = GetParam();
+  auto make = [&](int threads) {
+    auto config = ParallelConfig(threads, param.use_bound);
+    config.bound_mode = param.mode;
+    return std::make_unique<RtsiIndex>(config);
+  };
+  auto sequential = make(0);
+  auto solo = make(1);      // Executor algorithm, no extra threads.
+  auto parallel = make(4);  // Executor with a 3-thread pool.
+
+  Timestamp t = 0;
+  BuildWorkload({sequential.get(), solo.get(), parallel.get()}, param.seed,
+                &t);
+  ASSERT_GE(sequential->tree().SealedSnapshot().size(), 2u)
+      << "workload too small to exercise multi-component traversal";
+
+  Rng rng(param.seed + 1000);
+  for (int qi = 0; qi < 120; ++qi) {
+    std::vector<TermId> q;
+    const int nterms = 1 + static_cast<int>(rng.NextUint64(3));
+    for (int i = 0; i < nterms; ++i) {
+      q.push_back(static_cast<TermId>(rng.NextUint64(50)));
+    }
+    if (rng.NextBool(0.2)) q.push_back(q.front());  // Duplicate term.
+    const int k = 1 + static_cast<int>(rng.NextUint64(15));
+    const std::string context = "seed " + std::to_string(param.seed) +
+                                " query " + std::to_string(qi);
+
+    const auto seq = sequential->Query(q, k, t);
+    ExpectBitIdentical(solo->Query(q, k, t), seq, context + " solo");
+    ExpectBitIdentical(parallel->Query(q, k, t), seq, context + " pool");
+
+    // Filtered variants follow the same path with candidate rejection.
+    QueryFilter filter;
+    filter.live_only = rng.NextBool(0.5);
+    if (rng.NextBool(0.5)) filter.min_frsh = t / 2;
+    const auto seq_f = sequential->QueryFiltered(q, k, t, filter);
+    ExpectBitIdentical(parallel->QueryFiltered(q, k, t, filter), seq_f,
+                       context + " filtered");
+  }
+}
+
+// Exact equivalence is claimed (and tested) for the configurations where
+// pruning is sound: kGlobalPop ceilings or bounds disabled. kSnapshot
+// pruning goes stale under post-seal popularity updates (see
+// core/config.h), so with that baseline the executor — which always
+// prunes with sound ceilings — is pinned against a kGlobalPop sequential
+// reference in SnapshotExecutorUsesSoundPruning below.
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ParallelEquivalenceTest,
+    ::testing::Values(EquivalenceCase{11, true, BoundMode::kGlobalPop},
+                      EquivalenceCase{12, true, BoundMode::kGlobalPop},
+                      EquivalenceCase{13, true, BoundMode::kGlobalPop},
+                      EquivalenceCase{14, false, BoundMode::kSnapshot},
+                      EquivalenceCase{15, true, BoundMode::kGlobalPop}));
+
+// Pruning soundness, not just path equivalence: with the kGlobalPop
+// ceilings, early termination must never change the answer, so the
+// bounded index (sequential and parallel) has to match an unbounded full
+// walk bit-for-bit. The workload re-inserts streams long after their
+// early postings sealed, so live freshness runs ahead of everything the
+// old components store — the exact regime where a component-local
+// freshness bound silently under-estimates and drops top-k streams
+// (found as a rare sequential/parallel divergence in
+// bench_parallel_query).
+TEST(ParallelQueryTest, GlobalCeilingPruningMatchesFullWalk) {
+  auto bounded_config = ParallelConfig(0);
+  bounded_config.bound_mode = BoundMode::kGlobalPop;
+  auto parallel_config = ParallelConfig(4);
+  auto full_walk_config = ParallelConfig(0, /*use_bound=*/false);
+
+  auto bounded = std::make_unique<RtsiIndex>(bounded_config);
+  auto parallel = std::make_unique<RtsiIndex>(parallel_config);
+  auto full_walk = std::make_unique<RtsiIndex>(full_walk_config);
+  Timestamp t = 0;
+  BuildWorkload({bounded.get(), parallel.get(), full_walk.get()}, 57, &t);
+
+  Rng rng(5757);
+  for (int qi = 0; qi < 120; ++qi) {
+    std::vector<TermId> q;
+    const int nterms = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int i = 0; i < nterms; ++i) {
+      q.push_back(static_cast<TermId>(rng.NextUint64(50)));
+    }
+    // Large k keeps the k-th score low, where stale-bound undershoot
+    // actually decides membership.
+    const int k = 10 + static_cast<int>(rng.NextUint64(40));
+    const auto want = full_walk->Query(q, k, t);
+    const std::string context = "full-walk query " + std::to_string(qi);
+    ExpectBitIdentical(bounded->Query(q, k, t), want, context + " bounded");
+    ExpectBitIdentical(parallel->Query(q, k, t), want, context + " parallel");
+  }
+}
+
+// A kSnapshot-configured index with query_threads >= 1 must behave as if
+// bound_mode were kGlobalPop: identical results from the executor and
+// from a sound sequential reference, regardless of traversal timing.
+TEST(ParallelQueryTest, SnapshotExecutorUsesSoundPruning) {
+  auto snapshot_parallel_config = ParallelConfig(4);
+  snapshot_parallel_config.bound_mode = BoundMode::kSnapshot;
+  auto sound_sequential_config = ParallelConfig(0);
+  sound_sequential_config.bound_mode = BoundMode::kGlobalPop;
+
+  auto parallel = std::make_unique<RtsiIndex>(snapshot_parallel_config);
+  auto reference = std::make_unique<RtsiIndex>(sound_sequential_config);
+  Timestamp t = 0;
+  BuildWorkload({parallel.get(), reference.get()}, 31, &t);
+
+  Rng rng(4242);
+  for (int qi = 0; qi < 80; ++qi) {
+    std::vector<TermId> q;
+    const int nterms = 1 + static_cast<int>(rng.NextUint64(3));
+    for (int i = 0; i < nterms; ++i) {
+      q.push_back(static_cast<TermId>(rng.NextUint64(50)));
+    }
+    const int k = 1 + static_cast<int>(rng.NextUint64(15));
+    ExpectBitIdentical(parallel->Query(q, k, t),
+                       reference->Query(q, k, t),
+                       "snapshot-override query " + std::to_string(qi));
+  }
+}
+
+TEST(ParallelQueryTest, ExplainFallsBackToSequentialAndMatches) {
+  auto sequential_config = ParallelConfig(0);
+  sequential_config.bound_mode = BoundMode::kGlobalPop;  // Sound reference.
+  auto sequential = std::make_unique<RtsiIndex>(sequential_config);
+  auto parallel = std::make_unique<RtsiIndex>(ParallelConfig(4));
+  Timestamp t = 0;
+  BuildWorkload({sequential.get(), parallel.get()}, 21, &t);
+
+  for (TermId a = 0; a < 20; ++a) {
+    const std::vector<TermId> q = {a, (a + 9) % 50};
+    const auto seq_explain = sequential->ExplainQuery(q, 10, t);
+    const auto par_explain = parallel->ExplainQuery(q, 10, t);
+    ASSERT_EQ(par_explain.results.size(), seq_explain.results.size()) << a;
+    for (std::size_t i = 0; i < par_explain.results.size(); ++i) {
+      EXPECT_EQ(par_explain.results[i].stream,
+                seq_explain.results[i].stream);
+      EXPECT_EQ(par_explain.results[i].total, seq_explain.results[i].total);
+    }
+    // The explanation agrees with the index's own (parallel) answer.
+    const auto answers = parallel->Query(q, 10, t);
+    ASSERT_EQ(answers.size(), par_explain.results.size()) << a;
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      EXPECT_EQ(answers[i].stream, par_explain.results[i].stream);
+      EXPECT_EQ(answers[i].score, par_explain.results[i].total);
+    }
+  }
+}
+
+TEST(ParallelQueryTest, EdgeCasesUnderExecutor) {
+  RtsiIndex index(ParallelConfig(4));
+  index.InsertWindow(1, 1000, {{10, 3}}, true);
+  EXPECT_TRUE(index.Query({}, 5, 2000).empty());
+  EXPECT_TRUE(index.Query({10}, 0, 2000).empty());
+  EXPECT_TRUE(index.Query({999}, 5, 2000).empty());
+  const auto once = index.Query({10}, 5, 2000);
+  const auto twice = index.Query({10, 10, 10}, 5, 2000);
+  ASSERT_EQ(once.size(), 1u);
+  ASSERT_EQ(twice.size(), 1u);
+  EXPECT_EQ(once[0].score, twice[0].score);
+}
+
+TEST(ParallelQueryTest, QueryStatsStillPopulated) {
+  RtsiIndex index(ParallelConfig(4));
+  Timestamp t = 0;
+  for (StreamId s = 0; s < 300; ++s) {
+    t += kMicrosPerSecond;
+    index.InsertWindow(s, t, {{10, 1}, {11, 2}}, false);
+    index.FinishStream(s);
+  }
+  QueryStats stats;
+  const auto results = index.Query({10, 11}, 5, t, &stats);
+  EXPECT_EQ(results.size(), 5u);
+  EXPECT_GT(stats.candidates_scored, 0u);
+  EXPECT_GT(stats.postings_scanned, 0u);
+}
+
+// Inserts, async merge cascades, popularity updates and deletions racing
+// parallel queries. Asserts structural sanity of every answer; the real
+// assertion is a clean TSan run (tools/run_tsan.sh).
+TEST(ParallelQueryTest, ConcurrentStress) {
+  auto config = ParallelConfig(4);
+  config.lsm.delta = 500;
+  config.async_merge = true;
+  RtsiIndex index(config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<Timestamp> now{1000};
+
+  std::thread inserter([&] {
+    Rng rng(101);
+    for (int step = 0; step < 4000 && !stop.load(); ++step) {
+      const Timestamp t = now.fetch_add(kMicrosPerSecond);
+      const auto stream = static_cast<StreamId>(rng.NextUint64(200));
+      std::vector<TermCount> terms;
+      std::set<TermId> used;
+      for (int i = 0; i < 4; ++i) {
+        const auto term = static_cast<TermId>(rng.NextUint64(40));
+        if (!used.insert(term).second) continue;
+        terms.push_back({term, 1 + static_cast<TermFreq>(rng.NextUint64(3))});
+      }
+      index.InsertWindow(stream, t, terms, rng.NextBool(0.6));
+      if (rng.NextBool(0.05)) index.FinishStream(stream);
+      if (rng.NextBool(0.02)) index.DeleteStream(stream);
+    }
+    stop.store(true);
+  });
+
+  std::thread updater([&] {
+    Rng rng(202);
+    while (!stop.load()) {
+      index.UpdatePopularity(static_cast<StreamId>(rng.NextUint64(200)),
+                             1 + rng.NextUint64(20));
+    }
+  });
+
+  std::vector<std::thread> queriers;
+  for (int qt = 0; qt < 3; ++qt) {
+    queriers.emplace_back([&, qt] {
+      Rng rng(303 + qt);
+      while (!stop.load()) {
+        std::vector<TermId> q = {
+            static_cast<TermId>(rng.NextUint64(40)),
+            static_cast<TermId>(rng.NextUint64(40))};
+        const int k = 1 + static_cast<int>(rng.NextUint64(10));
+        const auto results = index.Query(q, k, now.load());
+        ASSERT_LE(results.size(), static_cast<std::size_t>(k));
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          ASSERT_TRUE(std::isfinite(results[i].score));
+          if (i > 0) {
+            // Descending total order (score, then stream id).
+            ASSERT_TRUE(results[i - 1].score > results[i].score ||
+                        (results[i - 1].score == results[i].score &&
+                         results[i - 1].stream < results[i].stream));
+          }
+        }
+      }
+    });
+  }
+
+  inserter.join();
+  updater.join();
+  for (auto& th : queriers) th.join();
+  index.WaitForMerges();
+
+  // The index still answers exactly once quiescent.
+  const auto results = index.Query({1, 2}, 10, now.load());
+  for (const auto& r : results) EXPECT_TRUE(std::isfinite(r.score));
+}
+
+}  // namespace
+}  // namespace rtsi::core

@@ -20,7 +20,8 @@ TEST(ComponentBoundTest, ZeroWhenNoTermPresent) {
   const Scorer scorer = DefaultScorer();
   std::vector<PerTermBound> terms(2);  // present = false.
   EXPECT_DOUBLE_EQ(
-      ComponentBound(scorer, terms, 1000, 100, BoundMode::kSnapshot), 0.0);
+      ComponentBound(scorer, terms, 1000, 100, 0, BoundMode::kSnapshot),
+      0.0);
 }
 
 TEST(ComponentBoundTest, DominatesAnyContainedPosting) {
@@ -36,7 +37,7 @@ TEST(ComponentBoundTest, DominatesAnyContainedPosting) {
   const Timestamp now = 1000;
   const std::uint64_t max_pop = 100;
   const double bound =
-      ComponentBound(scorer, terms, now, max_pop, BoundMode::kSnapshot);
+      ComponentBound(scorer, terms, now, max_pop, 0, BoundMode::kSnapshot);
 
   // Score each posting as if its snapshot were its true info.
   for (const Posting& p : idx.GetPlain(1)->entries()) {
@@ -57,10 +58,31 @@ TEST(ComponentBoundTest, GlobalPopModeIsLooser) {
   terms[0].bounds = idx.Bounds(1);
   terms[0].idf = 1.0;
   const double snapshot =
-      ComponentBound(scorer, terms, 1000, 1000, BoundMode::kSnapshot);
+      ComponentBound(scorer, terms, 1000, 1000, 0, BoundMode::kSnapshot);
   const double global =
-      ComponentBound(scorer, terms, 1000, 1000, BoundMode::kGlobalPop);
+      ComponentBound(scorer, terms, 1000, 1000, 1000, BoundMode::kGlobalPop);
   EXPECT_GE(global, snapshot);
+}
+
+TEST(ComponentBoundTest, GlobalModeCeilsLiveFreshness) {
+  const Scorer scorer = DefaultScorer();
+  InvertedIndex idx(1);
+  idx.Add(1, P(10, 10.0f, 500, 3));  // Sealed with stale frsh = 500.
+  idx.SealAll();
+  std::vector<PerTermBound> terms(1);
+  terms[0].bounds = idx.Bounds(1);
+  terms[0].idf = 1.0;
+  const Timestamp now = 10000;
+  const std::uint64_t max_pop = 1000;
+  // The stream posted again after sealing: its live freshness is `now`,
+  // far ahead of the component's stored maximum. The global-ceiling bound
+  // must still dominate the live score; the snapshot bound does not.
+  const double live_score = scorer.Combine(
+      scorer.PopScore(10, max_pop), scorer.RelScore(scorer.TermTfIdf(3, 1.0), 1),
+      scorer.FrshScore(now, now));
+  const double global = ComponentBound(scorer, terms, now, max_pop, now,
+                                       BoundMode::kGlobalPop);
+  EXPECT_GE(global, live_score);
 }
 
 TEST(ComponentBoundTest, TfCorrectionRaisesBound) {
@@ -72,10 +94,10 @@ TEST(ComponentBoundTest, TfCorrectionRaisesBound) {
   terms[0].bounds = idx.Bounds(1);
   terms[0].idf = 1.0;
   const double base =
-      ComponentBound(scorer, terms, 1000, 100, BoundMode::kSnapshot);
+      ComponentBound(scorer, terms, 1000, 100, 0, BoundMode::kSnapshot);
   terms[0].tf_correction = 50;
   const double corrected =
-      ComponentBound(scorer, terms, 1000, 100, BoundMode::kSnapshot);
+      ComponentBound(scorer, terms, 1000, 100, 0, BoundMode::kSnapshot);
   EXPECT_GT(corrected, base);
 }
 
@@ -122,7 +144,7 @@ TEST(ComponentTraversalTest, ThresholdDecreasesMonotonically) {
   while (traversal.NextRound(round)) {
     round.clear();
     const double tau =
-        traversal.Threshold(scorer, idfs, 200, 100, BoundMode::kSnapshot);
+        traversal.Threshold(scorer, idfs, 200, 100, 0, BoundMode::kSnapshot);
     EXPECT_LE(tau, prev + 1e-12);
     prev = tau;
   }
@@ -148,7 +170,8 @@ TEST(ComponentTraversalTest, ThresholdBoundsUnseenPostings) {
     for (const Posting& p : round) seen.insert(p.stream);
     round.clear();
     const double tau =
-        traversal.Threshold(scorer, idfs, now, max_pop, BoundMode::kSnapshot);
+        traversal.Threshold(scorer, idfs, now, max_pop, 0,
+                            BoundMode::kSnapshot);
     // Every unseen posting's (snapshot) score must be below tau.
     for (const Posting& p : idx.GetPlain(1)->entries()) {
       if (seen.count(p.stream) > 0) continue;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the concurrency-labeled tests under ThreadSanitizer and runs
+# them. Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRTSI_SANITIZE=thread
+
+# Only the targets ctest -L concurrency needs; a full TSan build of every
+# bench/example would take far longer for no coverage.
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target thread_pool_test async_merge_test parallel_query_test \
+           lsm_tree_test
+
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure \
+        -j"$(nproc)"
+echo "TSan run clean."
