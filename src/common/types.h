@@ -29,6 +29,12 @@ inline constexpr StreamId kInvalidStreamId =
     std::numeric_limits<StreamId>::max();
 inline constexpr TermId kInvalidTermId = std::numeric_limits<TermId>::max();
 
+/// Identity of one sealed LSM component, unique within an index for its
+/// whole lifetime (ids are never reused, so a stream's component-residency
+/// entries stay unambiguous across merges). 0 = unassigned.
+using ComponentId = std::uint64_t;
+inline constexpr ComponentId kInvalidComponentId = 0;
+
 /// One term of an audio window with its in-window frequency. Defined here
 /// (rather than in core/) because the index-layer hash tables batch whole
 /// windows.

@@ -151,6 +151,14 @@ class ScratchPool {
     free_.push_back(std::move(scratch));
   }
 
+  /// Drops cached scratches beyond `keep` (SetQueryThreads shrink: steady
+  /// state needs one scratch per executing thread). Outstanding leases are
+  /// unaffected — a scratch released later is simply cached again.
+  void TrimTo(std::size_t keep) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() > keep) free_.resize(keep);
+  }
+
  private:
   std::mutex mu_;
   std::vector<std::unique_ptr<QueryScratch>> free_;

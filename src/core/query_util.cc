@@ -9,7 +9,7 @@ using index::SortKey;
 
 double ComponentBound(const Scorer& scorer,
                       const std::vector<PerTermBound>& terms, Timestamp now,
-                      std::uint64_t max_pop_count, Timestamp max_frsh,
+                      std::uint64_t max_pop_count, Timestamp frsh_ceiling,
                       BoundMode mode) {
   bool any_present = false;
   std::uint64_t pop_bound_count = 0;
@@ -31,9 +31,12 @@ double ComponentBound(const Scorer& scorer,
     pop_bound_count = max_pop_count;
     // Candidates are scored with their *live* freshness, which can exceed
     // every frsh this component stored (the stream stayed active after
-    // sealing). Like popularity, only the global ceiling keeps the bound
-    // sound.
-    frsh_bound = std::max(frsh_bound, max_frsh);
+    // sealing); a live-freshness ceiling keeps the bound sound. The
+    // per-component residency-bumped ceiling is tight — only streams
+    // actually resident here can raise it — where the table-global
+    // maximum would let one recently-active stream drag every
+    // component's bound to ~now.
+    frsh_bound = std::max(frsh_bound, frsh_ceiling);
   }
 
   const double pop_score = scorer.PopScore(pop_bound_count, max_pop_count);
@@ -85,7 +88,7 @@ double ComponentTraversal::Threshold(const Scorer& scorer,
                                      const std::vector<double>& idfs,
                                      Timestamp now,
                                      std::uint64_t max_pop_count,
-                                     Timestamp max_frsh,
+                                     Timestamp frsh_ceiling,
                                      BoundMode mode) const {
   bool any_active = false;
   std::uint64_t pop_bound_count = 0;
@@ -109,7 +112,8 @@ double ComponentTraversal::Threshold(const Scorer& scorer,
   if (!any_active) return 0.0;
   if (mode == BoundMode::kGlobalPop) {
     pop_bound_count = max_pop_count;
-    frsh_bound = std::max(frsh_bound, max_frsh);  // Live-frsh ceiling.
+    // The component's live-freshness ceiling (see ComponentBound).
+    frsh_bound = std::max(frsh_bound, frsh_ceiling);
   }
 
   const double pop_score = scorer.PopScore(pop_bound_count, max_pop_count);

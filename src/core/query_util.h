@@ -28,13 +28,15 @@ struct PerTermBound {
 
 /// Largest possible score of any stream whose postings for the query terms
 /// lie in a component with these maxima. Returns 0 when no term is
-/// present. `max_frsh` is the global live-freshness ceiling (the stream
-/// table's max_frsh()); kGlobalPop mode substitutes it for the component's
-/// stored freshness maxima, which go stale once a stream posts again after
-/// the component sealed. kSnapshot ignores it.
+/// present. `frsh_ceiling` is a ceiling on the *live* freshness of every
+/// stream resident in the component (per-component FreshnessCeiling cell;
+/// the stream table's global max_frsh() is the sound fallback, and the
+/// LSII baseline passes `now`); kGlobalPop mode substitutes it for the
+/// component's stored freshness maxima, which go stale once a stream
+/// posts again after the component sealed. kSnapshot ignores it.
 double ComponentBound(const Scorer& scorer,
                       const std::vector<PerTermBound>& terms, Timestamp now,
-                      std::uint64_t max_pop_count, Timestamp max_frsh,
+                      std::uint64_t max_pop_count, Timestamp frsh_ceiling,
                       BoundMode mode);
 
 /// Round-based sorted access over one sealed component (Algorithm 3 lines
@@ -52,10 +54,11 @@ class ComponentTraversal {
 
   /// Upper bound on the score of all unchecked postings, from the current
   /// cursor values. `idfs` aligns with the constructor's `terms`;
-  /// `max_frsh` is the global live-freshness ceiling (see ComponentBound).
+  /// `frsh_ceiling` is the component's live-freshness ceiling (see
+  /// ComponentBound).
   double Threshold(const Scorer& scorer, const std::vector<double>& idfs,
                    Timestamp now, std::uint64_t max_pop_count,
-                   Timestamp max_frsh, BoundMode mode) const;
+                   Timestamp frsh_ceiling, BoundMode mode) const;
 
   /// Random access used when scoring a candidate discovered via another
   /// term: aggregated posting of `stream` for terms[i], if present.

@@ -39,12 +39,23 @@ void RtsiIndex::SetQueryThreads(int query_threads) {
   config_.query_threads = query_threads < 0 ? 0 : query_threads;
   const auto want = static_cast<std::size_t>(
       config_.query_threads > 1 ? config_.query_threads - 1 : 0);
-  // Only grow: an oversized pool is idle workers, but shrinking would
-  // require joining threads that might hold scratch leases.
-  if (want > 0 &&
-      (query_pool_ == nullptr || query_pool_->num_threads() < want)) {
-    query_pool_ = std::make_unique<ThreadPool>(want);
+  const std::size_t have =
+      query_pool_ != nullptr ? query_pool_->num_threads() : 0;
+  if (want == have) return;
+  if (query_pool_ != nullptr) {
+    // Drain in-flight tasks; with no concurrent queries (the caller's
+    // contract) every scratch lease has been returned to the pool once
+    // Wait() returns, so the excess workers can be joined safely.
+    query_pool_->Wait();
   }
+  query_pool_ = want > 0 ? std::make_unique<ThreadPool>(want) : nullptr;
+  // Steady state needs one scratch per executing thread (workers plus the
+  // querying thread); release the rest so memory tracks the new degree.
+  scratch_pool_.TrimTo(want + 1);
+}
+
+void RtsiIndex::SetUseBound(bool use_bound) {
+  config_.use_bound = use_bound;
 }
 
 void RtsiIndex::WaitForMerges() {
@@ -59,13 +70,32 @@ lsm::MergeHooks RtsiIndex::MakeMergeHooks() {
   hooks.on_purged = [this](StreamId stream) {
     live_terms_.RemoveStream(stream);
   };
-  hooks.on_stream = [this](StreamId stream, bool in_both) {
-    if (!in_both) return;
-    // The merge consolidated two of this stream's component residencies;
-    // once it lives in a single component and stopped broadcasting, the
-    // per-component tf is the total and the live-term entries can go.
-    const auto [count, live] = streams_.DecrementComponentCount(stream);
-    if (count <= 1 && !live) live_terms_.RemoveStream(stream);
+  hooks.on_stream = [this](StreamId stream, bool in_both,
+                           ComponentId from_a, ComponentId from_b,
+                           const index::InvertedIndex& merged) {
+    // Move the stream's residency from the merge inputs onto the output
+    // (its live freshness bumps the output's ceiling cell on the way).
+    // When the merge consolidated two of this stream's residencies into
+    // one and the stream stopped broadcasting, the per-component tf is
+    // the total and the live-term entries can go.
+    const auto [count, live] = streams_.MergeResidency(
+        stream, in_both, from_a, from_b, merged.component_id(),
+        merged.ceiling_cell());
+    if (in_both && count <= 1 && !live) live_terms_.RemoveStream(stream);
+  };
+  hooks.on_frozen = [this](const index::InvertedIndex& frozen) {
+    // A new sealed component is about to become query-visible: register a
+    // residency (stream -> ceiling cell) for every distinct stream it
+    // holds, from the frozen postings themselves, so the set is exact
+    // whatever racing freezes did to the L0 epochs.
+    std::unordered_set<StreamId> streams;
+    frozen.ForEachTerm([&](TermId, const TermPostings& postings) {
+      for (const Posting& p : postings.entries()) streams.insert(p.stream);
+    });
+    for (const StreamId stream : streams) {
+      streams_.AddSealedResidency(stream, frozen.component_id(),
+                                  frozen.ceiling_cell());
+    }
   };
   return hooks;
 }
@@ -214,7 +244,6 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
   for (std::size_t i = 0; i < nq; ++i) idfs[i] = df_.Idf(q[i]);
   if (explain != nullptr) explain->idfs = idfs;
   const std::uint64_t max_pop = streams_.max_pop_count();
-  const Timestamp max_frsh = streams_.max_frsh();
 
   // The parallel executor handles every query when query_threads >= 1,
   // except explanations, which keep the sequential walk's deterministic
@@ -368,6 +397,9 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
   struct RankedComponent {
     const index::InvertedIndex* component;
     double bound;
+    Timestamp frsh_ceiling;  // Live-freshness ceiling captured at ranking
+                             // time (same capture-once semantics as
+                             // max_pop, so all workers agree).
     std::size_t order;  // Snapshot position: deterministic sort tie-break.
     std::size_t explain_slot;
   };
@@ -382,8 +414,15 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
       per_term[i].idf = idfs[i];
       per_term[i].tf_correction = 0;  // Consolidation invariant.
     }
+    // Per-component ceiling: only streams resident here can have raised
+    // it, so it is far tighter than the table-global max_frsh() — which
+    // stays the sound fallback for components without a cell (restored
+    // from old snapshots, or built by tests via bare CombineComponents).
+    const Timestamp frsh_ceiling = component->has_ceiling()
+                                       ? component->LiveFrshCeiling()
+                                       : streams_.max_frsh();
     const double bound = ComponentBound(scorer_, per_term, now, max_pop,
-                                        max_frsh, bound_mode);
+                                        frsh_ceiling, bound_mode);
     std::size_t slot = 0;
     if (explain != nullptr) {
       ComponentExplanation ce;
@@ -393,7 +432,9 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
       slot = explain->components.size();
       explain->components.push_back(ce);
     }
-    if (bound > 0.0) ranked.push_back({component.get(), bound, ci, slot});
+    if (bound > 0.0) {
+      ranked.push_back({component.get(), bound, frsh_ceiling, ci, slot});
+    }
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const RankedComponent& a, const RankedComponent& b) {
@@ -442,9 +483,9 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
         qs.postings_scanned += round.size();
         round.clear();
         if (config_.use_bound && heap.full()) {
-          const double tau = traversal.Threshold(scorer_, idfs, now,
-                                                 max_pop, max_frsh,
-                                                 bound_mode);
+          const double tau = traversal.Threshold(
+              scorer_, idfs, now, max_pop, ranked[c].frsh_ceiling,
+              bound_mode);
           if (heap.KthScore() > tau) {
             qs.terminated_early = true;
             if (explain != nullptr) {
@@ -566,8 +607,8 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
             rounds_since_check = 0;
             const double threshold = shared.ThresholdScore();
             if (std::isfinite(threshold) &&
-                threshold > traversal.Threshold(scorer_, idfs, now,
-                                                max_pop, max_frsh,
+                threshold > traversal.Threshold(scorer_, idfs, now, max_pop,
+                                                ranked[c].frsh_ceiling,
                                                 bound_mode)) {
               wqs.terminated_early = true;
               cut_off = true;

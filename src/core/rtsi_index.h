@@ -68,10 +68,18 @@ class RtsiIndex : public SearchIndex {
   void WaitForMerges();
 
   /// Changes the query parallelism degree (see RtsiConfig::query_threads),
-  /// growing the worker pool if needed. NOT safe concurrently with
-  /// queries; meant for benches that sweep thread counts on one built
-  /// index instead of rebuilding it per setting.
+  /// growing or shrinking the worker pool to match (shrinking drains
+  /// in-flight tasks, joins the excess workers, and releases the now-spare
+  /// scratch buffers). NOT safe concurrently with queries; meant for
+  /// benches that sweep thread counts on one built index instead of
+  /// rebuilding it per setting.
   void SetQueryThreads(int query_threads);
+
+  /// Toggles upper-bound pruning (RtsiConfig::use_bound). With pruning off
+  /// every sealed component is walked to exhaustion; tests compare that
+  /// full walk against the pruned walk to certify bound soundness. NOT
+  /// safe concurrently with queries.
+  void SetUseBound(bool use_bound);
 
   // SearchIndex:
   void InsertWindow(StreamId stream, Timestamp now,

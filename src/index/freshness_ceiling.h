@@ -1,0 +1,53 @@
+// Shared live-freshness ceiling cell of one sealed LSM component.
+//
+// Candidates found in a sealed component are scored with their *live*
+// freshness from the stream-info table, which can exceed every freshness
+// the component stored (the stream stayed active after sealing). A sound
+// pruning bound therefore needs a ceiling over the live freshness of the
+// streams resident in the component — not over what the component stored.
+//
+// The cell is heap-allocated and shared (std::shared_ptr) between the
+// component itself and the per-stream residency entries in the
+// StreamInfoTable: inserts bump the cells of every component the stream
+// resides in, queries read the cell through the component snapshot.
+// Monotone max semantics make relaxed atomics sufficient — a reader can
+// only ever observe a value that was valid at some earlier instant, and
+// the ceiling only grows, so a stale read still upper-bounds every live
+// freshness that existed when the query captured its snapshot.
+
+#ifndef RTSI_INDEX_FRESHNESS_CEILING_H_
+#define RTSI_INDEX_FRESHNESS_CEILING_H_
+
+#include <atomic>
+#include <memory>
+
+#include "common/types.h"
+
+namespace rtsi::index {
+
+class FreshnessCeiling {
+ public:
+  FreshnessCeiling() = default;
+
+  FreshnessCeiling(const FreshnessCeiling&) = delete;
+  FreshnessCeiling& operator=(const FreshnessCeiling&) = delete;
+
+  /// Raises the ceiling to at least `frsh` (monotone max).
+  void Bump(Timestamp frsh) {
+    Timestamp prev = value_.load(std::memory_order_relaxed);
+    while (frsh > prev && !value_.compare_exchange_weak(
+                              prev, frsh, std::memory_order_relaxed)) {
+    }
+  }
+
+  Timestamp Get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Timestamp> value_{0};
+};
+
+using FreshnessCeilingPtr = std::shared_ptr<FreshnessCeiling>;
+
+}  // namespace rtsi::index
+
+#endif  // RTSI_INDEX_FRESHNESS_CEILING_H_

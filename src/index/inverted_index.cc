@@ -8,11 +8,15 @@ void InvertedIndex::Add(TermId term, const Posting& posting) {
   assert(!compressed_);
   terms_[term].Append(posting);
   ++num_postings_;
+  if (posting.frsh > max_stored_frsh_) max_stored_frsh_ = posting.frsh;
 }
 
 void InvertedIndex::Put(TermId term, TermPostings postings) {
   assert(!compressed_);
   num_postings_ += postings.size();
+  if (postings.max_frsh() > max_stored_frsh_) {
+    max_stored_frsh_ = postings.max_frsh();
+  }
   auto it = terms_.find(term);
   if (it == terms_.end()) {
     terms_.emplace(term, std::move(postings));
@@ -75,6 +79,7 @@ std::unordered_map<TermId, TermPostings> InvertedIndex::TakeTerms() {
   std::unordered_map<TermId, TermPostings> out;
   out.swap(terms_);
   num_postings_ = 0;
+  max_stored_frsh_ = 0;
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "index/compressed_postings.h"
+#include "index/freshness_ceiling.h"
 #include "index/posting.h"
 #include "index/term_postings.h"
 
@@ -86,6 +87,41 @@ class InvertedIndex {
   int level() const { return level_; }
   void set_level(int level) { level_ = level; }
 
+  /// Gives the component its permanent identity and live-freshness ceiling
+  /// cell (done when it becomes a sealed, query-visible component: at an
+  /// L0 freeze, as a merge output, or on snapshot restore). The cell is
+  /// raised to the largest stored freshness so it is a valid ceiling from
+  /// the first read.
+  void AdoptCeiling(ComponentId id, FreshnessCeilingPtr cell) {
+    id_ = id;
+    if (cell != nullptr) cell->Bump(max_stored_frsh_);
+    ceiling_ = std::move(cell);
+  }
+
+  /// Raises the ceiling cell (merge output inheriting its inputs' ceilings;
+  /// snapshot restore folding in the persisted value). Const because the
+  /// cell is shared mutable state by design — bumps arrive through
+  /// query-visible snapshots too.
+  void BumpCeiling(Timestamp frsh) const {
+    if (ceiling_ != nullptr) ceiling_->Bump(frsh);
+  }
+
+  ComponentId component_id() const { return id_; }
+  bool has_ceiling() const { return ceiling_ != nullptr; }
+  const FreshnessCeilingPtr& ceiling_cell() const { return ceiling_; }
+
+  /// Upper bound on the *live* freshness of every stream with postings in
+  /// this component: the residency-bumped cell, floored by the largest
+  /// freshness stored in the component itself.
+  Timestamp LiveFrshCeiling() const {
+    const Timestamp cell = ceiling_ != nullptr ? ceiling_->Get() : 0;
+    return cell > max_stored_frsh_ ? cell : max_stored_frsh_;
+  }
+
+  /// Largest freshness across all postings of all terms (tracked on
+  /// Add/Put, survives compression).
+  Timestamp max_stored_frsh() const { return max_stored_frsh_; }
+
   std::size_t num_terms() const {
     return compressed_ ? compressed_terms_.size() : terms_.size();
   }
@@ -119,6 +155,9 @@ class InvertedIndex {
   int level_;
   bool compressed_ = false;
   std::size_t num_postings_ = 0;
+  ComponentId id_ = kInvalidComponentId;
+  Timestamp max_stored_frsh_ = 0;
+  FreshnessCeilingPtr ceiling_;
   std::unordered_map<TermId, TermPostings> terms_;
   std::unordered_map<TermId, CompressedTermPostings> compressed_terms_;
 };

@@ -14,8 +14,18 @@ bool StreamInfoTable::OnInsert(StreamId stream, Timestamp frsh, bool live,
   const bool first_content = !info.content_seen;
   info.content_seen = true;
   info.frsh = std::max(info.frsh, frsh);
-  info.live = live;
+  // Liveness is monotone downward: a late window arriving out of order
+  // after MarkFinished (or a deletion) must not resurrect the stream into
+  // the live set — it would never be evicted again.
+  if (!info.finished && !info.deleted) info.live = live;
   if (pop_count != nullptr) *pop_count = info.pop_count;
+  // Raise the live-freshness ceiling of every sealed component the stream
+  // resides in: their older postings of this stream will now be scored
+  // with this (newer) live freshness.
+  auto res = shard.residency.find(stream);
+  if (res != shard.residency.end()) {
+    for (const Residency& r : res->second) r.ceiling->Bump(frsh);
+  }
   BumpMaxFrsh(frsh);
   BumpMaxStream(stream);
   return first_content;
@@ -30,15 +40,64 @@ void StreamInfoTable::IncrementComponentCount(StreamId stream) {
   BumpMaxStream(stream);
 }
 
-std::pair<std::uint32_t, bool> StreamInfoTable::DecrementComponentCount(
-    StreamId stream) {
+void StreamInfoTable::AddSealedResidency(StreamId stream,
+                                         ComponentId component,
+                                         const FreshnessCeilingPtr& cell) {
+  if (cell == nullptr || component == kInvalidComponentId) return;
+  Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Fold the stream's current live freshness into the cell under the same
+  // lock OnInsert bumps under: an insert serialized before this
+  // registration contributed to info.frsh and is covered here; one
+  // serialized after sees the entry and bumps the cell itself.
+  cell->Bump(shard.map[stream].frsh);
+  std::vector<Residency>& entries = shard.residency[stream];
+  for (const Residency& r : entries) {
+    if (r.component == component) return;
+  }
+  entries.push_back({component, cell});
+}
+
+std::pair<std::uint32_t, bool> StreamInfoTable::MergeResidency(
+    StreamId stream, bool in_both, ComponentId from_a, ComponentId from_b,
+    ComponentId to, const FreshnessCeilingPtr& to_cell) {
   Shard& shard = ShardFor(stream);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(stream);
   if (it == shard.map.end()) return {0, false};
   StreamInfo& info = it->second;
-  if (info.component_count > 0) --info.component_count;
+
+  std::vector<Residency>& entries = shard.residency[stream];
+  bool have_to = false;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].component == from_a || entries[i].component == from_b) {
+      continue;  // Residency moved into the merge output.
+    }
+    have_to = have_to || entries[i].component == to;
+    if (n != i) entries[n] = std::move(entries[i]);
+    ++n;
+  }
+  entries.resize(n);
+  if (to != kInvalidComponentId && to_cell != nullptr) {
+    to_cell->Bump(info.frsh);
+    if (!have_to) entries.push_back({to, to_cell});
+  }
+
+  if (in_both && info.component_count > 0) --info.component_count;
   return {info.component_count, info.live};
+}
+
+std::vector<ComponentId> StreamInfoTable::GetResidency(
+    StreamId stream) const {
+  const Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::vector<ComponentId> out;
+  auto it = shard.residency.find(stream);
+  if (it == shard.residency.end()) return out;
+  out.reserve(it->second.size());
+  for (const Residency& r : it->second) out.push_back(r.component);
+  return out;
 }
 
 std::uint32_t StreamInfoTable::GetComponentCount(StreamId stream) const {
@@ -74,7 +133,10 @@ void StreamInfoTable::MarkFinished(StreamId stream) {
   Shard& shard = ShardFor(stream);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(stream);
-  if (it != shard.map.end()) it->second.live = false;
+  if (it != shard.map.end()) {
+    it->second.live = false;
+    it->second.finished = true;
+  }
 }
 
 void StreamInfoTable::MarkDeleted(StreamId stream) {
@@ -84,6 +146,9 @@ void StreamInfoTable::MarkDeleted(StreamId stream) {
     StreamInfo& info = shard.map[stream];
     info.deleted = true;
     info.live = false;
+    // A deleted stream is never scored again: its live freshness cannot
+    // reach a query, so its residency cells need no further bumps.
+    shard.residency.erase(stream);
   }
   BumpMaxStream(stream);
 }
@@ -131,6 +196,11 @@ std::size_t StreamInfoTable::MemoryBytes() const {
     bytes += shard.map.bucket_count() * sizeof(void*) +
              shard.map.size() *
                  (sizeof(StreamId) + sizeof(StreamInfo) + 2 * sizeof(void*));
+    bytes += shard.residency.bucket_count() * sizeof(void*);
+    for (const auto& [stream, entries] : shard.residency) {
+      bytes += sizeof(StreamId) + 2 * sizeof(void*) +
+               entries.capacity() * sizeof(Residency);
+    }
   }
   return bytes;
 }

@@ -15,8 +15,10 @@
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/types.h"
+#include "index/freshness_ceiling.h"
 
 namespace rtsi::index {
 
@@ -29,6 +31,9 @@ struct StreamInfo {
                                 // metadata-only entries created by early
                                 // popularity updates).
   bool live = false;            // Still broadcasting?
+  bool finished = false;        // MarkFinished seen: liveness is monotone,
+                                // a late out-of-order window must not
+                                // resurrect the stream into the live set.
   bool deleted = false;         // Lazy deletion tombstone.
 };
 
@@ -51,10 +56,28 @@ class StreamInfoTable {
   /// postings (first posting in a fresh L0 epoch).
   void IncrementComponentCount(StreamId stream);
 
-  /// Decrements the component count after a merge consolidated two of the
-  /// stream's component residencies. Returns the new count and whether the
-  /// stream is still live.
-  std::pair<std::uint32_t, bool> DecrementComponentCount(StreamId stream);
+  /// Records that sealed component `component` holds postings of `stream`
+  /// and hands the stream a reference to the component's live-freshness
+  /// ceiling cell, which every subsequent OnInsert bumps. The cell is
+  /// immediately raised to the stream's current live freshness, so an
+  /// insert that raced ahead of the registration is still covered.
+  /// Idempotent per (stream, component). Does not touch component_count
+  /// (the L0-epoch increment already accounted for this residency).
+  void AddSealedResidency(StreamId stream, ComponentId component,
+                          const FreshnessCeilingPtr& cell);
+
+  /// Merge bookkeeping, all under one shard lock: drops the stream's
+  /// residency entries for the merge inputs `from_a`/`from_b`, registers
+  /// the output `to` (bumping its cell to the stream's live freshness),
+  /// and — when `in_both` — decrements the component count, since the
+  /// merge consolidated two residencies into one. Returns the new count
+  /// and whether the stream is still live (live-table eviction decision).
+  std::pair<std::uint32_t, bool> MergeResidency(
+      StreamId stream, bool in_both, ComponentId from_a, ComponentId from_b,
+      ComponentId to, const FreshnessCeilingPtr& to_cell);
+
+  /// Component ids the stream currently resides in (test introspection).
+  std::vector<ComponentId> GetResidency(StreamId stream) const;
 
   /// Current component count (0 for unknown streams).
   std::uint32_t GetComponentCount(StreamId stream) const;
@@ -85,8 +108,10 @@ class StreamInfoTable {
 
   /// Largest freshness timestamp ever entered. Candidates are scored with
   /// their *live* frsh, which can exceed every frsh stored in a sealed
-  /// component (the stream stayed active after sealing), so sound pruning
-  /// ceilings must bound freshness globally — exactly like max_pop_count.
+  /// component (the stream stayed active after sealing). Per-component
+  /// pruning uses the residency-bumped FreshnessCeiling cells instead
+  /// (tight AND sound); this global maximum remains the sound fallback
+  /// for components without a ceiling cell.
   Timestamp max_frsh() const {
     return max_frsh_.load(std::memory_order_relaxed);
   }
@@ -120,9 +145,20 @@ class StreamInfoTable {
  private:
   static constexpr std::size_t kNumShards = 64;
 
+  /// One sealed component the stream has postings in, with a handle on
+  /// that component's live-freshness ceiling cell.
+  struct Residency {
+    ComponentId component = kInvalidComponentId;
+    FreshnessCeilingPtr ceiling;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<StreamId, StreamInfo> map;
+    // Parallel to `map`, keyed by stream: the sealed components the stream
+    // resides in. Kept out of StreamInfo so Get() stays a cheap POD copy
+    // on the per-candidate scoring path.
+    std::unordered_map<StreamId, std::vector<Residency>> residency;
   };
 
   Shard& ShardFor(StreamId stream) {

@@ -18,14 +18,29 @@ void TermPostings::Seal() {
   if (sealed_) return;
   by_pop_.resize(entries_.size());
   by_tf_.resize(entries_.size());
-  by_stream_.resize(entries_.size());
   std::iota(by_pop_.begin(), by_pop_.end(), 0);
   std::iota(by_tf_.begin(), by_tf_.end(), 0);
-  std::iota(by_stream_.begin(), by_stream_.end(), 0);
-  std::sort(by_stream_.begin(), by_stream_.end(),
-            [this](std::uint32_t a, std::uint32_t b) {
-              return entries_[a].stream < entries_[b].stream;
-            });
+  // Contiguous by-stream-sorted copy with duplicates pre-folded, so
+  // AggregateForStream is a cache-friendly binary search with no
+  // indirection and no per-lookup fold loop.
+  by_stream_ = entries_;
+  std::stable_sort(by_stream_.begin(), by_stream_.end(),
+                   [](const Posting& a, const Posting& b) {
+                     return a.stream < b.stream;
+                   });
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < by_stream_.size(); ++i) {
+    if (n > 0 && by_stream_[n - 1].stream == by_stream_[i].stream) {
+      Posting& merged = by_stream_[n - 1];
+      merged.tf += by_stream_[i].tf;
+      merged.frsh = std::max(merged.frsh, by_stream_[i].frsh);
+      merged.pop = std::max(merged.pop, by_stream_[i].pop);
+    } else {
+      by_stream_[n++] = by_stream_[i];
+    }
+  }
+  by_stream_.resize(n);
+  by_stream_.shrink_to_fit();
   std::stable_sort(by_pop_.begin(), by_pop_.end(),
                    [this](std::uint32_t a, std::uint32_t b) {
                      return entries_[a].pop > entries_[b].pop;
@@ -54,28 +69,22 @@ const Posting& TermPostings::At(SortKey key, std::size_t i) const {
 
 bool TermPostings::AggregateForStream(StreamId stream, Posting& out) const {
   assert(sealed_);
-  // Binary search for the first occurrence in the by-stream permutation.
+  // Binary search in the contiguous aggregated copy; duplicates were
+  // folded at Seal(), so a hit is a single load.
   std::size_t lo = 0;
   std::size_t hi = by_stream_.size();
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (entries_[by_stream_[mid]].stream < stream) {
+    if (by_stream_[mid].stream < stream) {
       lo = mid + 1;
     } else {
       hi = mid;
     }
   }
-  if (lo >= by_stream_.size() || entries_[by_stream_[lo]].stream != stream) {
+  if (lo >= by_stream_.size() || by_stream_[lo].stream != stream) {
     return false;
   }
-  out = entries_[by_stream_[lo]];
-  for (std::size_t i = lo + 1; i < by_stream_.size(); ++i) {
-    const Posting& p = entries_[by_stream_[i]];
-    if (p.stream != stream) break;
-    out.tf += p.tf;
-    out.frsh = std::max(out.frsh, p.frsh);
-    out.pop = std::max(out.pop, p.pop);
-  }
+  out = by_stream_[lo];
   return true;
 }
 
@@ -83,7 +92,7 @@ std::size_t TermPostings::MemoryBytes() const {
   return entries_.capacity() * sizeof(Posting) +
          by_pop_.capacity() * sizeof(std::uint32_t) +
          by_tf_.capacity() * sizeof(std::uint32_t) +
-         by_stream_.capacity() * sizeof(std::uint32_t) + sizeof(*this);
+         by_stream_.capacity() * sizeof(Posting) + sizeof(*this);
 }
 
 bool TermPostings::IsSorted(SortKey key) const {

@@ -50,6 +50,9 @@ class TermPostings {
   /// Aggregated posting of `stream` within this list: duplicates (multiple
   /// windows of the same stream, possible in frozen-but-unmerged L0 data)
   /// are folded by summing tf and taking the newest frsh / largest pop.
+  /// Resolved by binary search over a contiguous by-stream-sorted copy
+  /// built at Seal() — the hot random-access path of candidate scoring,
+  /// so no double indirection through a permutation array.
   /// Requires sealed(). Returns false when the stream is absent.
   bool AggregateForStream(StreamId stream, Posting& out) const;
 
@@ -68,7 +71,9 @@ class TermPostings {
   std::vector<Posting> entries_;      // Ascending frsh (arrival) order.
   std::vector<std::uint32_t> by_pop_;  // Permutations, descending; sealed.
   std::vector<std::uint32_t> by_tf_;
-  std::vector<std::uint32_t> by_stream_;  // Ascending stream id; sealed.
+  // Contiguous aggregated postings, ascending stream id, one entry per
+  // distinct stream (duplicates pre-folded at Seal()); sealed only.
+  std::vector<Posting> by_stream_;
   bool sealed_ = false;
   float max_pop_ = 0.0f;
   Timestamp max_frsh_ = 0;

@@ -61,7 +61,7 @@ std::vector<std::shared_ptr<const InvertedIndex>> LsmTree::SealedSnapshot()
   return snapshot;
 }
 
-std::shared_ptr<InvertedIndex> LsmTree::FreezeL0() {
+std::shared_ptr<InvertedIndex> LsmTree::FreezeL0(const MergeHooks& hooks) {
   // Take every shard lock in a fixed order, then drain.
   std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(l0_shards_.size());
@@ -75,6 +75,12 @@ std::shared_ptr<InvertedIndex> LsmTree::FreezeL0() {
     }
   }
   frozen->SealAll();
+  frozen->AdoptCeiling(AllocateComponentId(),
+                       std::make_shared<index::FreshnessCeiling>());
+  // Residency registration must complete before the component is
+  // query-visible; the held L0 shard locks block any racing insert from
+  // slipping a window between registration and visibility.
+  if (hooks.on_frozen) hooks.on_frozen(*frozen);
   for (auto& seen_shard : stream_seen_) {
     std::lock_guard<std::mutex> lock(seen_shard->mu);
     seen_shard->seen.clear();
@@ -84,6 +90,7 @@ std::shared_ptr<InvertedIndex> LsmTree::FreezeL0() {
     // Make the frozen component query-visible before the shard locks drop.
     std::lock_guard<std::mutex> lock(components_mu_);
     mirrors_.Register(frozen);
+    structure_version_.fetch_add(1, std::memory_order_release);
   }
   return frozen;
 }
@@ -93,10 +100,11 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
   if (!NeedsMerge()) return;
 
   MergeStats stats;
-  std::shared_ptr<const InvertedIndex> cur = FreezeL0();
+  std::shared_ptr<const InvertedIndex> cur = FreezeL0(hooks);
   if (cur->empty()) {
     std::lock_guard<std::mutex> lock(components_mu_);
     mirrors_.Unregister(cur.get());
+    structure_version_.fetch_add(1, std::memory_order_release);
     return;
   }
 
@@ -118,7 +126,8 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
       }
       const auto merged =
           CombineComponents(*cur, existing.get(), 1, config_.compress,
-                            hooks, &stats);
+                            hooks, &stats, AllocateComponentId(),
+                            std::make_shared<index::FreshnessCeiling>());
       {
         std::lock_guard<std::mutex> lock(components_mu_);
         mirrors_.Unregister(cur.get());
@@ -130,6 +139,7 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
         } else {
           mirrors_.Register(merged);
         }
+        structure_version_.fetch_add(1, std::memory_order_release);
       }
       if (existing == nullptr) break;
       cur = merged;
@@ -162,7 +172,8 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
 
     const std::shared_ptr<const InvertedIndex> merged = CombineComponents(
         *cur, existing.get(), static_cast<int>(level_index) + 1,
-        config_.compress, hooks, &stats);
+        config_.compress, hooks, &stats, AllocateComponentId(),
+        std::make_shared<index::FreshnessCeiling>());
 
     const bool over_capacity = merged->num_postings() > capacity;
     {
@@ -175,6 +186,7 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
       } else {
         levels_[level_index] = merged;
       }
+      structure_version_.fetch_add(1, std::memory_order_release);
     }
     if (!over_capacity) break;
     cur = merged;
@@ -192,9 +204,13 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
 }
 
 Status LsmTree::RestoreSealedComponent(
-    std::shared_ptr<const index::InvertedIndex> component) {
+    std::shared_ptr<index::InvertedIndex> component) {
   if (component == nullptr || component->level() < 1) {
     return Status::InvalidArgument("restored component must have level >= 1");
+  }
+  if (component->component_id() == kInvalidComponentId) {
+    component->AdoptCeiling(AllocateComponentId(),
+                            std::make_shared<index::FreshnessCeiling>());
   }
   const auto slot = static_cast<std::size_t>(component->level()) - 1;
   std::lock_guard<std::mutex> lock(components_mu_);
@@ -203,6 +219,7 @@ Status LsmTree::RestoreSealedComponent(
     return Status::AlreadyExists("level slot occupied");
   }
   levels_[slot] = std::move(component);
+  structure_version_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 

@@ -95,9 +95,10 @@ class LsmTree {
   }
 
   /// Installs a sealed component at the level slot implied by its level()
-  /// (snapshot restore path). Fails if the slot is occupied.
+  /// (snapshot restore path). Fails if the slot is occupied. Assigns the
+  /// component a fresh id and live-freshness ceiling cell if it has none.
   Status RestoreSealedComponent(
-      std::shared_ptr<const index::InvertedIndex> component);
+      std::shared_ptr<index::InvertedIndex> component);
 
   /// Immutable components currently visible to queries: non-null levels
   /// plus any merge mirrors. Never contains duplicates.
@@ -106,6 +107,15 @@ class LsmTree {
 
   std::size_t l0_postings() const {
     return l0_postings_.load(std::memory_order_relaxed);
+  }
+
+  /// Monotone counter bumped whenever the set of query-visible sealed
+  /// components changes (freeze registration, merge swaps, restore).
+  /// Two SealedSnapshot() calls bracketed by equal versions saw the same
+  /// component set — tests use this to detect a merge publishing between
+  /// two queries they want to compare bit-for-bit.
+  std::uint64_t structure_version() const {
+    return structure_version_.load(std::memory_order_acquire);
   }
   std::size_t total_postings() const;
   std::size_t num_levels() const;
@@ -126,7 +136,14 @@ class LsmTree {
   };
 
   /// Freezes L0 into a sealed component registered in the mirror set.
-  std::shared_ptr<index::InvertedIndex> FreezeL0();
+  /// The component receives a fresh id and ceiling cell, and
+  /// `hooks.on_frozen` runs before it becomes query-visible.
+  std::shared_ptr<index::InvertedIndex> FreezeL0(const MergeHooks& hooks);
+
+  /// Never-reused component id (1-based; 0 = invalid).
+  ComponentId AllocateComponentId() {
+    return next_component_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   Config config_;
   std::vector<std::unique_ptr<L0Shard>> l0_shards_;
@@ -136,6 +153,8 @@ class LsmTree {
   mutable std::mutex components_mu_;  // Guards levels_ and mirror swaps.
   std::vector<std::shared_ptr<const index::InvertedIndex>> levels_;
   MirrorSet mirrors_;
+  std::atomic<ComponentId> next_component_id_{0};
+  std::atomic<std::uint64_t> structure_version_{0};
 
   std::mutex merge_mu_;  // At most one merge cascade at a time.
   mutable std::mutex stats_mu_;

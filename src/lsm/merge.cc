@@ -61,9 +61,11 @@ class DeletionCache {
 
 std::shared_ptr<InvertedIndex> CombineComponents(
     const InvertedIndex& a, const InvertedIndex* b, int out_level,
-    bool compress, const MergeHooks& hooks, MergeStats* stats) {
+    bool compress, const MergeHooks& hooks, MergeStats* stats,
+    ComponentId out_id, index::FreshnessCeilingPtr out_cell) {
   Stopwatch watch;
   auto merged = std::make_shared<InvertedIndex>(out_level);
+  merged->AdoptCeiling(out_id, std::move(out_cell));
 
   std::unordered_set<StreamId> streams_a;
   std::unordered_set<StreamId> streams_b;
@@ -137,17 +139,28 @@ std::shared_ptr<InvertedIndex> CombineComponents(
     });
   }
 
-  // Stream-level bookkeeping for the owner (component counts, live table).
+  // Stream-level bookkeeping for the owner (component counts, residency
+  // transfer into `merged`, live table). Ordering matters for ceiling
+  // soundness: every surviving stream's residency is moved onto the
+  // output's ceiling cell *before* the output inherits the inputs'
+  // ceilings below, so an insert that bumped an input cell concurrently
+  // (its residency not yet transferred) is still folded in.
+  const ComponentId from_a = a.component_id();
+  const ComponentId from_b = b != nullptr ? b->component_id()
+                                          : kInvalidComponentId;
   if (track_streams) {
     for (const StreamId stream : streams_a) {
       if (deleted(stream)) continue;  // on_purged already fired.
-      hooks.on_stream(stream, streams_b.count(stream) > 0);
+      hooks.on_stream(stream, streams_b.count(stream) > 0, from_a, from_b,
+                      *merged);
     }
     for (const StreamId stream : streams_b) {
       if (streams_a.count(stream) > 0 || deleted(stream)) continue;
-      hooks.on_stream(stream, /*in_both=*/false);
+      hooks.on_stream(stream, /*in_both=*/false, from_a, from_b, *merged);
     }
   }
+  merged->BumpCeiling(a.LiveFrshCeiling());
+  if (b != nullptr) merged->BumpCeiling(b->LiveFrshCeiling());
 
   if (compress) merged->CompressAll();
   if (stats != nullptr) {

@@ -27,11 +27,24 @@ struct MergeHooks {
   /// Called once per stream whose postings were purged by this merge.
   std::function<void(StreamId stream)> on_purged;
 
-  /// Called once per distinct surviving stream seen during the merge.
+  /// Called once per distinct surviving stream seen during the merge,
+  /// after all postings are combined and before the output is published.
   /// `in_both`: the stream had postings in both inputs (its residency
-  /// count dropped by one). Leave unset to skip stream tracking entirely
-  /// (the tracking itself costs one hash-set insert per posting).
-  std::function<void(StreamId stream, bool in_both)> on_stream;
+  /// count dropped by one). `from_a`/`from_b` are the input component
+  /// ids and `merged` the output component (already carrying its id and
+  /// live-freshness ceiling cell), so the owner can transfer the stream's
+  /// component residency while mirrors keep serving queries. Leave unset
+  /// to skip stream tracking entirely (the tracking itself costs one
+  /// hash-set insert per posting).
+  std::function<void(StreamId stream, bool in_both, ComponentId from_a,
+                     ComponentId from_b, const index::InvertedIndex& merged)>
+      on_stream;
+
+  /// Called inside an L0 freeze — after the frozen component is sealed
+  /// and given its identity/ceiling cell, before it becomes query-visible
+  /// (still under every L0 shard lock, so no insert can race). The owner
+  /// registers component residency for every stream in the frozen data.
+  std::function<void(const index::InvertedIndex& frozen)> on_frozen;
 };
 
 struct MergeStats {
@@ -45,10 +58,17 @@ struct MergeStats {
 
 /// Combines `a` and (optionally) `b` into a new sealed component at
 /// `out_level`, compressing it when `compress` is set. `b` may be null.
+/// `out_id`/`out_cell` give the output its component identity and
+/// live-freshness ceiling cell (allocated by the owning LsmTree); the
+/// output's ceiling additionally inherits both inputs' ceilings, covering
+/// bumps that raced to an input before its residencies were transferred.
+/// Tests may omit them — the output then has no ceiling cell and queries
+/// fall back to the global freshness maximum.
 std::shared_ptr<index::InvertedIndex> CombineComponents(
     const index::InvertedIndex& a, const index::InvertedIndex* b,
     int out_level, bool compress, const MergeHooks& hooks,
-    MergeStats* stats);
+    MergeStats* stats, ComponentId out_id = kInvalidComponentId,
+    index::FreshnessCeilingPtr out_cell = nullptr);
 
 }  // namespace rtsi::lsm
 

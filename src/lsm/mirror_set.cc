@@ -29,6 +29,15 @@ std::size_t MirrorSet::size() const {
   return mirrors_.size();
 }
 
+Timestamp MirrorSet::MaxLiveFrshCeiling() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timestamp ceiling = 0;
+  for (const auto& mirror : mirrors_) {
+    ceiling = std::max(ceiling, mirror->LiveFrshCeiling());
+  }
+  return ceiling;
+}
+
 std::size_t MirrorSet::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t bytes = 0;

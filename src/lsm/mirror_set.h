@@ -6,6 +6,14 @@
 // LSM-tree the mirrors are dropped. Registration and the component-list
 // swap are serialized by the LSM-tree, so a snapshot always observes a
 // complete posting set.
+//
+// Live-freshness ceilings during a merge: a mirrored input keeps
+// receiving ceiling bumps through the per-stream residency entries that
+// still point at it, so queries served via mirrors prune soundly for the
+// whole merge. Residencies are transferred onto the merge output before
+// it is published, and the output's ceiling then inherits both inputs'
+// ceilings (lsm/merge.cc), covering bumps that raced to an input after
+// its residencies moved.
 
 #ifndef RTSI_LSM_MIRROR_SET_H_
 #define RTSI_LSM_MIRROR_SET_H_
@@ -34,6 +42,11 @@ class MirrorSet {
   std::vector<std::shared_ptr<const index::InvertedIndex>> GetAll() const;
 
   std::size_t size() const;
+
+  /// Largest live-freshness ceiling over the registered mirrors (0 when
+  /// empty). Tests assert a merge output's inherited ceiling dominates
+  /// the mirrors it replaces.
+  Timestamp MaxLiveFrshCeiling() const;
 
   /// Extra bytes currently pinned by mirrors.
   std::size_t MemoryBytes() const;

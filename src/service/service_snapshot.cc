@@ -54,6 +54,10 @@ Status LoadDictionary(storage::SnapshotReader& reader,
 
 Status SaveServiceSnapshot(SearchService& service,
                            const std::string& path_prefix) {
+  // Both per-modality index files use the storage snapshot format, which
+  // (since v2) persists each sealed component's live-freshness ceiling and
+  // every stream's finished flag — a reloaded service prunes with the same
+  // tight per-component bounds as the one that saved it.
   Status status =
       storage::SaveIndexSnapshot(service.text_index(), path_prefix + ".text");
   if (!status.ok()) return status;

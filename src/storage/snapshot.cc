@@ -1,6 +1,7 @@
 #include "storage/snapshot.h"
 
 #include <cstring>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -91,7 +92,8 @@ Status SaveIndexSnapshot(const RtsiIndex& index, const std::string& path) {
       writer.WriteVarint(static_cast<std::uint64_t>(info.frsh));
       writer.WriteVarint(info.component_count);
       writer.WriteU32((info.live ? 1u : 0u) | (info.deleted ? 2u : 0u) |
-                      (info.content_seen ? 4u : 0u));
+                      (info.content_seen ? 4u : 0u) |
+                      (info.finished ? 8u : 0u));
     }
   }
 
@@ -123,6 +125,11 @@ Status SaveIndexSnapshot(const RtsiIndex& index, const std::string& path) {
     writer.WriteVarint(components.size());
     for (const auto& component : components) {
       writer.WriteU32(static_cast<std::uint32_t>(component->level()));
+      // Live-freshness ceiling at save time: a valid ceiling for every
+      // resident stream's freshness as of the snapshot. The restore path
+      // re-registers residencies, so later inserts keep it tight.
+      writer.WriteVarint(
+          static_cast<std::uint64_t>(component->LiveFrshCeiling()));
       writer.WriteVarint(component->num_terms());
       component->ForEachTerm([&](TermId term, const TermPostings& postings) {
         writer.WriteVarint(term);
@@ -207,6 +214,7 @@ Result<std::unique_ptr<RtsiIndex>> LoadIndexSnapshot(
       info.live = (flags & 1u) != 0;
       info.deleted = (flags & 2u) != 0;
       info.content_seen = (flags & 4u) != 0;
+      info.finished = (flags & 8u) != 0;
       index->mutable_stream_table().RestoreEntry(stream, info);
     }
   }
@@ -239,15 +247,18 @@ Result<std::unique_ptr<RtsiIndex>> LoadIndexSnapshot(
     if (!reader.ReadVarint(num_components)) {
       return Status::Internal("snapshot: bad component header");
     }
+    std::unordered_set<StreamId> resident;
     for (std::uint64_t c = 0; c < num_components; ++c) {
       std::uint32_t level = 0;
-      std::uint64_t num_terms = 0;
-      if (!reader.ReadU32(level) || !reader.ReadVarint(num_terms)) {
+      std::uint64_t ceiling = 0, num_terms = 0;
+      if (!reader.ReadU32(level) || !reader.ReadVarint(ceiling) ||
+          !reader.ReadVarint(num_terms)) {
         return Status::Internal("snapshot: bad component entry");
       }
       auto component =
           std::make_shared<index::InvertedIndex>(static_cast<int>(level));
       std::vector<std::uint8_t> blob;
+      resident.clear();
       for (std::uint64_t t = 0; t < num_terms; ++t) {
         std::uint64_t term = 0;
         if (!reader.ReadVarint(term) || !reader.ReadBlob(blob)) {
@@ -257,12 +268,23 @@ Result<std::unique_ptr<RtsiIndex>> LoadIndexSnapshot(
         if (postings.empty() && !blob.empty()) {
           return Status::Internal("snapshot: corrupt posting blob");
         }
+        for (const Posting& p : postings.entries()) {
+          resident.insert(p.stream);
+        }
         component->Put(static_cast<TermId>(term), std::move(postings));
       }
       if (config.lsm.compress) component->CompressAll();
-      status = index->mutable_tree().RestoreSealedComponent(
-          std::move(component));
+      status = index->mutable_tree().RestoreSealedComponent(component);
       if (!status.ok()) return status;
+      // RestoreSealedComponent gave the component its identity and ceiling
+      // cell; fold in the persisted ceiling and re-register every resident
+      // stream so future inserts keep bumping it (exactly the freeze-time
+      // registration, reconstructed from the decoded postings).
+      component->BumpCeiling(static_cast<Timestamp>(ceiling));
+      for (const StreamId stream : resident) {
+        index->mutable_stream_table().AddSealedResidency(
+            stream, component->component_id(), component->ceiling_cell());
+      }
     }
   }
 

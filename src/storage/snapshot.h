@@ -22,8 +22,10 @@
 
 namespace rtsi::storage {
 
-/// Current snapshot format version.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Current snapshot format version. v2 added the stream `finished` flag
+/// and the per-component live-freshness ceiling (pruning stays tight
+/// after a restore); v1 files are rejected.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Writes the full index state to `path` (created/truncated).
 Status SaveIndexSnapshot(const core::RtsiIndex& index,

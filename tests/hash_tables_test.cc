@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 
 #include "index/live_term_table.h"
@@ -66,20 +67,93 @@ TEST(StreamInfoTableTest, ComponentCountLifecycle) {
   table.IncrementComponentCount(1);
   table.IncrementComponentCount(1);
   EXPECT_EQ(table.GetComponentCount(1), 2u);
-  auto [count, live] = table.DecrementComponentCount(1);
+  // A merge consolidating two residencies (in_both) decrements the count.
+  auto cell = std::make_shared<FreshnessCeiling>();
+  auto [count, live] = table.MergeResidency(1, /*in_both=*/true, 10, 11,
+                                            12, cell);
   EXPECT_EQ(count, 1u);
   EXPECT_TRUE(live);
   table.MarkFinished(1);
-  auto [count2, live2] = table.DecrementComponentCount(1);
+  auto [count2, live2] = table.MergeResidency(1, /*in_both=*/true, 12, 13,
+                                              14, cell);
   EXPECT_EQ(count2, 0u);
   EXPECT_FALSE(live2);
 }
 
-TEST(StreamInfoTableTest, DecrementOnUnknownStreamIsSafe) {
+TEST(StreamInfoTableTest, MergeResidencyOnUnknownStreamIsSafe) {
   StreamInfoTable table;
-  auto [count, live] = table.DecrementComponentCount(42);
+  auto cell = std::make_shared<FreshnessCeiling>();
+  auto [count, live] = table.MergeResidency(42, true, 1, 2, 3, cell);
   EXPECT_EQ(count, 0u);
   EXPECT_FALSE(live);
+  EXPECT_TRUE(table.GetResidency(42).empty());
+}
+
+TEST(StreamInfoTableTest, LateWindowCannotResurrectFinishedStream) {
+  StreamInfoTable table;
+  table.OnInsert(1, 100, true);
+  table.MarkFinished(1);
+  EXPECT_FALSE(table.IsLive(1));
+  // Out-of-order delivery: a window recorded before the finish event
+  // arrives after it. Liveness is monotone — the stream must stay
+  // finished — while the freshness update still lands.
+  table.OnInsert(1, 150, true);
+  EXPECT_FALSE(table.IsLive(1));
+  StreamInfo info;
+  ASSERT_TRUE(table.Get(1, info));
+  EXPECT_FALSE(info.live);
+  EXPECT_TRUE(info.finished);
+  EXPECT_EQ(info.frsh, 150);
+}
+
+TEST(StreamInfoTableTest, ResidencyCellTracksLiveFreshness) {
+  StreamInfoTable table;
+  table.OnInsert(1, 100, true);
+  auto cell = std::make_shared<FreshnessCeiling>();
+  // Registration folds the stream's current freshness into the cell, so
+  // an insert that raced ahead of the registration is already covered.
+  table.AddSealedResidency(1, 7, cell);
+  EXPECT_EQ(cell->Get(), 100);
+  // Every later insert bumps the cell through the residency.
+  table.OnInsert(1, 250, true);
+  EXPECT_EQ(cell->Get(), 250);
+  // Idempotent per (stream, component): re-registering must not create a
+  // second entry.
+  table.AddSealedResidency(1, 7, cell);
+  EXPECT_EQ(table.GetResidency(1), std::vector<ComponentId>{7});
+}
+
+TEST(StreamInfoTableTest, MergeResidencyTransfersCeilingTarget) {
+  StreamInfoTable table;
+  table.OnInsert(1, 100, true);
+  auto cell_a = std::make_shared<FreshnessCeiling>();
+  auto cell_b = std::make_shared<FreshnessCeiling>();
+  table.AddSealedResidency(1, 10, cell_a);
+  table.AddSealedResidency(1, 11, cell_b);
+  table.IncrementComponentCount(1);
+  table.IncrementComponentCount(1);
+
+  auto cell_merged = std::make_shared<FreshnessCeiling>();
+  table.MergeResidency(1, /*in_both=*/true, 10, 11, 12, cell_merged);
+  EXPECT_EQ(table.GetResidency(1), std::vector<ComponentId>{12});
+  // The transfer bumps the output's cell with the live freshness...
+  EXPECT_EQ(cell_merged->Get(), 100);
+  // ...and later inserts reach only the output's cell.
+  table.OnInsert(1, 300, true);
+  EXPECT_EQ(cell_merged->Get(), 300);
+  EXPECT_EQ(cell_a->Get(), 100);
+  EXPECT_EQ(cell_b->Get(), 100);
+}
+
+TEST(StreamInfoTableTest, MarkDeletedDropsResidency) {
+  StreamInfoTable table;
+  table.OnInsert(1, 100, true);
+  auto cell = std::make_shared<FreshnessCeiling>();
+  table.AddSealedResidency(1, 7, cell);
+  table.MarkDeleted(1);
+  EXPECT_TRUE(table.GetResidency(1).empty());
+  table.OnInsert(1, 400, true);  // Tombstoned: must not bump the cell.
+  EXPECT_EQ(cell->Get(), 100);
 }
 
 TEST(StreamInfoTableTest, SizeCountsEntries) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 namespace rtsi::lsm {
@@ -111,7 +112,8 @@ TEST(MergeTest, OnStreamHookSeesMembership) {
 
   std::set<StreamId> only_a, both, only_b;
   MergeHooks hooks;
-  hooks.on_stream = [&](StreamId s, bool in_both) {
+  hooks.on_stream = [&](StreamId s, bool in_both, ComponentId,
+                        ComponentId, const InvertedIndex&) {
     if (in_both) {
       both.insert(s);
     } else if (s == 12) {
@@ -124,6 +126,67 @@ TEST(MergeTest, OnStreamHookSeesMembership) {
   EXPECT_EQ(both, std::set<StreamId>{11});
   EXPECT_EQ(only_a, std::set<StreamId>{10});
   EXPECT_EQ(only_b, std::set<StreamId>{12});
+}
+
+TEST(MergeTest, OnStreamHookSeesInputIdsAndOutput) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.SealAll();
+  a.AdoptCeiling(7, std::make_shared<index::FreshnessCeiling>());
+  InvertedIndex b(1);
+  b.Add(1, P(10, 1.0f, 50, 1));
+  b.SealAll();
+  b.AdoptCeiling(8, std::make_shared<index::FreshnessCeiling>());
+
+  MergeHooks hooks;
+  hooks.on_stream = [&](StreamId s, bool in_both, ComponentId from_a,
+                        ComponentId from_b, const InvertedIndex& merged) {
+    EXPECT_EQ(s, 10u);
+    EXPECT_TRUE(in_both);
+    EXPECT_EQ(from_a, 7u);
+    EXPECT_EQ(from_b, 8u);
+    EXPECT_EQ(merged.component_id(), 9u);
+  };
+  const auto merged = CombineComponents(
+      a, &b, 2, false, hooks, nullptr, 9,
+      std::make_shared<index::FreshnessCeiling>());
+  EXPECT_EQ(merged->component_id(), 9u);
+}
+
+TEST(MergeTest, MergedCeilingInheritsBothInputs) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.SealAll();
+  a.AdoptCeiling(1, std::make_shared<index::FreshnessCeiling>());
+  a.BumpCeiling(500);  // A resident stream stayed active after sealing.
+  InvertedIndex b(1);
+  b.Add(1, P(20, 2.0f, 250, 3));
+  b.SealAll();
+  b.AdoptCeiling(2, std::make_shared<index::FreshnessCeiling>());
+
+  const auto merged = CombineComponents(
+      a, &b, 2, false, MergeHooks{}, nullptr, 3,
+      std::make_shared<index::FreshnessCeiling>());
+  EXPECT_EQ(merged->component_id(), 3u);
+  ASSERT_TRUE(merged->has_ceiling());
+  // Dominates a's bumped ceiling (500) and b's stored maximum (250).
+  EXPECT_EQ(merged->LiveFrshCeiling(), 500);
+}
+
+TEST(MergeTest, NoCeilingCellFallsBackToStoredMax) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.Add(1, P(11, 1.0f, 140, 1));
+  a.SealAll();
+
+  // Tests that call CombineComponents without an id/cell still get a
+  // sound component: LiveFrshCeiling() floors at the stored maximum and
+  // queries fall back to the table-global max_frsh().
+  const auto merged =
+      CombineComponents(a, nullptr, 1, false, MergeHooks{}, nullptr);
+  EXPECT_EQ(merged->component_id(), kInvalidComponentId);
+  EXPECT_FALSE(merged->has_ceiling());
+  EXPECT_EQ(merged->LiveFrshCeiling(), 140);
 }
 
 TEST(MergeTest, OutputIsSealedAndSorted) {

@@ -238,6 +238,55 @@ TEST(ParallelQueryTest, ExplainFallsBackToSequentialAndMatches) {
   }
 }
 
+// SetQueryThreads must shrink as well as grow: sweeping 8 -> 2 -> 1 -> 0
+// on one built index keeps answers bit-identical while the worker pool
+// actually shrinks (drained and joined, not abandoned). Runs under TSan
+// via the concurrency label, which is what certifies the join against
+// workers that just released their scratch leases.
+TEST(ParallelQueryTest, ShrinkingQueryThreadsKeepsAnswers) {
+  auto config = ParallelConfig(8);
+  config.bound_mode = BoundMode::kGlobalPop;
+  auto index = std::make_unique<RtsiIndex>(config);
+  Timestamp t = 0;
+  BuildWorkload({index.get()}, 77, &t);
+
+  Rng rng(7777);
+  std::vector<std::vector<TermId>> queries;
+  std::vector<int> ks;
+  for (int qi = 0; qi < 40; ++qi) {
+    std::vector<TermId> q;
+    const int nterms = 1 + static_cast<int>(rng.NextUint64(3));
+    for (int i = 0; i < nterms; ++i) {
+      q.push_back(static_cast<TermId>(rng.NextUint64(50)));
+    }
+    queries.push_back(std::move(q));
+    ks.push_back(1 + static_cast<int>(rng.NextUint64(15)));
+  }
+
+  std::vector<std::vector<ScoredStream>> want;
+  want.reserve(queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    want.push_back(index->Query(queries[qi], ks[qi], t));
+  }
+
+  // Mid-stream shrinks: each setting re-answers the same query stream.
+  for (const int threads : {2, 1, 0}) {
+    index->SetQueryThreads(threads);
+    EXPECT_EQ(index->config().query_threads, threads);
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      ExpectBitIdentical(index->Query(queries[qi], ks[qi], t), want[qi],
+                         "threads " + std::to_string(threads) + " query " +
+                             std::to_string(qi));
+    }
+  }
+  // And back up: growth after a shrink must also work.
+  index->SetQueryThreads(4);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    ExpectBitIdentical(index->Query(queries[qi], ks[qi], t), want[qi],
+                       "regrown query " + std::to_string(qi));
+  }
+}
+
 TEST(ParallelQueryTest, EdgeCasesUnderExecutor) {
   RtsiIndex index(ParallelConfig(4));
   index.InsertWindow(1, 1000, {{10, 3}}, true);

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <string>
 
 #include "common/rng.h"
 #include "core/rtsi_index.h"
@@ -154,6 +156,97 @@ TEST_P(RankingInvariants, QueryTermOrderIrrelevant) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RankingInvariants, ::testing::Range(1, 6));
+
+// Pruned vs full-walk equivalence while merges run underneath: the
+// per-component live-freshness ceilings must keep upper-bound pruning
+// lossless in exactly the regime that created them — streams re-inserting
+// long after their early postings sealed, queries racing async merge
+// cascades and served through mirrors. SetUseBound toggles pruning on the
+// one index so both walks see identical content; a pair is retried when a
+// merge published a new component set between its two queries (the
+// transient per-component partials of a multi-component stream
+// legitimately differ across the swap, so the comparison is only defined
+// at a fixed structure version).
+TEST(PrunedVsFullWalk, CeilingPruningLosslessAcrossMergeInterleavings) {
+  for (int seed = 1; seed <= 3; ++seed) {
+    auto config = SmallConfig();
+    config.async_merge = true;
+    RtsiIndex index(config);
+    Rng rng(9000 + seed);
+    Timestamp t = 0;
+    constexpr int kStreams = 90;
+    constexpr TermId kVocab = 30;
+
+    const auto compare_pair = [&](const std::vector<TermId>& q, int k,
+                                  const std::string& context) {
+      std::vector<ScoredStream> pruned, full;
+      for (int attempt = 0;; ++attempt) {
+        if (attempt >= 20) {
+          // Merges outpaced us; compare quiescent instead of spinning.
+          index.WaitForMerges();
+        }
+        const std::uint64_t version = index.tree().structure_version();
+        index.SetUseBound(true);
+        pruned = index.Query(q, k, t);
+        index.SetUseBound(false);
+        full = index.Query(q, k, t);
+        if (index.tree().structure_version() == version) break;
+      }
+      ASSERT_EQ(pruned.size(), full.size()) << context;
+      for (std::size_t i = 0; i < pruned.size(); ++i) {
+        ASSERT_EQ(pruned[i].stream, full[i].stream) << context << " rank "
+                                                    << i;
+        // Bit-identical: pruning may only skip work, never alter a score.
+        ASSERT_EQ(pruned[i].score, full[i].score) << context << " rank "
+                                                  << i;
+      }
+    };
+
+    for (int burst = 0; burst < 12; ++burst) {
+      // Insert burst, sized to trip merge cascades (delta = 150).
+      for (int i = 0; i < 120; ++i) {
+        const auto stream = static_cast<StreamId>(rng.NextUint64(kStreams));
+        std::vector<TermCount> terms;
+        std::set<TermId> used;
+        for (int j = 0; j < 4; ++j) {
+          const auto term = static_cast<TermId>(rng.NextUint64(kVocab));
+          if (used.insert(term).second) {
+            terms.push_back(
+                {term, 1 + static_cast<TermFreq>(rng.NextUint64(3))});
+          }
+        }
+        index.InsertWindow(stream, t += kMicrosPerSecond, terms,
+                           rng.NextBool(0.6));
+        if (rng.NextBool(0.1)) index.FinishStream(stream);
+        if (rng.NextBool(0.2)) {
+          index.UpdatePopularity(stream, 1 + rng.NextUint64(100));
+        }
+      }
+      // Query pairs racing whatever cascade the burst scheduled.
+      for (int qi = 0; qi < 6; ++qi) {
+        const std::vector<TermId> q = {
+            static_cast<TermId>(rng.NextUint64(kVocab)),
+            static_cast<TermId>(rng.NextUint64(kVocab))};
+        // Large k keeps the k-th score low, where a too-low ceiling
+        // actually decides membership.
+        const int k = 10 + static_cast<int>(rng.NextUint64(30));
+        compare_pair(q, k, "seed " + std::to_string(seed) + " burst " +
+                               std::to_string(burst) + " query " +
+                               std::to_string(qi));
+        if (HasFatalFailure()) return;
+      }
+    }
+
+    // Quiescent sweep: every term, after all cascades settled.
+    index.WaitForMerges();
+    for (TermId term = 0; term < kVocab; ++term) {
+      compare_pair({term, (term + 7) % kVocab}, 25,
+                   "seed " + std::to_string(seed) + " quiescent term " +
+                       std::to_string(term));
+      if (HasFatalFailure()) return;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace rtsi::core

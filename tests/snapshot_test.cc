@@ -95,6 +95,50 @@ TEST(SnapshotTest, RoundTripPreservesQueryResults) {
   std::remove(path.c_str());
 }
 
+// v2 persists per-component live-freshness ceilings and re-registers
+// stream residencies on load, so pruning on the restored index is both
+// sound (matches an unbounded full walk) and kept tight by post-restore
+// inserts (later windows keep bumping the restored cells).
+TEST(SnapshotTest, CeilingsSurviveRestoreAndStayTight) {
+  const std::string path = TempPath("ceilings");
+  RtsiConfig config = SmallConfig();
+  config.bound_mode = core::BoundMode::kGlobalPop;
+  auto original = BuildPopulatedIndex(config);
+  ASSERT_TRUE(SaveIndexSnapshot(*original, path).ok());
+  auto loaded_result = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded_result.ok());
+  auto& loaded = *loaded_result.value();
+
+  // Every restored sealed component carries an identity and a ceiling
+  // cell dominating its own stored freshness.
+  for (const auto& component : loaded.tree().SealedSnapshot()) {
+    EXPECT_NE(component->component_id(), kInvalidComponentId);
+    ASSERT_TRUE(component->has_ceiling());
+    EXPECT_GE(component->LiveFrshCeiling(), component->max_stored_frsh());
+  }
+
+  // Re-insert old streams far in the future: their sealed postings' live
+  // freshness runs ahead of everything stored, the regime where a stale
+  // ceiling would prune top-k streams away.
+  Timestamp t = 5'000'000'000;
+  for (StreamId s = 0; s < 120; s += 4) {
+    loaded.InsertWindow(s, t += kMicrosPerSecond, {{7, 1}}, true);
+  }
+  for (TermId a = 0; a < 40; ++a) {
+    const std::vector<TermId> q = {a, (a + 13) % 40};
+    loaded.SetUseBound(true);
+    const auto pruned = loaded.Query(q, 30, t);
+    loaded.SetUseBound(false);
+    const auto full = loaded.Query(q, 30, t);
+    ASSERT_EQ(pruned.size(), full.size()) << a;
+    for (std::size_t i = 0; i < pruned.size(); ++i) {
+      ASSERT_EQ(pruned[i].stream, full[i].stream) << a << " rank " << i;
+      ASSERT_EQ(pruned[i].score, full[i].score) << a << " rank " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotTest, RestoredIndexKeepsWorking) {
   const std::string path = TempPath("keepworking");
   auto original = BuildPopulatedIndex(SmallConfig());

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/rng.h"
 
 namespace rtsi::index {
@@ -79,6 +82,48 @@ TEST(TermPostingsTest, AggregateForStreamFoldsDuplicates) {
   EXPECT_EQ(out.tf, 7u);        // 2 + 4 + 1.
   EXPECT_EQ(out.frsh, 30);      // Newest.
   EXPECT_FLOAT_EQ(out.pop, 3.0f);  // Largest snapshot.
+}
+
+// Seal() builds one contiguous, stream-sorted, duplicate-folded copy
+// (AggregateForStream was a double-indirect walk per lookup before).
+// Randomized cross-check: every distinct stream aggregates exactly, the
+// copy is accounted for in MemoryBytes().
+TEST(TermPostingsTest, SealedAggregateMatchesLinearFold) {
+  TermPostings postings;
+  std::uint32_t state = 12345;
+  const auto next = [&state] {
+    state = state * 1664525u + 1013904223u;
+    return state >> 16;
+  };
+  for (int i = 0; i < 400; ++i) {
+    postings.Append(MakePosting(next() % 37,
+                                static_cast<float>(next() % 100),
+                                static_cast<Timestamp>(next() % 10000),
+                                1 + next() % 5));
+  }
+  const std::size_t unsealed_bytes = postings.MemoryBytes();
+  postings.Seal();
+  EXPECT_GT(postings.MemoryBytes(), unsealed_bytes);
+
+  for (StreamId stream = 0; stream < 37; ++stream) {
+    TermFreq tf = 0;
+    Timestamp frsh = 0;
+    float pop = 0.0f;
+    bool present = false;
+    for (const Posting& p : postings.entries()) {
+      if (p.stream != stream) continue;
+      present = true;
+      tf += p.tf;
+      frsh = std::max(frsh, p.frsh);
+      pop = std::max(pop, p.pop);
+    }
+    Posting out;
+    ASSERT_EQ(postings.AggregateForStream(stream, out), present) << stream;
+    if (!present) continue;
+    EXPECT_EQ(out.tf, tf) << stream;
+    EXPECT_EQ(out.frsh, frsh) << stream;
+    EXPECT_FLOAT_EQ(out.pop, pop) << stream;
+  }
 }
 
 TEST(TermPostingsTest, EmptyListBehaves) {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the test suite under AddressSanitizer and runs it. Complements
+# tools/run_tsan.sh (races): ASan catches the lifetime bugs a worker-pool
+# shrink or a merge/mirror swap could introduce (use-after-free of a
+# drained scratch, a dropped component, a transferred ceiling cell).
+# Usage: tools/run_asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-asan}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRTSI_SANITIZE=address
+
+# The whole test suite: unlike TSan (whose coverage is the concurrency
+# label), heap misuse can hide in any test.
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+echo "ASan run clean."
