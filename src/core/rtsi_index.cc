@@ -70,18 +70,24 @@ lsm::MergeHooks RtsiIndex::MakeMergeHooks() {
   hooks.on_purged = [this](StreamId stream) {
     live_terms_.RemoveStream(stream);
   };
-  hooks.on_stream = [this](StreamId stream, bool in_both,
-                           ComponentId from_a, ComponentId from_b,
-                           const index::InvertedIndex& merged) {
-    // Move the stream's residency from the merge inputs onto the output
-    // (its live freshness bumps the output's ceiling cell on the way).
-    // When the merge consolidated two of this stream's residencies into
-    // one and the stream stopped broadcasting, the per-component tf is
-    // the total and the live-term entries can go.
+  hooks.on_stream = [this](StreamId stream, bool in_both, ComponentId,
+                           ComponentId, const index::InvertedIndex& merged) {
+    // Register the stream on the (unpublished) merge output — its live
+    // freshness bumps the output's ceiling cell on the way. The input
+    // residencies stay until on_retired fires post-swap, so inserts keep
+    // bumping the still-query-visible inputs' ceilings. When the merge
+    // consolidated two of this stream's residencies into one and the
+    // stream stopped broadcasting, the per-component tf is the total and
+    // the live-term entries can go.
     const auto [count, live] = streams_.MergeResidency(
-        stream, in_both, from_a, from_b, merged.component_id(),
-        merged.ceiling_cell());
+        stream, in_both, merged.component_id(), merged.ceiling_cell());
     if (in_both && count <= 1 && !live) live_terms_.RemoveStream(stream);
+  };
+  hooks.on_retired = [this](StreamId stream, ComponentId from_a,
+                            ComponentId from_b) {
+    // The merge inputs left the component list: their ceiling cells can
+    // no longer reach a query, so the residency entries go.
+    streams_.DropResidency(stream, from_a, from_b);
   };
   hooks.on_frozen = [this](const index::InvertedIndex& frozen) {
     // A new sealed component is about to become query-visible: register a

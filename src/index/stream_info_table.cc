@@ -46,11 +46,17 @@ void StreamInfoTable::AddSealedResidency(StreamId stream,
   if (cell == nullptr || component == kInvalidComponentId) return;
   Shard& shard = ShardFor(stream);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // A deleted stream is never scored again, and MarkDeleted already
+  // erased its residency: registering it would leak an orphan entry
+  // (merges purge its postings without a de-registration hook).
+  auto [map_it, created] = shard.map.try_emplace(stream);
+  (void)created;
+  if (map_it->second.deleted) return;
   // Fold the stream's current live freshness into the cell under the same
   // lock OnInsert bumps under: an insert serialized before this
   // registration contributed to info.frsh and is covered here; one
   // serialized after sees the entry and bumps the cell itself.
-  cell->Bump(shard.map[stream].frsh);
+  cell->Bump(map_it->second.frsh);
   std::vector<Residency>& entries = shard.residency[stream];
   for (const Residency& r : entries) {
     if (r.component == component) return;
@@ -59,33 +65,52 @@ void StreamInfoTable::AddSealedResidency(StreamId stream,
 }
 
 std::pair<std::uint32_t, bool> StreamInfoTable::MergeResidency(
-    StreamId stream, bool in_both, ComponentId from_a, ComponentId from_b,
-    ComponentId to, const FreshnessCeilingPtr& to_cell) {
+    StreamId stream, bool in_both, ComponentId to,
+    const FreshnessCeilingPtr& to_cell) {
   Shard& shard = ShardFor(stream);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(stream);
   if (it == shard.map.end()) return {0, false};
   StreamInfo& info = it->second;
+  if (in_both && info.component_count > 0) --info.component_count;
+  // A deleted stream is never scored again; MarkDeleted erased its
+  // residency and re-registering here would leak an orphan entry (later
+  // merges purge its postings without calling the hook again).
+  if (info.deleted) return {info.component_count, false};
 
-  std::vector<Residency>& entries = shard.residency[stream];
-  bool have_to = false;
+  // Register the (unpublished) merge output so inserts from here on bump
+  // its ceiling cell too. The input residencies stay: the inputs remain
+  // query-visible until the component swap, so they must keep receiving
+  // bumps — DropResidency retires them once the swap is done.
+  if (to != kInvalidComponentId && to_cell != nullptr) {
+    to_cell->Bump(info.frsh);
+    std::vector<Residency>& entries = shard.residency[stream];
+    bool have_to = false;
+    for (const Residency& r : entries) {
+      have_to = have_to || r.component == to;
+    }
+    if (!have_to) entries.push_back({to, to_cell});
+  }
+  return {info.component_count, info.live};
+}
+
+void StreamInfoTable::DropResidency(StreamId stream, ComponentId from_a,
+                                    ComponentId from_b) {
+  Shard& shard = ShardFor(stream);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.residency.find(stream);
+  if (it == shard.residency.end()) return;
+  std::vector<Residency>& entries = it->second;
   std::size_t n = 0;
   for (std::size_t i = 0; i < entries.size(); ++i) {
     if (entries[i].component == from_a || entries[i].component == from_b) {
-      continue;  // Residency moved into the merge output.
+      continue;  // Retired merge input.
     }
-    have_to = have_to || entries[i].component == to;
     if (n != i) entries[n] = std::move(entries[i]);
     ++n;
   }
   entries.resize(n);
-  if (to != kInvalidComponentId && to_cell != nullptr) {
-    to_cell->Bump(info.frsh);
-    if (!have_to) entries.push_back({to, to_cell});
-  }
-
-  if (in_both && info.component_count > 0) --info.component_count;
-  return {info.component_count, info.live};
+  if (entries.empty()) shard.residency.erase(it);
 }
 
 std::vector<ComponentId> StreamInfoTable::GetResidency(

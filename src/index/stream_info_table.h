@@ -61,20 +61,36 @@ class StreamInfoTable {
   /// ceiling cell, which every subsequent OnInsert bumps. The cell is
   /// immediately raised to the stream's current live freshness, so an
   /// insert that raced ahead of the registration is still covered.
-  /// Idempotent per (stream, component). Does not touch component_count
-  /// (the L0-epoch increment already accounted for this residency).
+  /// Idempotent per (stream, component); no-op for deleted streams
+  /// (their residency was erased by MarkDeleted and re-adding it would
+  /// leak). Does not touch component_count (the L0-epoch increment
+  /// already accounted for this residency).
   void AddSealedResidency(StreamId stream, ComponentId component,
                           const FreshnessCeilingPtr& cell);
 
-  /// Merge bookkeeping, all under one shard lock: drops the stream's
-  /// residency entries for the merge inputs `from_a`/`from_b`, registers
-  /// the output `to` (bumping its cell to the stream's live freshness),
-  /// and — when `in_both` — decrements the component count, since the
-  /// merge consolidated two residencies into one. Returns the new count
-  /// and whether the stream is still live (live-table eviction decision).
+  /// Pre-publication merge bookkeeping, all under one shard lock:
+  /// registers the merge output `to` (bumping its cell to the stream's
+  /// live freshness) and — when `in_both` — decrements the component
+  /// count, since the merge consolidated two residencies into one. The
+  /// input residencies are deliberately NOT dropped here: the inputs stay
+  /// query-visible (level slot + mirrors) until the output is swapped in,
+  /// and they must keep receiving ceiling bumps for that whole window or
+  /// a query snapshotting them could prune with a ceiling below the
+  /// stream's live freshness. DropResidency removes them after the swap.
+  /// Deleted streams get the count update but no registration (their
+  /// residency was erased by MarkDeleted; re-adding it would leak, since
+  /// later merges purge their postings without another hook call).
+  /// Returns the new count and whether the stream is still live
+  /// (live-table eviction decision).
   std::pair<std::uint32_t, bool> MergeResidency(
-      StreamId stream, bool in_both, ComponentId from_a, ComponentId from_b,
-      ComponentId to, const FreshnessCeilingPtr& to_cell);
+      StreamId stream, bool in_both, ComponentId to,
+      const FreshnessCeilingPtr& to_cell);
+
+  /// Post-publication merge bookkeeping: drops the stream's residency
+  /// entries for the retired merge inputs `from_a`/`from_b`, now no
+  /// longer query-visible. No-op for unknown streams or absent entries.
+  void DropResidency(StreamId stream, ComponentId from_a,
+                     ComponentId from_b);
 
   /// Component ids the stream currently resides in (test introspection).
   std::vector<ComponentId> GetResidency(StreamId stream) const;

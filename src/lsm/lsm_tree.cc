@@ -124,10 +124,12 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
           }
         }
       }
+      std::vector<StreamId> surviving;
       const auto merged =
           CombineComponents(*cur, existing.get(), 1, config_.compress,
                             hooks, &stats, AllocateComponentId(),
-                            std::make_shared<index::FreshnessCeiling>());
+                            std::make_shared<index::FreshnessCeiling>(),
+                            hooks.on_retired ? &surviving : nullptr);
       {
         std::lock_guard<std::mutex> lock(components_mu_);
         mirrors_.Unregister(cur.get());
@@ -140,6 +142,17 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
           mirrors_.Register(merged);
         }
         structure_version_.fetch_add(1, std::memory_order_release);
+      }
+      // The inputs just became invisible: retire their residencies so
+      // inserts stop bumping dead ceiling cells. Ordering (only after the
+      // swap) is what keeps queries snapshotting the inputs sound.
+      if (hooks.on_retired) {
+        const ComponentId from_b = existing != nullptr
+                                       ? existing->component_id()
+                                       : kInvalidComponentId;
+        for (const StreamId stream : surviving) {
+          hooks.on_retired(stream, cur->component_id(), from_b);
+        }
       }
       if (existing == nullptr) break;
       cur = merged;
@@ -170,10 +183,12 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
       }
     }
 
+    std::vector<StreamId> surviving;
     const std::shared_ptr<const InvertedIndex> merged = CombineComponents(
         *cur, existing.get(), static_cast<int>(level_index) + 1,
         config_.compress, hooks, &stats, AllocateComponentId(),
-        std::make_shared<index::FreshnessCeiling>());
+        std::make_shared<index::FreshnessCeiling>(),
+        hooks.on_retired ? &surviving : nullptr);
 
     const bool over_capacity = merged->num_postings() > capacity;
     {
@@ -187,6 +202,17 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
         levels_[level_index] = merged;
       }
       structure_version_.fetch_add(1, std::memory_order_release);
+    }
+    // The inputs just became invisible: retire their residencies so
+    // inserts stop bumping dead ceiling cells. Ordering (only after the
+    // swap) is what keeps queries snapshotting the inputs sound.
+    if (hooks.on_retired) {
+      const ComponentId from_b = existing != nullptr
+                                     ? existing->component_id()
+                                     : kInvalidComponentId;
+      for (const StreamId stream : surviving) {
+        hooks.on_retired(stream, cur->component_id(), from_b);
+      }
     }
     if (!over_capacity) break;
     cur = merged;

@@ -62,7 +62,8 @@ class DeletionCache {
 std::shared_ptr<InvertedIndex> CombineComponents(
     const InvertedIndex& a, const InvertedIndex* b, int out_level,
     bool compress, const MergeHooks& hooks, MergeStats* stats,
-    ComponentId out_id, index::FreshnessCeilingPtr out_cell) {
+    ComponentId out_id, index::FreshnessCeilingPtr out_cell,
+    std::vector<StreamId>* surviving) {
   Stopwatch watch;
   auto merged = std::make_shared<InvertedIndex>(out_level);
   merged->AdoptCeiling(out_id, std::move(out_cell));
@@ -140,23 +141,30 @@ std::shared_ptr<InvertedIndex> CombineComponents(
   }
 
   // Stream-level bookkeeping for the owner (component counts, residency
-  // transfer into `merged`, live table). Ordering matters for ceiling
-  // soundness: every surviving stream's residency is moved onto the
-  // output's ceiling cell *before* the output inherits the inputs'
-  // ceilings below, so an insert that bumped an input cell concurrently
-  // (its residency not yet transferred) is still folded in.
+  // registration on `merged`, live table). Each surviving stream's
+  // residency gains the output's ceiling cell here, *before* the output
+  // inherits the inputs' ceilings below and before the swap publishes it.
+  // The input residencies are NOT dropped yet — the inputs stay
+  // query-visible (level slot + mirrors) until the swap, and an insert in
+  // that window must keep bumping their cells or a query snapshotting
+  // them would prune with a ceiling below the stream's live freshness.
+  // The owner retires them via `on_retired` after the swap, using the
+  // `surviving` list collected here.
   const ComponentId from_a = a.component_id();
   const ComponentId from_b = b != nullptr ? b->component_id()
                                           : kInvalidComponentId;
   if (track_streams) {
+    const auto survive = [&](StreamId stream, bool in_both) {
+      hooks.on_stream(stream, in_both, from_a, from_b, *merged);
+      if (surviving != nullptr) surviving->push_back(stream);
+    };
     for (const StreamId stream : streams_a) {
       if (deleted(stream)) continue;  // on_purged already fired.
-      hooks.on_stream(stream, streams_b.count(stream) > 0, from_a, from_b,
-                      *merged);
+      survive(stream, streams_b.count(stream) > 0);
     }
     for (const StreamId stream : streams_b) {
       if (streams_a.count(stream) > 0 || deleted(stream)) continue;
-      hooks.on_stream(stream, /*in_both=*/false, from_a, from_b, *merged);
+      survive(stream, /*in_both=*/false);
     }
   }
   merged->BumpCeiling(a.LiveFrshCeiling());

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "index/inverted_index.h"
 
@@ -40,6 +41,18 @@ struct MergeHooks {
                      ComponentId from_b, const index::InvertedIndex& merged)>
       on_stream;
 
+  /// Called by the owning LSM-tree once per distinct surviving stream
+  /// *after* the merge output replaced its inputs in the component list
+  /// (the inputs are no longer query-visible): the owner drops the
+  /// stream's residency entries for the retired input components. Until
+  /// this fires the input residencies must stay registered, so inserts
+  /// keep bumping the inputs' live-freshness ceilings and queries that
+  /// snapshot the inputs (level slot or mirror) prune soundly for the
+  /// whole merge window.
+  std::function<void(StreamId stream, ComponentId from_a,
+                     ComponentId from_b)>
+      on_retired;
+
   /// Called inside an L0 freeze — after the frozen component is sealed
   /// and given its identity/ceiling cell, before it becomes query-visible
   /// (still under every L0 shard lock, so no insert can race). The owner
@@ -60,15 +73,17 @@ struct MergeStats {
 /// `out_level`, compressing it when `compress` is set. `b` may be null.
 /// `out_id`/`out_cell` give the output its component identity and
 /// live-freshness ceiling cell (allocated by the owning LsmTree); the
-/// output's ceiling additionally inherits both inputs' ceilings, covering
-/// bumps that raced to an input before its residencies were transferred.
-/// Tests may omit them — the output then has no ceiling cell and queries
-/// fall back to the global freshness maximum.
+/// output's ceiling additionally inherits both inputs' ceilings. Tests
+/// may omit them — the output then has no ceiling cell and queries fall
+/// back to the global freshness maximum. When `surviving` is non-null
+/// and stream tracking is on, it receives every distinct surviving
+/// stream, so the caller can run the post-publication `on_retired` pass.
 std::shared_ptr<index::InvertedIndex> CombineComponents(
     const index::InvertedIndex& a, const index::InvertedIndex* b,
     int out_level, bool compress, const MergeHooks& hooks,
     MergeStats* stats, ComponentId out_id = kInvalidComponentId,
-    index::FreshnessCeilingPtr out_cell = nullptr);
+    index::FreshnessCeilingPtr out_cell = nullptr,
+    std::vector<StreamId>* surviving = nullptr);
 
 }  // namespace rtsi::lsm
 

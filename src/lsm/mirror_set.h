@@ -9,11 +9,13 @@
 //
 // Live-freshness ceilings during a merge: a mirrored input keeps
 // receiving ceiling bumps through the per-stream residency entries that
-// still point at it, so queries served via mirrors prune soundly for the
-// whole merge. Residencies are transferred onto the merge output before
-// it is published, and the output's ceiling then inherits both inputs'
-// ceilings (lsm/merge.cc), covering bumps that raced to an input after
-// its residencies moved.
+// point at it for the *entire* merge window — the output's residency is
+// added before publication (lsm/merge.cc) but the inputs' entries are
+// only dropped after the component swap makes them invisible
+// (MergeHooks::on_retired). An insert landing anywhere in the window
+// therefore raises the ceiling of every component a query could
+// snapshot, which is exactly the soundness invariant of
+// index/freshness_ceiling.h.
 
 #ifndef RTSI_LSM_MIRROR_SET_H_
 #define RTSI_LSM_MIRROR_SET_H_

@@ -90,6 +90,12 @@ Status SnapshotWriter::Finish() {
 
 Status SnapshotReader::Open(const std::string& path,
                             std::uint32_t expected_version) {
+  return Open(path, expected_version, expected_version);
+}
+
+Status SnapshotReader::Open(const std::string& path,
+                            std::uint32_t min_version,
+                            std::uint32_t max_version) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::NotFound("cannot open snapshot: " + path);
@@ -124,9 +130,10 @@ Status SnapshotReader::Open(const std::string& path,
 
   pos_ = sizeof(kMagic);
   std::uint32_t version = 0;
-  if (!ReadU32(version) || version != expected_version) {
+  if (!ReadU32(version) || version < min_version || version > max_version) {
     return Status::InvalidArgument("unsupported snapshot version");
   }
+  version_ = version;
   return Status::Ok();
 }
 

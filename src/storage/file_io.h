@@ -59,6 +59,14 @@ class SnapshotReader {
   /// Reads the whole file, verifies magic, version and CRC.
   Status Open(const std::string& path, std::uint32_t expected_version);
 
+  /// As above, but accepts any format version in [min_version,
+  /// max_version]; the caller branches on version() for older layouts.
+  Status Open(const std::string& path, std::uint32_t min_version,
+              std::uint32_t max_version);
+
+  /// Format version read from the header (valid after a successful Open).
+  std::uint32_t version() const { return version_; }
+
   bool ReadU32(std::uint32_t& value);
   bool ReadU64(std::uint64_t& value);
   bool ReadVarint(std::uint64_t& value);
@@ -75,6 +83,7 @@ class SnapshotReader {
   std::vector<std::uint8_t> data_;
   std::size_t pos_ = 0;
   std::size_t payload_end_ = 0;
+  std::uint32_t version_ = 0;
 };
 
 }  // namespace rtsi::storage

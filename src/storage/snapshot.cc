@@ -168,7 +168,7 @@ Status SaveIndexSnapshot(const RtsiIndex& index, const std::string& path) {
 Result<std::unique_ptr<RtsiIndex>> LoadIndexSnapshot(
     const std::string& path) {
   SnapshotReader reader;
-  Status status = reader.Open(path, kSnapshotVersion);
+  Status status = reader.Open(path, kMinSnapshotVersion, kSnapshotVersion);
   if (!status.ok()) return status;
 
   RtsiConfig config;
@@ -251,7 +251,12 @@ Result<std::unique_ptr<RtsiIndex>> LoadIndexSnapshot(
     for (std::uint64_t c = 0; c < num_components; ++c) {
       std::uint32_t level = 0;
       std::uint64_t ceiling = 0, num_terms = 0;
-      if (!reader.ReadU32(level) || !reader.ReadVarint(ceiling) ||
+      // v1 component entries carry no ceiling varint. Leaving `ceiling`
+      // at 0 is still sound: the residency re-registration below folds
+      // every resident stream's restored live freshness into the fresh
+      // cell, which is exactly the coverage the ceiling must provide.
+      if (!reader.ReadU32(level) ||
+          (reader.version() >= 2 && !reader.ReadVarint(ceiling)) ||
           !reader.ReadVarint(num_terms)) {
         return Status::Internal("snapshot: bad component entry");
       }

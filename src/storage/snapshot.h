@@ -23,9 +23,15 @@
 namespace rtsi::storage {
 
 /// Current snapshot format version. v2 added the stream `finished` flag
-/// and the per-component live-freshness ceiling (pruning stays tight
-/// after a restore); v1 files are rejected.
+/// (a new bit in the existing flags word) and a per-component
+/// live-freshness ceiling varint. v1 files still load: the ceiling is
+/// reconstructed from the restored stream table when residencies are
+/// re-registered (each resident stream folds its live freshness into the
+/// cell), so pruning stays sound and tight; only the `finished` flag is
+/// unrecoverable — restored finished streams are merely non-live, so a
+/// late out-of-order window could transiently resurrect them.
 inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
 /// Writes the full index state to `path` (created/truncated).
 Status SaveIndexSnapshot(const core::RtsiIndex& index,

@@ -69,13 +69,11 @@ TEST(StreamInfoTableTest, ComponentCountLifecycle) {
   EXPECT_EQ(table.GetComponentCount(1), 2u);
   // A merge consolidating two residencies (in_both) decrements the count.
   auto cell = std::make_shared<FreshnessCeiling>();
-  auto [count, live] = table.MergeResidency(1, /*in_both=*/true, 10, 11,
-                                            12, cell);
+  auto [count, live] = table.MergeResidency(1, /*in_both=*/true, 12, cell);
   EXPECT_EQ(count, 1u);
   EXPECT_TRUE(live);
   table.MarkFinished(1);
-  auto [count2, live2] = table.MergeResidency(1, /*in_both=*/true, 12, 13,
-                                              14, cell);
+  auto [count2, live2] = table.MergeResidency(1, /*in_both=*/true, 14, cell);
   EXPECT_EQ(count2, 0u);
   EXPECT_FALSE(live2);
 }
@@ -83,7 +81,7 @@ TEST(StreamInfoTableTest, ComponentCountLifecycle) {
 TEST(StreamInfoTableTest, MergeResidencyOnUnknownStreamIsSafe) {
   StreamInfoTable table;
   auto cell = std::make_shared<FreshnessCeiling>();
-  auto [count, live] = table.MergeResidency(42, true, 1, 2, 3, cell);
+  auto [count, live] = table.MergeResidency(42, true, 3, cell);
   EXPECT_EQ(count, 0u);
   EXPECT_FALSE(live);
   EXPECT_TRUE(table.GetResidency(42).empty());
@@ -123,7 +121,7 @@ TEST(StreamInfoTableTest, ResidencyCellTracksLiveFreshness) {
   EXPECT_EQ(table.GetResidency(1), std::vector<ComponentId>{7});
 }
 
-TEST(StreamInfoTableTest, MergeResidencyTransfersCeilingTarget) {
+TEST(StreamInfoTableTest, MergeKeepsInputCeilingsLiveUntilRetired) {
   StreamInfoTable table;
   table.OnInsert(1, 100, true);
   auto cell_a = std::make_shared<FreshnessCeiling>();
@@ -133,16 +131,56 @@ TEST(StreamInfoTableTest, MergeResidencyTransfersCeilingTarget) {
   table.IncrementComponentCount(1);
   table.IncrementComponentCount(1);
 
+  // Merge window opens: the (unpublished) output is registered, the
+  // inputs stay. Registration bumps the output's cell with the live
+  // freshness.
   auto cell_merged = std::make_shared<FreshnessCeiling>();
-  table.MergeResidency(1, /*in_both=*/true, 10, 11, 12, cell_merged);
-  EXPECT_EQ(table.GetResidency(1), std::vector<ComponentId>{12});
-  // The transfer bumps the output's cell with the live freshness...
+  table.MergeResidency(1, /*in_both=*/true, 12, cell_merged);
   EXPECT_EQ(cell_merged->Get(), 100);
-  // ...and later inserts reach only the output's cell.
+  EXPECT_EQ(table.GetResidency(1),
+            (std::vector<ComponentId>{10, 11, 12}));
+
+  // An insert inside the merge window (inputs still query-visible!) must
+  // raise the inputs' ceilings too, or a query snapshotting them would
+  // prune with a bound below the stream's live freshness.
   table.OnInsert(1, 300, true);
+  EXPECT_EQ(cell_a->Get(), 300);
+  EXPECT_EQ(cell_b->Get(), 300);
   EXPECT_EQ(cell_merged->Get(), 300);
-  EXPECT_EQ(cell_a->Get(), 100);
-  EXPECT_EQ(cell_b->Get(), 100);
+
+  // Swap published the output: the inputs are retired and later inserts
+  // reach only the output's cell.
+  table.DropResidency(1, 10, 11);
+  EXPECT_EQ(table.GetResidency(1), std::vector<ComponentId>{12});
+  table.OnInsert(1, 400, true);
+  EXPECT_EQ(cell_merged->Get(), 400);
+  EXPECT_EQ(cell_a->Get(), 300);
+  EXPECT_EQ(cell_b->Get(), 300);
+}
+
+TEST(StreamInfoTableTest, MergeResidencySkipsDeletedStream) {
+  StreamInfoTable table;
+  table.OnInsert(1, 100, true);
+  auto cell = std::make_shared<FreshnessCeiling>();
+  table.AddSealedResidency(1, 10, cell);
+  table.IncrementComponentCount(1);
+  table.IncrementComponentCount(1);
+  table.MarkDeleted(1);
+  EXPECT_TRUE(table.GetResidency(1).empty());
+
+  // A merge whose deletion verdicts were memoized before the delete still
+  // reports the stream; re-registering it would leak an orphan entry
+  // (later merges purge its postings without another hook call).
+  auto cell_merged = std::make_shared<FreshnessCeiling>();
+  auto [count, live] = table.MergeResidency(1, /*in_both=*/true, 12,
+                                            cell_merged);
+  EXPECT_EQ(count, 1u);  // Count bookkeeping still applies.
+  EXPECT_FALSE(live);
+  EXPECT_TRUE(table.GetResidency(1).empty());
+
+  // Same for freeze-time registration of a stream deleted beforehand.
+  table.AddSealedResidency(1, 13, cell_merged);
+  EXPECT_TRUE(table.GetResidency(1).empty());
 }
 
 TEST(StreamInfoTableTest, MarkDeletedDropsResidency) {

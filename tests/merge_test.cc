@@ -4,6 +4,9 @@
 
 #include <memory>
 #include <set>
+#include <vector>
+
+#include "index/stream_info_table.h"
 
 namespace rtsi::lsm {
 namespace {
@@ -218,6 +221,75 @@ TEST(MergeTest, CompressedOutputWhenRequested) {
   const auto view = merged->View(1);
   ASSERT_TRUE(static_cast<bool>(view));
   EXPECT_EQ(view->size(), 50u);
+}
+
+TEST(MergeTest, SurvivingStreamsReportedForRetirePass) {
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.Add(1, P(11, 1.0f, 110, 3));
+  a.SealAll();
+  InvertedIndex b(1);
+  b.Add(2, P(11, 1.0f, 50, 1));
+  b.Add(2, P(12, 1.0f, 60, 1));
+  b.SealAll();
+
+  MergeHooks hooks;
+  hooks.is_deleted = [](StreamId s) { return s == 12; };
+  hooks.on_stream = [](StreamId, bool, ComponentId, ComponentId,
+                       const InvertedIndex&) {};
+  std::vector<StreamId> surviving;
+  CombineComponents(a, &b, 2, false, hooks, nullptr, 3,
+                    std::make_shared<index::FreshnessCeiling>(), &surviving);
+  // Purged streams are not reported: there is nothing to retire for them.
+  EXPECT_EQ(std::set<StreamId>(surviving.begin(), surviving.end()),
+            (std::set<StreamId>{10, 11}));
+}
+
+// The review-critical window: an insert that lands after the merge
+// registered the output residency but before the output replaces its
+// inputs must still raise the *inputs'* ceilings — they are what a
+// concurrent query snapshots. Drives a real StreamInfoTable through the
+// same hook wiring RtsiIndex uses.
+TEST(MergeTest, InsertDuringMergeWindowKeepsInputCeilingsSound) {
+  index::StreamInfoTable table;
+  table.OnInsert(10, 100, true);
+
+  InvertedIndex a(0);
+  a.Add(1, P(10, 1.0f, 100, 2));
+  a.SealAll();
+  a.AdoptCeiling(1, std::make_shared<index::FreshnessCeiling>());
+  table.AddSealedResidency(10, 1, a.ceiling_cell());
+  InvertedIndex b(1);
+  b.Add(1, P(10, 1.0f, 50, 1));
+  b.SealAll();
+  b.AdoptCeiling(2, std::make_shared<index::FreshnessCeiling>());
+  table.AddSealedResidency(10, 2, b.ceiling_cell());
+
+  MergeHooks hooks;
+  hooks.is_deleted = [&](StreamId s) { return table.IsDeleted(s); };
+  hooks.on_stream = [&](StreamId s, bool in_both, ComponentId,
+                        ComponentId, const InvertedIndex& merged) {
+    table.MergeResidency(s, in_both, merged.component_id(),
+                         merged.ceiling_cell());
+    // Simulate the racing insert inside the merge window, while the
+    // inputs are still query-visible.
+    table.OnInsert(s, 900, true);
+  };
+  std::vector<StreamId> surviving;
+  const auto merged = CombineComponents(
+      a, &b, 2, false, hooks, nullptr, 3,
+      std::make_shared<index::FreshnessCeiling>(), &surviving);
+
+  // Both inputs and the (unpublished) output cover the in-window insert.
+  EXPECT_EQ(a.LiveFrshCeiling(), 900);
+  EXPECT_EQ(b.LiveFrshCeiling(), 900);
+  EXPECT_EQ(merged->LiveFrshCeiling(), 900);
+
+  // Post-swap retire pass, as LsmTree runs it.
+  for (const StreamId s : surviving) {
+    table.DropResidency(s, a.component_id(), b.component_id());
+  }
+  EXPECT_EQ(table.GetResidency(10), std::vector<ComponentId>{3});
 }
 
 TEST(MergeTest, CompressedInputCanBeMerged) {

@@ -10,6 +10,8 @@
 
 #include "common/crc32.h"
 #include "common/rng.h"
+#include "index/compressed_postings.h"
+#include "storage/file_io.h"
 #include "workload/corpus.h"
 #include "workload/driver.h"
 
@@ -136,6 +138,82 @@ TEST(SnapshotTest, CeilingsSurviveRestoreAndStayTight) {
       ASSERT_EQ(pruned[i].score, full[i].score) << a << " rank " << i;
     }
   }
+  std::remove(path.c_str());
+}
+
+// A v1 snapshot (no per-component ceiling varint, no `finished` flag
+// bit) must still load: the ceiling is reconstructed from the restored
+// stream table when residencies are re-registered, so pruning stays
+// sound without regenerating the file. Writes the legacy layout by hand.
+TEST(SnapshotTest, LoadsVersion1Snapshots) {
+  const std::string path = TempPath("v1compat");
+  {
+    SnapshotWriter writer;
+    ASSERT_TRUE(writer.Open(path, 1).ok());
+    // Config section (layout identical in v1 and v2).
+    const RtsiConfig config;
+    writer.WriteU64(config.lsm.delta);
+    writer.WriteDouble(config.lsm.rho);
+    writer.WriteU32(config.lsm.compress ? 1 : 0);
+    writer.WriteU64(config.lsm.num_l0_shards);
+    writer.WriteDouble(config.weights.pop);
+    writer.WriteDouble(config.weights.rel);
+    writer.WriteDouble(config.weights.frsh);
+    writer.WriteDouble(config.freshness_tau_seconds);
+    writer.WriteU32(config.use_bound ? 1 : 0);
+    writer.WriteU32(static_cast<std::uint32_t>(config.bound_mode));
+    writer.WriteU32(static_cast<std::uint32_t>(config.default_k));
+    // Document frequencies: 2 documents, term 7 in both.
+    writer.WriteU64(2);
+    writer.WriteVarint(1);
+    writer.WriteVarint(7);
+    writer.WriteVarint(2);
+    // Stream table: streams 1 and 2, one component each, live.
+    writer.WriteVarint(2);
+    for (StreamId s = 1; s <= 2; ++s) {
+      writer.WriteVarint(s);
+      writer.WriteVarint(10 * s);   // pop_count
+      writer.WriteVarint(100 * s);  // frsh
+      writer.WriteVarint(1);        // component_count
+      writer.WriteU32(1u | 4u);     // live | content_seen (no finished bit)
+    }
+    // Live-term table: empty.
+    writer.WriteVarint(0);
+    // One sealed component at level 1 — v1 layout: no ceiling varint
+    // between the level and the term count.
+    writer.WriteVarint(1);
+    writer.WriteU32(1);
+    writer.WriteVarint(1);
+    writer.WriteVarint(7);
+    index::TermPostings postings;
+    postings.Append(index::Posting{1, 1.0f, 100, 2});
+    postings.Append(index::Posting{2, 2.0f, 200, 3});
+    postings.Seal();
+    writer.WriteBlob(
+        index::CompressedTermPostings::FromPostings(postings).blob());
+    // No L0 postings.
+    writer.WriteVarint(0);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+
+  auto loaded_result = LoadIndexSnapshot(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status().ToString();
+  auto& loaded = *loaded_result.value();
+  EXPECT_EQ(loaded.tree().total_postings(), 2u);
+
+  // The ceiling is rebuilt from the restored stream table: every resident
+  // stream's live freshness is covered even though v1 persisted none.
+  const auto components = loaded.tree().SealedSnapshot();
+  ASSERT_EQ(components.size(), 1u);
+  ASSERT_TRUE(components[0]->has_ceiling());
+  EXPECT_GE(components[0]->LiveFrshCeiling(), 200);
+
+  // Residencies were re-registered on load: later inserts keep bumping.
+  loaded.InsertWindow(1, 5'000, {{7, 1}}, true);
+  EXPECT_GE(components[0]->LiveFrshCeiling(), 5'000);
+
+  const auto results = loaded.Query({7}, 10, 1'000);
+  EXPECT_EQ(results.size(), 2u);
   std::remove(path.c_str());
 }
 
