@@ -58,6 +58,14 @@ Status SaveServiceSnapshot(SearchService& service,
   // (since v2) persists each sealed component's live-freshness ceiling and
   // every stream's finished flag — a reloaded service prunes with the same
   // tight per-component bounds as the one that saved it.
+  //
+  // Each file is written atomically (tmp + fsync + rename + dir fsync in
+  // SnapshotWriter), so a crash leaves every file either old or new,
+  // never torn. The dicts file is written last and read first: a save
+  // interrupted before it completes leaves the previous dicts in place,
+  // and index files are only ever newer than the dicts they accompany —
+  // term ids are append-only, so ids referenced by the older dicts
+  // resolve identically against a newer index file's vocabulary.
   Status status =
       storage::SaveIndexSnapshot(service.text_index(), path_prefix + ".text");
   if (!status.ok()) return status;

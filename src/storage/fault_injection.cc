@@ -1,0 +1,246 @@
+#include "storage/fault_injection.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rtsi::storage {
+namespace {
+
+bool ReadWholeFile(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+  const std::size_t read = out.empty()
+                               ? 0
+                               : std::fread(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return read == out.size();
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string ParentOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kWrite: return "write";
+    case FaultOp::kSync: return "sync";
+    case FaultOp::kRename: return "rename";
+    case FaultOp::kUnlink: return "unlink";
+    case FaultOp::kDirSync: return "dirsync";
+  }
+  return "?";
+}
+
+FaultInjection& FaultInjection::Instance() {
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+void FaultInjection::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_count_ = 0;
+  fail_at_.reset();
+  crash_on_fault_ = false;
+  crashed_ = false;
+  files_.clear();
+  pending_dir_ops_.clear();
+  staged_.reset();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultInjection::Disable() {
+  enabled_.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+  pending_dir_ops_.clear();
+  staged_.reset();
+  fail_at_.reset();
+  crashed_ = false;
+}
+
+void FaultInjection::ArmFaultAt(std::uint64_t index, bool crash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_count_ = 0;
+  fail_at_ = index;
+  crash_on_fault_ = crash;
+  crashed_ = false;
+}
+
+void FaultInjection::ClearSchedule() {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_count_ = 0;
+  fail_at_.reset();
+  crash_on_fault_ = false;
+  crashed_ = false;
+}
+
+std::uint64_t FaultInjection::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+bool FaultInjection::crash_triggered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+bool FaultInjection::ShouldFail(FaultOp op, const std::string& path) {
+  (void)op;
+  (void)path;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t index = op_count_++;
+  if (crashed_) return true;
+  if (fail_at_.has_value() && index == *fail_at_) {
+    if (crash_on_fault_) crashed_ = true;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjection::OnOpen(const std::string& path, std::uint64_t size,
+                            bool truncated) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end() || truncated) {
+    // Pre-existing bytes (or an empty fresh file) are assumed durable:
+    // they were written by a previous "process life".
+    files_[path] = FileState{size, size};
+  }
+}
+
+void FaultInjection::OnWrite(const std::string& path, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path].size += bytes;
+}
+
+void FaultInjection::OnSync(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& state = files_[path];
+  state.synced_size = state.size;
+}
+
+void FaultInjection::PrepareRename(const std::string& from,
+                                   const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PendingDirOp op;
+  op.is_rename = true;
+  op.from = from;
+  op.path = to;
+  op.target_existed = ReadWholeFile(to, op.saved_content);
+  staged_ = std::move(op);
+}
+
+void FaultInjection::CommitRename(const std::string& from,
+                                  const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (staged_.has_value()) {
+    pending_dir_ops_.push_back(std::move(*staged_));
+    staged_.reset();
+  }
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+}
+
+void FaultInjection::PrepareUnlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PendingDirOp op;
+  op.is_rename = false;
+  op.path = path;
+  op.target_existed = ReadWholeFile(path, op.saved_content);
+  staged_ = std::move(op);
+}
+
+void FaultInjection::CommitUnlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (staged_.has_value()) {
+    pending_dir_ops_.push_back(std::move(*staged_));
+    staged_.reset();
+  }
+  files_.erase(path);
+}
+
+void FaultInjection::OnDirSync(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_dir_ops_.erase(
+      std::remove_if(pending_dir_ops_.begin(), pending_dir_ops_.end(),
+                     [&](const PendingDirOp& op) {
+                       return ParentOf(op.path) == dir &&
+                              (!op.is_rename || ParentOf(op.from) == dir);
+                     }),
+      pending_dir_ops_.end());
+}
+
+void FaultInjection::SimulateCrash(const CrashOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options.undo_unsynced_dir_ops) {
+    for (auto it = pending_dir_ops_.rbegin(); it != pending_dir_ops_.rend();
+         ++it) {
+      const PendingDirOp& op = *it;
+      if (op.is_rename) {
+        // The renamed content goes back to its old name; the clobbered
+        // target (if any) is restored.
+        std::string current;
+        if (ReadWholeFile(op.path, current)) {
+          WriteWholeFile(op.from, current);
+          auto state = files_.find(op.path);
+          if (state != files_.end()) {
+            files_[op.from] = state->second;
+            files_.erase(state);
+          }
+        }
+        if (op.target_existed) {
+          WriteWholeFile(op.path, op.saved_content);
+          files_[op.path] =
+              FileState{op.saved_content.size(), op.saved_content.size()};
+        } else {
+          std::remove(op.path.c_str());
+        }
+      } else if (op.target_existed) {
+        WriteWholeFile(op.path, op.saved_content);
+        files_[op.path] =
+            FileState{op.saved_content.size(), op.saved_content.size()};
+      }
+    }
+  }
+  pending_dir_ops_.clear();
+
+  for (auto& [path, state] : files_) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) continue;
+    const std::uint64_t durable =
+        std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(st.st_size),
+            state.synced_size + options.keep_unsynced_tail_bytes);
+    if (static_cast<std::uint64_t>(st.st_size) > durable) {
+      (void)::truncate(path.c_str(), static_cast<off_t>(durable));
+    }
+    state.size = durable;
+    state.synced_size = std::min(state.synced_size, durable);
+  }
+}
+
+}  // namespace rtsi::storage

@@ -1,0 +1,127 @@
+// Test-only fault injection at filesystem syscall boundaries.
+//
+// Every durable mutation the storage layer performs (write, fsync,
+// rename, unlink, directory fsync) is routed through storage/fs.h, which
+// consults this singleton when enabled. Tests can:
+//
+//   * arm a fault at the N-th intercepted syscall — the call fails, and
+//     with `crash` set every later call fails too, so the process is
+//     "dead" to storage from that point on;
+//   * simulate the machine losing power: SimulateCrash() rewrites the
+//     tracked files to their last-synced durable state, truncating data
+//     that was written but never fsync'd (optionally keeping a prefix of
+//     the unsynced tail to model a torn write) and — when requested —
+//     undoing renames/unlinks whose parent directory was never fsync'd.
+//
+// Disabled (the default) the hooks are a single relaxed atomic load; the
+// production write path pays nothing.
+//
+// All tracked files must be closed (e.g. the DurableIndex destroyed)
+// before SimulateCrash(), since libc stream buffers are flushed to the
+// real filesystem on close and the truncation pass is what removes them
+// again.
+
+#ifndef RTSI_STORAGE_FAULT_INJECTION_H_
+#define RTSI_STORAGE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rtsi::storage {
+
+enum class FaultOp : std::uint8_t {
+  kWrite,
+  kSync,     // fflush + fdatasync of a file
+  kRename,
+  kUnlink,
+  kDirSync,  // fsync of a parent directory
+};
+
+const char* FaultOpName(FaultOp op);
+
+class FaultInjection {
+ public:
+  static FaultInjection& Instance();
+
+  // -- Test control -------------------------------------------------------
+  void Enable();   // clears all state and starts intercepting
+  void Disable();  // stops intercepting and forgets tracked state
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Fails the `index`-th intercepted syscall (0-based, counted since
+  /// Enable/ClearSchedule). With `crash`, every subsequent intercepted
+  /// call fails as well.
+  void ArmFaultAt(std::uint64_t index, bool crash);
+  /// Disarms any schedule and resets the op counter (tracking state and
+  /// durability bookkeeping are kept).
+  void ClearSchedule();
+
+  /// Number of intercepted syscalls since Enable/ClearSchedule. Run a
+  /// workload once un-armed to enumerate its fault points.
+  std::uint64_t ops_seen() const;
+  bool crash_triggered() const;
+
+  // -- Crash simulation ---------------------------------------------------
+  struct CrashOptions {
+    /// Keep this many bytes of each file's unsynced tail instead of
+    /// dropping all of it — models a torn (partial) final write.
+    std::uint64_t keep_unsynced_tail_bytes = 0;
+    /// Undo renames/unlinks that were never made durable by a directory
+    /// fsync (the stricter power-loss model).
+    bool undo_unsynced_dir_ops = false;
+  };
+  /// Rewrites all tracked files to their durable state. Callers must have
+  /// closed every tracked file first.
+  void SimulateCrash(const CrashOptions& options);
+
+  // -- Hooks (called by storage::fs; no-ops unless enabled) ---------------
+  /// Returns true if the op should fail. Counts one fault point.
+  bool ShouldFail(FaultOp op, const std::string& path);
+  void OnOpen(const std::string& path, std::uint64_t size, bool truncated);
+  void OnWrite(const std::string& path, std::uint64_t bytes);
+  void OnSync(const std::string& path);
+  /// Called before/after the real ::rename so the previous content of
+  /// `to` can be stashed for undo. CommitRename is skipped on failure.
+  void PrepareRename(const std::string& from, const std::string& to);
+  void CommitRename(const std::string& from, const std::string& to);
+  void PrepareUnlink(const std::string& path);
+  void CommitUnlink(const std::string& path);
+  void OnDirSync(const std::string& dir);
+
+ private:
+  struct FileState {
+    std::uint64_t size = 0;         // bytes handed to fwrite so far
+    std::uint64_t synced_size = 0;  // size at the last successful sync
+  };
+  struct PendingDirOp {
+    bool is_rename = false;  // else unlink
+    std::string from;        // rename only
+    std::string path;        // rename target / unlinked path
+    bool target_existed = false;
+    std::string saved_content;  // previous content of `path`
+  };
+
+  FaultInjection() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::uint64_t op_count_ = 0;
+  std::optional<std::uint64_t> fail_at_;
+  bool crash_on_fault_ = false;
+  bool crashed_ = false;
+  std::map<std::string, FileState> files_;
+  std::vector<PendingDirOp> pending_dir_ops_;
+  // Staged Prepare{Rename,Unlink} state awaiting Commit.
+  std::optional<PendingDirOp> staged_;
+};
+
+}  // namespace rtsi::storage
+
+#endif  // RTSI_STORAGE_FAULT_INJECTION_H_

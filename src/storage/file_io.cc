@@ -4,6 +4,7 @@
 
 #include "common/crc32.h"
 #include "common/varint.h"
+#include "storage/fs.h"
 
 namespace rtsi::storage {
 namespace {
@@ -13,15 +14,22 @@ constexpr char kMagic[8] = {'R', 'T', 'S', 'I', 'S', 'N', 'A', 'P'};
 }  // namespace
 
 SnapshotWriter::~SnapshotWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    // Finish() was never called: abandon the temporary.
+    std::fclose(file_);
+    std::remove(tmp_path_.c_str());
+  }
 }
 
 Status SnapshotWriter::Open(const std::string& path,
                             std::uint32_t format_version) {
-  file_ = std::fopen(path.c_str(), "wb");
+  final_path_ = path;
+  tmp_path_ = path + ".tmp";
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
   if (file_ == nullptr) {
-    return Status::Internal("cannot open for writing: " + path);
+    return Status::Internal("cannot open for writing: " + tmp_path_);
   }
+  fs::TrackOpen(tmp_path_, /*truncated=*/true);
   Raw(kMagic, sizeof(kMagic));
   WriteU32(format_version);
   return Status::Ok();
@@ -29,7 +37,7 @@ Status SnapshotWriter::Open(const std::string& path,
 
 void SnapshotWriter::Raw(const void* data, std::size_t size) {
   if (failed_ || file_ == nullptr || size == 0) return;
-  if (std::fwrite(data, 1, size, file_) != size) {
+  if (!fs::Write(file_, data, size, tmp_path_)) {
     failed_ = true;
     return;
   }
@@ -81,11 +89,19 @@ Status SnapshotWriter::Finish() {
   const std::uint32_t crc = crc_;
   std::uint8_t buf[4];
   for (int i = 0; i < 4; ++i) buf[i] = static_cast<std::uint8_t>(crc >> (8 * i));
-  if (!failed_ && std::fwrite(buf, 1, 4, file_) != 4) failed_ = true;
+  if (!failed_ && !fs::Write(file_, buf, 4, tmp_path_)) failed_ = true;
+  // Commit sequence: data durable in the temporary, then the atomic
+  // rename, then the directory entry durable. Only after the final
+  // fsync is the new file guaranteed to survive a crash.
+  if (!failed_ && !fs::FlushAndSync(file_, tmp_path_).ok()) failed_ = true;
   if (std::fclose(file_) != 0) failed_ = true;
   file_ = nullptr;
-  if (failed_) return Status::Internal("snapshot write failed");
-  return Status::Ok();
+  if (!failed_ && !fs::Rename(tmp_path_, final_path_).ok()) failed_ = true;
+  if (failed_) {
+    std::remove(tmp_path_.c_str());
+    return Status::Internal("snapshot write failed: " + final_path_);
+  }
+  return fs::SyncParentDir(final_path_);
 }
 
 Status SnapshotReader::Open(const std::string& path,

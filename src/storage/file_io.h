@@ -3,6 +3,11 @@
 // A snapshot is a stream of length-prefixed records; the writer maintains
 // a running CRC-32 over everything written and appends it in a footer,
 // which the reader verifies before the caller trusts any decoded content.
+//
+// Writes are atomic with respect to crashes: the writer streams into
+// `<path>.tmp`, and Finish() fsyncs the data, renames it over `path`, and
+// fsyncs the parent directory. A crash at any point leaves either the
+// complete previous file or the complete new one — never a torn mix.
 
 #ifndef RTSI_STORAGE_FILE_IO_H_
 #define RTSI_STORAGE_FILE_IO_H_
@@ -24,7 +29,9 @@ class SnapshotWriter {
   SnapshotWriter(const SnapshotWriter&) = delete;
   SnapshotWriter& operator=(const SnapshotWriter&) = delete;
 
-  /// Creates/truncates `path` and writes the header.
+  /// Starts an atomic write of `path`: creates/truncates `<path>.tmp`
+  /// and writes the header there. `path` itself is untouched until
+  /// Finish() renames the temporary over it.
   Status Open(const std::string& path, std::uint32_t format_version);
 
   void WriteU32(std::uint32_t value);
@@ -35,7 +42,10 @@ class SnapshotWriter {
   void WriteBlob(const std::vector<std::uint8_t>& blob);  // Length-prefixed.
   void WriteString(const std::string& s);                 // Length-prefixed.
 
-  /// Writes the CRC footer and closes. Must be the last call.
+  /// Writes the CRC footer, makes the temporary durable (fdatasync),
+  /// renames it over the final path and fsyncs the parent directory.
+  /// Must be the last call. On failure the temporary is removed and the
+  /// previous file (if any) is left intact.
   Status Finish();
 
   std::uint64_t bytes_written() const { return bytes_written_; }
@@ -44,6 +54,8 @@ class SnapshotWriter {
   void Raw(const void* data, std::size_t size);
 
   std::FILE* file_ = nullptr;
+  std::string final_path_;
+  std::string tmp_path_;
   std::uint32_t crc_ = 0;
   std::uint64_t bytes_written_ = 0;
   bool failed_ = false;

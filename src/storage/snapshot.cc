@@ -56,12 +56,14 @@ bool ReadConfig(SnapshotReader& reader, RtsiConfig& config) {
 
 }  // namespace
 
-Status SaveIndexSnapshot(const RtsiIndex& index, const std::string& path) {
+Status SaveIndexSnapshot(const RtsiIndex& index, const std::string& path,
+                         std::uint64_t journal_epoch) {
   SnapshotWriter writer;
   Status status = writer.Open(path, kSnapshotVersion);
   if (!status.ok()) return status;
 
   WriteConfig(writer, index.config());
+  writer.WriteU64(journal_epoch);
 
   // Document frequencies.
   {
@@ -166,7 +168,8 @@ Status SaveIndexSnapshot(const RtsiIndex& index, const std::string& path) {
 }
 
 Result<std::unique_ptr<RtsiIndex>> LoadIndexSnapshot(
-    const std::string& path) {
+    const std::string& path, std::uint64_t* journal_epoch) {
+  if (journal_epoch != nullptr) *journal_epoch = 0;
   SnapshotReader reader;
   Status status = reader.Open(path, kMinSnapshotVersion, kSnapshotVersion);
   if (!status.ok()) return status;
@@ -174,6 +177,13 @@ Result<std::unique_ptr<RtsiIndex>> LoadIndexSnapshot(
   RtsiConfig config;
   if (!ReadConfig(reader, config)) {
     return Status::Internal("snapshot: bad config section");
+  }
+  if (reader.version() >= 3) {
+    std::uint64_t epoch = 0;
+    if (!reader.ReadU64(epoch)) {
+      return Status::Internal("snapshot: bad journal epoch");
+    }
+    if (journal_epoch != nullptr) *journal_epoch = epoch;
   }
   auto index = std::make_unique<RtsiIndex>(config);
 

@@ -30,17 +30,28 @@ namespace rtsi::storage {
 /// cell), so pruning stays sound and tight; only the `finished` flag is
 /// unrecoverable — restored finished streams are merely non-live, so a
 /// late out-of-order window could transiently resurrect them.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// v3 added the journal epoch (a u64 right after the config section):
+/// the checkpoint generation this snapshot covers, used by DurableIndex
+/// recovery to skip journal files whose operations the snapshot already
+/// contains. v1/v2 files load with epoch 0 (replay everything), which
+/// matches their pre-epoch semantics.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
-/// Writes the full index state to `path` (created/truncated).
+/// Writes the full index state to `path`. The write is atomic: data goes
+/// to `<path>.tmp` and is fsync'd and renamed over `path` (see
+/// SnapshotWriter), so a crash never leaves a torn snapshot.
+/// `journal_epoch` records the checkpoint generation (0 for snapshots
+/// outside the journal protocol, e.g. rtsi_cli build).
 Status SaveIndexSnapshot(const core::RtsiIndex& index,
-                         const std::string& path);
+                         const std::string& path,
+                         std::uint64_t journal_epoch = 0);
 
 /// Rebuilds an index from `path`. On success the returned index answers
-/// queries identically to the saved one.
+/// queries identically to the saved one. `journal_epoch`, when non-null,
+/// receives the stored checkpoint generation (0 for v1/v2 files).
 Result<std::unique_ptr<core::RtsiIndex>> LoadIndexSnapshot(
-    const std::string& path);
+    const std::string& path, std::uint64_t* journal_epoch = nullptr);
 
 }  // namespace rtsi::storage
 

@@ -2,12 +2,56 @@
 
 #include <cstdio>
 #include <sstream>
+#include <string_view>
 
+#include "common/crc32.h"
 #include "common/rng.h"
 #include "workload/corpus.h"
 #include "workload/query_gen.h"
 
 namespace rtsi::workload {
+namespace {
+
+// Length of the ` *xxxxxxxx` record-checksum suffix.
+constexpr std::size_t kChecksumSuffixLen = 10;
+
+std::string ChecksumSuffix(const std::string& body) {
+  const std::uint32_t crc = Crc32(0, body.data(), body.size());
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), " *%08x", crc);
+  return buf;
+}
+
+std::string_view TrimmedLine(const std::string& line) {
+  std::size_t end = line.size();
+  while (end > 0 && (line[end - 1] == '\n' || line[end - 1] == '\r')) --end;
+  return {line.data(), end};
+}
+
+bool IsHex(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+// Splits a trimmed line into op body and whether a valid-looking CRC
+// suffix was present; verification happens in ParseLineChecked.
+bool SplitChecksumSuffix(std::string_view line, std::string_view& body,
+                         std::uint32_t& stored_crc) {
+  if (line.size() < kChecksumSuffixLen + 1) return false;
+  const std::size_t at = line.size() - kChecksumSuffixLen;
+  if (line[at] != ' ' || line[at + 1] != '*') return false;
+  std::uint32_t crc = 0;
+  for (std::size_t i = at + 2; i < line.size(); ++i) {
+    const char c = line[i];
+    if (!IsHex(c)) return false;
+    crc = crc * 16 +
+          static_cast<std::uint32_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  body = line.substr(0, at);
+  stored_crc = crc;
+  return true;
+}
+
+}  // namespace
 
 std::string Trace::FormatOp(const TraceOp& op) {
   std::ostringstream out;
@@ -35,6 +79,32 @@ std::string Trace::FormatOp(const TraceOp& op) {
       break;
   }
   return out.str();
+}
+
+std::string Trace::FormatOpChecked(const TraceOp& op) {
+  std::string line = FormatOp(op);
+  line += ChecksumSuffix(line);
+  return line;
+}
+
+bool Trace::HasChecksumSuffix(const std::string& line) {
+  std::string_view body;
+  std::uint32_t crc = 0;
+  return SplitChecksumSuffix(TrimmedLine(line), body, crc);
+}
+
+Trace::LineParse Trace::ParseLineChecked(const std::string& line,
+                                         TraceOp& op) {
+  const std::string_view trimmed = TrimmedLine(line);
+  std::string_view body = trimmed;
+  std::uint32_t stored_crc = 0;
+  if (SplitChecksumSuffix(trimmed, body, stored_crc)) {
+    const std::uint32_t actual = Crc32(0, body.data(), body.size());
+    if (actual != stored_crc) return LineParse::kBadChecksum;
+  }
+  bool is_comment = false;
+  if (ParseLine(std::string(body), op, &is_comment)) return LineParse::kOk;
+  return is_comment ? LineParse::kCommentOrBlank : LineParse::kMalformed;
 }
 
 bool Trace::ParseLine(const std::string& line, TraceOp& op,
@@ -100,24 +170,97 @@ Status Trace::SaveToFile(const std::string& path) const {
 }
 
 Result<Trace> Trace::LoadFromFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
+  return LoadFromFile(path, TraceLoadOptions{}, nullptr);
+}
+
+Result<Trace> Trace::LoadFromFile(const std::string& path,
+                                  const TraceLoadOptions& options,
+                                  TraceLoadInfo* info) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::NotFound("cannot open " + path);
-  Trace trace;
-  char buf[1 << 16];
-  int line_number = 0;
-  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
-    ++line_number;
-    TraceOp op;
-    bool is_comment = false;
-    if (ParseLine(buf, op, &is_comment)) {
-      trace.Add(std::move(op));
-    } else if (!is_comment) {
-      std::fclose(f);
-      return Status::InvalidArgument("bad trace line " +
-                                     std::to_string(line_number));
-    }
-  }
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data;
+  data.resize(file_size > 0 ? static_cast<std::size_t>(file_size) : 0);
+  const std::size_t read =
+      data.empty() ? 0 : std::fread(data.data(), 1, data.size(), f);
   std::fclose(f);
+  if (read != data.size()) {
+    return Status::Internal("short read: " + path);
+  }
+
+  Trace trace;
+  TraceLoadInfo local_info;
+  TraceLoadInfo& out = info != nullptr ? *info : local_info;
+  out = TraceLoadInfo{};
+  out.bytes = data.size();
+
+  // Whether any accepted record so far carried a CRC suffix: once a
+  // journal is known to be checksummed, a CRC-less final record is a torn
+  // write, not a legacy record.
+  bool saw_checksummed = false;
+  std::size_t line_number = 0;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    std::size_t end = data.find('\n', offset);
+    const bool has_newline = end != std::string::npos;
+    if (!has_newline) end = data.size();
+    const std::string line = data.substr(offset, end - offset);
+    const bool is_last = (has_newline ? end + 1 : end) >= data.size();
+    ++line_number;
+
+    TraceOp op;
+    const LineParse parse = ParseLineChecked(line, op);
+    std::string torn_reason;
+    switch (parse) {
+      case LineParse::kCommentOrBlank:
+        if (options.tolerate_torn_tail && is_last && !has_newline &&
+            !line.empty()) {
+          // A torn header/comment line must be truncated away like any
+          // other torn record: a subsequent append would otherwise
+          // concatenate onto it and corrupt the first real record.
+          torn_reason = "comment missing trailing newline";
+        }
+        break;
+      case LineParse::kOk:
+        if (options.tolerate_torn_tail && is_last && !has_newline) {
+          // A record is only complete once its newline is on disk; a
+          // missing one means the final write was cut short.
+          torn_reason = "record missing trailing newline";
+        } else if (options.tolerate_torn_tail && is_last &&
+                   saw_checksummed && !HasChecksumSuffix(line)) {
+          torn_reason = "checksummed journal record lost its checksum";
+        } else {
+          saw_checksummed = saw_checksummed || HasChecksumSuffix(line);
+          trace.Add(std::move(op));
+          ++out.ops;
+        }
+        break;
+      case LineParse::kMalformed:
+      case LineParse::kBadChecksum: {
+        const char* what = parse == LineParse::kBadChecksum
+                               ? "checksum mismatch"
+                               : "malformed record";
+        if (options.tolerate_torn_tail && is_last) {
+          torn_reason = what;
+          break;
+        }
+        std::string snippet = line.substr(0, 60);
+        return Status::InvalidArgument(
+            "bad trace line " + std::to_string(line_number) +
+            " (byte offset " + std::to_string(offset) + ") in " + path +
+            ": " + std::string(what) + ": " + snippet);
+      }
+    }
+    if (!torn_reason.empty()) {
+      out.torn_tail_dropped = true;
+      out.torn_tail_offset = offset;
+      out.torn_tail_reason = std::move(torn_reason);
+    }
+    offset = has_newline ? end + 1 : end;
+  }
+  out.lines = line_number;
   return trace;
 }
 

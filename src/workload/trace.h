@@ -10,6 +10,11 @@
 //   D <stream>                                            delete
 //   U <stream> <delta>                                    popularity update
 //   Q <k> <now> <term> [term ...]                         query
+//
+// A line may additionally carry a ` *xxxxxxxx` suffix: the CRC-32 of the
+// op text before it, in lowercase hex. The journal writer appends one to
+// every record so replay can distinguish a torn/corrupt record from a
+// well-formed one; plain traces omit it and both forms parse.
 
 #ifndef RTSI_WORKLOAD_TRACE_H_
 #define RTSI_WORKLOAD_TRACE_H_
@@ -42,6 +47,23 @@ struct TraceOp {
   std::vector<core::TermCount> terms;  // kInsert (tf) / kQuery (tf unused).
 };
 
+struct TraceLoadOptions {
+  /// Journal-replay mode: a torn or corrupt FINAL record (short write at
+  /// a crash) is dropped and reported via TraceLoadInfo instead of
+  /// failing the load. Corruption anywhere before the final record still
+  /// fails hard.
+  bool tolerate_torn_tail = false;
+};
+
+struct TraceLoadInfo {
+  std::size_t ops = 0;
+  std::size_t lines = 0;
+  std::uint64_t bytes = 0;
+  bool torn_tail_dropped = false;
+  std::uint64_t torn_tail_offset = 0;  // byte offset of the dropped record
+  std::string torn_tail_reason;
+};
+
 /// In-memory trace with text-file (de)serialization.
 class Trace {
  public:
@@ -52,13 +74,35 @@ class Trace {
   bool empty() const { return ops_.empty(); }
 
   Status SaveToFile(const std::string& path) const;
+  /// Strict load: any malformed line fails with its line number and byte
+  /// offset. Lines may be arbitrarily long.
   static Result<Trace> LoadFromFile(const std::string& path);
+  static Result<Trace> LoadFromFile(const std::string& path,
+                                    const TraceLoadOptions& options,
+                                    TraceLoadInfo* info);
 
-  /// Serializes one op to its trace line (no newline).
+  /// Serializes one op to its trace line (no newline, no checksum).
   static std::string FormatOp(const TraceOp& op);
 
-  /// Parses one line; returns false for malformed input. Blank lines and
-  /// '#' comments yield false with *is_comment set.
+  /// FormatOp plus the ` *xxxxxxxx` CRC-32 suffix (journal record form).
+  static std::string FormatOpChecked(const TraceOp& op);
+
+  enum class LineParse : std::uint8_t {
+    kOk,
+    kCommentOrBlank,
+    kMalformed,
+    kBadChecksum,  // has a CRC suffix and it does not match
+  };
+
+  /// Parses one line, verifying the CRC suffix when present.
+  static LineParse ParseLineChecked(const std::string& line, TraceOp& op);
+
+  /// True when `line` carries a syntactically valid CRC suffix.
+  static bool HasChecksumSuffix(const std::string& line);
+
+  /// Parses the op text of one line without checksum verification (use
+  /// ParseLineChecked for that); returns false for malformed input.
+  /// Blank lines and '#' comments yield false with *is_comment set.
   static bool ParseLine(const std::string& line, TraceOp& op,
                         bool* is_comment);
 

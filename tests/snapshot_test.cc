@@ -61,6 +61,37 @@ std::unique_ptr<RtsiIndex> BuildPopulatedIndex(const RtsiConfig& config) {
   return index;
 }
 
+TEST(SnapshotTest, JournalEpochRoundTrips) {
+  const std::string path = TempPath("epoch");
+  RtsiIndex index(SmallConfig());
+  index.InsertWindow(1, kMicrosPerSecond, {{5, 2}}, true);
+  ASSERT_TRUE(SaveIndexSnapshot(index, path, /*journal_epoch=*/42).ok());
+  std::uint64_t epoch = 99;
+  auto loaded = LoadIndexSnapshot(path, &epoch);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(epoch, 42u);
+
+  // The default (epoch-less) save carries epoch 0, matching the pre-v3
+  // semantics of "replay every journal".
+  ASSERT_TRUE(SaveIndexSnapshot(index, path).ok());
+  epoch = 99;
+  ASSERT_TRUE(LoadIndexSnapshot(path, &epoch).ok());
+  EXPECT_EQ(epoch, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SaveLeavesNoTemporaryBehind) {
+  const std::string path = TempPath("tmpclean");
+  RtsiIndex index(SmallConfig());
+  index.InsertWindow(1, kMicrosPerSecond, {{5, 2}}, true);
+  ASSERT_TRUE(SaveIndexSnapshot(index, path).ok());
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr) << "snapshot temporary not cleaned up";
+  if (tmp != nullptr) std::fclose(tmp);
+  ASSERT_TRUE(LoadIndexSnapshot(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotTest, Crc32KnownVector) {
   // CRC-32 of "123456789" is the classic check value.
   EXPECT_EQ(Crc32(0, "123456789", 9), 0xCBF43926u);

@@ -147,5 +147,113 @@ TEST(TraceTest, SameTraceDrivesBothIndexImplementations) {
   EXPECT_EQ(rr.finishes, rl.finishes);
 }
 
+TEST(TraceTest, ChecksummedLinesRoundTripAndDetectTampering) {
+  TraceOp op;
+  op.kind = TraceOp::Kind::kInsert;
+  op.stream = 42;
+  op.now = 123456789;
+  op.live = true;
+  op.terms = {{7, 2}, {9, 1}};
+
+  const std::string line = Trace::FormatOpChecked(op);
+  EXPECT_TRUE(Trace::HasChecksumSuffix(line));
+  TraceOp parsed;
+  ASSERT_EQ(Trace::ParseLineChecked(line, parsed), Trace::LineParse::kOk);
+  EXPECT_EQ(Trace::FormatOp(parsed), Trace::FormatOp(op));
+
+  // Any flipped payload byte must be caught by the CRC.
+  std::string tampered = line;
+  tampered[2] = tampered[2] == '4' ? '5' : '4';
+  EXPECT_EQ(Trace::ParseLineChecked(tampered, parsed),
+            Trace::LineParse::kBadChecksum);
+
+  // Un-checksummed lines still parse (legacy journals).
+  EXPECT_EQ(Trace::ParseLineChecked(Trace::FormatOp(op), parsed),
+            Trace::LineParse::kOk);
+}
+
+TEST(TraceTest, LoadsLinesLongerThanAnyFixedBuffer) {
+  // A single insert whose line is far beyond the 64 KiB fgets buffer the
+  // loader used to rely on.
+  TraceOp op;
+  op.kind = TraceOp::Kind::kInsert;
+  op.stream = 1;
+  op.now = 1000;
+  op.live = true;
+  for (TermId t = 0; t < 12'000; ++t) {
+    op.terms.push_back({t, static_cast<TermFreq>(1 + t % 4)});
+  }
+  Trace trace;
+  trace.Add(op);
+  ASSERT_GT(Trace::FormatOp(op).size(), 80'000u);
+
+  const std::string path = "/tmp/rtsi_trace_test_long.trace";
+  ASSERT_TRUE(trace.SaveToFile(path).ok());
+  const auto loaded = Trace::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value().ops()[0].terms.size(), op.terms.size());
+  EXPECT_EQ(Trace::FormatOp(loaded.value().ops()[0]), Trace::FormatOp(op));
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, LoadErrorsReportLineNumberAndByteOffset) {
+  const std::string path = "/tmp/rtsi_trace_test_bad.trace";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# header\nF 1\nX bogus line\nF 2\n", f);
+  std::fclose(f);
+
+  const auto loaded = Trace::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  const std::string message = loaded.status().ToString();
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  // "# header\n" is 9 bytes, "F 1\n" is 4: the bad line starts at 13.
+  EXPECT_NE(message.find("byte offset 13"), std::string::npos) << message;
+  EXPECT_NE(message.find("X bogus line"), std::string::npos) << message;
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, TornTailToleranceIsOptInAndFinalLineOnly) {
+  const std::string path = "/tmp/rtsi_trace_test_torn.trace";
+  TraceOp op;
+  op.kind = TraceOp::Kind::kFinish;
+  op.stream = 1;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs((Trace::FormatOpChecked(op) + "\n").c_str(), f);
+  op.stream = 2;
+  std::fputs((Trace::FormatOpChecked(op) + "\n").c_str(), f);
+  std::fputs("I 9 90", f);  // Torn mid-record: no live flag, no newline.
+  std::fclose(f);
+
+  // Strict mode refuses the file outright.
+  EXPECT_FALSE(Trace::LoadFromFile(path).ok());
+
+  // Tolerant mode drops exactly the torn tail and reports it.
+  TraceLoadOptions options;
+  options.tolerate_torn_tail = true;
+  TraceLoadInfo info;
+  const auto loaded = Trace::LoadFromFile(path, options, &info);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_TRUE(info.torn_tail_dropped);
+  EXPECT_GT(info.torn_tail_offset, 0u);
+  EXPECT_FALSE(info.torn_tail_reason.empty());
+
+  // A complete final record that merely LOST its checksum in a
+  // checksummed file is also treated as torn, not silently accepted.
+  f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs((Trace::FormatOpChecked(op) + "\n").c_str(), f);
+  std::fputs("F 9\n", f);
+  std::fclose(f);
+  const auto uncrc = Trace::LoadFromFile(path, options, &info);
+  ASSERT_TRUE(uncrc.ok());
+  EXPECT_EQ(uncrc.value().size(), 1u);
+  EXPECT_TRUE(info.torn_tail_dropped);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace rtsi::workload

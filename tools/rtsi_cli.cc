@@ -15,6 +15,9 @@
 //       sources, component bounds, prune decisions, score breakdowns).
 //   rtsi_cli synth <out.wav> <word> [word...]
 //       Synthesize a spoken phrase to a WAV file.
+//   rtsi_cli inspect-journal <journal>
+//       Validate a journal's record CRCs; report epoch, record counts,
+//       torn tails and the first corrupt offset (exit 1 on corruption).
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +32,7 @@
 #include "baseline/lsii_index.h"
 #include "common/rng.h"
 #include "core/rtsi_index.h"
+#include "storage/journal.h"
 #include "storage/snapshot.h"
 #include "workload/corpus.h"
 #include "workload/query_gen.h"
@@ -48,7 +52,8 @@ int Usage() {
                "  rtsi_cli stats <snapshot>\n"
                "  rtsi_cli query <snapshot> <k> <term> [term...]\n"
                "  rtsi_cli explain <snapshot> <k> <term> [term...]\n"
-               "  rtsi_cli synth <out.wav> <word> [word...]\n");
+               "  rtsi_cli synth <out.wav> <word> [word...]\n"
+               "  rtsi_cli inspect-journal <journal>\n");
   return 2;
 }
 
@@ -224,6 +229,39 @@ int CmdSynth(int argc, char** argv) {
   return 0;
 }
 
+int CmdInspectJournal(int argc, char** argv) {
+  if (argc != 1) return Usage();
+  const storage::JournalInspection result = storage::InspectJournal(argv[0]);
+  if (!result.readable) {
+    std::fprintf(stderr, "error: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("journal %s:\n", argv[0]);
+  if (result.has_epoch_header) {
+    std::printf("  epoch:        %llu\n",
+                static_cast<unsigned long long>(result.epoch));
+  } else {
+    std::printf("  epoch:        (legacy journal, no epoch header)\n");
+  }
+  std::printf("  records:      %llu (%llu checksummed)\n",
+              static_cast<unsigned long long>(result.records),
+              static_cast<unsigned long long>(result.checksummed_records));
+  if (result.torn_tail) {
+    std::printf("  torn tail:    byte offset %llu (%s) — replay drops it\n",
+                static_cast<unsigned long long>(result.torn_tail_offset),
+                result.torn_tail_reason.c_str());
+  }
+  if (result.corrupt) {
+    std::printf("  CORRUPT:      first corrupt record at byte offset %llu\n",
+                static_cast<unsigned long long>(result.first_corrupt_offset));
+    std::printf("  detail:       %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf("  integrity:    ok%s\n",
+              result.torn_tail ? " (modulo torn tail)" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -236,5 +274,8 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(argc - 2, argv + 2);
   if (command == "explain") return CmdExplain(argc - 2, argv + 2);
   if (command == "synth") return CmdSynth(argc - 2, argv + 2);
+  if (command == "inspect-journal") {
+    return CmdInspectJournal(argc - 2, argv + 2);
+  }
   return Usage();
 }

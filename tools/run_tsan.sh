@@ -14,7 +14,7 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
 # bench/example would take far longer for no coverage.
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target thread_pool_test async_merge_test parallel_query_test \
-           lsm_tree_test
+           lsm_tree_test crash_recovery_test checkpoint_atomicity_test
 
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure \
