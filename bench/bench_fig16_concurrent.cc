@@ -1,7 +1,7 @@
 // Figure 16: concurrent querying and insertion. Serial = run the insert
 // batch, then the query batch, on one thread. Concurrent = one inserter
-// thread and one query thread overlapped (mirrors + partial locking let
-// queries proceed during merges). (a) sweeps insertions at a fixed query
+// thread and one query thread overlapped (pinned immutable views +
+// partial locking let queries proceed during merges). (a) sweeps insertions at a fixed query
 // count; (b) sweeps queries at a fixed insertion count.
 //
 // Note: on a single-core container the concurrent speedup is limited to

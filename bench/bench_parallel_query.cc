@@ -66,10 +66,18 @@ int main() {
   const std::vector<int> thread_settings = {0, 1, 2, 4, 8};
 
   // Wall-clock speedup requires actual cores: on a single-CPU host every
-  // thread setting time-slices one core and the sweep degenerates into an
-  // honest measurement of the executor's overhead (expect speedup <= 1).
-  // Recorded so readers can interpret the rows.
+  // thread setting time-slices one core, so the sweep measures executor
+  // overhead and the rows carry "parallelism": "unavailable" in place of
+  // a speedup number (a ~1.0 ratio would read as a regression or a win
+  // to anything tracking the JSON trajectory).
   const double cpus = static_cast<double>(std::thread::hardware_concurrency());
+  const bool parallelism = bench::ParallelismMeasurable();
+  if (!parallelism) {
+    std::fprintf(stderr,
+                 "warning: 1 hardware thread detected; speedup is not "
+                 "measurable, emitting \"parallelism\": \"unavailable\" "
+                 "(latency and checksum columns remain valid)\n");
+  }
 
   bench::JsonReport report("parallel_query");
   report.Field("scale", bench::Scale());
@@ -151,7 +159,8 @@ int main() {
                     workload::FormatMicros(stats.mean_micros()),
                     workload::FormatMicros(stats.PercentileMicros(0.5)),
                     workload::FormatMicros(stats.PercentileMicros(0.99)),
-                    std::to_string(speedup), checksum_hex});
+                    parallelism ? std::to_string(speedup) : "n/a",
+                    checksum_hex});
 
       auto& row = report.AddRow();
       row.Field("streams", static_cast<double>(num_streams))
@@ -163,9 +172,13 @@ int main() {
           .Field("p95_us", stats.PercentileMicros(0.95))
           .Field("p99_us", stats.PercentileMicros(0.99))
           .Field("max_us", stats.max_micros())
-          .Field("total_us", stats.sum_micros())
-          .Field("speedup_vs_sequential", speedup)
-          .Field("checksum", checksum_hex);
+          .Field("total_us", stats.sum_micros());
+      if (parallelism) {
+        row.Field("speedup_vs_sequential", speedup);
+      } else {
+        row.Field("parallelism", "unavailable");
+      }
+      row.Field("checksum", checksum_hex);
     }
   }
 

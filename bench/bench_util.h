@@ -14,6 +14,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/lsii_index.h"
@@ -32,6 +33,15 @@ inline double Scale() {
 
 inline std::size_t Scaled(std::size_t base) {
   return static_cast<std::size_t>(base * Scale());
+}
+
+/// Whether wall-clock speedup is measurable on this host. On one CPU
+/// every thread setting time-slices the same core, so a speedup ratio is
+/// noise around 1.0 — benches must emit "parallelism": "unavailable"
+/// instead of a number that downstream tracking would mistake for a
+/// regression or a win.
+inline bool ParallelismMeasurable() {
+  return std::thread::hardware_concurrency() > 1;
 }
 
 /// Corpus statistics mirror the Ximalaya dataset's shape at reduced size.

@@ -1,0 +1,49 @@
+// Atomically published shared_ptr (the reader side of epoch publication).
+//
+// Writers build a new immutable object and Store() it; readers Load() to
+// pin the currently published object for the duration of their work. The
+// swap uses the C++17 std::atomic_load/atomic_store free-function
+// overloads for shared_ptr with acquire/release ordering, so a reader
+// that observes the new pointer also observes every write that built the
+// object behind it — the std::atomic<std::shared_ptr>-style primitive
+// without requiring the C++20 specialization. Readers never block
+// writers and vice versa; the pinned object stays alive until the last
+// pin drops, whatever the writer publishes afterwards.
+
+#ifndef RTSI_COMMON_ATOMIC_SHARED_PTR_H_
+#define RTSI_COMMON_ATOMIC_SHARED_PTR_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace rtsi {
+
+template <typename T>
+class AtomicSharedPtr {
+ public:
+  AtomicSharedPtr() = default;
+  explicit AtomicSharedPtr(std::shared_ptr<T> initial)
+      : ptr_(std::move(initial)) {}
+
+  AtomicSharedPtr(const AtomicSharedPtr&) = delete;
+  AtomicSharedPtr& operator=(const AtomicSharedPtr&) = delete;
+
+  /// Pins the currently published object (acquire).
+  std::shared_ptr<T> Load() const {
+    return std::atomic_load_explicit(&ptr_, std::memory_order_acquire);
+  }
+
+  /// Publishes `next` (release). Existing pins keep the old object alive.
+  void Store(std::shared_ptr<T> next) {
+    std::atomic_store_explicit(&ptr_, std::move(next),
+                               std::memory_order_release);
+  }
+
+ private:
+  std::shared_ptr<T> ptr_;
+};
+
+}  // namespace rtsi
+
+#endif  // RTSI_COMMON_ATOMIC_SHARED_PTR_H_

@@ -42,8 +42,9 @@ struct RtsiConfig {
 
   /// Run merge cascades on a background thread instead of the inserting
   /// thread. Removes the merge spikes from insertion latency (Figure 6);
-  /// queries are unaffected either way thanks to the mirror set. Off by
-  /// default to match the paper's measured setup.
+  /// queries are unaffected either way — they run against the immutable
+  /// IndexView they pinned at entry. Off by default to match the paper's
+  /// measured setup.
   bool async_merge = false;
 
   /// Degree of parallelism for the sealed-component phase of a query.

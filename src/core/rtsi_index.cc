@@ -145,7 +145,7 @@ void RtsiIndex::InsertWindow(StreamId stream, Timestamp now,
 
   // Lines 4-7: merge cascade when I0 exceeds delta. With async_merge the
   // cascade runs on the background executor and insertion latency stays
-  // flat; the mirror set keeps queries exact either way.
+  // flat; epoch-published views keep queries exact either way.
   if (tree_.NeedsMerge()) {
     if (merge_executor_ == nullptr) {
       tree_.MergeCascade(MakeMergeHooks());
@@ -399,7 +399,14 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
   // with that component's partial tfs; the keep-best-per-stream heap
   // retains its highest partial deterministically, so sequential and
   // parallel traversal agree bit-for-bit.
-  const auto snapshot = tree_.SealedSnapshot();
+  //
+  // The query pins ONE immutable view here — a single atomic load — and
+  // every worker traverses that view: no locks, no structure re-checks,
+  // no mirror lookups. Merges publishing mid-query cannot perturb the
+  // pinned component set, and pre-merge components stay alive because
+  // the pin references them.
+  const lsm::IndexViewPtr view = tree_.PinView();
+  const auto& snapshot = view->components;
   struct RankedComponent {
     const index::InvertedIndex* component;
     double bound;

@@ -1,9 +1,9 @@
 // RTSI: the Real-Time Search Index for live audio streams.
 //
 // Implements the paper's Algorithms 1 (insertion), 2 (merging with
-// mirrors; delegated to lsm::LsmTree) and 3 (top-k query answering with
-// upper-bound early termination), plus popularity updates and lazy
-// deletion.
+// queries kept exact via epoch-published immutable views; delegated to
+// lsm::LsmTree) and 3 (top-k query answering with upper-bound early
+// termination), plus popularity updates and lazy deletion.
 //
 // Index anatomy (Section IV-B):
 //  - an LSM-tree of inverted indices whose postings carry (pop snapshot,

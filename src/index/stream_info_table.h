@@ -73,10 +73,11 @@ class StreamInfoTable {
   /// live freshness) and — when `in_both` — decrements the component
   /// count, since the merge consolidated two residencies into one. The
   /// input residencies are deliberately NOT dropped here: the inputs stay
-  /// query-visible (level slot + mirrors) until the output is swapped in,
-  /// and they must keep receiving ceiling bumps for that whole window or
-  /// a query snapshotting them could prune with a ceiling below the
-  /// stream's live freshness. DropResidency removes them after the swap.
+  /// query-visible (in the published IndexView, and in any older views
+  /// still pinned) until the output is swapped in, and they must keep
+  /// receiving ceiling bumps for that whole window or a query pinning
+  /// such a view could prune with a ceiling below the stream's live
+  /// freshness. DropResidency removes them after the swap.
   /// Deleted streams get the count update but no registration (their
   /// residency was erased by MarkDeleted; re-adding it would leak, since
   /// later merges purge their postings without another hook call).

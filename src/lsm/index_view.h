@@ -1,0 +1,48 @@
+// The immutable read view of the LSM-tree's sealed structure.
+//
+// An IndexView is built by the LSM-tree on every structural change
+// (L0 freeze, merge swap, snapshot restore) and published with a single
+// atomic shared_ptr swap. Queries pin one view at entry and traverse its
+// component list with no locks, no re-check loops, and no mirror
+// lookups: a pre-merge component stays alive for as long as any pinned
+// view references it, which is exactly the completeness guarantee
+// Algorithm 2's mirror set used to provide — the refcount *is* the
+// mirror. Reclamation is automatic: when the last pin of the last view
+// referencing a retired component drops, the component is freed.
+//
+// Live-freshness ceilings survive the pin the same way: each component
+// carries its FreshnessCeiling cell (a shared monotone-max atomic), and
+// residency entries in the StreamInfoTable keep bumping the cells of
+// merge *inputs* until the post-swap retirement hook — so a query
+// holding an old view still prunes with sound ceilings (see
+// index/freshness_ceiling.h and DESIGN.md §6e).
+
+#ifndef RTSI_LSM_INDEX_VIEW_H_
+#define RTSI_LSM_INDEX_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace rtsi::lsm {
+
+struct IndexView {
+  /// Monotone publication counter: strictly increases with every
+  /// published structural change. Two equal epochs imply the identical
+  /// component set, which is what tests use to certify that a pair of
+  /// queries ran against the same structure.
+  std::uint64_t epoch = 0;
+
+  /// The sealed components visible to this view, shallowest level first;
+  /// components detached by an in-flight merge keep their position until
+  /// the merge output replaces them in one swap.
+  std::vector<std::shared_ptr<const index::InvertedIndex>> components;
+};
+
+using IndexViewPtr = std::shared_ptr<const IndexView>;
+
+}  // namespace rtsi::lsm
+
+#endif  // RTSI_LSM_INDEX_VIEW_H_

@@ -8,7 +8,9 @@ using index::InvertedIndex;
 using index::Posting;
 using index::TermBounds;
 
-LsmTree::LsmTree(const Config& config) : config_(config) {
+LsmTree::LsmTree(const Config& config)
+    : config_(config),
+      view_gauge_(std::make_shared<std::atomic<std::int64_t>>(0)) {
   const std::size_t num_shards = std::max<std::size_t>(config.num_l0_shards, 1);
   l0_shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
@@ -18,6 +20,13 @@ LsmTree::LsmTree(const Config& config) : config_(config) {
   for (std::size_t i = 0; i < num_shards; ++i) {
     stream_seen_.push_back(std::make_unique<StreamSeenShard>());
   }
+  // Publish the empty epoch-0 view so PinView() never returns null.
+  auto gauge = view_gauge_;
+  gauge->fetch_add(1, std::memory_order_relaxed);
+  view_.Store(IndexViewPtr(new IndexView{}, [gauge](const IndexView* v) {
+    gauge->fetch_sub(1, std::memory_order_relaxed);
+    delete v;
+  }));
 }
 
 void LsmTree::AddPosting(TermId term, const Posting& posting) {
@@ -49,16 +58,49 @@ TermBounds LsmTree::L0Bounds(TermId term) const {
 
 std::vector<std::shared_ptr<const InvertedIndex>> LsmTree::SealedSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(components_mu_);
-  std::vector<std::shared_ptr<const InvertedIndex>> snapshot;
-  snapshot.reserve(levels_.size() + mirrors_.size());
+  return PinView()->components;
+}
+
+void LsmTree::PublishLocked() {
+  const IndexViewPtr old_view = view_.Load();
+  auto next = std::make_unique<IndexView>();
+  next->epoch = old_view->epoch + 1;
+  next->components.reserve(levels_.size() + pending_.size());
   for (const auto& level : levels_) {
-    if (level != nullptr) snapshot.push_back(level);
+    if (level != nullptr) next->components.push_back(level);
   }
-  for (auto& mirror : mirrors_.GetAll()) {
-    snapshot.push_back(std::move(mirror));
+  for (const auto& component : pending_) {
+    next->components.push_back(component);
   }
-  return snapshot;
+  // Record components that just left the view. Weak references only: the
+  // registry observes the mirror-era lifetime without extending it.
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    for (const auto& component : old_view->components) {
+      const bool still_visible =
+          std::any_of(next->components.begin(), next->components.end(),
+                      [&](const auto& c) { return c == component; });
+      if (!still_visible) retired_.push_back(component);
+    }
+    // Opportunistically drop entries whose component has been freed.
+    retired_.erase(std::remove_if(retired_.begin(), retired_.end(),
+                                  [](const auto& w) { return w.expired(); }),
+                   retired_.end());
+  }
+  auto gauge = view_gauge_;
+  gauge->fetch_add(1, std::memory_order_relaxed);
+  view_.Store(IndexViewPtr(next.release(), [gauge](const IndexView* v) {
+    gauge->fetch_sub(1, std::memory_order_relaxed);
+    delete v;
+  }));
+}
+
+void LsmTree::ErasePendingLocked(const InvertedIndex* component) {
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [&](const auto& c) {
+                                  return c.get() == component;
+                                }),
+                 pending_.end());
 }
 
 std::shared_ptr<InvertedIndex> LsmTree::FreezeL0(const MergeHooks& hooks) {
@@ -87,10 +129,11 @@ std::shared_ptr<InvertedIndex> LsmTree::FreezeL0(const MergeHooks& hooks) {
   }
   l0_postings_.store(0, std::memory_order_relaxed);
   {
-    // Make the frozen component query-visible before the shard locks drop.
+    // Publish the frozen component before the shard locks drop, so no
+    // posting is ever outside both L0 and the view.
     std::lock_guard<std::mutex> lock(components_mu_);
-    mirrors_.Register(frozen);
-    structure_version_.fetch_add(1, std::memory_order_release);
+    pending_.push_back(frozen);
+    PublishLocked();
   }
   return frozen;
 }
@@ -103,8 +146,8 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
   std::shared_ptr<const InvertedIndex> cur = FreezeL0(hooks);
   if (cur->empty()) {
     std::lock_guard<std::mutex> lock(components_mu_);
-    mirrors_.Unregister(cur.get());
-    structure_version_.fetch_add(1, std::memory_order_release);
+    ErasePendingLocked(cur.get());
+    PublishLocked();
     return;
   }
 
@@ -114,11 +157,14 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
       std::shared_ptr<const InvertedIndex> existing;
       std::size_t slot = 0;
       {
+        // Detach the next occupied level into pending_. The visible set
+        // is unchanged (slot resident -> pending), so no publish: the
+        // current view keeps serving the input until the swap below.
         std::lock_guard<std::mutex> lock(components_mu_);
         for (; slot < levels_.size(); ++slot) {
           if (levels_[slot] != nullptr) {
             existing = levels_[slot];
-            mirrors_.Register(existing);
+            pending_.push_back(existing);
             levels_[slot] = nullptr;
             break;
           }
@@ -131,21 +177,24 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
                             std::make_shared<index::FreshnessCeiling>(),
                             hooks.on_retired ? &surviving : nullptr);
       {
+        // One swap: inputs out, output in. Readers see either the old
+        // view (inputs alive via their pin) or the new one, never a
+        // partial set.
         std::lock_guard<std::mutex> lock(components_mu_);
-        mirrors_.Unregister(cur.get());
-        if (existing != nullptr) mirrors_.Unregister(existing.get());
+        ErasePendingLocked(cur.get());
+        if (existing != nullptr) ErasePendingLocked(existing.get());
         if (existing == nullptr) {
           // Nothing left to fold: install as the single component.
           if (levels_.empty()) levels_.resize(1);
           levels_[0] = merged;
         } else {
-          mirrors_.Register(merged);
+          pending_.push_back(merged);
         }
-        structure_version_.fetch_add(1, std::memory_order_release);
+        PublishLocked();
       }
-      // The inputs just became invisible: retire their residencies so
-      // inserts stop bumping dead ceiling cells. Ordering (only after the
-      // swap) is what keeps queries snapshotting the inputs sound.
+      // The inputs just left the published view: retire their residencies
+      // so inserts stop bumping dead ceiling cells. Ordering (only after
+      // the swap) is what keeps queries pinned to the old view sound.
       if (hooks.on_retired) {
         const ComponentId from_b = existing != nullptr
                                        ? existing->component_id()
@@ -170,15 +219,16 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
   std::size_t level_index = 0;
   double capacity = config_.delta * config_.rho;
   while (true) {
-    // Detach the resident component of this level (if any), keeping it
-    // query-visible through the mirror set.
+    // Detach the resident component of this level (if any) into pending_,
+    // keeping it query-visible: the published view is untouched until the
+    // merge output is ready to replace both inputs in one swap.
     std::shared_ptr<const InvertedIndex> existing;
     {
       std::lock_guard<std::mutex> lock(components_mu_);
       if (levels_.size() <= level_index) levels_.resize(level_index + 1);
       existing = levels_[level_index];
       if (existing != nullptr) {
-        mirrors_.Register(existing);
+        pending_.push_back(existing);
         levels_[level_index] = nullptr;
       }
     }
@@ -193,19 +243,19 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
     const bool over_capacity = merged->num_postings() > capacity;
     {
       std::lock_guard<std::mutex> lock(components_mu_);
-      mirrors_.Unregister(cur.get());
-      if (existing != nullptr) mirrors_.Unregister(existing.get());
+      ErasePendingLocked(cur.get());
+      if (existing != nullptr) ErasePendingLocked(existing.get());
       if (over_capacity) {
-        // Keep pushing down; stay visible as a mirror meanwhile.
-        mirrors_.Register(merged);
+        // Keep pushing down; stay visible via pending_ meanwhile.
+        pending_.push_back(merged);
       } else {
         levels_[level_index] = merged;
       }
-      structure_version_.fetch_add(1, std::memory_order_release);
+      PublishLocked();
     }
-    // The inputs just became invisible: retire their residencies so
-    // inserts stop bumping dead ceiling cells. Ordering (only after the
-    // swap) is what keeps queries snapshotting the inputs sound.
+    // The inputs just left the published view: retire their residencies
+    // so inserts stop bumping dead ceiling cells. Ordering (only after
+    // the swap) is what keeps queries pinned to the old view sound.
     if (hooks.on_retired) {
       const ComponentId from_b = existing != nullptr
                                      ? existing->component_id()
@@ -245,7 +295,7 @@ Status LsmTree::RestoreSealedComponent(
     return Status::AlreadyExists("level slot occupied");
   }
   levels_[slot] = std::move(component);
-  structure_version_.fetch_add(1, std::memory_order_release);
+  PublishLocked();
   return Status::Ok();
 }
 
@@ -273,11 +323,30 @@ std::size_t LsmTree::MemoryBytes() const {
     std::shared_lock<std::shared_mutex> lock(shard->mu);
     bytes += shard->index.MemoryBytes();
   }
-  std::lock_guard<std::mutex> lock(components_mu_);
-  for (const auto& level : levels_) {
-    if (level != nullptr) bytes += level->MemoryBytes();
+  // The published view is the query-visible set (level residents plus any
+  // in-flight merge's inputs/outputs); retired-but-pinned bytes are
+  // reported separately via RetiredBytes().
+  for (const auto& component : PinView()->components) {
+    bytes += component->MemoryBytes();
   }
-  bytes += mirrors_.MemoryBytes();
+  return bytes;
+}
+
+std::size_t LsmTree::retired_components() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  std::size_t alive = 0;
+  for (const auto& weak : retired_) {
+    if (!weak.expired()) ++alive;
+  }
+  return alive;
+}
+
+std::size_t LsmTree::RetiredBytes() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  std::size_t bytes = 0;
+  for (const auto& weak : retired_) {
+    if (const auto component = weak.lock()) bytes += component->MemoryBytes();
+  }
   return bytes;
 }
 

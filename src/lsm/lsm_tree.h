@@ -3,9 +3,16 @@
 // Level 0 is mutable and sharded by term: insertions lock only the term's
 // shard (the paper's "partially locking the inverted index"), queries take
 // the shard's shared lock for the duration of one term scan. Levels >= 1
-// are immutable components produced by merges. A merge registers its
-// inputs in the MirrorSet before detaching them from the level array, so
-// concurrent queries always observe a complete posting set.
+// are immutable components produced by merges.
+//
+// The sealed structure is epoch-published: every structural change builds
+// an immutable IndexView and swaps it in with one atomic shared_ptr
+// store. Queries pin the current view and traverse it lock-free;
+// pre-merge components stay alive because the views that reference them
+// do, which subsumes Algorithm 2's mirror set (the refcount is the
+// mirror). Writer-side bookkeeping (level slots, the in-flight merge's
+// detached inputs) is serialized by components_mu_, which no reader ever
+// takes.
 //
 // The merge cascade follows Algorithm 1: when |I0| exceeds delta, I0 is
 // frozen and merged into I1; while level i exceeds delta * rho^i the merge
@@ -21,10 +28,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/atomic_shared_ptr.h"
 #include "common/status.h"
 #include "index/inverted_index.h"
+#include "lsm/index_view.h"
 #include "lsm/merge.h"
-#include "lsm/mirror_set.h"
 
 namespace rtsi::lsm {
 
@@ -69,7 +77,8 @@ class LsmTree {
   }
 
   /// Runs the merge cascade if I0 is over capacity. Safe to call from any
-  /// thread; merges are serialized. Queries proceed concurrently.
+  /// thread; merges are serialized. Queries proceed concurrently against
+  /// whatever view they pinned.
   void MergeCascade(const MergeHooks& hooks);
 
   /// Runs `fn(const index::TermPostings*)` for the term's L0 postings
@@ -100,29 +109,46 @@ class LsmTree {
   Status RestoreSealedComponent(
       std::shared_ptr<index::InvertedIndex> component);
 
-  /// Immutable components currently visible to queries: non-null levels
-  /// plus any merge mirrors. Never contains duplicates.
+  /// Pins the currently published read view: the complete sealed
+  /// component set plus its epoch, immutable for the pin's lifetime.
+  /// Wait-free for readers; the one load a query performs on entry.
+  IndexViewPtr PinView() const { return view_.Load(); }
+
+  /// Convenience copy of the pinned view's component list (callers that
+  /// want a vector rather than a view pin, e.g. snapshot save). Never
+  /// contains duplicates.
   std::vector<std::shared_ptr<const index::InvertedIndex>> SealedSnapshot()
       const;
+
+  /// Epoch of the currently published view (monotone; bumped on every
+  /// freeze, merge swap and restore). Two equal epochs bracket an
+  /// unchanged component set.
+  std::uint64_t epoch() const { return PinView()->epoch; }
 
   std::size_t l0_postings() const {
     return l0_postings_.load(std::memory_order_relaxed);
   }
 
-  /// Monotone counter bumped whenever the set of query-visible sealed
-  /// components changes (freeze registration, merge swaps, restore).
-  /// Two SealedSnapshot() calls bracketed by equal versions saw the same
-  /// component set — tests use this to detect a merge publishing between
-  /// two queries they want to compare bit-for-bit.
-  std::uint64_t structure_version() const {
-    return structure_version_.load(std::memory_order_acquire);
-  }
   std::size_t total_postings() const;
   std::size_t num_levels() const;
   std::size_t MemoryBytes() const;
   MergeStats GetMergeStats() const;
-  const MirrorSet& mirrors() const { return mirrors_; }
   const Config& config() const { return config_; }
+
+  // Lifecycle observability (rtsi_cli stats, leak assertions in tests).
+
+  /// Number of IndexView objects alive: the published view plus every
+  /// retired view still pinned by an in-flight reader.
+  std::int64_t live_views() const {
+    return view_gauge_->load(std::memory_order_relaxed);
+  }
+
+  /// Components that left the published view but are still alive because
+  /// a pinned view references them (the mirror-era "extra copies").
+  std::size_t retired_components() const;
+
+  /// Bytes currently held by retired-but-still-pinned components.
+  std::size_t RetiredBytes() const;
 
  private:
   struct L0Shard {
@@ -135,10 +161,19 @@ class LsmTree {
     std::unordered_set<StreamId> seen;
   };
 
-  /// Freezes L0 into a sealed component registered in the mirror set.
-  /// The component receives a fresh id and ceiling cell, and
+  /// Freezes L0 into a sealed component appended to pending_ and
+  /// published. The component receives a fresh id and ceiling cell, and
   /// `hooks.on_frozen` runs before it becomes query-visible.
   std::shared_ptr<index::InvertedIndex> FreezeL0(const MergeHooks& hooks);
+
+  /// Builds the view implied by levels_ + pending_, bumps the epoch, and
+  /// publishes it; components that just left the view are recorded in the
+  /// retired registry. Requires components_mu_.
+  void PublishLocked();
+
+  /// Removes one component from pending_ by identity. Requires
+  /// components_mu_.
+  void ErasePendingLocked(const index::InvertedIndex* component);
 
   /// Never-reused component id (1-based; 0 = invalid).
   ComponentId AllocateComponentId() {
@@ -150,11 +185,22 @@ class LsmTree {
   std::vector<std::unique_ptr<StreamSeenShard>> stream_seen_;
   std::atomic<std::size_t> l0_postings_{0};
 
-  mutable std::mutex components_mu_;  // Guards levels_ and mirror swaps.
+  // Writer-side structural state; readers go through view_ only.
+  mutable std::mutex components_mu_;  // Guards levels_/pending_/publish.
   std::vector<std::shared_ptr<const index::InvertedIndex>> levels_;
-  MirrorSet mirrors_;
+  // Query-visible components without a level slot: the frozen L0 of an
+  // in-flight cascade, its over-capacity intermediate outputs, and merge
+  // inputs detached from their slots while the output is built.
+  std::vector<std::shared_ptr<const index::InvertedIndex>> pending_;
+  AtomicSharedPtr<const IndexView> view_;
+  // Counts IndexView objects alive (each view's deleter decrements); the
+  // gauge is shared so a view pinned past the tree's lifetime stays safe.
+  std::shared_ptr<std::atomic<std::int64_t>> view_gauge_;
+  // Components that left the view; weak so the registry never extends a
+  // lifetime — entries expire exactly when the last pinned view drops.
+  mutable std::mutex retired_mu_;
+  mutable std::vector<std::weak_ptr<const index::InvertedIndex>> retired_;
   std::atomic<ComponentId> next_component_id_{0};
-  std::atomic<std::uint64_t> structure_version_{0};
 
   std::mutex merge_mu_;  // At most one merge cascade at a time.
   mutable std::mutex stats_mu_;

@@ -145,9 +145,10 @@ std::shared_ptr<InvertedIndex> CombineComponents(
   // residency gains the output's ceiling cell here, *before* the output
   // inherits the inputs' ceilings below and before the swap publishes it.
   // The input residencies are NOT dropped yet — the inputs stay
-  // query-visible (level slot + mirrors) until the swap, and an insert in
-  // that window must keep bumping their cells or a query snapshotting
-  // them would prune with a ceiling below the stream's live freshness.
+  // query-visible (published view, plus any older pinned views) until the
+  // swap, and an insert in that window must keep bumping their cells or a
+  // query holding such a view would prune with a ceiling below the
+  // stream's live freshness.
   // The owner retires them via `on_retired` after the swap, using the
   // `surviving` list collected here.
   const ComponentId from_a = a.component_id();

@@ -34,21 +34,20 @@ struct MergeHooks {
   /// count dropped by one). `from_a`/`from_b` are the input component
   /// ids and `merged` the output component (already carrying its id and
   /// live-freshness ceiling cell), so the owner can transfer the stream's
-  /// component residency while mirrors keep serving queries. Leave unset
-  /// to skip stream tracking entirely (the tracking itself costs one
-  /// hash-set insert per posting).
+  /// component residency while pinned views keep serving queries against
+  /// the inputs. Leave unset to skip stream tracking entirely (the
+  /// tracking itself costs one hash-set insert per posting).
   std::function<void(StreamId stream, bool in_both, ComponentId from_a,
                      ComponentId from_b, const index::InvertedIndex& merged)>
       on_stream;
 
   /// Called by the owning LSM-tree once per distinct surviving stream
-  /// *after* the merge output replaced its inputs in the component list
+  /// *after* the merge output replaced its inputs in the published view
   /// (the inputs are no longer query-visible): the owner drops the
   /// stream's residency entries for the retired input components. Until
   /// this fires the input residencies must stay registered, so inserts
-  /// keep bumping the inputs' live-freshness ceilings and queries that
-  /// snapshot the inputs (level slot or mirror) prune soundly for the
-  /// whole merge window.
+  /// keep bumping the inputs' live-freshness ceilings and queries still
+  /// pinning a pre-swap view prune soundly for the whole merge window.
   std::function<void(StreamId stream, ComponentId from_a,
                      ComponentId from_b)>
       on_retired;

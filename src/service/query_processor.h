@@ -4,6 +4,11 @@
 // lattice units) so they can also hit the sound LSM-tree; voice queries
 // are decoded to phonetic lattices, converted to keywords (phone-sequence
 // lookup against the lexicon), so they can also hit the text LSM-tree.
+//
+// The processor holds no index state: it reads frozen dictionaries and
+// the pipeline's lexicon, so concurrent queries may share it freely —
+// each caller supplies its own (or an externally serialized) Rng. The
+// index side of a query runs against the immutable view the caller pins.
 
 #ifndef RTSI_SERVICE_QUERY_PROCESSOR_H_
 #define RTSI_SERVICE_QUERY_PROCESSOR_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "asr/phoneme.h"
 #include "audio/synthesizer.h"
@@ -16,8 +17,10 @@ SearchService::SearchService(const SearchServiceConfig& config, Clock* clock)
       pipeline_.get(), &text_dict_, &sound_dict_,
       config.ingestion.lattice_ngram,
       config.ingestion.lattice_alt_threshold, config.ingestion.stem_text);
-  text_index_ = std::make_unique<core::RtsiIndex>(config.index);
-  sound_index_ = std::make_unique<core::RtsiIndex>(config.index);
+  auto initial = std::make_shared<IndexPair>();
+  initial->text = std::make_shared<core::RtsiIndex>(config.index);
+  initial->sound = std::make_shared<core::RtsiIndex>(config.index);
+  indices_.Store(std::move(initial));
   if (config.index.query_threads > 0) {
     // Two threads: enough to overlap the offloaded modality of two
     // concurrent searches. Each RtsiIndex brings its own executor pool,
@@ -26,32 +29,46 @@ SearchService::SearchService(const SearchServiceConfig& config, Clock* clock)
   }
 }
 
+void SearchService::ReplaceIndices(std::unique_ptr<core::RtsiIndex> text,
+                                   std::unique_ptr<core::RtsiIndex> sound) {
+  auto next = std::make_shared<IndexPair>();
+  next->text = std::shared_ptr<core::RtsiIndex>(std::move(text));
+  next->sound = std::shared_ptr<core::RtsiIndex>(std::move(sound));
+  restores_in_flight_.fetch_add(1, std::memory_order_release);
+  indices_.Store(std::move(next));
+  restores_in_flight_.fetch_sub(1, std::memory_order_release);
+}
+
 void SearchService::IngestWindow(StreamId stream,
                                  const std::vector<std::string>& words,
                                  bool live) {
-  const WindowArtifacts artifacts = pipeline_->ProcessWindow(words, rng_);
+  WindowArtifacts artifacts;
+  {
+    std::lock_guard<std::mutex> rng_lock(rng_mu_);
+    artifacts = pipeline_->ProcessWindow(words, rng_);
+  }
   const Timestamp now = clock_->Now();
-  std::shared_lock<std::shared_mutex> lock(indices_mu_);
-  text_index_->InsertWindow(stream, now, artifacts.text_terms, live);
-  sound_index_->InsertWindow(stream, now, artifacts.sound_terms, live);
+  const auto indices = PinIndices();
+  indices->text->InsertWindow(stream, now, artifacts.text_terms, live);
+  indices->sound->InsertWindow(stream, now, artifacts.sound_terms, live);
 }
 
 void SearchService::FinishStream(StreamId stream) {
-  std::shared_lock<std::shared_mutex> lock(indices_mu_);
-  text_index_->FinishStream(stream);
-  sound_index_->FinishStream(stream);
+  const auto indices = PinIndices();
+  indices->text->FinishStream(stream);
+  indices->sound->FinishStream(stream);
 }
 
 void SearchService::DeleteStream(StreamId stream) {
-  std::shared_lock<std::shared_mutex> lock(indices_mu_);
-  text_index_->DeleteStream(stream);
-  sound_index_->DeleteStream(stream);
+  const auto indices = PinIndices();
+  indices->text->DeleteStream(stream);
+  indices->sound->DeleteStream(stream);
 }
 
 void SearchService::UpdatePopularity(StreamId stream, std::uint64_t delta) {
-  std::shared_lock<std::shared_mutex> lock(indices_mu_);
-  text_index_->UpdatePopularity(stream, delta);
-  sound_index_->UpdatePopularity(stream, delta);
+  const auto indices = PinIndices();
+  indices->text->UpdatePopularity(stream, delta);
+  indices->sound->UpdatePopularity(stream, delta);
 }
 
 std::vector<SearchResult> SearchService::Fuse(
@@ -85,7 +102,7 @@ std::vector<SearchResult> SearchService::Fuse(
 }
 
 std::vector<SearchResult> SearchService::SearchBothModalities(
-    const std::vector<TermId>& text_terms,
+    const IndexPair& indices, const std::vector<TermId>& text_terms,
     const std::vector<TermId>& sound_terms, int fetch, int k) {
   const Timestamp now = clock_->Now();
   if (modality_pool_ != nullptr) {
@@ -94,35 +111,44 @@ std::vector<SearchResult> SearchService::SearchBothModalities(
     std::vector<core::ScoredStream> sound_results;
     TaskGroup group(modality_pool_.get());
     group.Submit([&] {
-      sound_results = sound_index_->Query(sound_terms, fetch, now);
+      sound_results = indices.sound->Query(sound_terms, fetch, now);
     });
-    const auto text_results = text_index_->Query(text_terms, fetch, now);
+    const auto text_results = indices.text->Query(text_terms, fetch, now);
     group.Wait();
     return Fuse(text_results, sound_results, k);
   }
-  const auto text_results = text_index_->Query(text_terms, fetch, now);
-  const auto sound_results = sound_index_->Query(sound_terms, fetch, now);
+  const auto text_results = indices.text->Query(text_terms, fetch, now);
+  const auto sound_results = indices.sound->Query(sound_terms, fetch, now);
   return Fuse(text_results, sound_results, k);
 }
 
 std::vector<SearchResult> SearchService::SearchKeywords(
     const std::string& query, int k) {
   if (k <= 0) k = config_.default_k;
-  const ProcessedQuery processed =
-      query_processor_->ProcessKeywords(query, rng_);
-  // Over-fetch per modality so fusion has material to rerank.
-  std::shared_lock<std::shared_mutex> lock(indices_mu_);
-  return SearchBothModalities(processed.text_terms, processed.sound_terms,
-                              2 * k, k);
+  ProcessedQuery processed;
+  {
+    std::lock_guard<std::mutex> rng_lock(rng_mu_);
+    processed = query_processor_->ProcessKeywords(query, rng_);
+  }
+  // Over-fetch per modality so fusion has material to rerank. The pinned
+  // pair keeps both indices alive for the whole search even if a restore
+  // publishes a replacement mid-query.
+  const auto indices = PinIndices();
+  return SearchBothModalities(*indices, processed.text_terms,
+                              processed.sound_terms, 2 * k, k);
 }
 
 std::vector<SearchResult> SearchService::SearchVoice(
     const audio::PcmBuffer& pcm, int k) {
   if (k <= 0) k = config_.default_k;
-  const ProcessedQuery processed = query_processor_->ProcessVoice(pcm, rng_);
-  std::shared_lock<std::shared_mutex> lock(indices_mu_);
-  return SearchBothModalities(processed.text_terms, processed.sound_terms,
-                              2 * k, k);
+  ProcessedQuery processed;
+  {
+    std::lock_guard<std::mutex> rng_lock(rng_mu_);
+    processed = query_processor_->ProcessVoice(pcm, rng_);
+  }
+  const auto indices = PinIndices();
+  return SearchBothModalities(*indices, processed.text_terms,
+                              processed.sound_terms, 2 * k, k);
 }
 
 audio::PcmBuffer SearchService::SynthesizeQuery(
@@ -135,6 +161,7 @@ audio::PcmBuffer SearchService::SynthesizeQuery(
   }
   audio::SynthesizerConfig synth_config;
   const audio::Synthesizer synth(synth_config);
+  std::lock_guard<std::mutex> rng_lock(rng_mu_);
   return synth.Render(specs, rng_);
 }
 

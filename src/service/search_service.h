@@ -4,12 +4,14 @@
 #ifndef RTSI_SERVICE_SEARCH_SERVICE_H_
 #define RTSI_SERVICE_SEARCH_SERVICE_H_
 
+#include <atomic>
+#include <cassert>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/atomic_shared_ptr.h"
 #include "common/clock.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
@@ -38,6 +40,14 @@ struct SearchResult {
 
 class SearchService {
  public:
+  /// Both modality indices, pinned as one unit: a query or ingestion call
+  /// loads the pair once and works against a consistent (text, sound)
+  /// generation even if a snapshot restore publishes a new pair mid-call.
+  struct IndexPair {
+    std::shared_ptr<core::RtsiIndex> text;
+    std::shared_ptr<core::RtsiIndex> sound;
+  };
+
   SearchService(const SearchServiceConfig& config, Clock* clock);
 
   /// Ingests one ~60 s window of a live stream, given its ground-truth
@@ -59,22 +69,43 @@ class SearchService {
   std::vector<SearchResult> SearchVoice(const audio::PcmBuffer& pcm, int k);
 
   /// Renders a spoken query from keywords (for demos and tests of the
-  /// voice path).
+  /// voice path). Thread-safe: the shared query RNG is taken under its
+  /// lock, like every other entry point that draws from it.
   audio::PcmBuffer SynthesizeQuery(const std::vector<std::string>& words);
 
-  core::RtsiIndex& text_index() { return *text_index_; }
-  core::RtsiIndex& sound_index() { return *sound_index_; }
+  /// Pins the currently published index pair. The returned shared_ptrs
+  /// keep both indices alive across any concurrent ReplaceIndices, so
+  /// this is the safe way to hold an index beyond one expression.
+  std::shared_ptr<const IndexPair> PinIndices() const {
+    return indices_.Load();
+  }
+
+  // Raw references into the currently published pair, for setup,
+  // inspection and tests. Single-threaded-setup contract: the reference
+  // is only guaranteed valid while no concurrent ReplaceIndices can run —
+  // a restore publishing mid-use would free the index under the caller.
+  // Concurrent readers must use PinIndices() instead; the assertion
+  // catches the one racy overlap we can observe cheaply.
+  core::RtsiIndex& text_index() {
+    assert(restores_in_flight_.load(std::memory_order_acquire) == 0 &&
+           "text_index(): use PinIndices() when a restore can race");
+    return *indices_.Load()->text;
+  }
+  core::RtsiIndex& sound_index() {
+    assert(restores_in_flight_.load(std::memory_order_acquire) == 0 &&
+           "sound_index(): use PinIndices() when a restore can race");
+    return *indices_.Load()->sound;
+  }
 
   /// Replaces both indices (snapshot restore path; see
-  /// service/service_snapshot.h). Exclusive against in-flight queries and
-  /// ingestion: a restore racing a query must not free the indices the
-  /// query is traversing.
+  /// service/service_snapshot.h) by publishing a new pair with one atomic
+  /// swap — queries in flight finish against the pair they pinned and the
+  /// old indices are freed when the last pin drops. No query fleet stall.
+  /// Operations that raced the swap were applied to the replaced pair and
+  /// vanish with it, exactly as if they had completed before the restore.
   void ReplaceIndices(std::unique_ptr<core::RtsiIndex> text,
-                      std::unique_ptr<core::RtsiIndex> sound) {
-    std::unique_lock<std::shared_mutex> lock(indices_mu_);
-    text_index_ = std::move(text);
-    sound_index_ = std::move(sound);
-  }
+                      std::unique_ptr<core::RtsiIndex> sound);
+
   text::TermDictionary& text_dictionary() { return text_dict_; }
   text::TermDictionary& sound_dictionary() { return sound_dict_; }
   IngestionPipeline& pipeline() { return *pipeline_; }
@@ -86,9 +117,9 @@ class SearchService {
       const std::vector<core::ScoredStream>& sound_results, int k) const;
 
   /// Runs the two single-modality queries (concurrently when the modality
-  /// pool exists) and fuses. Caller must hold indices_mu_ shared.
+  /// pool exists) against the pinned pair and fuses.
   std::vector<SearchResult> SearchBothModalities(
-      const std::vector<TermId>& text_terms,
+      const IndexPair& indices, const std::vector<TermId>& text_terms,
       const std::vector<TermId>& sound_terms, int fetch, int k);
 
   SearchServiceConfig config_;
@@ -97,14 +128,20 @@ class SearchService {
   text::TermDictionary sound_dict_;
   std::unique_ptr<IngestionPipeline> pipeline_;
   std::unique_ptr<QueryProcessor> query_processor_;
-  // Shared for queries/ingestion, exclusive for ReplaceIndices.
-  mutable std::shared_mutex indices_mu_;
-  std::unique_ptr<core::RtsiIndex> text_index_;
-  std::unique_ptr<core::RtsiIndex> sound_index_;
+  // Epoch-published: readers pin with one atomic load, ReplaceIndices
+  // swaps in a freshly built pair. No reader-writer lock anywhere on the
+  // query path.
+  AtomicSharedPtr<const IndexPair> indices_;
+  std::atomic<int> restores_in_flight_{0};
   // Cross-modality fan-out workers (one task per query; the calling
   // thread runs the text tree while the pool runs the sound tree). Null
   // when query_threads == 0 so the default stays fully sequential.
   std::unique_ptr<ThreadPool> modality_pool_;
+  // The service RNG feeds ASR simulation for ingestion, query processing
+  // and synthesis; entry points can run concurrently, so draws are
+  // serialized by rng_mu_ (single-threaded call sequences are unaffected,
+  // keeping seeded runs deterministic).
+  std::mutex rng_mu_;
   Rng rng_;
 };
 

@@ -97,6 +97,8 @@ Status LoadServiceSnapshot(SearchService& service,
   if (!text.ok()) return text.status();
   auto sound = storage::LoadIndexSnapshot(path_prefix + ".sound");
   if (!sound.ok()) return sound.status();
+  // Publishing the restored pair is one atomic swap: queries in flight
+  // finish against the pair they pinned; nothing blocks on them.
   service.ReplaceIndices(std::move(text).value(), std::move(sound).value());
   return Status::Ok();
 }

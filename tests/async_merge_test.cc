@@ -90,8 +90,8 @@ TEST(AsyncMergeTest, QueriesDuringBackgroundMergesSeeEverything) {
 
 TEST(AsyncMergeTest, MidStreamResultsMatchSyncModeContinuously) {
   // Top-k must be exact in both modes at *any* moment — regardless of
-  // whether the background cascade has caught up (mirrors guarantee
-  // completeness, the live-term table guarantees exact totals).
+  // whether the background cascade has caught up (the pinned view
+  // guarantees completeness, the live-term table exact totals).
   RtsiConfig sync_config = AsyncConfig();
   sync_config.async_merge = false;
   RtsiIndex sync_index(sync_config);

@@ -1,6 +1,6 @@
 // Cross-module integration tests: live-arrival workloads over the full
 // RTSI stack, concurrent insert/query/update against a merging tree, and
-// the query-during-merge mirror guarantee.
+// the query-during-merge completeness guarantee of pinned views.
 
 #include <gtest/gtest.h>
 
@@ -56,7 +56,7 @@ TEST(IntegrationTest, LiveCorpusWorkloadEndToEnd) {
 
 TEST(IntegrationTest, EveryInsertedStreamIsFindable) {
   // After arbitrary merging, a query for a stream's dedicated term finds
-  // it (no stream lost across freezes/merges/mirrors).
+  // it (no stream lost across freezes/merges/view swaps).
   auto config = MergeHeavyConfig();
   config.lsm.delta = 100;
   RtsiIndex index(config);
@@ -132,7 +132,7 @@ TEST(IntegrationTest, ConcurrentInsertQueryUpdateIsSane) {
 
 TEST(IntegrationTest, QueriesDuringMergeSeeAllStreams) {
   // Force large merges while a reader repeatedly checks that a sentinel
-  // set of streams stays visible (the mirror guarantee).
+  // set of streams stays visible (view-pin completeness).
   auto config = MergeHeavyConfig();
   config.lsm.delta = 400;
   RtsiIndex index(config);

@@ -7,7 +7,7 @@
 #include <thread>
 
 #include "common/rng.h"
-#include "lsm/mirror_set.h"
+#include "lsm/index_view.h"
 
 namespace rtsi::lsm {
 namespace {
@@ -27,21 +27,46 @@ LsmTree::Config SmallConfig(std::size_t delta = 100, double rho = 2.0) {
   return config;
 }
 
-TEST(MirrorSetTest, RegisterUnregister) {
-  MirrorSet mirrors;
-  auto component = std::make_shared<InvertedIndex>(1);
-  mirrors.Register(component);
-  EXPECT_EQ(mirrors.size(), 1u);
-  EXPECT_EQ(mirrors.GetAll().size(), 1u);
-  mirrors.Unregister(component.get());
-  EXPECT_EQ(mirrors.size(), 0u);
+TEST(IndexViewTest, EmptyViewPublishedAtBirth) {
+  LsmTree tree(SmallConfig());
+  const IndexViewPtr view = tree.PinView();
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->epoch, 0u);
+  EXPECT_TRUE(view->components.empty());
+  EXPECT_EQ(tree.live_views(), 1);
 }
 
-TEST(MirrorSetTest, UnregisterUnknownIsNoOp) {
-  MirrorSet mirrors;
-  InvertedIndex component(1);
-  mirrors.Unregister(&component);
-  EXPECT_EQ(mirrors.size(), 0u);
+TEST(IndexViewTest, PinnedViewSurvivesMergeAndRetiredIsFreed) {
+  LsmTree tree(SmallConfig(100, 2.0));
+  Timestamp t = 0;
+  for (int i = 0; i < 150; ++i) tree.AddPosting(i % 10, P(i, ++t, 1));
+  tree.MergeCascade(MergeHooks{});
+
+  // Pin the current view, then force another cascade that replaces its
+  // components. The pin must keep serving the old set unchanged. (Only
+  // raw pointers are noted here: a shared_ptr copy would itself keep the
+  // retired components alive and break the reclamation checks below.)
+  IndexViewPtr pinned = tree.PinView();
+  const std::size_t pinned_count = pinned->components.size();
+  ASSERT_GT(pinned_count, 0u);
+  const InvertedIndex* pinned_first = pinned->components.front().get();
+  const std::uint64_t pinned_epoch = pinned->epoch;
+  for (int i = 0; i < 150; ++i) tree.AddPosting(i % 10, P(i, ++t, 1));
+  tree.MergeCascade(MergeHooks{});
+
+  EXPECT_EQ(pinned->epoch, pinned_epoch);                    // Immutable.
+  EXPECT_EQ(pinned->components.size(), pinned_count);        // Same set.
+  EXPECT_EQ(pinned->components.front().get(), pinned_first);
+  EXPECT_GT(tree.PinView()->epoch, pinned_epoch);    // New view published.
+  // The old merge inputs are retired but alive: the pin references them.
+  EXPECT_GT(tree.retired_components(), 0u);
+  EXPECT_GT(tree.RetiredBytes(), 0u);
+
+  // Dropping the last pin frees them (no mirror-style leak).
+  pinned.reset();
+  EXPECT_EQ(tree.retired_components(), 0u);
+  EXPECT_EQ(tree.RetiredBytes(), 0u);
+  EXPECT_EQ(tree.live_views(), 1);  // Only the published view remains.
 }
 
 TEST(LsmTreeTest, PostingsAccumulateInL0) {
@@ -72,7 +97,9 @@ TEST(LsmTreeTest, MergeCascadeFreezesL0) {
   EXPECT_EQ(tree.l0_postings(), 0u);
   EXPECT_EQ(tree.num_levels(), 1u);
   EXPECT_EQ(tree.total_postings(), 150u);
-  EXPECT_EQ(tree.mirrors().size(), 0u);  // Mirrors cleared post-merge.
+  // Post-merge, nothing but the level residents is kept alive.
+  EXPECT_EQ(tree.retired_components(), 0u);
+  EXPECT_EQ(tree.PinView()->components.size(), 1u);
 
   const auto stats = tree.GetMergeStats();
   EXPECT_GE(stats.merges, 1u);

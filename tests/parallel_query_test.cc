@@ -317,7 +317,7 @@ TEST(ParallelQueryTest, QueryStatsStillPopulated) {
 
 // Inserts, async merge cascades, popularity updates and deletions racing
 // parallel queries. Asserts structural sanity of every answer; the real
-// assertion is a clean TSan run (tools/run_tsan.sh).
+// assertion is a clean TSan run (tools/run_sanitizers.sh tsan).
 TEST(ParallelQueryTest, ConcurrentStress) {
   auto config = ParallelConfig(4);
   config.lsm.delta = 500;

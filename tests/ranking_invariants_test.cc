@@ -161,12 +161,13 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RankingInvariants, ::testing::Range(1, 6));
 // per-component live-freshness ceilings must keep upper-bound pruning
 // lossless in exactly the regime that created them — streams re-inserting
 // long after their early postings sealed, queries racing async merge
-// cascades and served through mirrors. SetUseBound toggles pruning on the
-// one index so both walks see identical content; a pair is retried when a
-// merge published a new component set between its two queries (the
+// cascades and served through pinned views. SetUseBound toggles pruning
+// on the one index so both walks see identical content; a pair is retried
+// when a merge published a new view between its two queries (the
 // transient per-component partials of a multi-component stream
 // legitimately differ across the swap, so the comparison is only defined
-// at a fixed structure version).
+// at a fixed view epoch — equal epochs bracket an identical component
+// set).
 TEST(PrunedVsFullWalk, CeilingPruningLosslessAcrossMergeInterleavings) {
   for (int seed = 1; seed <= 3; ++seed) {
     auto config = SmallConfig();
@@ -185,12 +186,12 @@ TEST(PrunedVsFullWalk, CeilingPruningLosslessAcrossMergeInterleavings) {
           // Merges outpaced us; compare quiescent instead of spinning.
           index.WaitForMerges();
         }
-        const std::uint64_t version = index.tree().structure_version();
+        const std::uint64_t epoch = index.tree().epoch();
         index.SetUseBound(true);
         pruned = index.Query(q, k, t);
         index.SetUseBound(false);
         full = index.Query(q, k, t);
-        if (index.tree().structure_version() == version) break;
+        if (index.tree().epoch() == epoch) break;
       }
       ASSERT_EQ(pruned.size(), full.size()) << context;
       for (std::size_t i = 0; i < pruned.size(); ++i) {

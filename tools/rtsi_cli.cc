@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -148,6 +149,31 @@ int CmdStats(int argc, char** argv) {
   std::printf("  postings:     %zu (L0: %zu, levels: %zu)\n",
               index.tree().total_postings(), index.tree().l0_postings(),
               index.tree().num_levels());
+  // Published-view observability: the epoch counts structural changes
+  // since birth; components are grouped by level slot; pinned views and
+  // retired bytes expose what the refcount-as-mirror scheme holds alive.
+  {
+    const lsm::IndexViewPtr view = index.tree().PinView();
+    std::map<int, std::size_t> per_level;
+    for (const auto& component : view->components) {
+      ++per_level[component->level()];
+    }
+    std::string levels;
+    for (const auto& [level, count] : per_level) {
+      if (!levels.empty()) levels += ", ";
+      levels += "L" + std::to_string(level) + ":" + std::to_string(count);
+    }
+    std::printf("  view:         epoch %llu, %zu sealed components%s%s%s\n",
+                static_cast<unsigned long long>(view->epoch),
+                view->components.size(), levels.empty() ? "" : " (",
+                levels.c_str(), levels.empty() ? "" : ")");
+    std::printf("  live views:   %lld (1 = published only; more while "
+                "readers pin older epochs)\n",
+                static_cast<long long>(index.tree().live_views()));
+    std::printf("  retired:      %zu components, %.2f MB held for pins\n",
+                index.tree().retired_components(),
+                index.tree().RetiredBytes() / (1024.0 * 1024.0));
+  }
   std::printf("  streams:      %zu\n", index.stream_table().size());
   std::printf("  live table:   %zu streams, %zu entries\n",
               index.live_table().num_streams(),
