@@ -1,11 +1,92 @@
 // Figure 10: query cost versus the number of queries, RTSI vs LSII.
+//
+// Extended with the component-skipping A/B: every query count is measured
+// with the skip headers consulted (Bloom + summary bounds + admission
+// screen) and with them off (the PR-5 walk). The two passes must produce
+// bit-identical per-query results — skipping is a pure traversal
+// optimization — so each query's result checksum is audited against the
+// no-skip pass, and the folded checksums are emitted per row. Emits
+// BENCH_fig10_query.json so the sealed-phase read path has a tracked perf
+// trajectory.
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/clock.h"
+#include "common/latency_stats.h"
+#include "core/rtsi_index.h"
 #include "workload/driver.h"
 #include "workload/report.h"
+
+namespace {
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t ResultChecksum(
+    const std::vector<rtsi::core::ScoredStream>& results) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& r : results) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(r.score));
+    std::memcpy(&bits, &r.score, sizeof(bits));
+    h = Mix(h, r.stream);
+    h = Mix(h, bits);
+  }
+  return h;
+}
+
+struct Pass {
+  double mean_us = 0.0;
+  double total_us = 0.0;
+  std::uint64_t checksum = 0;
+  std::vector<std::uint64_t> per_query;
+  rtsi::core::QueryStats stats;  // summed over the pass
+};
+
+Pass MeasureRtsi(rtsi::core::RtsiIndex& index,
+                 const rtsi::workload::QueryGenConfig& query_config,
+                 std::size_t num_queries, int k, rtsi::Timestamp now) {
+  using namespace rtsi;
+  // Warm-up (scratch-pool growth, branch warm-up) outside the clock.
+  workload::QueryGenerator warm(query_config);
+  for (int w = 0; w < 50; ++w) index.Query(warm.Next(), k, now);
+
+  workload::QueryGenerator gen(query_config);
+  Pass pass;
+  pass.checksum = 1469598103934665603ull;
+  pass.per_query.reserve(num_queries);
+  LatencyStats lat;
+  Stopwatch watch;
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const auto q = gen.Next();
+    core::QueryStats qs;
+    watch.Restart();
+    const auto results = index.Query(q, k, now, &qs);
+    lat.Record(watch.ElapsedMicros());
+    const std::uint64_t qsum = ResultChecksum(results);
+    pass.per_query.push_back(qsum);
+    pass.checksum = Mix(pass.checksum, qsum);
+    pass.stats.components_visited += qs.components_visited;
+    pass.stats.components_pruned += qs.components_pruned;
+    pass.stats.components_skipped += qs.components_skipped;
+    pass.stats.bloom_false_positives += qs.bloom_false_positives;
+    pass.stats.candidates_screened += qs.candidates_screened;
+    pass.stats.candidates_scored += qs.candidates_scored;
+    pass.stats.postings_scanned += qs.postings_scanned;
+  }
+  pass.mean_us = lat.mean_micros();
+  pass.total_us = lat.sum_micros();
+  return pass;
+}
+
+}  // namespace
 
 int main() {
   using namespace rtsi;
@@ -14,35 +95,125 @@ int main() {
   const std::size_t init_streams = bench::Scaled(10000);
   const workload::SyntheticCorpus corpus(
       bench::DefaultCorpusConfig(init_streams));
+  const int k = 10;
 
   workload::ReportTable table(
-      "Figure 10: query cost vs #queries (" +
-          std::to_string(init_streams) + " streams, k=10)",
-      {"#queries", "RTSI total", "RTSI mean", "LSII total", "LSII mean"});
+      "Figure 10: query cost vs #queries (" + std::to_string(init_streams) +
+          " streams, k=10; skip = Bloom+summary headers)",
+      {"mix/#queries", "RTSI skip", "RTSI noskip", "gain", "LSII mean",
+       "skipped/visited", "screened", "match"});
 
-  // Build both indices once; sweep the query count.
-  auto rtsi_index = bench::MakeIndex("RTSI", bench::DefaultIndexConfig());
+  // Build both indices once; sweep the query count. The same RTSI index
+  // serves both sides of the A/B (queries are read-only; the toggle flips
+  // planner consultation only).
+  core::RtsiIndex rtsi_index(bench::DefaultIndexConfig());
   auto lsii_index = bench::MakeIndex("LSII", bench::DefaultIndexConfig());
   SimulatedClock clock_a, clock_b;
-  workload::InitializeIndex(*rtsi_index, corpus, 0, init_streams, clock_a);
+  workload::InitializeIndex(rtsi_index, corpus, 0, init_streams, clock_a);
   workload::InitializeIndex(*lsii_index, corpus, 0, init_streams, clock_b);
+  const std::size_t components = rtsi_index.tree().SealedSnapshot().size();
 
+  bench::JsonReport report("fig10_query");
+  report.Field("scale", bench::Scale());
+  report.Field("streams", static_cast<double>(init_streams));
+  report.Field("sealed_components", static_cast<double>(components));
+  report.Field("k", static_cast<double>(k));
+
+  // Two query mixes. "in_vocab" is the paper's fig-10 workload: every
+  // term exists somewhere, so sealed components are near-saturated and
+  // whole-component Bloom skips are rare — the win comes from the
+  // admission screen. "oov" doubles the query vocabulary (the ASR-noise
+  // regime: transcribed voice queries carry terms the corpus never
+  // produced), where the Bloom filter proves terms absent and skips
+  // components outright.
+  struct Mix {
+    const char* name;
+    double vocab_factor;
+  };
+  constexpr Mix kMixes[] = {{"in_vocab", 1.0}, {"oov", 2.0}};
+
+  bool all_match = true;
+  for (const Mix& mix : kMixes)
   for (const std::size_t base : {500, 1000, 2000, 4000}) {
     const std::size_t n = bench::Scaled(base);
-    workload::QueryGenerator gen_a(
-        bench::DefaultQueryConfig(corpus.vocab_size()));
-    workload::QueryGenerator gen_b(
-        bench::DefaultQueryConfig(corpus.vocab_size()));
-    const auto rtsi_stats =
-        workload::MeasureQueries(*rtsi_index, gen_a, n, 10, clock_a);
+    auto query_config = bench::DefaultQueryConfig(corpus.vocab_size());
+    query_config.vocab_size = static_cast<std::size_t>(
+        static_cast<double>(corpus.vocab_size()) * mix.vocab_factor);
+
+    rtsi_index.SetUseSkipHeader(true);
+    const Pass skip_on =
+        MeasureRtsi(rtsi_index, query_config, n, k, clock_a.Now());
+    rtsi_index.SetUseSkipHeader(false);
+    const Pass skip_off =
+        MeasureRtsi(rtsi_index, query_config, n, k, clock_a.Now());
+    rtsi_index.SetUseSkipHeader(true);
+
+    // Bit-identity audit: pinpoint the first diverging query.
+    bool match = skip_on.per_query.size() == skip_off.per_query.size();
+    for (std::size_t i = 0; match && i < skip_on.per_query.size(); ++i) {
+      if (skip_on.per_query[i] != skip_off.per_query[i]) {
+        std::fprintf(stderr,
+                     "DIVERGENCE queries=%zu query=%zu "
+                     "(skip=%016llx noskip=%016llx)\n",
+                     n, i,
+                     static_cast<unsigned long long>(skip_on.per_query[i]),
+                     static_cast<unsigned long long>(skip_off.per_query[i]));
+        match = false;
+      }
+    }
+    all_match = all_match && match;
+
+    workload::QueryGenerator lsii_gen(query_config);
     const auto lsii_stats =
-        workload::MeasureQueries(*lsii_index, gen_b, n, 10, clock_b);
-    table.AddRow({std::to_string(n),
-                  workload::FormatMicros(rtsi_stats.sum_micros()),
-                  workload::FormatMicros(rtsi_stats.mean_micros()),
-                  workload::FormatMicros(lsii_stats.sum_micros()),
-                  workload::FormatMicros(lsii_stats.mean_micros())});
+        workload::MeasureQueries(*lsii_index, lsii_gen, n, k, clock_b);
+
+    const double gain = skip_off.mean_us > 0.0
+                            ? (skip_off.mean_us - skip_on.mean_us) /
+                                  skip_off.mean_us
+                            : 0.0;
+    char checksum_hex[32];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                  static_cast<unsigned long long>(skip_on.checksum));
+    table.AddRow(
+        {std::string(mix.name) + "/" + std::to_string(n),
+         workload::FormatMicros(skip_on.mean_us),
+         workload::FormatMicros(skip_off.mean_us),
+         workload::FormatDouble(gain * 100.0, 1) + "%",
+         workload::FormatMicros(lsii_stats.mean_micros()),
+         std::to_string(skip_on.stats.components_skipped) + "/" +
+             std::to_string(skip_on.stats.components_visited),
+         std::to_string(skip_on.stats.candidates_screened),
+         match ? "ok" : "MISMATCH"});
+
+    auto& row = report.AddRow();
+    row.Field("mix", mix.name)
+        .Field("queries", static_cast<double>(n))
+        .Field("mean_us_skip", skip_on.mean_us)
+        .Field("mean_us_noskip", skip_off.mean_us)
+        .Field("total_us_skip", skip_on.total_us)
+        .Field("total_us_noskip", skip_off.total_us)
+        .Field("improvement", gain)
+        .Field("lsii_mean_us", lsii_stats.mean_micros())
+        .Field("components_visited",
+               static_cast<double>(skip_on.stats.components_visited))
+        .Field("components_pruned",
+               static_cast<double>(skip_on.stats.components_pruned))
+        .Field("components_skipped",
+               static_cast<double>(skip_on.stats.components_skipped))
+        .Field("bloom_false_positives",
+               static_cast<double>(skip_on.stats.bloom_false_positives))
+        .Field("candidates_screened",
+               static_cast<double>(skip_on.stats.candidates_screened))
+        .Field("candidates_scored",
+               static_cast<double>(skip_on.stats.candidates_scored))
+        .Field("checksum", checksum_hex)
+        .Field("results_match", match ? "yes" : "NO");
   }
   table.Print();
+  report.Write("BENCH_fig10_query.json");
+  if (!all_match) {
+    std::fprintf(stderr, "error: skip on/off results diverged\n");
+    return 1;
+  }
   return 0;
 }

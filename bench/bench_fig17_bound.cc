@@ -9,6 +9,11 @@
 // ceilings exist so that the sound mode prices in at ~the component-local
 // cost instead of the 2.5x regression a table-global freshness ceiling
 // caused; the "global/snap" column is that acceptance ratio.
+//
+// Skip headers (Bloom + summary bounds + admission screen) are on in
+// every bound mode and off in the nobound mode only as a side effect of
+// the screen being gated on use_bound; the per-mode skipped/visited/
+// screened counters land in BENCH_fig17_bound.json alongside latency.
 
 #include <string>
 
@@ -37,7 +42,7 @@ constexpr std::size_t kNumModes = sizeof(kModes) / sizeof(kModes[0]);
 
 struct Row {
   double mean_micros[kNumModes] = {};
-  std::size_t pruned_components[kNumModes] = {};
+  core::QueryStats stats[kNumModes] = {};  // summed over the pass
 };
 
 Row Run(std::size_t num_streams, std::size_t num_queries) {
@@ -56,17 +61,21 @@ Row Run(std::size_t num_streams, std::size_t num_queries) {
         bench::DefaultQueryConfig(corpus.vocab_size()));
     LatencyStats stats;
     Stopwatch watch;
-    std::size_t pruned = 0;
+    core::QueryStats& sum = row.stats[m];
     for (std::size_t i = 0; i < num_queries; ++i) {
       const auto q = gen.Next();
       core::QueryStats qs;
       watch.Restart();
       index.Query(q, 10, clock.Now(), &qs);
       stats.Record(watch.ElapsedMicros());
-      pruned += qs.components_pruned;
+      sum.components_visited += qs.components_visited;
+      sum.components_pruned += qs.components_pruned;
+      sum.components_skipped += qs.components_skipped;
+      sum.bloom_false_positives += qs.bloom_false_positives;
+      sum.candidates_screened += qs.candidates_screened;
+      sum.candidates_scored += qs.candidates_scored;
     }
     row.mean_micros[m] = stats.mean_micros();
-    row.pruned_components[m] = pruned;
   }
   return row;
 }
@@ -79,7 +88,13 @@ int main() {
       "Figure 17: query latency by bound mode (snapshot = stale "
       "component-local, globalpop = sound live ceilings)",
       {"#streams", "snapshot", "globalpop", "nobound", "global/snap",
-       "speedup vs nobound", "pruned (snap/global)"});
+       "speedup vs nobound", "pruned (snap/global)", "skipped/visited"});
+
+  bench::JsonReport report("fig17_bound");
+  report.Field("scale", bench::Scale());
+  report.Field("queries_per_point", static_cast<double>(num_queries));
+  report.Field("k", 10.0);
+
   for (const std::size_t base : {1000, 2000, 4000, 8000}) {
     const std::size_t n = bench::Scaled(base);
     const Row row = Run(n, num_queries);
@@ -91,9 +106,31 @@ int main() {
              "x",
          workload::FormatDouble(row.mean_micros[2] / row.mean_micros[1], 2) +
              "x",
-         std::to_string(row.pruned_components[0]) + "/" +
-             std::to_string(row.pruned_components[1])});
+         std::to_string(row.stats[0].components_pruned) + "/" +
+             std::to_string(row.stats[1].components_pruned),
+         std::to_string(row.stats[1].components_skipped) + "/" +
+             std::to_string(row.stats[1].components_visited)});
+
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      auto& json_row = report.AddRow();
+      json_row.Field("streams", static_cast<double>(n))
+          .Field("mode", kModes[m].name)
+          .Field("mean_us", row.mean_micros[m])
+          .Field("components_visited",
+                 static_cast<double>(row.stats[m].components_visited))
+          .Field("components_pruned",
+                 static_cast<double>(row.stats[m].components_pruned))
+          .Field("components_skipped",
+                 static_cast<double>(row.stats[m].components_skipped))
+          .Field("bloom_false_positives",
+                 static_cast<double>(row.stats[m].bloom_false_positives))
+          .Field("candidates_screened",
+                 static_cast<double>(row.stats[m].candidates_screened))
+          .Field("candidates_scored",
+                 static_cast<double>(row.stats[m].candidates_scored));
+    }
   }
   table.Print();
+  report.Write("BENCH_fig17_bound.json");
   return 0;
 }

@@ -3,6 +3,11 @@
 // The paper reports "maximal resident memory"; benches report both the
 // logical bytes tracked by each index (exact, comparable between RTSI and
 // LSII) and the process peak RSS from /proc/self/status (VmHWM).
+//
+// Bytes are charged per category so auxiliary structures (the sealed
+// components' skip headers) are observable separately from general index
+// storage; the category-less Add/Sub/bytes() overloads keep the original
+// single-counter behavior for existing callers.
 
 #ifndef RTSI_COMMON_MEMORY_TRACKER_H_
 #define RTSI_COMMON_MEMORY_TRACKER_H_
@@ -13,17 +18,32 @@
 
 namespace rtsi {
 
+/// What a tracked allocation pays for.
+enum class MemCategory : std::size_t {
+  kGeneral = 0,     // Postings, hash tables, everything uncategorized.
+  kSkipHeader = 1,  // Per-component term Bloom filters + bound summaries.
+};
+
+inline constexpr std::size_t kNumMemCategories = 2;
+
 /// A thread-safe byte counter owned by one index instance.
 class MemoryTracker {
  public:
-  MemoryTracker() : bytes_(0), peak_(0) {}
+  MemoryTracker() : total_(0), peak_(0) {
+    for (auto& c : by_category_) c.store(0, std::memory_order_relaxed);
+  }
 
   MemoryTracker(const MemoryTracker&) = delete;
   MemoryTracker& operator=(const MemoryTracker&) = delete;
 
-  void Add(std::size_t bytes) {
+  void Add(std::size_t bytes) { Add(MemCategory::kGeneral, bytes); }
+  void Sub(std::size_t bytes) { Sub(MemCategory::kGeneral, bytes); }
+
+  void Add(MemCategory category, std::size_t bytes) {
+    by_category_[static_cast<std::size_t>(category)].fetch_add(
+        bytes, std::memory_order_relaxed);
     const std::size_t now =
-        bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+        total_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
     // Racy max update: fine for statistics.
     std::size_t prev = peak_.load(std::memory_order_relaxed);
     while (now > prev &&
@@ -32,17 +52,29 @@ class MemoryTracker {
     }
   }
 
-  void Sub(std::size_t bytes) {
-    bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  void Sub(MemCategory category, std::size_t bytes) {
+    by_category_[static_cast<std::size_t>(category)].fetch_sub(
+        bytes, std::memory_order_relaxed);
+    total_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
-  std::size_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  /// Total bytes across all categories.
+  std::size_t bytes() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t bytes(MemCategory category) const {
+    return by_category_[static_cast<std::size_t>(category)].load(
+        std::memory_order_relaxed);
+  }
+
   std::size_t peak_bytes() const {
     return peak_.load(std::memory_order_relaxed);
   }
 
  private:
-  std::atomic<std::size_t> bytes_;
+  std::atomic<std::size_t> by_category_[kNumMemCategories];
+  std::atomic<std::size_t> total_;
   std::atomic<std::size_t> peak_;
 };
 

@@ -38,6 +38,19 @@ struct RtsiConfig {
   double freshness_tau_seconds = 6.0 * 3600.0;  // Exponential decay scale.
   bool use_bound = true;             // Top-k early termination (Figure 17).
   BoundMode bound_mode = BoundMode::kSnapshot;
+
+  /// Consult the sealed components' skip headers during query planning:
+  /// the per-component term Bloom filter proves query terms absent
+  /// (skipping the component without touching its posting maps), the
+  /// per-term summaries replace the hash-map Bounds() lookups, and — with
+  /// use_bound on — candidates are admission-screened against the current
+  /// top-k threshold before full scoring. Screening drops a candidate
+  /// only when a sound upper bound of its score (live popularity, live
+  /// freshness, summary-bounded relevance) is strictly below the k-th
+  /// score, so results are bit-identical with the flag on or off in every
+  /// bound mode (see DESIGN.md §6f). Headers are always built; this only
+  /// toggles consulting them (off = the PR 5 walk, kept for A/B benches).
+  bool use_skip_header = true;
   int default_k = 10;
 
   /// Run merge cascades on a background thread instead of the inserting

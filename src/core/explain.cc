@@ -42,7 +42,9 @@ std::string QueryExplanation::ToString() const {
                   "component L%d (%zu postings): bound=%.4f %s%s\n",
                   component.level, component.num_postings,
                   component.upper_bound,
-                  component.visited ? "visited" : "PRUNED",
+                  component.visited   ? "visited"
+                  : component.skipped ? "SKIPPED (no query term)"
+                                      : "PRUNED",
                   component.terminated_early ? " (early termination)" : "");
     out += buf;
     if (component.visited) {

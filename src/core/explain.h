@@ -37,6 +37,7 @@ struct ComponentExplanation {
   std::size_t num_postings = 0;
   double upper_bound = 0.0;
   bool visited = false;          // False = pruned by the bound.
+  bool skipped = false;          // Skip header proved every term absent.
   bool terminated_early = false; // Visited but cut off by the threshold.
   std::size_t postings_yielded = 0;
 };

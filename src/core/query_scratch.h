@@ -56,12 +56,23 @@ struct QueryScratch {
   // Deliberately NOT reset by Clear(): the epoch discipline makes stale
   // stamps harmless and re-zeroing the array per query would defeat it.
   std::vector<index::Posting> round;
+  // Per round posting, the query-term index whose list yielded it
+  // (parallel to `round`; filled by the term-reporting NextRound).
+  std::vector<std::uint32_t> round_terms;
   std::unordered_set<StreamId> component_seen;
   std::vector<std::uint32_t> seen_stamps;
   std::uint32_t seen_epoch = 0;
 
   // Per-component bound inputs.
   std::vector<PerTermBound> per_term;
+
+  // Admission-screen ingredients from the skip-header summaries:
+  // screen_tfidf is component-major with stride q.size(); entry
+  // [c * nq + i] bounds the tf-idf mass the terms *other than* i can
+  // contribute inside component c. screen_own is the per-component
+  // working buffer of own-term maxima.
+  std::vector<double> screen_tfidf;
+  std::vector<double> screen_own;
 
   void Clear() {
     q.clear();
@@ -73,8 +84,11 @@ struct QueryScratch {
     l0_streams.clear();
     table_matches.clear();
     round.clear();
+    round_terms.clear();
     component_seen.clear();
     per_term.clear();
+    screen_tfidf.clear();
+    screen_own.clear();
     // seen_stamps/seen_epoch intentionally survive (see above).
   }
 };

@@ -58,14 +58,28 @@ ComponentTraversal::ComponentTraversal(const index::InvertedIndex& component,
 }
 
 bool ComponentTraversal::NextRound(std::vector<Posting>& out) {
+  return NextRoundImpl(out, nullptr);
+}
+
+bool ComponentTraversal::NextRound(std::vector<Posting>& out,
+                                   std::vector<std::uint32_t>& term_of) {
+  return NextRoundImpl(out, &term_of);
+}
+
+bool ComponentTraversal::NextRoundImpl(std::vector<Posting>& out,
+                                       std::vector<std::uint32_t>* term_of) {
   bool yielded = false;
-  for (TermCursor& cursor : cursors_) {
+  for (std::size_t ti = 0; ti < cursors_.size(); ++ti) {
+    TermCursor& cursor = cursors_[ti];
     if (cursor.exhausted) continue;
     const std::size_t n = cursor.view->size();
     for (int key = 0; key < index::kNumSortKeys; ++key) {
       std::size_t& pos = cursor.pos[key];
       if (pos < n) {
         out.push_back(cursor.view->At(static_cast<SortKey>(key), pos));
+        if (term_of != nullptr) {
+          term_of->push_back(static_cast<std::uint32_t>(ti));
+        }
         ++pos;
         ++postings_yielded_;
         yielded = true;

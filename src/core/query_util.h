@@ -52,6 +52,13 @@ class ComponentTraversal {
   /// Returns false when every term is exhausted (nothing appended).
   bool NextRound(std::vector<index::Posting>& out);
 
+  /// As above; additionally appends, per appended posting, the index into
+  /// the constructor's `terms` of the term whose list yielded it, so the
+  /// caller can start candidate scoring from the discovering term's
+  /// aggregate without re-deriving it.
+  bool NextRound(std::vector<index::Posting>& out,
+                 std::vector<std::uint32_t>& term_of);
+
   /// Upper bound on the score of all unchecked postings, from the current
   /// cursor values. `idfs` aligns with the constructor's `terms`;
   /// `frsh_ceiling` is the component's live-freshness ceiling (see
@@ -73,6 +80,9 @@ class ComponentTraversal {
     std::size_t pos[index::kNumSortKeys] = {0, 0, 0};
     bool exhausted = false;
   };
+
+  bool NextRoundImpl(std::vector<index::Posting>& out,
+                     std::vector<std::uint32_t>* term_of);
 
   std::vector<TermCursor> cursors_;
   std::size_t postings_yielded_ = 0;

@@ -58,6 +58,10 @@ void RtsiIndex::SetUseBound(bool use_bound) {
   config_.use_bound = use_bound;
 }
 
+void RtsiIndex::SetUseSkipHeader(bool use_skip_header) {
+  config_.use_skip_header = use_skip_header;
+}
+
 void RtsiIndex::WaitForMerges() {
   if (merge_executor_ != nullptr) merge_executor_->Wait();
 }
@@ -413,19 +417,53 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
     Timestamp frsh_ceiling;  // Live-freshness ceiling captured at ranking
                              // time (same capture-once semantics as
                              // max_pop, so all workers agree).
-    std::size_t order;  // Snapshot position: deterministic sort tie-break.
+    double rel_total;   // Screen: bound on this component's rel part.
+    std::size_t order;  // Snapshot position: deterministic sort tie-break
+                        // and the component's screen_tfidf row.
     std::size_t explain_slot;
+    bool screen;        // Header summaries available for screening.
   };
+  // Planner over the pinned view. With a skip header the per-term lookups
+  // go through the Bloom filter + summary array instead of the posting
+  // hash maps; a component whose header proves every query term absent is
+  // dropped here without ever constructing a traversal. Summary bounds
+  // are >= the posting-map bounds by construction (the aggregated
+  // per-stream tf maximum), so switching lookups never tightens a bound
+  // — pruning stays lossless.
+  const bool consult_headers = config_.use_skip_header;
+  std::vector<double>& screen_tfidf = scratch.screen_tfidf;
+  screen_tfidf.assign(snapshot.size() * nq, 0.0);
+  std::vector<double>& screen_own = scratch.screen_own;
   std::vector<RankedComponent> ranked;
   ranked.reserve(snapshot.size());
   std::vector<PerTermBound>& per_term = scratch.per_term;
   for (std::size_t ci = 0; ci < snapshot.size(); ++ci) {
     const auto& component = snapshot[ci];
+    const index::SkipHeader* header =
+        consult_headers ? component->skip_header() : nullptr;
     per_term.assign(nq, PerTermBound{});
-    for (std::size_t i = 0; i < nq; ++i) {
-      per_term[i].bounds = component->Bounds(q[i]);
-      per_term[i].idf = idfs[i];
-      per_term[i].tf_correction = 0;  // Consolidation invariant.
+    bool any_present = false;
+    if (header != nullptr) {
+      for (std::size_t i = 0; i < nq; ++i) {
+        per_term[i].idf = idfs[i];
+        per_term[i].tf_correction = 0;  // Consolidation invariant.
+        if (!header->MayContain(q[i])) continue;
+        const index::TermSummary* s = header->Find(q[i]);
+        if (s == nullptr) {
+          ++qs.bloom_false_positives;  // Cost: one binary search. Sound.
+          continue;
+        }
+        per_term[i].bounds =
+            index::TermBounds{s->max_pop, s->max_frsh, s->max_tf, true};
+        any_present = true;
+      }
+    } else {
+      for (std::size_t i = 0; i < nq; ++i) {
+        per_term[i].bounds = component->Bounds(q[i]);
+        per_term[i].idf = idfs[i];
+        per_term[i].tf_correction = 0;  // Consolidation invariant.
+        any_present = any_present || per_term[i].bounds.present;
+      }
     }
     // Per-component ceiling: only streams resident here can have raised
     // it, so it is far tighter than the table-global max_frsh() — which
@@ -442,12 +480,47 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
       ce.level = component->level();
       ce.num_postings = component->num_postings();
       ce.upper_bound = bound;
+      ce.skipped = header != nullptr && !any_present;
       slot = explain->components.size();
       explain->components.push_back(ce);
     }
-    if (bound > 0.0) {
-      ranked.push_back({component.get(), bound, frsh_ceiling, ci, slot});
+    if (header != nullptr && !any_present) {
+      // The Bloom filter *proved* every query term absent (a summary miss
+      // after a positive filter is counted above, not here): the
+      // component is skipped without touching its posting maps.
+      ++qs.components_skipped;
+      continue;
     }
+    if (!(bound > 0.0)) continue;
+    double rel_total = 0.0;
+    if (header != nullptr) {
+      // Admission-screen ingredients. own[i] bounds term i's tf-idf
+      // contribution inside this component; the row of screen_tfidf
+      // holds, per term, the mass the *other* terms can add (direct
+      // ascending-order sums, matching the scoring loop's accumulation
+      // order so the bound dominates the actual sum even under floating-
+      // point rounding — a tiny slack at the compare covers the rest).
+      screen_own.assign(nq, 0.0);
+      for (std::size_t i = 0; i < nq; ++i) {
+        if (per_term[i].bounds.present) {
+          screen_own[i] = scorer_.TermTfIdf(per_term[i].bounds.max_tf,
+                                            idfs[i]);
+        }
+      }
+      double sum_own = 0.0;
+      for (std::size_t i = 0; i < nq; ++i) sum_own += screen_own[i];
+      double* other = screen_tfidf.data() + ci * nq;
+      for (std::size_t i = 0; i < nq; ++i) {
+        double o = 0.0;
+        for (std::size_t j = 0; j < nq; ++j) {
+          if (j != i) o += screen_own[j];
+        }
+        other[i] = o;
+      }
+      rel_total = scorer_.RelScore(sum_own, num_terms);
+    }
+    ranked.push_back({component.get(), bound, frsh_ceiling, rel_total, ci,
+                      slot, header != nullptr});
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const RankedComponent& a, const RankedComponent& b) {
@@ -455,9 +528,24 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
               return a.order < b.order;
             });
 
+  // Admission screen (both paths): before a candidate pays for its
+  // random-access term lookups, compare the current k-th score against a
+  // sound upper bound built from its *live* popularity and freshness
+  // (one stream-table read, needed for scoring anyway) and the header
+  // summaries' relevance ceiling. The bound dominates the candidate's
+  // exact score in every bound mode — live values are exact, the rel
+  // ceiling only over-estimates — so a screened candidate could never
+  // have entered the final top-k: results are bit-identical with the
+  // screen on or off (DESIGN.md §6f). The slack absorbs the different
+  // floating-point summation order of bound vs exact relevance.
+  constexpr double kScreenSlack = 1e-9;
+  const bool screen_base =
+      config_.use_bound && consult_headers && explain == nullptr;
+
   const StreamId max_stream = streams_.max_stream_id();
   if (!use_executor) {
     std::vector<Posting>& round = scratch.round;
+    std::vector<std::uint32_t>& round_terms = scratch.round_terms;
     StreamSeenFilter seen(scratch, max_stream);
     for (std::size_t c = 0; c < ranked.size(); ++c) {
       // Strictly-below pruning: a dropped candidate can never re-enter
@@ -472,17 +560,76 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
       if (explain != nullptr) {
         explain->components[ranked[c].explain_slot].visited = true;
       }
+      const bool screen = screen_base && ranked[c].screen;
+      const double rel_total = ranked[c].rel_total;
+      const double* other_tfidf =
+          screen_tfidf.data() + ranked[c].order * nq;
       ComponentTraversal traversal(*ranked[c].component, q);
       seen.NextComponent();
-      while (traversal.NextRound(round)) {
-        for (const Posting& p : round) {
+      while (traversal.NextRound(round, round_terms)) {
+        for (std::size_t ri = 0; ri < round.size(); ++ri) {
+          const Posting& p = round[ri];
           if (!seen.Insert(p.stream)) continue;
           if (scored.count(p.stream) > 0) continue;
-          // Resolve every query term's posting for this stream within
-          // this component. Random-access them.
+          const std::size_t ti = round_terms[ri];
+          if (explain == nullptr) {
+            StreamInfo info;
+            if (!streams_.Get(p.stream, info)) continue;  // Deleted.
+            if (filter.live_only && !info.live) continue;
+            if (info.frsh < filter.min_frsh) continue;
+            const double pop_score =
+                scorer_.PopScore(info.pop_count, max_pop);
+            const double frsh_score = scorer_.FrshScore(info.frsh, now);
+            if (screen &&
+                heap.KthScore() >
+                    scorer_.Combine(pop_score, rel_total, frsh_score) +
+                        kScreenSlack) {
+              ++qs.candidates_screened;  // No term lookup was paid.
+              continue;
+            }
+            // The discovering term's aggregate first (one lookup the old
+            // path repeated), then a tighter screen with its actual tf
+            // before paying for the remaining terms.
+            Posting agg;
+            if (!traversal.Find(ti, p.stream, agg)) continue;
+            double tfidf_sum = scorer_.TermTfIdf(agg.tf, idfs[ti]);
+            if (screen && nq > 1 &&
+                heap.KthScore() >
+                    scorer_.Combine(
+                        pop_score,
+                        scorer_.RelScore(tfidf_sum + other_tfidf[ti],
+                                         num_terms),
+                        frsh_score) +
+                        kScreenSlack) {
+              ++qs.candidates_screened;
+              continue;
+            }
+            for (std::size_t i = 0; i < nq; ++i) {
+              if (i == ti) continue;
+              Posting found;
+              if (traversal.Find(i, p.stream, found)) {
+                tfidf_sum += scorer_.TermTfIdf(found.tf, idfs[i]);
+              }
+            }
+            const double rel_score =
+                scorer_.RelScore(tfidf_sum, num_terms);
+            offer(p.stream,
+                  scorer_.Combine(pop_score, rel_score, frsh_score));
+            ++qs.candidates_scored;
+            continue;
+          }
+          // Explain path: full scoring with per-term breakdowns; same
+          // discovering-term-first accumulation order as the fast path
+          // so explained totals match Query() bit-for-bit.
           double tfidf_sum = 0.0;
           tfs.assign(nq, 0);
+          Posting agg;
+          if (traversal.Find(ti, p.stream, agg)) {
+            tfs[ti] = agg.tf;
+            tfidf_sum = scorer_.TermTfIdf(agg.tf, idfs[ti]);
+          }
           for (std::size_t i = 0; i < nq; ++i) {
+            if (i == ti) continue;
             Posting found;
             if (traversal.Find(i, p.stream, found)) {
               tfs[i] = found.tf;
@@ -495,6 +642,7 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
         }
         qs.postings_scanned += round.size();
         round.clear();
+        round_terms.clear();
         if (config_.use_bound && heap.full()) {
           const double tau = traversal.Threshold(
               scorer_, idfs, now, max_pop, ranked[c].frsh_ceiling,
@@ -561,6 +709,7 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
     std::atomic<std::size_t> next_unit{0};
     const auto run_worker = [&](QueryScratch& ws, QueryStats& wqs) {
       std::vector<Posting>& round = ws.round;
+      std::vector<std::uint32_t>& round_terms = ws.round_terms;
       StreamSeenFilter seen(ws, max_stream);
       while (true) {
         const std::size_t u =
@@ -577,9 +726,14 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
           continue;
         }
         if (unit.slice == 0) ++wqs.components_visited;
+        const bool screen = screen_base && ranked[c].screen;
+        const double rel_total = ranked[c].rel_total;
+        const double* other_tfidf =
+            screen_tfidf.data() + ranked[c].order * nq;
         ComponentTraversal traversal(*ranked[c].component, q);
         seen.NextComponent();
         round.clear();
+        round_terms.clear();
         bool cut_off = false;
         // The per-round Threshold() bound is exp()-heavy and a round
         // yields only ~3 postings per term, so checking every round
@@ -589,32 +743,69 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
         // the result set.
         constexpr std::uint32_t kBoundCheckInterval = 8;
         std::uint32_t rounds_since_check = 0;
-        while (!cut_off && traversal.NextRound(round)) {
-          for (const Posting& p : round) {
+        while (!cut_off && traversal.NextRound(round, round_terms)) {
+          for (std::size_t ri = 0; ri < round.size(); ++ri) {
+            const Posting& p = round[ri];
             if (unit.num_slices > 1 &&
                 p.stream % unit.num_slices != unit.slice) {
               continue;
             }
             if (!seen.Insert(p.stream)) continue;
             if (scored.count(p.stream) > 0) continue;
-            double tfidf_sum = 0.0;
+            StreamInfo info;
+            if (!streams_.Get(p.stream, info)) continue;  // Deleted.
+            if (filter.live_only && !info.live) continue;
+            if (info.frsh < filter.min_frsh) continue;
+            const double pop_score =
+                scorer_.PopScore(info.pop_count, max_pop);
+            const double frsh_score = scorer_.FrshScore(info.frsh, now);
+            // The screen prunes against the *published* threshold, which
+            // only ever rises; a screened candidate is strictly below a
+            // lower bound of the final k-th score, so worker timing can
+            // not change the result set (same argument as the bound
+            // pruning above).
+            if (screen &&
+                shared.ThresholdScore() >
+                    scorer_.Combine(pop_score, rel_total, frsh_score) +
+                        kScreenSlack) {
+              ++wqs.candidates_screened;
+              continue;
+            }
+            const std::size_t ti = round_terms[ri];
+            Posting agg;
+            if (!traversal.Find(ti, p.stream, agg)) continue;
+            double tfidf_sum = scorer_.TermTfIdf(agg.tf, idfs[ti]);
+            if (screen && nq > 1 &&
+                shared.ThresholdScore() >
+                    scorer_.Combine(
+                        pop_score,
+                        scorer_.RelScore(tfidf_sum + other_tfidf[ti],
+                                         num_terms),
+                        frsh_score) +
+                        kScreenSlack) {
+              ++wqs.candidates_screened;
+              continue;
+            }
             for (std::size_t i = 0; i < nq; ++i) {
+              if (i == ti) continue;
               Posting found;
               if (traversal.Find(i, p.stream, found)) {
                 tfidf_sum += scorer_.TermTfIdf(found.tf, idfs[i]);
               }
             }
-            PartScores parts;
-            if (compute_score(p.stream, tfidf_sum, parts)) {
-              shared.Offer(p.stream, parts.total);
-              ++wqs.candidates_scored;
-            }
+            const double rel_score =
+                scorer_.RelScore(tfidf_sum, num_terms);
+            shared.Offer(p.stream,
+                         scorer_.Combine(pop_score, rel_score,
+                                         frsh_score));
+            ++wqs.candidates_scored;
           }
           // Slices > 0 re-scan postings that slice 0 also walks; count
           // only slice 0 so the stat keeps its sequential meaning
           // (distinct postings the traversal reached).
           if (unit.slice == 0) wqs.postings_scanned += round.size();
           round.clear();
+          round_terms.clear();
           if (config_.use_bound &&
               ++rounds_since_check >= kBoundCheckInterval) {
             rounds_since_check = 0;
@@ -652,6 +843,7 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
       qs.components_pruned += ws.components_pruned;
       qs.postings_scanned += ws.postings_scanned;
       qs.candidates_scored += ws.candidates_scored;
+      qs.candidates_screened += ws.candidates_screened;
       qs.terminated_early = qs.terminated_early || ws.terminated_early;
     }
   }
@@ -665,6 +857,14 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
       if (it != breakdowns.end()) explain->results.push_back(it->second);
     }
   }
+  // Lifetime counters for rtsi_cli stats (relaxed: statistics only).
+  cum_visited_.fetch_add(qs.components_visited, std::memory_order_relaxed);
+  cum_pruned_.fetch_add(qs.components_pruned, std::memory_order_relaxed);
+  cum_skipped_.fetch_add(qs.components_skipped, std::memory_order_relaxed);
+  cum_bloom_fp_.fetch_add(qs.bloom_false_positives,
+                          std::memory_order_relaxed);
+  cum_screened_.fetch_add(qs.candidates_screened,
+                          std::memory_order_relaxed);
   if (stats != nullptr) *stats = qs;
   return results;
 }

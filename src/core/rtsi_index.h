@@ -81,6 +81,13 @@ class RtsiIndex : public SearchIndex {
   /// safe concurrently with queries.
   void SetUseBound(bool use_bound);
 
+  /// Toggles skip-header consultation (RtsiConfig::use_skip_header): the
+  /// per-component term Bloom filter, summary-based bounds, and the
+  /// candidate admission screen. Results are bit-identical either way
+  /// (see DESIGN.md §6f); benches A/B the two settings. NOT safe
+  /// concurrently with queries.
+  void SetUseSkipHeader(bool use_skip_header);
+
   // SearchIndex:
   void InsertWindow(StreamId stream, Timestamp now,
                     const std::vector<TermCount>& terms, bool live) override;
@@ -114,6 +121,27 @@ class RtsiIndex : public SearchIndex {
   const RtsiConfig& config() const { return config_; }
   lsm::MergeStats GetMergeStats() const { return tree_.GetMergeStats(); }
 
+  /// Cumulative skip-planner counters across the index's lifetime
+  /// (rtsi_cli stats; monotone, updated once per query).
+  struct SkipCounters {
+    std::uint64_t components_visited = 0;
+    std::uint64_t components_pruned = 0;
+    std::uint64_t components_skipped = 0;
+    std::uint64_t bloom_false_positives = 0;
+    std::uint64_t candidates_screened = 0;
+  };
+  SkipCounters GetSkipCounters() const {
+    SkipCounters c;
+    c.components_visited = cum_visited_.load(std::memory_order_relaxed);
+    c.components_pruned = cum_pruned_.load(std::memory_order_relaxed);
+    c.components_skipped = cum_skipped_.load(std::memory_order_relaxed);
+    c.bloom_false_positives =
+        cum_bloom_fp_.load(std::memory_order_relaxed);
+    c.candidates_screened =
+        cum_screened_.load(std::memory_order_relaxed);
+    return c;
+  }
+
   // Mutable access for the snapshot-restore path only
   // (storage/snapshot.h); not part of the public indexing API.
   lsm::LsmTree& mutable_tree() { return tree_; }
@@ -144,6 +172,12 @@ class RtsiIndex : public SearchIndex {
   std::mutex pending_mu_;
   std::unordered_set<StreamId> pending_finished_;
   std::atomic<bool> merge_scheduled_{false};
+  // Lifetime skip-planner counters (relaxed: statistics only).
+  std::atomic<std::uint64_t> cum_visited_{0};
+  std::atomic<std::uint64_t> cum_pruned_{0};
+  std::atomic<std::uint64_t> cum_skipped_{0};
+  std::atomic<std::uint64_t> cum_bloom_fp_{0};
+  std::atomic<std::uint64_t> cum_screened_{0};
   // Recycled query buffers; queries lease one scratch per executing
   // thread so the scoring hot path never allocates in steady state.
   mutable ScratchPool scratch_pool_;

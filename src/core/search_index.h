@@ -24,9 +24,12 @@ struct ScoredStream {
 /// Per-query diagnostics.
 struct QueryStats {
   std::size_t components_visited = 0;
-  std::size_t components_pruned = 0;
+  std::size_t components_pruned = 0;   // Dropped by the theta bound walk.
+  std::size_t components_skipped = 0;  // Skip header proved terms absent.
+  std::size_t bloom_false_positives = 0;
   std::size_t postings_scanned = 0;
   std::size_t candidates_scored = 0;
+  std::size_t candidates_screened = 0;  // Dropped by the admission screen.
   bool terminated_early = false;
 };
 

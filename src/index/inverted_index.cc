@@ -74,6 +74,64 @@ void InvertedIndex::CompressAll() {
   compressed_ = true;
 }
 
+void InvertedIndex::BuildSkipHeader() {
+  std::vector<TermSummary> summaries;
+  summaries.reserve(num_terms());
+  if (compressed_) {
+    // Compressed storage keeps exact per-term maxima uncompressed. Merge
+    // outputs are consolidated (one aggregated posting per stream), so
+    // df == postings and the stored max_tf already is the aggregated
+    // per-stream maximum.
+    for (const auto& [term, compressed] : compressed_terms_) {
+      TermSummary s;
+      s.term = term;
+      s.max_pop = compressed.max_pop();
+      s.max_frsh = compressed.max_frsh();
+      s.max_tf = compressed.max_tf();
+      s.df = static_cast<std::uint32_t>(compressed.size());
+      s.postings = static_cast<std::uint32_t>(compressed.size());
+      summaries.push_back(s);
+    }
+  } else {
+    SealAll();  // Frozen-L0 path; idempotent when already sealed.
+    for (const auto& [term, postings] : terms_) {
+      TermSummary s;
+      s.term = term;
+      s.max_pop = postings.max_pop();
+      s.max_frsh = postings.max_frsh();
+      // The aggregated per-stream tf maximum, not the per-posting one: a
+      // frozen L0 component may store several windows of one stream, and
+      // the traversal scores their folded sum.
+      TermFreq max_agg_tf = 0;
+      const auto& aggregates = postings.stream_aggregates();
+      for (const auto& p : aggregates) {
+        if (p.tf > max_agg_tf) max_agg_tf = p.tf;
+      }
+      s.max_tf = max_agg_tf;
+      s.df = static_cast<std::uint32_t>(aggregates.size());
+      s.postings = static_cast<std::uint32_t>(postings.size());
+      summaries.push_back(s);
+    }
+  }
+  skip_header_ =
+      std::make_unique<SkipHeader>(SkipHeader::Build(std::move(summaries)));
+}
+
+void InvertedIndex::AdoptSkipHeader(SkipHeader header) {
+  skip_header_ = std::make_unique<SkipHeader>(std::move(header));
+}
+
+void InvertedIndex::AttachSkipHeaderGauge(
+    std::shared_ptr<MemoryTracker> tracker) {
+  skip_charge_.reset();  // Release any previous charge first.
+  if (tracker == nullptr || skip_header_ == nullptr) return;
+  auto charge = std::make_unique<SkipHeaderCharge>();
+  charge->tracker = std::move(tracker);
+  charge->bytes = skip_header_->MemoryBytes();
+  charge->tracker->Add(MemCategory::kSkipHeader, charge->bytes);
+  skip_charge_ = std::move(charge);
+}
+
 std::unordered_map<TermId, TermPostings> InvertedIndex::TakeTerms() {
   assert(!compressed_);
   std::unordered_map<TermId, TermPostings> out;
@@ -97,6 +155,7 @@ std::size_t InvertedIndex::MemoryBytes() const {
       bytes += sizeof(term) + postings.MemoryBytes();
     }
   }
+  if (skip_header_ != nullptr) bytes += skip_header_->MemoryBytes();
   return bytes;
 }
 

@@ -9,12 +9,15 @@
 #define RTSI_INDEX_INVERTED_INDEX_H_
 
 #include <cstddef>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
+#include "common/memory_tracker.h"
 #include "index/compressed_postings.h"
 #include "index/freshness_ceiling.h"
 #include "index/posting.h"
+#include "index/skip_header.h"
 #include "index/term_postings.h"
 
 namespace rtsi::index {
@@ -122,6 +125,26 @@ class InvertedIndex {
   /// Add/Put, survives compression).
   Timestamp max_stored_frsh() const { return max_stored_frsh_; }
 
+  /// Builds the immutable skip header (term Bloom filter + per-term bound
+  /// summaries) from the current term set. Called once when the component
+  /// seals (FreezeL0 / merge output / snapshot restore of a pre-v4 file);
+  /// seals any still-unsealed plain lists first so the per-stream
+  /// aggregates exist. Replaces any previous header.
+  void BuildSkipHeader();
+
+  /// Installs a header restored bit-exactly from a v4 snapshot.
+  void AdoptSkipHeader(SkipHeader header);
+
+  /// The component's skip header, or nullptr before BuildSkipHeader().
+  const SkipHeader* skip_header() const { return skip_header_.get(); }
+
+  /// Charges the header's bytes to `tracker`'s kSkipHeader category and
+  /// releases them when the component is destroyed. The tracker is kept
+  /// alive by the shared_ptr, so retirement after the owning tree is gone
+  /// still balances the category to zero (same pattern as the LSM view
+  /// gauge). Re-attaching replaces the previous charge.
+  void AttachSkipHeaderGauge(std::shared_ptr<MemoryTracker> tracker);
+
   std::size_t num_terms() const {
     return compressed_ ? compressed_terms_.size() : terms_.size();
   }
@@ -152,6 +175,16 @@ class InvertedIndex {
   }
 
  private:
+  // RAII release of the kSkipHeader byte charge; owns a tracker reference
+  // so the release outlives the LSM tree (retired components drain late).
+  struct SkipHeaderCharge {
+    std::shared_ptr<MemoryTracker> tracker;
+    std::size_t bytes = 0;
+    ~SkipHeaderCharge() {
+      if (tracker != nullptr) tracker->Sub(MemCategory::kSkipHeader, bytes);
+    }
+  };
+
   int level_;
   bool compressed_ = false;
   std::size_t num_postings_ = 0;
@@ -160,6 +193,8 @@ class InvertedIndex {
   FreshnessCeilingPtr ceiling_;
   std::unordered_map<TermId, TermPostings> terms_;
   std::unordered_map<TermId, CompressedTermPostings> compressed_terms_;
+  std::unique_ptr<SkipHeader> skip_header_;
+  std::unique_ptr<SkipHeaderCharge> skip_charge_;
 };
 
 }  // namespace rtsi::index

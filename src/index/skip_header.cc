@@ -1,0 +1,177 @@
+#include "index/skip_header.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/varint.h"
+
+namespace rtsi::index {
+namespace {
+
+// Finalizer from splitmix64: full-avalanche 64-bit mix, so the high bits
+// (block selection) and low bits (in-block probes) are independent.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// One odd salt per block word; (h * salt) >> 58 yields the bit index.
+constexpr std::uint64_t kSalts[SplitBlockBloom::kWordsPerBlock] = {
+    0x47b6137b44974d91ull, 0x8824ad5ba2b7289dull,
+    0x705495c72df1424bull, 0x9efc49475c6bfb31ull,
+    0x5c6bfb31705495c7ull, 0x2df1424b9efc4947ull,
+    0x44974d918824ad5bull, 0xa2b7289d47b6137bull,
+};
+
+constexpr std::size_t kBitsPerKey = 10;
+
+}  // namespace
+
+void SplitBlockBloom::Reset(std::size_t num_keys) {
+  const std::size_t bits = num_keys * kBitsPerKey;
+  std::size_t blocks = (bits + kWordsPerBlock * 64 - 1) / (kWordsPerBlock * 64);
+  if (blocks == 0) blocks = 1;
+  words_.assign(blocks * kWordsPerBlock, 0);
+}
+
+bool SplitBlockBloom::MayContain(TermId key) const {
+  if (words_.empty()) return false;
+  const std::uint64_t h = Mix64(key);
+  // Multiplicative range reduction of the high half onto [0, num_blocks).
+  const std::size_t block = ((h >> 32) * num_blocks()) >> 32;
+  const std::uint64_t* w = words_.data() + block * kWordsPerBlock;
+  for (std::size_t i = 0; i < kWordsPerBlock; ++i) {
+    const std::uint64_t bit = (h * kSalts[i]) >> 58;
+    if ((w[i] & (1ull << bit)) == 0) return false;
+  }
+  return true;
+}
+
+void SplitBlockBloom::Insert(TermId key) {
+  const std::uint64_t h = Mix64(key);
+  const std::size_t block = ((h >> 32) * num_blocks()) >> 32;
+  std::uint64_t* w = words_.data() + block * kWordsPerBlock;
+  for (std::size_t i = 0; i < kWordsPerBlock; ++i) {
+    const std::uint64_t bit = (h * kSalts[i]) >> 58;
+    w[i] |= 1ull << bit;
+  }
+}
+
+SkipHeader SkipHeader::Build(std::vector<TermSummary> summaries) {
+  SkipHeader header;
+  std::sort(summaries.begin(), summaries.end(),
+            [](const TermSummary& a, const TermSummary& b) {
+              return a.term < b.term;
+            });
+  header.bloom_.Reset(summaries.size());
+  for (const auto& s : summaries) header.bloom_.Insert(s.term);
+  header.summaries_ = std::move(summaries);
+  header.summaries_.shrink_to_fit();
+  return header;
+}
+
+const TermSummary* SkipHeader::Find(TermId term) const {
+  const auto it = std::lower_bound(
+      summaries_.begin(), summaries_.end(), term,
+      [](const TermSummary& s, TermId t) { return s.term < t; });
+  if (it == summaries_.end() || it->term != term) return nullptr;
+  return &*it;
+}
+
+std::size_t SkipHeader::MemoryBytes() const {
+  return summaries_.capacity() * sizeof(TermSummary) +
+         bloom_.words().capacity() * sizeof(std::uint64_t);
+}
+
+std::vector<std::uint8_t> SkipHeader::Serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + summaries_.size() * 12 +
+              bloom_.words().size() * sizeof(std::uint64_t));
+  PutVarint64(out, summaries_.size());
+  for (const auto& s : summaries_) {
+    PutVarint64(out, s.term);
+    // Popularity is a float snapshot: raw little-endian bits, 4 bytes.
+    std::uint32_t pop_bits;
+    static_assert(sizeof(pop_bits) == sizeof(s.max_pop));
+    std::memcpy(&pop_bits, &s.max_pop, sizeof(pop_bits));
+    for (int b = 0; b < 4; ++b) {
+      out.push_back(static_cast<std::uint8_t>(pop_bits >> (8 * b)));
+    }
+    PutVarint64(out, static_cast<std::uint64_t>(s.max_frsh));
+    PutVarint64(out, s.max_tf);
+    PutVarint64(out, s.df);
+    PutVarint64(out, s.postings);
+  }
+  PutVarint64(out, bloom_.num_blocks());
+  for (const std::uint64_t word : bloom_.words()) {
+    for (int b = 0; b < 8; ++b) {
+      out.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+    }
+  }
+  return out;
+}
+
+bool SkipHeader::Deserialize(const std::uint8_t* data, std::size_t size,
+                             SkipHeader& out) {
+  std::size_t pos = 0;
+  std::uint64_t value = 0;
+  const auto get_varint = [&](std::uint64_t& v) {
+    return GetVarint64(data, size, pos, v);
+  };
+
+  if (!get_varint(value)) return false;
+  const std::uint64_t num_terms = value;
+  // Each summary takes at least 8 bytes; cheap sanity cap on allocation.
+  if (num_terms > size) return false;
+
+  std::vector<TermSummary> summaries;
+  summaries.reserve(num_terms);
+  TermId prev_term = 0;
+  for (std::uint64_t i = 0; i < num_terms; ++i) {
+    TermSummary s;
+    if (!get_varint(value)) return false;
+    s.term = static_cast<TermId>(value);
+    if (i > 0 && s.term <= prev_term) return false;  // Must be sorted.
+    prev_term = s.term;
+    if (pos + 4 > size) return false;
+    std::uint32_t pop_bits = 0;
+    for (int b = 0; b < 4; ++b) {
+      pop_bits |= static_cast<std::uint32_t>(data[pos + b]) << (8 * b);
+    }
+    pos += 4;
+    std::memcpy(&s.max_pop, &pop_bits, sizeof(s.max_pop));
+    if (!get_varint(value)) return false;
+    s.max_frsh = static_cast<Timestamp>(value);
+    if (!get_varint(value)) return false;
+    s.max_tf = static_cast<TermFreq>(value);
+    if (!get_varint(value)) return false;
+    s.df = static_cast<std::uint32_t>(value);
+    if (!get_varint(value)) return false;
+    s.postings = static_cast<std::uint32_t>(value);
+    summaries.push_back(s);
+  }
+
+  if (!get_varint(value)) return false;
+  const std::uint64_t num_blocks = value;
+  const std::uint64_t num_words = num_blocks * SplitBlockBloom::kWordsPerBlock;
+  if (pos + num_words * 8 > size) return false;
+  std::vector<std::uint64_t> words;
+  words.reserve(num_words);
+  for (std::uint64_t i = 0; i < num_words; ++i) {
+    std::uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) {
+      word |= static_cast<std::uint64_t>(data[pos + b]) << (8 * b);
+    }
+    pos += 8;
+    words.push_back(word);
+  }
+  if (pos != size) return false;
+
+  out.summaries_ = std::move(summaries);
+  out.bloom_.Adopt(std::move(words));
+  return true;
+}
+
+}  // namespace rtsi::index

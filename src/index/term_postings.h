@@ -56,6 +56,12 @@ class TermPostings {
   /// Requires sealed(). Returns false when the stream is absent.
   bool AggregateForStream(StreamId stream, Posting& out) const;
 
+  /// Aggregated per-stream postings, ascending stream id, one entry per
+  /// distinct stream (the AggregateForStream search array). Requires
+  /// sealed(). Skip-header construction reads df and the aggregated
+  /// per-stream tf maxima from here.
+  const std::vector<Posting>& stream_aggregates() const { return by_stream_; }
+
   /// Upper bounds over all postings of this term (valid in both states).
   float max_pop() const { return max_pop_; }
   Timestamp max_frsh() const { return max_frsh_; }

@@ -119,6 +119,8 @@ std::shared_ptr<InvertedIndex> LsmTree::FreezeL0(const MergeHooks& hooks) {
   frozen->SealAll();
   frozen->AdoptCeiling(AllocateComponentId(),
                        std::make_shared<index::FreshnessCeiling>());
+  frozen->BuildSkipHeader();
+  frozen->AttachSkipHeaderGauge(mem_tracker_);
   // Residency registration must complete before the component is
   // query-visible; the held L0 shard locks block any racing insert from
   // slipping a window between registration and visibility.
@@ -176,6 +178,7 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
                             hooks, &stats, AllocateComponentId(),
                             std::make_shared<index::FreshnessCeiling>(),
                             hooks.on_retired ? &surviving : nullptr);
+      merged->AttachSkipHeaderGauge(mem_tracker_);
       {
         // One swap: inputs out, output in. Readers see either the old
         // view (inputs alive via their pin) or the new one, never a
@@ -234,11 +237,12 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
     }
 
     std::vector<StreamId> surviving;
-    const std::shared_ptr<const InvertedIndex> merged = CombineComponents(
+    const std::shared_ptr<InvertedIndex> merged = CombineComponents(
         *cur, existing.get(), static_cast<int>(level_index) + 1,
         config_.compress, hooks, &stats, AllocateComponentId(),
         std::make_shared<index::FreshnessCeiling>(),
         hooks.on_retired ? &surviving : nullptr);
+    merged->AttachSkipHeaderGauge(mem_tracker_);
 
     const bool over_capacity = merged->num_postings() > capacity;
     {
@@ -288,6 +292,10 @@ Status LsmTree::RestoreSealedComponent(
     component->AdoptCeiling(AllocateComponentId(),
                             std::make_shared<index::FreshnessCeiling>());
   }
+  // Pre-v4 snapshots carry no header; rebuild deterministically (the
+  // result is byte-identical to what a v4 file would have persisted).
+  if (component->skip_header() == nullptr) component->BuildSkipHeader();
+  component->AttachSkipHeaderGauge(mem_tracker_);
   const auto slot = static_cast<std::size_t>(component->level()) - 1;
   std::lock_guard<std::mutex> lock(components_mu_);
   if (levels_.size() <= slot) levels_.resize(slot + 1);

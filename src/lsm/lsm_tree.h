@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/atomic_shared_ptr.h"
+#include "common/memory_tracker.h"
 #include "common/status.h"
 #include "index/inverted_index.h"
 #include "lsm/index_view.h"
@@ -150,6 +151,13 @@ class LsmTree {
   /// Bytes currently held by retired-but-still-pinned components.
   std::size_t RetiredBytes() const;
 
+  /// The tracker skip-header bytes are charged to (kSkipHeader category).
+  /// Shared so a component retired past the tree's lifetime can still
+  /// release its charge.
+  const std::shared_ptr<MemoryTracker>& memory_tracker() const {
+    return mem_tracker_;
+  }
+
  private:
   struct L0Shard {
     mutable std::shared_mutex mu;
@@ -201,6 +209,10 @@ class LsmTree {
   mutable std::mutex retired_mu_;
   mutable std::vector<std::weak_ptr<const index::InvertedIndex>> retired_;
   std::atomic<ComponentId> next_component_id_{0};
+  // Byte accounting for per-component skip headers; shared with the
+  // components so retirement-after-tree-destruction still balances.
+  std::shared_ptr<MemoryTracker> mem_tracker_ =
+      std::make_shared<MemoryTracker>();
 
   std::mutex merge_mu_;  // At most one merge cascade at a time.
   mutable std::mutex stats_mu_;

@@ -171,6 +171,10 @@ std::shared_ptr<InvertedIndex> CombineComponents(
   merged->BumpCeiling(a.LiveFrshCeiling());
   if (b != nullptr) merged->BumpCeiling(b->LiveFrshCeiling());
 
+  // Built before compression so the summaries read the plain per-stream
+  // aggregates; merge output is consolidated, so the compressed maxima
+  // would be identical — this just avoids a decode pass.
+  merged->BuildSkipHeader();
   if (compress) merged->CompressAll();
   if (stats != nullptr) {
     ++stats->merges;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "index/compressed_postings.h"
+#include "index/skip_header.h"
 #include "storage/file_io.h"
 
 namespace rtsi::storage {
@@ -132,6 +133,12 @@ Status SaveIndexSnapshot(const RtsiIndex& index, const std::string& path,
       // re-registers residencies, so later inserts keep it tight.
       writer.WriteVarint(
           static_cast<std::uint64_t>(component->LiveFrshCeiling()));
+      // v4: the immutable skip header, bit-exact. Every tree-owned
+      // component carries one; the empty-blob fallback keeps the format
+      // well-defined for components built outside the tree lifecycle.
+      const index::SkipHeader* header = component->skip_header();
+      writer.WriteBlob(header != nullptr ? header->Serialize()
+                                         : std::vector<std::uint8_t>{});
       writer.WriteVarint(component->num_terms());
       component->ForEachTerm([&](TermId term, const TermPostings& postings) {
         writer.WriteVarint(term);
@@ -266,12 +273,29 @@ Result<std::unique_ptr<RtsiIndex>> LoadIndexSnapshot(
       // every resident stream's restored live freshness into the fresh
       // cell, which is exactly the coverage the ceiling must provide.
       if (!reader.ReadU32(level) ||
-          (reader.version() >= 2 && !reader.ReadVarint(ceiling)) ||
-          !reader.ReadVarint(num_terms)) {
+          (reader.version() >= 2 && !reader.ReadVarint(ceiling))) {
+        return Status::Internal("snapshot: bad component entry");
+      }
+      // v4 carries the skip header bit-exact; <= v3 leaves the blob empty
+      // and RestoreSealedComponent rebuilds it deterministically from the
+      // decoded postings.
+      std::vector<std::uint8_t> header_blob;
+      if (reader.version() >= 4 && !reader.ReadBlob(header_blob)) {
+        return Status::Internal("snapshot: bad skip-header blob");
+      }
+      if (!reader.ReadVarint(num_terms)) {
         return Status::Internal("snapshot: bad component entry");
       }
       auto component =
           std::make_shared<index::InvertedIndex>(static_cast<int>(level));
+      if (!header_blob.empty()) {
+        index::SkipHeader header;
+        if (!index::SkipHeader::Deserialize(header_blob.data(),
+                                            header_blob.size(), header)) {
+          return Status::Internal("snapshot: corrupt skip header");
+        }
+        component->AdoptSkipHeader(std::move(header));
+      }
       std::vector<std::uint8_t> blob;
       resident.clear();
       for (std::uint64_t t = 0; t < num_terms; ++t) {

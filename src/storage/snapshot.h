@@ -35,7 +35,13 @@ namespace rtsi::storage {
 /// recovery to skip journal files whose operations the snapshot already
 /// contains. v1/v2 files load with epoch 0 (replay everything), which
 /// matches their pre-epoch semantics.
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// v4 added the per-component skip header (a length-prefixed blob right
+/// after the ceiling varint): the term Bloom filter + bound summaries are
+/// restored bit-exactly instead of being recomputed. Files <= v3 load
+/// with headers rebuilt from the decoded postings — SkipHeader::Build is
+/// deterministic, so the rebuilt header is byte-identical to what a v4
+/// save of the same component would have carried.
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
 /// Writes the full index state to `path`. The write is atomic: data goes

@@ -173,6 +173,34 @@ int CmdStats(int argc, char** argv) {
     std::printf("  retired:      %zu components, %.2f MB held for pins\n",
                 index.tree().retired_components(),
                 index.tree().RetiredBytes() / (1024.0 * 1024.0));
+    // Skip headers: per-level Bloom + summary footprint (from the pinned
+    // view), the tracker's category gauge, and the lifetime planner
+    // counters (zero on a freshly loaded snapshot until queries run).
+    std::map<int, std::size_t> header_bytes;
+    for (const auto& component : view->components) {
+      if (component->skip_header() != nullptr) {
+        header_bytes[component->level()] +=
+            component->skip_header()->MemoryBytes();
+      }
+    }
+    std::string per_level_bytes;
+    for (const auto& [level, bytes] : header_bytes) {
+      if (!per_level_bytes.empty()) per_level_bytes += ", ";
+      per_level_bytes +=
+          "L" + std::to_string(level) + ":" + std::to_string(bytes) + "B";
+    }
+    std::printf("  skip headers: %zu B tracked (%s)\n",
+                index.tree().memory_tracker()->bytes(
+                    MemCategory::kSkipHeader),
+                per_level_bytes.empty() ? "none" : per_level_bytes.c_str());
+    const core::RtsiIndex::SkipCounters skip = index.GetSkipCounters();
+    std::printf("  skip planner: %llu visited, %llu pruned, %llu skipped, "
+                "%llu bloom FPs, %llu screened\n",
+                static_cast<unsigned long long>(skip.components_visited),
+                static_cast<unsigned long long>(skip.components_pruned),
+                static_cast<unsigned long long>(skip.components_skipped),
+                static_cast<unsigned long long>(skip.bloom_false_positives),
+                static_cast<unsigned long long>(skip.candidates_screened));
   }
   std::printf("  streams:      %zu\n", index.stream_table().size());
   std::printf("  live table:   %zu streams, %zu entries\n",

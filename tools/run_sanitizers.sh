@@ -39,7 +39,8 @@ run_asan() {
     -DRTSI_SANITIZE=address
   cmake --build "$build_dir" -j"$(nproc)"
   ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
-    ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+    ctest --test-dir "$build_dir" -LE bench-smoke --output-on-failure \
+          -j"$(nproc)"
   echo "ASan run clean."
 }
 
