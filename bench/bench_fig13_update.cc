@@ -1,6 +1,12 @@
 // Figure 13: update cost (popularity increments) versus the number of
 // updates and the index size, RTSI vs LSII. RTSI touches only the small
 // per-stream table; LSII touches the big hash table.
+//
+// Emits BENCH_fig13_update.json so the update path has a tracked perf
+// trajectory. The 13a sweep also carries a live-arena A/B column: updates
+// never allocate from the window arenas, so arena-on and arena-off RTSI
+// must cost the same — a drift between the two columns is a regression in
+// the arena plumbing, not an expected effect.
 
 #include <string>
 
@@ -12,29 +18,50 @@
 int main() {
   using namespace rtsi;
 
+  bench::JsonReport report("fig13_update");
+  report.Field("scale", bench::Scale());
+
   {
     const std::size_t init_streams = bench::Scaled(4000);
     const workload::SyntheticCorpus corpus(
         bench::DefaultCorpusConfig(init_streams));
-    auto rtsi_index = bench::MakeIndex("RTSI", bench::DefaultIndexConfig());
+    core::RtsiConfig arena_config = bench::DefaultIndexConfig();
+    arena_config.use_arena = true;
+    core::RtsiConfig heap_config = bench::DefaultIndexConfig();
+    heap_config.use_arena = false;
+    core::RtsiIndex arena_index(arena_config);
+    core::RtsiIndex heap_index(heap_config);
     auto lsii_index = bench::MakeIndex("LSII", bench::DefaultIndexConfig());
-    SimulatedClock clock_a, clock_b;
-    workload::InitializeIndex(*rtsi_index, corpus, 0, init_streams, clock_a);
+    SimulatedClock clock_a, clock_h, clock_b;
+    workload::InitializeIndex(arena_index, corpus, 0, init_streams, clock_a);
+    workload::InitializeIndex(heap_index, corpus, 0, init_streams, clock_h);
     workload::InitializeIndex(*lsii_index, corpus, 0, init_streams, clock_b);
 
     workload::ReportTable table(
         "Figure 13a: update cost vs #updates (" +
-            std::to_string(init_streams) + " streams)",
-        {"#updates", "RTSI total", "LSII total"});
+            std::to_string(init_streams) + " streams; arena A/B)",
+        {"#updates", "RTSI arena", "RTSI heap", "LSII total"});
     for (const std::size_t base : {20000, 50000, 100000, 200000}) {
       const std::size_t n = bench::Scaled(base);
-      const auto rtsi_stats = workload::MeasureUpdates(
-          *rtsi_index, n, init_streams, clock_a, /*seed=*/n);
+      const auto arena_stats = workload::MeasureUpdates(
+          arena_index, n, init_streams, clock_a, /*seed=*/n);
+      const auto heap_stats = workload::MeasureUpdates(
+          heap_index, n, init_streams, clock_h, /*seed=*/n);
       const auto lsii_stats = workload::MeasureUpdates(
           *lsii_index, n, init_streams, clock_b, /*seed=*/n);
       table.AddRow({std::to_string(n),
-                    workload::FormatMicros(rtsi_stats.sum_micros()),
+                    workload::FormatMicros(arena_stats.sum_micros()),
+                    workload::FormatMicros(heap_stats.sum_micros()),
                     workload::FormatMicros(lsii_stats.sum_micros())});
+      report.AddRow()
+          .Field("sweep", "updates")
+          .Field("updates", static_cast<double>(n))
+          .Field("streams", static_cast<double>(init_streams))
+          .Field("total_us_arena", arena_stats.sum_micros())
+          .Field("total_us_heap", heap_stats.sum_micros())
+          .Field("mean_us_arena", arena_stats.mean_micros())
+          .Field("mean_us_heap", heap_stats.mean_micros())
+          .Field("lsii_total_us", lsii_stats.sum_micros());
     }
     table.Print();
   }
@@ -60,8 +87,15 @@ int main() {
       }
       table.AddRow({std::to_string(n), workload::FormatMicros(totals[0]),
                     workload::FormatMicros(totals[1])});
+      report.AddRow()
+          .Field("sweep", "index_size")
+          .Field("updates", static_cast<double>(num_updates))
+          .Field("streams", static_cast<double>(n))
+          .Field("total_us_rtsi", totals[0])
+          .Field("total_us_lsii", totals[1]);
     }
     table.Print();
   }
+  report.Write("BENCH_fig13_update.json");
   return 0;
 }

@@ -1,12 +1,84 @@
 // Figure 8: insertion cost versus the number of insertions (window
 // batches), RTSI vs LSII, on top of an initialized index.
+//
+// Extended with the live-arena A/B: every insertion batch is measured
+// against two identically-fed RTSI indices, one with the per-window
+// arenas on (the default) and one allocating every live posting and
+// counter node from the global heap. The arena is a pure allocation
+// optimization — the two indices must answer every query bit-identically
+// — so a post-insert query audit folds per-query result checksums on
+// both sides and the bench exits nonzero on any divergence. Emits
+// BENCH_fig8_insert.json so the live ingest path has a tracked perf
+// trajectory (throughput, allocations-per-insert).
 
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/clock.h"
+#include "common/latency_stats.h"
+#include "common/window_arena.h"
+#include "core/rtsi_index.h"
 #include "workload/driver.h"
 #include "workload/report.h"
+
+namespace {
+
+std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t ResultChecksum(
+    const std::vector<rtsi::core::ScoredStream>& results) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& r : results) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(r.score));
+    std::memcpy(&bits, &r.score, sizeof(bits));
+    h = Mix(h, r.stream);
+    h = Mix(h, bits);
+  }
+  return h;
+}
+
+struct InsertPass {
+  double total_us = 0.0;
+  double median_us = 0.0;
+  double inserts_per_sec = 0.0;
+  double requests_per_insert = 0.0;  // Arena allocation requests.
+  double upstream_per_insert = 0.0;  // Requests that reached operator new.
+};
+
+InsertPass MeasureArenaPass(rtsi::core::RtsiIndex& index,
+                            const rtsi::workload::SyntheticCorpus& corpus,
+                            rtsi::StreamId first, std::size_t count,
+                            rtsi::SimulatedClock& clock) {
+  using namespace rtsi;
+  const WindowArena::Stats before = index.LiveArenaStats();
+  const auto stats =
+      workload::MeasureInsertions(index, corpus, first, count, clock);
+  const WindowArena::Stats after = index.LiveArenaStats();
+  InsertPass pass;
+  pass.total_us = stats.sum_micros();
+  pass.median_us = stats.PercentileMicros(0.5);
+  pass.inserts_per_sec =
+      pass.total_us > 0.0 ? stats.count() * 1e6 / pass.total_us : 0.0;
+  if (stats.count() > 0) {
+    pass.requests_per_insert =
+        static_cast<double>(after.requests - before.requests) / stats.count();
+    pass.upstream_per_insert =
+        static_cast<double>(after.upstream_allocations -
+                            before.upstream_allocations) /
+        stats.count();
+  }
+  return pass;
+}
+
+}  // namespace
 
 int main() {
   using namespace rtsi;
@@ -14,32 +86,109 @@ int main() {
 
   workload::ReportTable table(
       "Figure 8: insertion cost vs #inserted streams (on top of " +
-          std::to_string(init_streams) + " initial streams)",
-      {"#new streams", "RTSI total", "RTSI median", "LSII total",
-       "LSII median"});
+          std::to_string(init_streams) +
+          " initial streams; arena = live WindowArena A/B)",
+      {"#new streams", "RTSI arena", "RTSI heap", "gain", "LSII total",
+       "ins/s arena", "alloc/ins", "match"});
 
+  bench::JsonReport report("fig8_insert");
+  report.Field("scale", bench::Scale());
+  report.Field("init_streams", static_cast<double>(init_streams));
+
+  bool all_match = true;
   for (const std::size_t base : {250, 500, 1000, 2000}) {
     const std::size_t n = bench::Scaled(base);
     const workload::SyntheticCorpus corpus(
         bench::DefaultCorpusConfig(init_streams + n));
 
-    double total[2], median[2];
-    int slot = 0;
-    for (const char* name : {"RTSI", "LSII"}) {
-      auto index = bench::MakeIndex(name, bench::DefaultIndexConfig());
-      SimulatedClock clock;
-      workload::InitializeIndex(*index, corpus, 0, init_streams, clock);
-      const auto stats =
-          workload::MeasureInsertions(*index, corpus, init_streams, n, clock);
-      total[slot] = stats.sum_micros();
-      median[slot] = stats.PercentileMicros(0.5);
-      ++slot;
+    // Two identically-fed RTSI indices: arenas on vs global heap.
+    core::RtsiConfig arena_config = bench::DefaultIndexConfig();
+    arena_config.use_arena = true;
+    core::RtsiConfig heap_config = bench::DefaultIndexConfig();
+    heap_config.use_arena = false;
+    core::RtsiIndex arena_index(arena_config);
+    core::RtsiIndex heap_index(heap_config);
+    SimulatedClock clock_arena, clock_heap;
+    workload::InitializeIndex(arena_index, corpus, 0, init_streams,
+                              clock_arena);
+    workload::InitializeIndex(heap_index, corpus, 0, init_streams,
+                              clock_heap);
+    const InsertPass arena_pass =
+        MeasureArenaPass(arena_index, corpus, init_streams, n, clock_arena);
+    const InsertPass heap_pass =
+        MeasureArenaPass(heap_index, corpus, init_streams, n, clock_heap);
+
+    // Bit-identity audit: the same query stream against both indices must
+    // fold to the same checksum, result for result.
+    auto query_config = bench::DefaultQueryConfig(corpus.vocab_size());
+    workload::QueryGenerator gen_a(query_config), gen_b(query_config);
+    const Timestamp now = clock_arena.Now();
+    bool match = true;
+    std::uint64_t checksum = 1469598103934665603ull;
+    for (int q = 0; q < 200; ++q) {
+      const auto query_a = gen_a.Next();
+      const auto query_b = gen_b.Next();
+      const std::uint64_t sum_a =
+          ResultChecksum(arena_index.Query(query_a, 10, now, nullptr));
+      const std::uint64_t sum_b =
+          ResultChecksum(heap_index.Query(query_b, 10, now, nullptr));
+      checksum = Mix(checksum, sum_a);
+      if (sum_a != sum_b) {
+        std::fprintf(stderr,
+                     "DIVERGENCE streams=%zu query=%d "
+                     "(arena=%016llx heap=%016llx)\n",
+                     n, q, static_cast<unsigned long long>(sum_a),
+                     static_cast<unsigned long long>(sum_b));
+        match = false;
+      }
     }
-    table.AddRow({std::to_string(n), workload::FormatMicros(total[0]),
-                  workload::FormatMicros(median[0]),
-                  workload::FormatMicros(total[1]),
-                  workload::FormatMicros(median[1])});
+    all_match = all_match && match;
+
+    // LSII reference series (the figure's original comparison).
+    auto lsii_index = bench::MakeIndex("LSII", bench::DefaultIndexConfig());
+    SimulatedClock clock_lsii;
+    workload::InitializeIndex(*lsii_index, corpus, 0, init_streams,
+                              clock_lsii);
+    const auto lsii_stats = workload::MeasureInsertions(
+        *lsii_index, corpus, init_streams, n, clock_lsii);
+
+    const double gain =
+        heap_pass.inserts_per_sec > 0.0
+            ? (arena_pass.inserts_per_sec - heap_pass.inserts_per_sec) /
+                  heap_pass.inserts_per_sec
+            : 0.0;
+    char checksum_hex[32];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
+                  static_cast<unsigned long long>(checksum));
+    table.AddRow({std::to_string(n),
+                  workload::FormatMicros(arena_pass.total_us),
+                  workload::FormatMicros(heap_pass.total_us),
+                  workload::FormatDouble(gain * 100.0, 1) + "%",
+                  workload::FormatMicros(lsii_stats.sum_micros()),
+                  workload::FormatDouble(arena_pass.inserts_per_sec, 0),
+                  workload::FormatDouble(arena_pass.requests_per_insert, 1),
+                  match ? "ok" : "MISMATCH"});
+
+    auto& row = report.AddRow();
+    row.Field("streams", static_cast<double>(n))
+        .Field("total_us_arena", arena_pass.total_us)
+        .Field("total_us_heap", heap_pass.total_us)
+        .Field("median_us_arena", arena_pass.median_us)
+        .Field("median_us_heap", heap_pass.median_us)
+        .Field("inserts_per_sec_arena", arena_pass.inserts_per_sec)
+        .Field("inserts_per_sec_heap", heap_pass.inserts_per_sec)
+        .Field("throughput_gain", gain)
+        .Field("arena_requests_per_insert", arena_pass.requests_per_insert)
+        .Field("arena_upstream_per_insert", arena_pass.upstream_per_insert)
+        .Field("lsii_total_us", lsii_stats.sum_micros())
+        .Field("checksum", checksum_hex)
+        .Field("results_match", match ? "yes" : "NO");
   }
   table.Print();
+  report.Write("BENCH_fig8_insert.json");
+  if (!all_match) {
+    std::fprintf(stderr, "error: arena on/off results diverged\n");
+    return 1;
+  }
   return 0;
 }

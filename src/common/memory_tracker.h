@@ -22,9 +22,10 @@ namespace rtsi {
 enum class MemCategory : std::size_t {
   kGeneral = 0,     // Postings, hash tables, everything uncategorized.
   kSkipHeader = 1,  // Per-component term Bloom filters + bound summaries.
+  kLiveArena = 2,   // WindowArena slabs backing live-window ingest state.
 };
 
-inline constexpr std::size_t kNumMemCategories = 2;
+inline constexpr std::size_t kNumMemCategories = 3;
 
 /// A thread-safe byte counter owned by one index instance.
 class MemoryTracker {

@@ -1,0 +1,102 @@
+#include "common/window_arena.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace rtsi {
+
+WindowArena::WindowArena(std::size_t slab_bytes,
+                         std::shared_ptr<MemoryTracker> tracker)
+    : slab_bytes_(slab_bytes < kMinClassBytes ? kMinClassBytes : slab_bytes),
+      tracker_(std::move(tracker)) {}
+
+WindowArena::~WindowArena() {
+  // Wholesale free: every slab and oversized block, regardless of what the
+  // containers carved out of them, goes back in one sweep. Callers
+  // guarantee nothing references the arena by now (seal migrated the
+  // survivors to the heap, or the owning component is being destroyed).
+  std::size_t owned = owned_bytes_.load(std::memory_order_relaxed);
+  for (void* block : blocks_) {
+    ::operator delete(block);
+  }
+  if (tracker_ != nullptr && owned != 0) {
+    tracker_->Sub(MemCategory::kLiveArena, owned);
+  }
+}
+
+std::size_t WindowArena::ClassIndex(std::size_t bytes) {
+  if (bytes <= kMinClassBytes) return 0;
+  // ceil(log2(bytes)) - log2(kMinClassBytes)
+  return static_cast<std::size_t>(std::bit_width(bytes - 1) -
+                                  std::bit_width(kMinClassBytes - 1));
+}
+
+void* WindowArena::NewBlock(std::size_t bytes) {
+  void* block = ::operator new(bytes);
+  blocks_.push_back(block);
+  owned_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  upstream_allocations_.fetch_add(1, std::memory_order_relaxed);
+  if (tracker_ != nullptr) {
+    tracker_->Add(MemCategory::kLiveArena, bytes);
+  }
+  return block;
+}
+
+void* WindowArena::Allocate(std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t cls = ClassIndex(bytes);
+  assert(cls < kNumClasses && "allocation beyond the largest size class");
+  const std::size_t rounded = ClassBytes(cls);
+  allocated_bytes_.fetch_add(rounded, std::memory_order_relaxed);
+
+  // 1. A previously freed block of this class.
+  if (FreeNode* node = free_lists_[cls]) {
+    free_lists_[cls] = node->next;
+    freelist_hits_.fetch_add(1, std::memory_order_relaxed);
+    return node;
+  }
+
+  // 2. Oversized classes get dedicated blocks: carving a multi-slab chunk
+  // from the bump region would waste the remainder of the open slab.
+  if (rounded >= slab_bytes_) {
+    return NewBlock(rounded);
+  }
+
+  // 3. Bump-allocate from the open slab (classes are pow2 and slabs are
+  // class-aligned multiples, so the cursor stays aligned).
+  if (slab_remaining_ < rounded) {
+    slab_cursor_ = static_cast<std::byte*>(NewBlock(slab_bytes_));
+    slab_remaining_ = slab_bytes_;
+  }
+  void* out = slab_cursor_;
+  slab_cursor_ += rounded;
+  slab_remaining_ -= rounded;
+  return out;
+}
+
+void WindowArena::Deallocate(void* ptr, std::size_t bytes) noexcept {
+  if (ptr == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  const std::size_t cls = ClassIndex(bytes);
+  assert(cls < kNumClasses);
+  allocated_bytes_.fetch_sub(ClassBytes(cls), std::memory_order_relaxed);
+  auto* node = static_cast<FreeNode*>(ptr);
+  node->next = free_lists_[cls];
+  free_lists_[cls] = node;
+}
+
+WindowArena::Stats WindowArena::GetStats() const {
+  Stats s;
+  s.owned_bytes = owned_bytes_.load(std::memory_order_relaxed);
+  s.allocated_bytes = allocated_bytes_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.upstream_allocations =
+      upstream_allocations_.load(std::memory_order_relaxed);
+  s.freelist_hits = freelist_hits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace rtsi

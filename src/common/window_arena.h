@@ -1,0 +1,191 @@
+// Slab arena for the mutable live-window ingest structures.
+//
+// Live-window ingest is allocation-bound: every term's unsealed posting
+// vector grows through the global allocator, and the live-term table
+// churns one hash-map node per (stream, term) pair. "Dynamic Memory
+// Allocation Policies for Postings in Real-Time Twitter Search" solves
+// exactly this with slab allocation and size-class promotion; WindowArena
+// is that design specialized to the two RTSI call sites:
+//
+//  - L0 posting vectors: one arena per L0 shard, rotated at FreezeL0.
+//    Seal() migrates the surviving postings to the global heap, and the
+//    retired arena is *quarantined* on the frozen component (freed when
+//    the component itself dies, i.e. after every pinned IndexView that
+//    could reach it has dropped) rather than recycled in place.
+//  - LiveTermTable inner maps: one arena per term shard, living as long
+//    as the table; erased nodes return to the size-class free lists and
+//    are reused by later inserts, so steady-state ingest never touches
+//    the global allocator.
+//
+// Allocation sizes round up to power-of-two size classes (min 16 bytes,
+// so every carve is max_align aligned). A freed block goes on its class's
+// free list; a vector growing 16 -> 32 -> 64 bytes therefore promotes
+// through classes while its abandoned blocks are immediately reusable by
+// other terms — the paper's size-class promotion. Slabs and oversized
+// blocks all come from operator new and are released wholesale by the
+// destructor.
+//
+// Thread safety: Allocate/Deallocate are NOT synchronized — each arena is
+// owned by exactly one shard and called under that shard's lock. The
+// statistics counters are relaxed atomics so gauges (rtsi_cli stats,
+// MemoryBytes walks) can read them without taking shard locks. Byte
+// ownership is charged to MemCategory::kLiveArena of the tracker passed
+// at construction, released on destruction — the same RAII-gauge pattern
+// the skip headers use, so a quarantined arena is visible in the tracker
+// until the last pinned view lets it go.
+
+#ifndef RTSI_COMMON_WINDOW_ARENA_H_
+#define RTSI_COMMON_WINDOW_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/memory_tracker.h"
+
+namespace rtsi {
+
+class WindowArena {
+ public:
+  static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+
+  /// Aggregate counters; Stats() of several arenas add member-wise.
+  struct Stats {
+    std::size_t owned_bytes = 0;      // operator-new bytes held.
+    std::size_t allocated_bytes = 0;  // Outstanding class-rounded bytes.
+    std::uint64_t requests = 0;       // Allocate() calls.
+    std::uint64_t upstream_allocations = 0;  // operator new calls.
+    std::uint64_t freelist_hits = 0;  // Requests served by a freed block.
+
+    Stats& operator+=(const Stats& o) {
+      owned_bytes += o.owned_bytes;
+      allocated_bytes += o.allocated_bytes;
+      requests += o.requests;
+      upstream_allocations += o.upstream_allocations;
+      freelist_hits += o.freelist_hits;
+      return *this;
+    }
+  };
+
+  explicit WindowArena(std::size_t slab_bytes = kDefaultSlabBytes,
+                       std::shared_ptr<MemoryTracker> tracker = nullptr);
+  ~WindowArena();
+
+  WindowArena(const WindowArena&) = delete;
+  WindowArena& operator=(const WindowArena&) = delete;
+
+  /// Returns a block of at least `bytes` bytes, max_align aligned.
+  /// Never fails softly (throws std::bad_alloc like operator new).
+  void* Allocate(std::size_t bytes);
+
+  /// Returns the block to its size class's free list for reuse. `bytes`
+  /// must be the size passed to the matching Allocate().
+  void Deallocate(void* ptr, std::size_t bytes) noexcept;
+
+  /// Bytes currently held from the global allocator (slabs + oversized
+  /// blocks). This is what kLiveArena is charged with.
+  std::size_t owned_bytes() const {
+    return owned_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Outstanding handed-out bytes (class-rounded). <= owned_bytes().
+  std::size_t allocated_bytes() const {
+    return allocated_bytes_.load(std::memory_order_relaxed);
+  }
+
+  Stats GetStats() const;
+
+ private:
+  static constexpr std::size_t kMinClassBytes = 16;  // >= max_align.
+  static constexpr std::size_t kNumClasses = 48;
+
+  // A freed block is reused as its own free-list link.
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static std::size_t ClassIndex(std::size_t bytes);
+  static std::size_t ClassBytes(std::size_t index) {
+    return kMinClassBytes << index;
+  }
+
+  /// operator new with tracker charge + counters.
+  void* NewBlock(std::size_t bytes);
+
+  const std::size_t slab_bytes_;
+  std::shared_ptr<MemoryTracker> tracker_;
+
+  std::vector<void*> blocks_;  // Every operator-new allocation we own.
+  FreeNode* free_lists_[kNumClasses] = {};
+  std::byte* slab_cursor_ = nullptr;  // Bump pointer into the open slab.
+  std::size_t slab_remaining_ = 0;
+
+  // Relaxed atomics: written under the owner's shard lock, read by
+  // lock-free gauges.
+  std::atomic<std::size_t> owned_bytes_{0};
+  std::atomic<std::size_t> allocated_bytes_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> upstream_allocations_{0};
+  std::atomic<std::uint64_t> freelist_hits_{0};
+};
+
+/// STL-compatible adapter. A default-constructed (or nullptr) allocator
+/// falls back to the global heap, so one container type serves both the
+/// arena-on and arena-off configurations and empty containers need no
+/// arena. Propagation is enabled on move/copy/swap: the buffer and the
+/// arena that owns it always travel together, which is what lets Seal()
+/// migrate a vector to the heap with one move-assignment.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  ArenaAllocator() noexcept = default;
+  explicit ArenaAllocator(WindowArena* arena) noexcept : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "WindowArena carves are max_align aligned");
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_ != nullptr) {
+      return static_cast<T*>(arena_->Allocate(bytes));
+    }
+    return static_cast<T*>(::operator new(bytes));
+  }
+
+  void deallocate(T* ptr, std::size_t n) noexcept {
+    if (arena_ != nullptr) {
+      arena_->Deallocate(ptr, n * sizeof(T));
+    } else {
+      ::operator delete(ptr);
+    }
+  }
+
+  WindowArena* arena() const noexcept { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a,
+                         const ArenaAllocator& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  WindowArena* arena_ = nullptr;
+};
+
+}  // namespace rtsi
+
+#endif  // RTSI_COMMON_WINDOW_ARENA_H_

@@ -51,6 +51,15 @@ struct RtsiConfig {
   /// bound mode (see DESIGN.md §6f). Headers are always built; this only
   /// toggles consulting them (off = the PR 5 walk, kept for A/B benches).
   bool use_skip_header = true;
+
+  /// Back the live ingest structures (unsealed L0 posting vectors, the
+  /// live-term table's counter maps) with WindowArenas instead of the
+  /// global heap: per-L0-shard arenas rotated at every freeze plus
+  /// per-term-shard table arenas with free-list recycling. Query results
+  /// are bit-identical on or off (the arena changes where bytes live,
+  /// never what they say); off = the pre-arena allocation behavior, kept
+  /// for A/B benches. Mirrored into lsm.use_arena at construction.
+  bool use_arena = true;
   int default_k = 10;
 
   /// Run merge cascades on a background thread instead of the inserting

@@ -18,10 +18,22 @@ using index::Posting;
 using index::StreamInfo;
 using index::TermPostings;
 
+namespace {
+
+// The single arena switch lives on RtsiConfig; mirror it into the LSM
+// config before the tree is constructed from it.
+RtsiConfig Normalized(RtsiConfig config) {
+  config.lsm.use_arena = config.use_arena;
+  return config;
+}
+
+}  // namespace
+
 RtsiIndex::RtsiIndex(const RtsiConfig& config)
-    : config_(config),
+    : config_(Normalized(config)),
       scorer_(config.weights, config.freshness_tau_seconds),
-      tree_(config.lsm) {
+      tree_(config_.lsm),
+      live_terms_(config_.use_arena, tree_.memory_tracker()) {
   if (config.async_merge) {
     merge_executor_ = std::make_unique<ThreadPool>(1);
   }

@@ -130,6 +130,16 @@ class RtsiIndex : public SearchIndex {
     std::uint64_t bloom_false_positives = 0;
     std::uint64_t candidates_screened = 0;
   };
+  /// Aggregate WindowArena counters across the live ingest path: the L0
+  /// shard arenas plus the live-term table's shard arenas (zeroed struct
+  /// when use_arena is off). Benches derive allocations-per-insert from
+  /// the request counters; rtsi_cli stats prints the byte gauges.
+  WindowArena::Stats LiveArenaStats() const {
+    WindowArena::Stats s = tree_.ArenaStats();
+    s += live_terms_.ArenaStats();
+    return s;
+  }
+
   SkipCounters GetSkipCounters() const {
     SkipCounters c;
     c.components_visited = cum_visited_.load(std::memory_order_relaxed);

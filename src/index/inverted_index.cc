@@ -6,7 +6,11 @@ namespace rtsi::index {
 
 void InvertedIndex::Add(TermId term, const Posting& posting) {
   assert(!compressed_);
-  terms_[term].Append(posting);
+  auto it = terms_.find(term);
+  if (it == terms_.end()) {
+    it = terms_.emplace(term, TermPostings(arena_)).first;
+  }
+  it->second.Append(posting);
   ++num_postings_;
   if (posting.frsh > max_stored_frsh_) max_stored_frsh_ = posting.frsh;
 }

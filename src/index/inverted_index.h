@@ -12,8 +12,10 @@
 #include <memory>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/memory_tracker.h"
+#include "common/window_arena.h"
 #include "index/compressed_postings.h"
 #include "index/freshness_ceiling.h"
 #include "index/posting.h"
@@ -63,8 +65,23 @@ class InvertedIndex {
   InvertedIndex& operator=(const InvertedIndex&) = delete;
 
   /// Appends `posting` to `term`'s list. Only valid on uncompressed,
-  /// unsealed components (level 0).
+  /// unsealed components (level 0). New term lists allocate their unsealed
+  /// entries from the arena set via set_arena() (nullptr = global heap).
   void Add(TermId term, const Posting& posting);
+
+  /// Arena for subsequently created term lists (level-0 ingest). Existing
+  /// lists keep the allocator they were created with — FreezeL0 swaps the
+  /// arena only after TakeTerms() emptied the component.
+  void set_arena(WindowArena* arena) { arena_ = arena; }
+  WindowArena* arena() const { return arena_; }
+
+  /// Quarantines a retired arena on this component: frozen L0 postings
+  /// reference its slabs until Seal() migrates them, and pinned IndexViews
+  /// may hold the pre-seal state alive, so the arena must die with the
+  /// component (after the last pin drops), never earlier.
+  void RetainArena(std::unique_ptr<WindowArena> arena) {
+    if (arena != nullptr) retained_arenas_.push_back(std::move(arena));
+  }
 
   /// Moves a whole posting list in (used by merges). The component takes
   /// ownership; posting count is updated.
@@ -187,6 +204,10 @@ class InvertedIndex {
 
   int level_;
   bool compressed_ = false;
+  WindowArena* arena_ = nullptr;  // Not owned; for new L0 term lists.
+  // Retired ingest arenas that postings of this component were carved
+  // from; freed with the component (after the last pinned view drops).
+  std::vector<std::unique_ptr<WindowArena>> retained_arenas_;
   std::size_t num_postings_ = 0;
   ComponentId id_ = kInvalidComponentId;
   Timestamp max_stored_frsh_ = 0;

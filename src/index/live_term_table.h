@@ -10,22 +10,57 @@
 // currently broadcasting (plus finished streams whose postings have not
 // yet been consolidated into a single component — see the invariant in
 // core/rtsi_index.h).
+//
+// Locking protocol (two disjoint shard families, never nested):
+//   1. The term shards own the counters. A mutation takes exactly one
+//      term-shard lock, records whether it created the (term, stream)
+//      entry, and releases the lock.
+//   2. First-seen terms are then registered in the stream shard (the
+//      reverse index RemoveStream walks) under that lock alone.
+// No thread ever holds a term-shard and a stream-shard lock at the same
+// time, so the families cannot deadlock against each other regardless of
+// acquisition order. The protocol keeps one invariant: *every* creation
+// of a (term → stream) counter is followed by a registration of that term
+// under the stream. RemoveStream relies on it — it drains the stream's
+// registered term list and loops until the stream entry stays gone, so a
+// racing insert either lands entirely (counter + registration, cleaned by
+// the next RemoveStream) or is fully reclaimed. The one benign artifact
+// is a *stale registration* (term listed for a stream whose counter was
+// already erased); it holds no counter, is invisible to queries, and the
+// next RemoveStream drops it.
+//
+// The per-stream counter maps allocate from a per-term-shard WindowArena
+// (table-lifetime, size-class free lists recycle erased nodes) so
+// steady-state ingest churn never touches the global allocator; pass
+// use_arena = false for plain heap maps.
 
 #ifndef RTSI_INDEX_LIVE_TERM_TABLE_H_
 #define RTSI_INDEX_LIVE_TERM_TABLE_H_
 
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
+#include "common/window_arena.h"
 
 namespace rtsi::index {
 
 class LiveTermTable {
  public:
-  LiveTermTable() = default;
+  /// The per-stream counter map of one term. Arena-allocated (nodes and
+  /// bucket arrays) when the table was built with use_arena.
+  using StreamTfAlloc = ArenaAllocator<std::pair<const StreamId, TermFreq>>;
+  using StreamTfMap =
+      std::unordered_map<StreamId, TermFreq, std::hash<StreamId>,
+                         std::equal_to<StreamId>, StreamTfAlloc>;
+
+  /// `tracker` (optional) has the arenas' slab bytes charged to its
+  /// kLiveArena category while the table is alive.
+  explicit LiveTermTable(bool use_arena = true,
+                         std::shared_ptr<MemoryTracker> tracker = nullptr);
 
   LiveTermTable(const LiveTermTable&) = delete;
   LiveTermTable& operator=(const LiveTermTable&) = delete;
@@ -45,7 +80,9 @@ class LiveTermTable {
   bool ContainsStream(StreamId stream) const;
 
   /// Drops all entries of a stream (broadcast finished and consolidated,
-  /// or stream deleted).
+  /// or stream deleted). Loops until the removal is stable, so inserts
+  /// racing this call cannot leak counters past the *next* RemoveStream
+  /// (see the locking protocol above).
   void RemoveStream(StreamId stream);
 
   /// Monotone upper bound on the total tf of `term` over every stream
@@ -96,15 +133,27 @@ class LiveTermTable {
 
   std::size_t MemoryBytes() const;
 
+  /// Aggregate allocation counters of the per-shard arenas (zeroed struct
+  /// when the table runs on the heap). owned_bytes here is exactly what
+  /// the kLiveArena tracker category carries for this table, and exactly
+  /// what MemoryBytes() attributes to the counter maps — the test suite
+  /// pins the three together.
+  WindowArena::Stats ArenaStats() const;
+
  private:
   static constexpr std::size_t kNumShards = 64;
 
-  // term -> (stream -> total tf). The primary structure.
+  // term -> (stream -> total tf). The primary structure. The arena backs
+  // the StreamTfMap nodes/buckets and is used only under `mu`; declared
+  // before `map` so the maps (which deallocate into it) die first.
   struct TermShard {
     mutable std::mutex mu;
-    std::unordered_map<TermId, std::unordered_map<StreamId, TermFreq>> map;
+    std::unique_ptr<WindowArena> arena;
+    std::unordered_map<TermId, StreamTfMap> map;
   };
-  // stream -> its terms, for RemoveStream / ContainsStream.
+  // stream -> its terms, for RemoveStream / ContainsStream. Heap-backed:
+  // RemoveStream swaps the vector out of the lock's scope, so its storage
+  // must not be tied to a shard-locked arena.
   struct StreamShard {
     mutable std::mutex mu;
     std::unordered_map<StreamId, std::vector<TermId>> terms_of_stream;
@@ -122,6 +171,13 @@ class LiveTermTable {
   const StreamShard& StreamShardFor(StreamId stream) const {
     return stream_shards_[stream % kNumShards];
   }
+
+  /// The (term, stream) counter slot, created on demand with the shard's
+  /// arena allocator. Caller holds shard.mu.
+  TermFreq& SlotFor(TermShard& shard, TermId term, StreamId stream);
+
+  /// Appends `terms` to the stream's registration list (stream lock only).
+  void RegisterTerms(StreamId stream, const std::vector<TermId>& terms);
 
   std::unordered_map<TermId, TermFreq> MaterializeStream(
       StreamId stream) const;

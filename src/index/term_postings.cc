@@ -16,6 +16,15 @@ void TermPostings::Append(const Posting& posting) {
 
 void TermPostings::Seal() {
   if (sealed_) return;
+  // Sealed state outlives the live window, so the entries must leave the
+  // window's arena before anything below takes a dependency on them.
+  // POCMA is enabled on ArenaAllocator, so the move-assignment carries the
+  // heap buffer and the heap allocator into entries_ in O(1).
+  if (entries_.get_allocator().arena() != nullptr) {
+    PostingVec heap(entries_.begin(), entries_.end(),
+                    ArenaAllocator<Posting>());
+    entries_ = std::move(heap);
+  }
   by_pop_.resize(entries_.size());
   by_tf_.resize(entries_.size());
   std::iota(by_pop_.begin(), by_pop_.end(), 0);
@@ -23,7 +32,7 @@ void TermPostings::Seal() {
   // Contiguous by-stream-sorted copy with duplicates pre-folded, so
   // AggregateForStream is a cache-friendly binary search with no
   // indirection and no per-lookup fold loop.
-  by_stream_ = entries_;
+  by_stream_.assign(entries_.begin(), entries_.end());
   std::stable_sort(by_stream_.begin(), by_stream_.end(),
                    [](const Posting& a, const Posting& b) {
                      return a.stream < b.stream;

@@ -7,20 +7,34 @@
 // permutations, turning the object into the immutable three-list form the
 // paper draws in Figure 3. (Algorithm 2 lines 6-7: lists that are not yet
 // sorted are sorted during a merge.)
+//
+// Unsealed storage may live in a WindowArena (the live window's slab
+// allocator): construct with the shard's arena and `entries_` grows
+// through its size-class free lists instead of the global heap. Seal()
+// migrates the surviving postings to the heap before building the sorted
+// views, so a sealed TermPostings never references arena memory and the
+// arena can be retired wholesale at FreezeL0.
 
 #ifndef RTSI_INDEX_TERM_POSTINGS_H_
 #define RTSI_INDEX_TERM_POSTINGS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/window_arena.h"
 #include "index/posting.h"
 
 namespace rtsi::index {
 
 class TermPostings {
  public:
+  using PostingVec = std::vector<Posting, ArenaAllocator<Posting>>;
+
   TermPostings() = default;
+  /// Unsealed entries allocate from `arena` (nullptr = global heap).
+  explicit TermPostings(WindowArena* arena)
+      : entries_(ArenaAllocator<Posting>(arena)) {}
 
   // Movable, not copyable (these live inside index maps).
   TermPostings(TermPostings&&) = default;
@@ -40,7 +54,9 @@ class TermPostings {
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
 
-  const std::vector<Posting>& entries() const { return entries_; }
+  std::span<const Posting> entries() const {
+    return {entries_.data(), entries_.size()};
+  }
 
   /// The i-th posting of the list sorted descending by `key`
   /// (i in [0, size())). Requires sealed() for kPopularity and
@@ -74,7 +90,9 @@ class TermPostings {
   bool IsSorted(SortKey key) const;
 
  private:
-  std::vector<Posting> entries_;      // Ascending frsh (arrival) order.
+  // Ascending frsh (arrival) order. Arena-backed while unsealed (when the
+  // owning shard passed an arena), migrated to the heap by Seal().
+  PostingVec entries_;
   std::vector<std::uint32_t> by_pop_;  // Permutations, descending; sealed.
   std::vector<std::uint32_t> by_tf_;
   // Contiguous aggregated postings, ascending stream id, one entry per

@@ -14,7 +14,13 @@ LsmTree::LsmTree(const Config& config)
   const std::size_t num_shards = std::max<std::size_t>(config.num_l0_shards, 1);
   l0_shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
-    l0_shards_.push_back(std::make_unique<L0Shard>());
+    auto shard = std::make_unique<L0Shard>();
+    if (config_.use_arena) {
+      shard->arena = std::make_unique<WindowArena>(
+          WindowArena::kDefaultSlabBytes, mem_tracker_);
+      shard->index.set_arena(shard->arena.get());
+    }
+    l0_shards_.push_back(std::move(shard));
   }
   stream_seen_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
@@ -117,6 +123,32 @@ std::shared_ptr<InvertedIndex> LsmTree::FreezeL0(const MergeHooks& hooks) {
     }
   }
   frozen->SealAll();
+  // Rotate the ingest arenas while the shard locks are still held:
+  // SealAll() migrated every frozen posting vector to the heap, but the
+  // retired arenas are quarantined on the frozen component anyway — they
+  // die with it, after the last pinned view drops, so no code path
+  // (present or future) can ever observe freed slabs. Fresh arenas take
+  // over the next window's ingest.
+  for (auto& shard : l0_shards_) {
+    if (shard->arena == nullptr) continue;
+    {
+      // Fold the retiring arena's counters into the rotation accumulator
+      // so ArenaStats() stays monotone across freezes (benches compute
+      // per-insert deltas from it). Gauges are excluded: allocated_bytes
+      // is zero after the SealAll() migration above, and owned_bytes
+      // belongs to the quarantined arena until it dies with the
+      // component — ArenaStats() gauges track the *current* arenas only.
+      WindowArena::Stats retiring = shard->arena->GetStats();
+      retiring.owned_bytes = 0;
+      retiring.allocated_bytes = 0;
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      rotated_arena_stats_ += retiring;
+    }
+    frozen->RetainArena(std::move(shard->arena));
+    shard->arena = std::make_unique<WindowArena>(
+        WindowArena::kDefaultSlabBytes, mem_tracker_);
+    shard->index.set_arena(shard->arena.get());
+  }
   frozen->AdoptCeiling(AllocateComponentId(),
                        std::make_shared<index::FreshnessCeiling>());
   frozen->BuildSkipHeader();
@@ -145,6 +177,13 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
   if (!NeedsMerge()) return;
 
   MergeStats stats;
+  // Scratch arena for the cascade's transient allocation churn
+  // (consolidation maps, ordering buffers, unsealed outputs); free lists
+  // recycle across the cascade's merges. Sealed outputs never reference
+  // it (Seal() migrates to exact-size heap buffers), so it dies here. No
+  // tracker: the kLiveArena gauge reports live-data arenas only.
+  std::unique_ptr<WindowArena> scratch;
+  if (config_.use_arena) scratch = std::make_unique<WindowArena>();
   std::shared_ptr<const InvertedIndex> cur = FreezeL0(hooks);
   if (cur->empty()) {
     std::lock_guard<std::mutex> lock(components_mu_);
@@ -177,7 +216,8 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
           CombineComponents(*cur, existing.get(), 1, config_.compress,
                             hooks, &stats, AllocateComponentId(),
                             std::make_shared<index::FreshnessCeiling>(),
-                            hooks.on_retired ? &surviving : nullptr);
+                            hooks.on_retired ? &surviving : nullptr,
+                            scratch.get());
       merged->AttachSkipHeaderGauge(mem_tracker_);
       {
         // One swap: inputs out, output in. Readers see either the old
@@ -241,7 +281,7 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
         *cur, existing.get(), static_cast<int>(level_index) + 1,
         config_.compress, hooks, &stats, AllocateComponentId(),
         std::make_shared<index::FreshnessCeiling>(),
-        hooks.on_retired ? &surviving : nullptr);
+        hooks.on_retired ? &surviving : nullptr, scratch.get());
     merged->AttachSkipHeaderGauge(mem_tracker_);
 
     const bool over_capacity = merged->num_postings() > capacity;
@@ -356,6 +396,19 @@ std::size_t LsmTree::RetiredBytes() const {
     if (const auto component = weak.lock()) bytes += component->MemoryBytes();
   }
   return bytes;
+}
+
+WindowArena::Stats LsmTree::ArenaStats() const {
+  WindowArena::Stats total;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    total += rotated_arena_stats_;  // Counters of every retired arena.
+  }
+  for (const auto& shard : l0_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    if (shard->arena != nullptr) total += shard->arena->GetStats();
+  }
+  return total;
 }
 
 MergeStats LsmTree::GetMergeStats() const {

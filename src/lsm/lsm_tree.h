@@ -31,6 +31,7 @@
 #include "common/atomic_shared_ptr.h"
 #include "common/memory_tracker.h"
 #include "common/status.h"
+#include "common/window_arena.h"
 #include "index/inverted_index.h"
 #include "lsm/index_view.h"
 #include "lsm/merge.h"
@@ -55,6 +56,10 @@ class LsmTree {
     bool compress = false;          // Huffman-compress merged components.
     std::size_t num_l0_shards = 16;
     MergePolicy policy = MergePolicy::kGeometric;
+    // Back unsealed L0 posting vectors with per-shard WindowArenas,
+    // rotated at FreezeL0 (retired arenas are quarantined on the frozen
+    // component until the last pinned view drops). Off = global heap.
+    bool use_arena = true;
   };
 
   explicit LsmTree(const Config& config);
@@ -158,9 +163,21 @@ class LsmTree {
     return mem_tracker_;
   }
 
+  /// Aggregate allocation counters of the L0 ingest arenas (zeroed
+  /// struct when use_arena is off). Counters (requests, upstream, free-
+  /// list hits) are cumulative across arena rotations — monotone, so
+  /// benches can diff them across a freeze; the gauges (owned/allocated
+  /// bytes) reflect the current arenas only. Takes each shard's shared
+  /// lock briefly; counters themselves are relaxed atomics.
+  WindowArena::Stats ArenaStats() const;
+
  private:
   struct L0Shard {
     mutable std::shared_mutex mu;
+    // Ingest arena for this shard's unsealed posting vectors; declared
+    // before `index` so the index (whose vectors deallocate into the
+    // arena) is destroyed first. Null when Config::use_arena is off.
+    std::unique_ptr<WindowArena> arena;
     index::InvertedIndex index{0};
   };
 
@@ -217,6 +234,9 @@ class LsmTree {
   std::mutex merge_mu_;  // At most one merge cascade at a time.
   mutable std::mutex stats_mu_;
   MergeStats merge_stats_;
+  // Counters of ingest arenas retired by rotation (gauge fields zeroed),
+  // so ArenaStats() stays monotone across freezes. Guarded by stats_mu_.
+  WindowArena::Stats rotated_arena_stats_;
 };
 
 }  // namespace rtsi::lsm

@@ -14,11 +14,21 @@ using index::InvertedIndex;
 using index::Posting;
 using index::TermPostings;
 
+// Merge-transient containers draw from the caller's scratch arena (null
+// allocator = global heap): node-based churn — one map node per distinct
+// (term, stream) pair per merge — recycles through the arena free lists.
+using ConsolidatedMap =
+    std::unordered_map<StreamId, Posting, std::hash<StreamId>,
+                       std::equal_to<StreamId>,
+                       ArenaAllocator<std::pair<const StreamId, Posting>>>;
+template <typename T>
+using ArenaSet =
+    std::unordered_set<T, std::hash<T>, std::equal_to<T>, ArenaAllocator<T>>;
+
 // Folds `entries` of one term from one or both inputs into consolidated
 // per-stream postings. Deletion is resolved per consolidated stream by
 // the caller (one predicate call per stream, not per posting).
-void Accumulate(const TermPostings& postings,
-                std::unordered_map<StreamId, Posting>& consolidated,
+void Accumulate(const TermPostings& postings, ConsolidatedMap& consolidated,
                 MergeStats* stats) {
   for (const Posting& p : postings.entries()) {
     auto [it, inserted] = consolidated.emplace(p.stream, p);
@@ -63,20 +73,20 @@ std::shared_ptr<InvertedIndex> CombineComponents(
     const InvertedIndex& a, const InvertedIndex* b, int out_level,
     bool compress, const MergeHooks& hooks, MergeStats* stats,
     ComponentId out_id, index::FreshnessCeilingPtr out_cell,
-    std::vector<StreamId>* surviving) {
+    std::vector<StreamId>* surviving, WindowArena* scratch) {
   Stopwatch watch;
   auto merged = std::make_shared<InvertedIndex>(out_level);
   merged->AdoptCeiling(out_id, std::move(out_cell));
 
-  std::unordered_set<StreamId> streams_a;
-  std::unordered_set<StreamId> streams_b;
-  std::unordered_set<TermId> terms_a;
+  ArenaSet<StreamId> streams_a{ArenaAllocator<StreamId>(scratch)};
+  ArenaSet<StreamId> streams_b{ArenaAllocator<StreamId>(scratch)};
+  ArenaSet<TermId> terms_a{ArenaAllocator<TermId>(scratch)};
   DeletionCache deleted(hooks.is_deleted, hooks.on_purged);
   const bool track_streams = static_cast<bool>(hooks.on_stream);
 
-  auto emit = [&](TermId term,
-                  std::unordered_map<StreamId, Posting>& consolidated) {
-    std::vector<Posting> ordered;
+  auto emit = [&](TermId term, ConsolidatedMap& consolidated) {
+    std::vector<Posting, ArenaAllocator<Posting>> ordered{
+        ArenaAllocator<Posting>(scratch)};
     ordered.reserve(consolidated.size());
     for (const auto& [stream, posting] : consolidated) {
       if (deleted(stream)) {
@@ -90,7 +100,10 @@ std::shared_ptr<InvertedIndex> CombineComponents(
               [](const Posting& x, const Posting& y) {
                 return x.frsh < y.frsh;  // Append order: ascending frsh.
               });
-    TermPostings out;
+    // Built in the scratch arena, then sealed: Seal() migrates the
+    // entries to an exact-size heap buffer, so the stored component holds
+    // no scratch memory and the arena can be recycled per cascade.
+    TermPostings out(scratch);
     for (const Posting& p : ordered) out.Append(p);
     out.Seal();
     if (stats != nullptr) stats->postings_out += out.size();
@@ -100,7 +113,7 @@ std::shared_ptr<InvertedIndex> CombineComponents(
   // Pass 1: every term of `a`, combined with `b`'s postings if present.
   a.ForEachTerm([&](TermId term, const TermPostings& postings_a) {
     terms_a.insert(term);
-    std::unordered_map<StreamId, Posting> consolidated;
+    ConsolidatedMap consolidated{ConsolidatedMap::allocator_type(scratch)};
     if (track_streams) {
       for (const Posting& p : postings_a.entries()) {
         streams_a.insert(p.stream);
@@ -128,7 +141,7 @@ std::shared_ptr<InvertedIndex> CombineComponents(
   if (b != nullptr) {
     b->ForEachTerm([&](TermId term, const TermPostings& postings_b) {
       if (terms_a.count(term) > 0) return;
-      std::unordered_map<StreamId, Posting> consolidated;
+      ConsolidatedMap consolidated{ConsolidatedMap::allocator_type(scratch)};
       if (track_streams) {
         for (const Posting& p : postings_b.entries()) {
           streams_b.insert(p.stream);

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/window_arena.h"
 #include "index/inverted_index.h"
 
 namespace rtsi::lsm {
@@ -77,12 +78,20 @@ struct MergeStats {
 /// back to the global freshness maximum. When `surviving` is non-null
 /// and stream tracking is on, it receives every distinct surviving
 /// stream, so the caller can run the post-publication `on_retired` pass.
+/// `scratch` (optional) backs the merge's transient state — per-term
+/// consolidation maps, ordering buffers, unsealed output vectors, stream
+/// sets — so the allocation churn recycles through the arena's free
+/// lists instead of hitting the global heap once per node. The output
+/// component never references the scratch arena: `Seal()` migrates every
+/// unsealed vector to an exact-size heap buffer, so the caller may drop
+/// (or reuse) the arena as soon as this returns. Null = global heap.
 std::shared_ptr<index::InvertedIndex> CombineComponents(
     const index::InvertedIndex& a, const index::InvertedIndex* b,
     int out_level, bool compress, const MergeHooks& hooks,
     MergeStats* stats, ComponentId out_id = kInvalidComponentId,
     index::FreshnessCeilingPtr out_cell = nullptr,
-    std::vector<StreamId>* surviving = nullptr);
+    std::vector<StreamId>* surviving = nullptr,
+    WindowArena* scratch = nullptr);
 
 }  // namespace rtsi::lsm
 

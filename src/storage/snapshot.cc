@@ -154,7 +154,9 @@ Status SaveIndexSnapshot(const RtsiIndex& index, const std::string& path,
     std::vector<std::pair<TermId, std::vector<Posting>>> terms;
     index.tree().ForEachL0Term(
         [&](TermId term, const TermPostings& postings) {
-          terms.emplace_back(term, postings.entries());
+          const auto entries = postings.entries();
+          terms.emplace_back(term, std::vector<Posting>(entries.begin(),
+                                                        entries.end()));
         });
     writer.WriteVarint(terms.size());
     for (const auto& [term, postings] : terms) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
+#include "common/memory_tracker.h"
 #include "index/live_term_table.h"
 #include "index/stream_info_table.h"
 
@@ -297,6 +299,117 @@ TEST(LiveTermTableTest, ConcurrentAddsAreConsistent) {
         for (const auto& [term, tf] : terms) total += tf;
       });
   EXPECT_EQ(total, static_cast<TermFreq>(kThreads * 1000));
+}
+
+TEST(LiveTermTableTest, AddWindowDuplicateTermsAccumulateWithinWindow) {
+  LiveTermTable table;
+  const std::vector<TermCount> window{{100, 2}, {100, 3}, {101, 1}};
+  const auto totals = table.AddWindow(1, window);
+  ASSERT_EQ(totals.size(), 3u);
+  EXPECT_EQ(totals[0], 2u);
+  EXPECT_EQ(totals[1], 5u);  // Second occurrence sees the first's mass.
+  EXPECT_EQ(totals[2], 1u);
+  EXPECT_EQ(table.GetTotal(1, 100), 5u);
+  EXPECT_EQ(table.GetMaxTotal(100), 5u);
+  // The duplicate must register (term 100 -> stream 1) exactly once, or
+  // RemoveStream would visit it twice and num_entries would drift.
+  EXPECT_EQ(table.num_entries(), 2u);
+  table.RemoveStream(1);
+  EXPECT_EQ(table.num_entries(), 0u);
+  EXPECT_EQ(table.num_streams(), 0u);
+}
+
+TEST(LiveTermTableTest, AddWindowZeroTfInterleavedWithNonzero) {
+  LiveTermTable table;
+  const std::vector<TermCount> window{{100, 0}, {101, 4}, {102, 0}, {103, 1}};
+  const auto totals = table.AddWindow(1, window);
+  EXPECT_EQ(totals, (std::vector<TermFreq>{0, 4, 0, 1}));
+  // tf == 0 entries create no counters, no registrations, no bounds.
+  EXPECT_EQ(table.GetTotal(1, 100), 0u);
+  EXPECT_EQ(table.GetMaxTotal(100), 0u);
+  EXPECT_EQ(table.num_entries(), 2u);
+  // An all-zero window must not even register the stream.
+  table.AddWindow(2, {{200, 0}, {201, 0}});
+  EXPECT_FALSE(table.ContainsStream(2));
+  EXPECT_EQ(table.num_streams(), 1u);
+}
+
+TEST(LiveTermTableTest, AddWindowMaxTotalMonotoneAcrossWindowsAndRemoves) {
+  LiveTermTable table;
+  TermFreq last_max = 0;
+  for (int w = 0; w < 10; ++w) {
+    table.AddWindow(1, {{100, 3}});
+    const TermFreq now = table.GetMaxTotal(100);
+    EXPECT_GE(now, last_max);
+    last_max = now;
+    if (w == 4) {
+      table.RemoveStream(1);  // Consolidation resets the totals...
+      EXPECT_GE(table.GetMaxTotal(100), last_max);  // ...not the bound.
+    }
+  }
+  EXPECT_EQ(table.GetMaxTotal(100), 15u);  // 5 windows after the removal.
+}
+
+TEST(LiveTermTableTest, AddWindowDuringConsolidationNeverLeaksEntries) {
+  // A stream's windows keep arriving while a consolidation merge evicts
+  // it (the on_purged hook path). Whatever interleaving occurs, the
+  // quiesced table must be fully reclaimable by one RemoveStream.
+  LiveTermTable table;
+  std::atomic<bool> stop{false};
+  std::thread consolidator([&table, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) table.RemoveStream(1);
+  });
+  std::vector<TermCount> window;
+  for (int i = 0; i < 3000; ++i) {
+    window.assign(1, {static_cast<TermId>(i % 17), 1});
+    table.AddWindow(1, window);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  consolidator.join();
+  table.RemoveStream(1);
+  EXPECT_EQ(table.num_entries(), 0u);
+  EXPECT_EQ(table.num_streams(), 0u);
+  EXPECT_GE(table.GetMaxTotal(0), 1u);  // Bound survived it all.
+}
+
+TEST(LiveTermTableTest, MemoryAccountingMatchesArenaGauge) {
+  auto tracker = std::make_shared<MemoryTracker>();
+  {
+    LiveTermTable table(/*use_arena=*/true, tracker);
+    for (StreamId s = 0; s < 64; ++s) {
+      for (TermId t = 0; t < 32; ++t) table.Add(s, t, 1);
+    }
+    const WindowArena::Stats stats = table.ArenaStats();
+    EXPECT_GT(stats.owned_bytes, 0u);
+    EXPECT_GT(stats.allocated_bytes, 0u);
+    EXPECT_GE(stats.owned_bytes, stats.allocated_bytes);
+    // The tracker's kLiveArena gauge and the arenas' own view must agree
+    // exactly — one number, two observers.
+    EXPECT_EQ(tracker->bytes(MemCategory::kLiveArena), stats.owned_bytes);
+    // MemoryBytes attributes the arenas' in-use bytes to the inner maps;
+    // it can only exceed them (outer maps, stream shards, max_total_).
+    EXPECT_GT(table.MemoryBytes(), stats.allocated_bytes);
+    // Erasing returns every node; the in-use gauge drops to zero while
+    // owned slabs are kept for reuse and stay charged.
+    for (StreamId s = 0; s < 64; ++s) table.RemoveStream(s);
+    EXPECT_EQ(table.ArenaStats().allocated_bytes, 0u);
+    EXPECT_EQ(tracker->bytes(MemCategory::kLiveArena), stats.owned_bytes);
+  }
+  // Table destruction frees the slabs and balances the gauge to zero.
+  EXPECT_EQ(tracker->bytes(MemCategory::kLiveArena), 0u);
+}
+
+TEST(LiveTermTableTest, HeapModeUsesUniformNodeAccounting) {
+  LiveTermTable table(/*use_arena=*/false);
+  const std::size_t empty = table.MemoryBytes();
+  constexpr std::size_t kEntries = 64;
+  for (StreamId s = 0; s < kEntries; ++s) table.Add(s, 5, 1);
+  // One formula for every map: each entry pays at least payload plus the
+  // node header; the old per-callsite formulas dropped parts of this.
+  const std::size_t per_entry =
+      sizeof(StreamId) + sizeof(TermFreq) + 2 * sizeof(void*);
+  EXPECT_GE(table.MemoryBytes(), empty + kEntries * per_entry);
+  EXPECT_EQ(table.ArenaStats().owned_bytes, 0u);  // No arenas in heap mode.
 }
 
 }  // namespace

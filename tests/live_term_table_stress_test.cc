@@ -1,0 +1,150 @@
+// Concurrency stress for the LiveTermTable locking protocol.
+//
+// The table keeps two disjoint lock families (term shards, stream shards)
+// and an invariant — every counter creation is followed by a stream-side
+// registration — that RemoveStream's loop-until-stable sweep relies on.
+// These tests hammer Add/AddWindow/RemoveStream/ForEachStreamOfTerm from
+// many threads; they are in the `concurrency` ctest label, so
+// tools/run_sanitizers.sh runs them under TSan, which is what actually
+// certifies the protocol (the original nested term->stream acquisition in
+// Add() and the single-pass RemoveStream both predate this suite).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "index/live_term_table.h"
+
+namespace rtsi::index {
+namespace {
+
+constexpr StreamId kStreams = 5;
+constexpr TermId kTerms = 11;
+
+TEST(LiveTermTableStressTest, MixedOperationsHammer) {
+  LiveTermTable table;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  // Single-entry adders.
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&table, t] {
+      for (int i = 0; i < 4000; ++i) {
+        table.Add(static_cast<StreamId>((i + t) % kStreams),
+                  static_cast<TermId>(i % kTerms), 1);
+      }
+    });
+  }
+  // Window adders, with tf == 0 entries mixed in.
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&table, t] {
+      std::vector<TermCount> window;
+      for (int i = 0; i < 2000; ++i) {
+        window.clear();
+        window.push_back({static_cast<TermId>(i % kTerms), 1});
+        window.push_back({static_cast<TermId>((i + 3) % kTerms), 0});
+        window.push_back({static_cast<TermId>((i + 5) % kTerms), 2});
+        table.AddWindow(static_cast<StreamId>((i + t) % kStreams), window);
+      }
+    });
+  }
+  // Removers racing the inserts (the consolidation path).
+  std::thread remover([&table, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (StreamId s = 0; s < kStreams; ++s) table.RemoveStream(s);
+    }
+  });
+  // Readers: the query pre-scan and the membership check.
+  std::thread reader([&table, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      TermFreq sum = 0;
+      for (TermId t = 0; t < kTerms; ++t) {
+        table.ForEachStreamOfTerm(
+            t, [&sum](StreamId, TermFreq total) { sum += total; });
+      }
+      for (StreamId s = 0; s < kStreams; ++s) {
+        (void)table.ContainsStream(s);
+      }
+      (void)table.GetMaxTotal(0);
+      (void)sum;
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  remover.join();
+  reader.join();
+
+  // Quiesced: one RemoveStream per stream must fully reclaim — no orphan
+  // counters, no stale registrations left behind by the races above.
+  for (StreamId s = 0; s < kStreams; ++s) table.RemoveStream(s);
+  EXPECT_EQ(table.num_entries(), 0u);
+  EXPECT_EQ(table.num_streams(), 0u);
+}
+
+TEST(LiveTermTableStressTest, RemoveInsertInterleavingLeavesNoOrphans) {
+  // Regression for the single-pass RemoveStream: an insert landing after
+  // the stream's term list was swapped out used to leave an orphan
+  // (term -> stream) counter that no later removal would visit. The loop
+  // version re-sweeps until the stream entry stays gone, so after the
+  // race quiesces ONE RemoveStream leaves zero entries.
+  LiveTermTable table;
+  constexpr StreamId kVictim = 7;
+  for (int round = 0; round < 100; ++round) {
+    std::thread inserter([&table, round] {
+      std::vector<TermCount> window;
+      for (int i = 0; i < 60; ++i) {
+        if (i % 2 == 0) {
+          table.Add(kVictim, static_cast<TermId>(i % 7), 1);
+        } else {
+          window.assign(1, {static_cast<TermId>((i + round) % 7), 2});
+          table.AddWindow(kVictim, window);
+        }
+      }
+    });
+    std::thread remover([&table] {
+      for (int i = 0; i < 60; ++i) table.RemoveStream(kVictim);
+    });
+    inserter.join();
+    remover.join();
+    table.RemoveStream(kVictim);
+    ASSERT_EQ(table.num_entries(), 0u) << "round " << round;
+    ASSERT_EQ(table.num_streams(), 0u) << "round " << round;
+    ASSERT_FALSE(table.ContainsStream(kVictim)) << "round " << round;
+  }
+  // The monotone bound survived all removals.
+  EXPECT_GE(table.GetMaxTotal(0), 1u);
+}
+
+TEST(LiveTermTableStressTest, ConcurrentWindowsKeepTotalsExact) {
+  // Totals must be exact under concurrency (no lost updates): every
+  // thread adds the same term mass, the final totals add up.
+  LiveTermTable table;
+  constexpr int kThreads = 8;
+  constexpr int kWindows = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table] {
+      std::vector<TermCount> window{{3, 1}, {4, 2}};
+      for (int i = 0; i < kWindows; ++i) {
+        table.AddWindow(static_cast<StreamId>(i % 3), window);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  TermFreq total3 = 0;
+  TermFreq total4 = 0;
+  for (StreamId s = 0; s < 3; ++s) {
+    total3 += table.GetTotal(s, 3);
+    total4 += table.GetTotal(s, 4);
+  }
+  EXPECT_EQ(total3, static_cast<TermFreq>(kThreads * kWindows));
+  EXPECT_EQ(total4, static_cast<TermFreq>(kThreads * kWindows * 2));
+  // GetMaxTotal is an upper bound on any per-stream total ever observed.
+  EXPECT_GE(table.GetMaxTotal(3), total3 / 3);
+  EXPECT_GE(table.GetMaxTotal(4), total4 / 3);
+}
+
+}  // namespace
+}  // namespace rtsi::index

@@ -1,0 +1,137 @@
+// WindowArena unit tests: size-class rounding, free-list recycling,
+// oversized blocks, the MemoryTracker gauge, and the ArenaAllocator
+// adapter driving real containers (including the Seal() heap migration).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/window_arena.h"
+#include "index/term_postings.h"
+
+namespace rtsi {
+namespace {
+
+TEST(WindowArenaTest, RoundsRequestsToPowerOfTwoClasses) {
+  WindowArena arena;
+  arena.Allocate(1);
+  EXPECT_EQ(arena.allocated_bytes(), 16u);  // Min class.
+  arena.Allocate(16);
+  EXPECT_EQ(arena.allocated_bytes(), 32u);
+  arena.Allocate(17);
+  EXPECT_EQ(arena.allocated_bytes(), 64u);  // 17 -> 32.
+  arena.Allocate(100);
+  EXPECT_EQ(arena.allocated_bytes(), 192u);  // 100 -> 128.
+  EXPECT_EQ(arena.GetStats().requests, 4u);
+}
+
+TEST(WindowArenaTest, CarvesAreMaxAligned) {
+  WindowArena arena;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(static_cast<std::size_t>(1 + i * 7 % 120));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                  alignof(std::max_align_t),
+              0u);
+  }
+}
+
+TEST(WindowArenaTest, FreeListRecyclesBlocksOfTheSameClass) {
+  WindowArena arena;
+  void* a = arena.Allocate(24);  // Class 32.
+  arena.Deallocate(a, 24);
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  void* b = arena.Allocate(30);  // Same class; must reuse the freed block.
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(arena.GetStats().freelist_hits, 1u);
+  // A different class must not reuse it.
+  void* c = arena.Allocate(200);
+  EXPECT_NE(c, a);
+}
+
+TEST(WindowArenaTest, OversizedAllocationsGetDedicatedBlocks) {
+  WindowArena arena(/*slab_bytes=*/1024);
+  const std::size_t before = arena.owned_bytes();
+  void* p = arena.Allocate(4096);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.owned_bytes() - before, 4096u);  // No slab padding.
+  // Freed oversized blocks recycle through their class like any other.
+  arena.Deallocate(p, 4096);
+  EXPECT_EQ(arena.Allocate(4000), p);
+}
+
+TEST(WindowArenaTest, TrackerGaugeFollowsOwnedBytesAndZeroesAtDeath) {
+  auto tracker = std::make_shared<MemoryTracker>();
+  {
+    WindowArena arena(WindowArena::kDefaultSlabBytes, tracker);
+    EXPECT_EQ(tracker->bytes(MemCategory::kLiveArena), 0u);
+    arena.Allocate(100);
+    EXPECT_EQ(tracker->bytes(MemCategory::kLiveArena), arena.owned_bytes());
+    arena.Allocate(1 << 20);  // Oversized block also charged.
+    EXPECT_EQ(tracker->bytes(MemCategory::kLiveArena), arena.owned_bytes());
+    EXPECT_GT(arena.owned_bytes(), static_cast<std::size_t>(1 << 20));
+  }
+  EXPECT_EQ(tracker->bytes(MemCategory::kLiveArena), 0u);
+}
+
+TEST(WindowArenaTest, VectorPromotesThroughClassesAndReturnsBlocks) {
+  WindowArena arena;
+  {
+    std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(&arena)};
+    for (int i = 0; i < 10000; ++i) v.push_back(i);
+    for (int i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i);
+    // Growth promoted the buffer through several classes; the abandoned
+    // smaller buffers are on free lists, not leaked.
+    EXPECT_GT(arena.GetStats().requests, 1u);
+  }
+  // Vector destruction returned the final buffer too.
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_GT(arena.owned_bytes(), 0u);  // Slabs are kept for reuse.
+}
+
+TEST(WindowArenaTest, UnorderedMapChurnHitsTheFreeList) {
+  WindowArena arena;
+  using Alloc = ArenaAllocator<std::pair<const int, int>>;
+  using Map = std::unordered_map<int, int, std::hash<int>, std::equal_to<int>,
+                                 Alloc>;
+  Map map{Alloc(&arena)};
+  for (int i = 0; i < 500; ++i) map[i] = i;
+  for (int i = 0; i < 500; ++i) map.erase(i);
+  const std::uint64_t hits_before = arena.GetStats().freelist_hits;
+  const std::size_t owned_before = arena.owned_bytes();
+  for (int i = 0; i < 500; ++i) map[i] = i;  // Refill: recycled nodes.
+  EXPECT_GT(arena.GetStats().freelist_hits, hits_before);
+  EXPECT_EQ(arena.owned_bytes(), owned_before);  // No new slabs needed.
+}
+
+TEST(WindowArenaTest, NullArenaAllocatorFallsBackToHeap) {
+  std::vector<int, ArenaAllocator<int>> v;  // Default allocator: no arena.
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_EQ(v.get_allocator().arena(), nullptr);
+}
+
+TEST(WindowArenaTest, SealMigratesPostingsOffTheArena) {
+  WindowArena arena;
+  index::TermPostings postings(&arena);
+  for (int i = 0; i < 100; ++i) {
+    postings.Append({static_cast<StreamId>(i), 1.0f,
+                     static_cast<Timestamp>(i), 1});
+  }
+  EXPECT_GT(arena.allocated_bytes(), 0u);
+  postings.Seal();
+  // Every arena byte is back on the free lists: the sealed object holds
+  // no arena memory, so the arena can be retired wholesale.
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(postings.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(postings.entries()[i].stream, static_cast<StreamId>(i));
+  }
+  EXPECT_TRUE(postings.IsSorted(index::SortKey::kPopularity));
+}
+
+}  // namespace
+}  // namespace rtsi

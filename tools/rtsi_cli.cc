@@ -206,6 +206,19 @@ int CmdStats(int argc, char** argv) {
   std::printf("  live table:   %zu streams, %zu entries\n",
               index.live_table().num_streams(),
               index.live_table().num_entries());
+  // Live ingest arenas: the tracker gauge counts slab bytes of the L0
+  // shard arenas, the live-term table arenas, and any retired arenas
+  // still quarantined on frozen components.
+  {
+    const WindowArena::Stats arena = index.LiveArenaStats();
+    std::printf("  live arena:   %zu B tracked (%zu B owned, %zu B in use, "
+                "%llu requests, %llu upstream, %llu freelist hits)\n",
+                index.tree().memory_tracker()->bytes(MemCategory::kLiveArena),
+                arena.owned_bytes, arena.allocated_bytes,
+                static_cast<unsigned long long>(arena.requests),
+                static_cast<unsigned long long>(arena.upstream_allocations),
+                static_cast<unsigned long long>(arena.freelist_hits));
+  }
   std::printf("  documents:    %llu\n",
               static_cast<unsigned long long>(
                   index.doc_freq().num_documents()));

@@ -30,6 +30,9 @@ TSAN_TARGETS=(
   checkpoint_atomicity_test
   view_publication_test
   service_determinism_test
+  live_term_table_stress_test
+  live_arena_test
+  window_arena_test
 )
 
 run_asan() {
