@@ -5,9 +5,12 @@
 // screen) and with them off (the PR-5 walk). The two passes must produce
 // bit-identical per-query results — skipping is a pure traversal
 // optimization — so each query's result checksum is audited against the
-// no-skip pass, and the folded checksums are emitted per row. Emits
-// BENCH_fig10_query.json so the sealed-phase read path has a tracked perf
-// trajectory.
+// no-skip pass, and the folded checksums are emitted per row. A
+// compaction-policy column rides along: the same workload against a
+// size-tiered index (several resident runs per level) shows what the
+// extra runs cost the read path with the headers doing the skipping.
+// Emits BENCH_fig10_query.json so the sealed-phase read path has a
+// tracked perf trajectory.
 
 #include <cstdint>
 #include <cstdio>
@@ -100,16 +103,22 @@ int main() {
   workload::ReportTable table(
       "Figure 10: query cost vs #queries (" + std::to_string(init_streams) +
           " streams, k=10; skip = Bloom+summary headers)",
-      {"mix/#queries", "RTSI skip", "RTSI noskip", "gain", "LSII mean",
-       "skipped/visited", "screened", "match"});
+      {"mix/#queries", "RTSI skip", "RTSI noskip", "gain", "tiered",
+       "LSII mean", "skipped/visited", "screened", "match"});
 
-  // Build both indices once; sweep the query count. The same RTSI index
-  // serves both sides of the A/B (queries are read-only; the toggle flips
-  // planner consultation only).
+  // Build the indices once; sweep the query count. The same RTSI index
+  // serves both sides of the skip A/B (queries are read-only; the toggle
+  // flips planner consultation only). The tiered column reads an index
+  // built with the size-tiered compaction policy — more resident runs on
+  // the read path, the skip headers' worst case.
   core::RtsiIndex rtsi_index(bench::DefaultIndexConfig());
+  auto tiered_config = bench::DefaultIndexConfig();
+  tiered_config.lsm.policy = lsm::MergePolicy::kTiered;
+  core::RtsiIndex tiered_index(tiered_config);
   auto lsii_index = bench::MakeIndex("LSII", bench::DefaultIndexConfig());
-  SimulatedClock clock_a, clock_b;
+  SimulatedClock clock_a, clock_b, clock_c;
   workload::InitializeIndex(rtsi_index, corpus, 0, init_streams, clock_a);
+  workload::InitializeIndex(tiered_index, corpus, 0, init_streams, clock_c);
   workload::InitializeIndex(*lsii_index, corpus, 0, init_streams, clock_b);
   const std::size_t components = rtsi_index.tree().SealedSnapshot().size();
 
@@ -117,6 +126,8 @@ int main() {
   report.Field("scale", bench::Scale());
   report.Field("streams", static_cast<double>(init_streams));
   report.Field("sealed_components", static_cast<double>(components));
+  report.Field("tiered_runs",
+               static_cast<double>(tiered_index.tree().num_runs()));
   report.Field("k", static_cast<double>(k));
 
   // Two query mixes. "in_vocab" is the paper's fig-10 workload: every
@@ -147,6 +158,8 @@ int main() {
     const Pass skip_off =
         MeasureRtsi(rtsi_index, query_config, n, k, clock_a.Now());
     rtsi_index.SetUseSkipHeader(true);
+    const Pass tiered =
+        MeasureRtsi(tiered_index, query_config, n, k, clock_c.Now());
 
     // Bit-identity audit: pinpoint the first diverging query.
     bool match = skip_on.per_query.size() == skip_off.per_query.size();
@@ -179,6 +192,7 @@ int main() {
          workload::FormatMicros(skip_on.mean_us),
          workload::FormatMicros(skip_off.mean_us),
          workload::FormatDouble(gain * 100.0, 1) + "%",
+         workload::FormatMicros(tiered.mean_us),
          workload::FormatMicros(lsii_stats.mean_micros()),
          std::to_string(skip_on.stats.components_skipped) + "/" +
              std::to_string(skip_on.stats.components_visited),
@@ -193,6 +207,10 @@ int main() {
         .Field("total_us_skip", skip_on.total_us)
         .Field("total_us_noskip", skip_off.total_us)
         .Field("improvement", gain)
+        .Field("mean_us_tiered", tiered.mean_us)
+        .Field("total_us_tiered", tiered.total_us)
+        .Field("tiered_components_skipped",
+               static_cast<double>(tiered.stats.components_skipped))
         .Field("lsii_mean_us", lsii_stats.mean_micros())
         .Field("components_visited",
                static_cast<double>(skip_on.stats.components_visited))

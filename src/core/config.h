@@ -33,7 +33,15 @@ enum class BoundMode {
 };
 
 struct RtsiConfig {
-  lsm::LsmTree::Config lsm;          // delta, rho, Huffman compression.
+  /// LSM knobs: delta, rho, Huffman compression, and the compaction
+  /// policy (lsm.policy / lsm.tier_runs). kGeometric is the paper's
+  /// Algorithm 1 cascade; kTiered accumulates lsm.tier_runs runs per
+  /// level before folding the tier one level down (lower write
+  /// amplification, more runs on the read path — which the skip headers
+  /// keep cheap); kFullCompaction is the everything-into-one ablation
+  /// baseline. Snapshots (v5+) persist the policy; RtsiIndex::
+  /// SetMergePolicy switches it at runtime.
+  lsm::LsmTree::Config lsm;
   ScoreWeights weights;
   double freshness_tau_seconds = 6.0 * 3600.0;  // Exponential decay scale.
   bool use_bound = true;             // Top-k early termination (Figure 17).

@@ -74,6 +74,15 @@ void RtsiIndex::SetUseSkipHeader(bool use_skip_header) {
   config_.use_skip_header = use_skip_header;
 }
 
+void RtsiIndex::SetMergePolicy(lsm::MergePolicy policy) {
+  config_.lsm.policy = policy;
+  tree_.SetPolicy(policy);
+}
+
+void RtsiIndex::SetCascadeObserver(std::function<void()> observer) {
+  cascade_observer_ = std::move(observer);
+}
+
 void RtsiIndex::WaitForMerges() {
   if (merge_executor_ != nullptr) merge_executor_->Wait();
 }
@@ -86,25 +95,26 @@ lsm::MergeHooks RtsiIndex::MakeMergeHooks() {
   hooks.on_purged = [this](StreamId stream) {
     live_terms_.RemoveStream(stream);
   };
-  hooks.on_stream = [this](StreamId stream, bool in_both, ComponentId,
-                           ComponentId, const index::InvertedIndex& merged) {
+  hooks.on_stream = [this](StreamId stream, std::uint32_t copies,
+                           const index::InvertedIndex& merged) {
     // Register the stream on the (unpublished) merge output — its live
     // freshness bumps the output's ceiling cell on the way. The input
     // residencies stay until on_retired fires post-swap, so inserts keep
     // bumping the still-query-visible inputs' ceilings. When the merge
-    // consolidated two of this stream's residencies into one and the
+    // consolidated several of this stream's residencies into one and the
     // stream stopped broadcasting, the per-component tf is the total and
     // the live-term entries can go.
     const auto [count, live] = streams_.MergeResidency(
-        stream, in_both, merged.component_id(), merged.ceiling_cell());
-    if (in_both && count <= 1 && !live) live_terms_.RemoveStream(stream);
+        stream, copies, merged.component_id(), merged.ceiling_cell());
+    if (copies > 1 && count <= 1 && !live) live_terms_.RemoveStream(stream);
   };
-  hooks.on_retired = [this](StreamId stream, ComponentId from_a,
-                            ComponentId from_b) {
+  hooks.on_retired = [this](StreamId stream,
+                            const std::vector<ComponentId>& from) {
     // The merge inputs left the component list: their ceiling cells can
     // no longer reach a query, so the residency entries go.
-    streams_.DropResidency(stream, from_a, from_b);
+    streams_.DropResidency(stream, from);
   };
+  hooks.on_cascade_step = cascade_observer_;
   hooks.on_frozen = [this](const index::InvertedIndex& frozen) {
     // A new sealed component is about to become query-visible: register a
     // residency (stream -> ceiling cell) for every distinct stream it
@@ -146,9 +156,6 @@ void RtsiIndex::InsertWindow(StreamId stream, Timestamp now,
   std::uint64_t pop_count = 0;
   const bool new_stream = streams_.OnInsert(stream, now, live, &pop_count);
   if (new_stream) df_.AddDocument();
-  if (tree_.MarkStreamInL0(stream)) {
-    streams_.IncrementComponentCount(stream);
-  }
   const float pop_snapshot = static_cast<float>(pop_count);
 
   const std::vector<TermFreq> totals = live_terms_.AddWindow(stream, terms);
@@ -156,7 +163,16 @@ void RtsiIndex::InsertWindow(StreamId stream, Timestamp now,
     const TermCount& tc = terms[i];
     if (tc.tf == 0) continue;
     if (totals[i] == tc.tf) df_.AddOccurrence(tc.term);  // First window.
-    tree_.AddPosting(tc.term, Posting{stream, pop_snapshot, now, tc.tf});
+    // AddPosting marks the stream's L0-epoch presence atomically with the
+    // posting (under the term-shard lock), returning true on the stream's
+    // first posting of the epoch. Incrementing per true return — instead
+    // of one up-front MarkStreamInL0 — closes the race where a freeze
+    // slipped between the mark and the adds and left the component count
+    // short for the new epoch; a freeze splitting this window's postings
+    // across two epochs now yields the correct two increments.
+    if (tree_.AddPosting(tc.term, Posting{stream, pop_snapshot, now, tc.tf})) {
+      streams_.IncrementComponentCount(stream);
+    }
   }
 
   // Lines 4-7: merge cascade when I0 exceeds delta. With async_merge the

@@ -27,6 +27,7 @@
 #define RTSI_CORE_RTSI_INDEX_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -87,6 +88,19 @@ class RtsiIndex : public SearchIndex {
   /// (see DESIGN.md §6f); benches A/B the two settings. NOT safe
   /// concurrently with queries.
   void SetUseSkipHeader(bool use_skip_header);
+
+  /// Switches the LSM compaction policy; takes effect at the next merge
+  /// cascade. Always safe: policies are stateless and re-plan from the
+  /// current per-level run lists, so any structure the previous policy
+  /// (or a restored snapshot) left behind is valid input.
+  void SetMergePolicy(lsm::MergePolicy policy);
+
+  /// Installs an observer invoked after every published cascade step (the
+  /// L0 freeze and each merge swap) with no tree locks held — the tree is
+  /// consistent and snapshot-safe at each call. Tests use it to save
+  /// snapshots mid-cascade. Pass nullptr to clear. NOT safe concurrently
+  /// with running merges (set it before inserting past delta).
+  void SetCascadeObserver(std::function<void()> observer);
 
   // SearchIndex:
   void InsertWindow(StreamId stream, Timestamp now,
@@ -181,6 +195,8 @@ class RtsiIndex : public SearchIndex {
   DocumentFrequencyTable df_;
   std::mutex pending_mu_;
   std::unordered_set<StreamId> pending_finished_;
+  // Test seam: forwarded into MergeHooks::on_cascade_step at each merge.
+  std::function<void()> cascade_observer_;
   std::atomic<bool> merge_scheduled_{false};
   // Lifetime skip-planner counters (relaxed: statistics only).
   std::atomic<std::uint64_t> cum_visited_{0};

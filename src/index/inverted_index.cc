@@ -67,6 +67,10 @@ void InvertedIndex::SealAll() {
   for (auto& [term, postings] : terms_) postings.Seal();
 }
 
+void InvertedIndex::ConsolidateAndSealAll() {
+  for (auto& [term, postings] : terms_) postings.ConsolidateAndSeal();
+}
+
 void InvertedIndex::CompressAll() {
   if (compressed_) return;
   compressed_terms_.reserve(terms_.size());

@@ -99,6 +99,13 @@ class InvertedIndex {
   /// Seals every term list (sorts the three views). Idempotent.
   void SealAll();
 
+  /// Consolidates duplicate per-stream postings of every term (the merge
+  /// fold: summed tf, newest frsh, largest pop), then seals. The freeze
+  /// path uses this so sealed components always hold one aggregated
+  /// posting per (term, stream) — the invariant the pruning bounds
+  /// assume. Idempotent; a no-op on already-consolidated data.
+  void ConsolidateAndSealAll();
+
   /// Converts every plain list to the Huffman-compressed representation.
   /// Requires SealAll() first (merge output is always sealed).
   void CompressAll();

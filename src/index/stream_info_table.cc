@@ -65,14 +65,17 @@ void StreamInfoTable::AddSealedResidency(StreamId stream,
 }
 
 std::pair<std::uint32_t, bool> StreamInfoTable::MergeResidency(
-    StreamId stream, bool in_both, ComponentId to,
+    StreamId stream, std::uint32_t copies, ComponentId to,
     const FreshnessCeilingPtr& to_cell) {
   Shard& shard = ShardFor(stream);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(stream);
   if (it == shard.map.end()) return {0, false};
   StreamInfo& info = it->second;
-  if (in_both && info.component_count > 0) --info.component_count;
+  // `copies` residencies became one in the merge output.
+  for (std::uint32_t c = 1; c < copies && info.component_count > 0; ++c) {
+    --info.component_count;
+  }
   // A deleted stream is never scored again; MarkDeleted erased its
   // residency and re-registering here would leak an orphan entry (later
   // merges purge its postings without calling the hook again).
@@ -94,8 +97,8 @@ std::pair<std::uint32_t, bool> StreamInfoTable::MergeResidency(
   return {info.component_count, info.live};
 }
 
-void StreamInfoTable::DropResidency(StreamId stream, ComponentId from_a,
-                                    ComponentId from_b) {
+void StreamInfoTable::DropResidency(StreamId stream,
+                                    const std::vector<ComponentId>& from) {
   Shard& shard = ShardFor(stream);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.residency.find(stream);
@@ -103,9 +106,10 @@ void StreamInfoTable::DropResidency(StreamId stream, ComponentId from_a,
   std::vector<Residency>& entries = it->second;
   std::size_t n = 0;
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    if (entries[i].component == from_a || entries[i].component == from_b) {
-      continue;  // Retired merge input.
-    }
+    const bool retired =
+        std::find(from.begin(), from.end(), entries[i].component) !=
+        from.end();
+    if (retired) continue;  // Retired merge input.
     if (n != i) entries[n] = std::move(entries[i]);
     ++n;
   }

@@ -70,28 +70,28 @@ class StreamInfoTable {
 
   /// Pre-publication merge bookkeeping, all under one shard lock:
   /// registers the merge output `to` (bumping its cell to the stream's
-  /// live freshness) and — when `in_both` — decrements the component
-  /// count, since the merge consolidated two residencies into one. The
-  /// input residencies are deliberately NOT dropped here: the inputs stay
-  /// query-visible (in the published IndexView, and in any older views
-  /// still pinned) until the output is swapped in, and they must keep
-  /// receiving ceiling bumps for that whole window or a query pinning
-  /// such a view could prune with a ceiling below the stream's live
-  /// freshness. DropResidency removes them after the swap.
+  /// live freshness) and debits the component count by `copies - 1` —
+  /// the N-way merge consolidated `copies` of the stream's residencies
+  /// into one. The input residencies are deliberately NOT dropped here:
+  /// the inputs stay query-visible (in the published IndexView, and in
+  /// any older views still pinned) until the output is swapped in, and
+  /// they must keep receiving ceiling bumps for that whole window or a
+  /// query pinning such a view could prune with a ceiling below the
+  /// stream's live freshness. DropResidency removes them after the swap.
   /// Deleted streams get the count update but no registration (their
   /// residency was erased by MarkDeleted; re-adding it would leak, since
   /// later merges purge their postings without another hook call).
   /// Returns the new count and whether the stream is still live
   /// (live-table eviction decision).
   std::pair<std::uint32_t, bool> MergeResidency(
-      StreamId stream, bool in_both, ComponentId to,
+      StreamId stream, std::uint32_t copies, ComponentId to,
       const FreshnessCeilingPtr& to_cell);
 
   /// Post-publication merge bookkeeping: drops the stream's residency
-  /// entries for the retired merge inputs `from_a`/`from_b`, now no
-  /// longer query-visible. No-op for unknown streams or absent entries.
-  void DropResidency(StreamId stream, ComponentId from_a,
-                     ComponentId from_b);
+  /// entries for the retired merge inputs `from`, now no longer
+  /// query-visible. Inputs the stream never resided in are skipped.
+  /// No-op for unknown streams or absent entries.
+  void DropResidency(StreamId stream, const std::vector<ComponentId>& from);
 
   /// Component ids the stream currently resides in (test introspection).
   std::vector<ComponentId> GetResidency(StreamId stream) const;

@@ -61,6 +61,43 @@ void TermPostings::Seal() {
   sealed_ = true;
 }
 
+void TermPostings::ConsolidateAndSeal() {
+  if (sealed_) return;
+  // Fold duplicates stream-wise (the by_stream_ / merge rule), then
+  // restore the ascending-frsh arrival invariant Seal() relies on. The
+  // folded vector is heap-backed, so this also serves as the off-arena
+  // migration Seal() would otherwise perform.
+  std::vector<Posting> folded(entries_.begin(), entries_.end());
+  std::stable_sort(folded.begin(), folded.end(),
+                   [](const Posting& a, const Posting& b) {
+                     return a.stream < b.stream;
+                   });
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < folded.size(); ++i) {
+    if (n > 0 && folded[n - 1].stream == folded[i].stream) {
+      Posting& merged = folded[n - 1];
+      merged.tf += folded[i].tf;
+      merged.frsh = std::max(merged.frsh, folded[i].frsh);
+      merged.pop = std::max(merged.pop, folded[i].pop);
+    } else {
+      folded[n++] = folded[i];
+    }
+  }
+  folded.resize(n);
+  std::sort(folded.begin(), folded.end(),
+            [](const Posting& a, const Posting& b) {
+              return a.frsh != b.frsh ? a.frsh < b.frsh
+                                      : a.stream < b.stream;
+            });
+  PostingVec heap(folded.begin(), folded.end(), ArenaAllocator<Posting>());
+  entries_ = std::move(heap);
+  // The aggregated tf maximum can exceed the per-posting one; pop and
+  // frsh maxima are unchanged (max of per-stream maxima).
+  max_tf_ = 0;
+  for (const Posting& p : entries_) max_tf_ = std::max(max_tf_, p.tf);
+  Seal();
+}
+
 const Posting& TermPostings::At(SortKey key, std::size_t i) const {
   switch (key) {
     case SortKey::kFreshness:

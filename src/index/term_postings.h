@@ -50,6 +50,16 @@ class TermPostings {
   /// freezes the object. Idempotent.
   void Seal();
 
+  /// Folds duplicate postings of the same stream into one aggregate
+  /// (summed tf, newest frsh, largest pop — the merge fold rule), then
+  /// Seal()s. Freezing uses this instead of plain Seal(): the query-side
+  /// upper bounds (Bounds(), the traversal Threshold()) read per-posting
+  /// maxima and are only sound when each stream owns a single aggregated
+  /// posting — true of merge outputs by construction, and of frozen L0
+  /// components only via this fold (a live stream can emit several
+  /// windows of one term inside one epoch). Idempotent.
+  void ConsolidateAndSeal();
+
   bool sealed() const { return sealed_; }
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }

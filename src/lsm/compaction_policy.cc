@@ -1,0 +1,139 @@
+#include "lsm/compaction_policy.h"
+
+namespace rtsi::lsm {
+namespace {
+
+std::size_t LevelPostings(const LevelRuns& levels, std::size_t l) {
+  std::size_t total = 0;
+  if (l < levels.size()) {
+    for (const auto& run : levels[l]) total += run->num_postings();
+  }
+  return total;
+}
+
+void CollectLevel(const LevelRuns& levels, std::size_t l,
+                  CompactionStep* step) {
+  if (l >= levels.size()) return;
+  for (const auto& run : levels[l]) step->inputs.push_back(run);
+}
+
+// The paper's Algorithm 1 over run lists. In steady state every level
+// holds at most one run, so each step is the classic two-way merge of
+// the incoming run with the target level's resident — bit-identical to
+// the pre-policy cascade. A restored mid-cascade state (several runs on
+// one level) or a tree switched over from kTiered simply feeds more
+// inputs into the same steps and self-heals to one-run-per-level.
+class GeometricPolicy final : public CompactionPolicy {
+ public:
+  explicit GeometricPolicy(const CompactionConfig& config)
+      : config_(config) {}
+
+  const char* name() const override { return "geometric"; }
+
+  bool PlanStep(const LevelRuns& levels, CompactionStep* step) override {
+    // A frozen run is waiting at level 0: fold it (and the level-1
+    // resident, if any) into level 1.
+    if (!levels.empty() && !levels[0].empty()) {
+      CollectLevel(levels, 0, step);
+      CollectLevel(levels, 1, step);
+      step->out_level = 1;
+      return true;
+    }
+    // Cascade: the shallowest level over its delta * rho^l capacity
+    // overflows into the next one.
+    double capacity = static_cast<double>(config_.delta);
+    for (std::size_t l = 1; l < levels.size(); ++l) {
+      capacity *= config_.rho;
+      if (levels[l].empty()) continue;
+      if (static_cast<double>(LevelPostings(levels, l)) <= capacity) {
+        continue;
+      }
+      CollectLevel(levels, l, step);
+      CollectLevel(levels, l + 1, step);
+      step->out_level = static_cast<int>(l) + 1;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  CompactionConfig config_;
+};
+
+// Size-tiered: runs pile up at a level until tier_runs of them exist,
+// then exactly those runs merge into one run at the next level. The
+// just-frozen run usually triggers nothing — the common freeze is
+// zero-merge-work — and each posting is rewritten once per level it
+// descends through instead of once per incoming run.
+class TieredPolicy final : public CompactionPolicy {
+ public:
+  explicit TieredPolicy(const CompactionConfig& config) : config_(config) {}
+
+  const char* name() const override { return "tiered"; }
+
+  bool PlanStep(const LevelRuns& levels, CompactionStep* step) override {
+    const std::size_t fanout = config_.tier_runs < 2 ? 2 : config_.tier_runs;
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      if (levels[l].size() < fanout) continue;
+      CollectLevel(levels, l, step);
+      step->out_level = static_cast<int>(l) + 1;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  CompactionConfig config_;
+};
+
+// Ablation baseline: one N-way merge of every run after every freeze.
+class FullCompactionPolicy final : public CompactionPolicy {
+ public:
+  const char* name() const override { return "full"; }
+
+  bool PlanStep(const LevelRuns& levels, CompactionStep* step) override {
+    std::size_t runs = 0;
+    for (const auto& level : levels) runs += level.size();
+    // A single settled run at level 1 is the fixed point; anything else
+    // (a fresh frozen run, several runs, or a deeper-resident restore)
+    // gets folded into one component.
+    if (runs == 0) return false;
+    if (runs == 1 && levels.size() > 1 && levels[1].size() == 1) {
+      return false;
+    }
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      CollectLevel(levels, l, step);
+    }
+    step->out_level = 1;
+    return true;
+  }
+};
+
+}  // namespace
+
+const char* MergePolicyName(MergePolicy policy) {
+  switch (policy) {
+    case MergePolicy::kGeometric:
+      return "geometric";
+    case MergePolicy::kFullCompaction:
+      return "full";
+    case MergePolicy::kTiered:
+      return "tiered";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CompactionPolicy> MakeCompactionPolicy(
+    MergePolicy policy, const CompactionConfig& config) {
+  switch (policy) {
+    case MergePolicy::kFullCompaction:
+      return std::make_unique<FullCompactionPolicy>();
+    case MergePolicy::kTiered:
+      return std::make_unique<TieredPolicy>(config);
+    case MergePolicy::kGeometric:
+      break;
+  }
+  return std::make_unique<GeometricPolicy>(config);
+}
+
+}  // namespace rtsi::lsm

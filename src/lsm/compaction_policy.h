@@ -1,0 +1,91 @@
+// Pluggable compaction policies for the LSM-tree of inverted indices.
+//
+// A policy decides how sealed runs are folded after an L0 freeze: which
+// components to merge next and the level the output lands on. The tree
+// calls PlanStep in a loop (under its structural lock), executes each
+// returned step with an N-way CombineComponents, and stops when the
+// policy has nothing left to fold. Policies are stateless: every decision
+// is a pure function of the current per-level run lists, so a cascade
+// interrupted by a crash — or a snapshot restored mid-cascade, possibly
+// saved under a *different* policy — always re-plans soundly from
+// whatever state it finds.
+//
+//  * kGeometric      — the paper's Algorithm 1. Level i overflows into
+//                      level i+1 while it exceeds delta * rho^i; at most
+//                      one run per level in steady state. Amortized
+//                      O(log) rewrites per posting, fewest components on
+//                      the read path.
+//  * kTiered         — size-tiered: runs accumulate at a level until
+//                      tier_runs of them exist, then all of them merge
+//                      into a single run one level down. Most freezes do
+//                      no merge work at all (lowest write amplification);
+//                      queries see up to tier_runs components per level,
+//                      which the skip headers keep cheap (DESIGN.md §6h).
+//  * kFullCompaction — ablation baseline: every freeze folds everything
+//                      into one component. Cheapest possible queries,
+//                      O(n) rewrite per freeze.
+
+#ifndef RTSI_LSM_COMPACTION_POLICY_H_
+#define RTSI_LSM_COMPACTION_POLICY_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace rtsi::lsm {
+
+/// How freezes of I0 are folded into the sealed levels.
+enum class MergePolicy {
+  kGeometric,
+  kFullCompaction,
+  kTiered,
+};
+
+/// Human-readable policy name ("geometric", "tiered", "full"); stable —
+/// benches and rtsi_cli print it and snapshots round-trip the enum value.
+const char* MergePolicyName(MergePolicy policy);
+
+/// The per-level run lists a policy plans over: runs[l] holds every
+/// sealed component whose level() == l, newest last. Index 0 is the home
+/// of frozen-L0 runs that no merge has touched yet.
+using LevelRuns =
+    std::vector<std::vector<std::shared_ptr<const index::InvertedIndex>>>;
+
+/// The policy knobs, decoupled from LsmTree::Config so policies never
+/// depend on the tree.
+struct CompactionConfig {
+  std::size_t delta = 64 * 1024;  // I0 capacity, in postings.
+  double rho = 4.0;               // Size ratio between adjacent levels.
+  std::size_t tier_runs = 4;      // kTiered: runs per level before a
+                                  // tier merges one level down.
+};
+
+/// One merge step: fold `inputs` (all currently query-visible runs) into
+/// a single new component at `out_level`.
+struct CompactionStep {
+  std::vector<std::shared_ptr<const index::InvertedIndex>> inputs;
+  int out_level = 1;
+};
+
+class CompactionPolicy {
+ public:
+  virtual ~CompactionPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Plans the next merge step given the current run lists; returns false
+  /// when the cascade is complete. Called under the tree's structural
+  /// lock — implementations must not block or call back into the tree.
+  virtual bool PlanStep(const LevelRuns& levels, CompactionStep* step) = 0;
+};
+
+/// Policy factory. The returned object is cheap and stateless; the tree
+/// constructs one per cascade.
+std::unique_ptr<CompactionPolicy> MakeCompactionPolicy(
+    MergePolicy policy, const CompactionConfig& config);
+
+}  // namespace rtsi::lsm
+
+#endif  // RTSI_LSM_COMPACTION_POLICY_H_

@@ -10,6 +10,7 @@ using index::TermBounds;
 
 LsmTree::LsmTree(const Config& config)
     : config_(config),
+      policy_(config.policy),
       view_gauge_(std::make_shared<std::atomic<std::int64_t>>(0)) {
   const std::size_t num_shards = std::max<std::size_t>(config.num_l0_shards, 1);
   l0_shards_.reserve(num_shards);
@@ -35,13 +36,28 @@ LsmTree::LsmTree(const Config& config)
   }));
 }
 
-void LsmTree::AddPosting(TermId term, const Posting& posting) {
+bool LsmTree::AddPosting(TermId term, const Posting& posting) {
   L0Shard& shard = *l0_shards_[term % l0_shards_.size()];
+  bool first_in_epoch = false;
   {
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     shard.index.Add(term, posting);
+    // Mark the stream while the term-shard lock is held: FreezeL0 drains
+    // under *every* shard lock, so the posting and its epoch mark cannot
+    // be split across a freeze (the historical mark-then-add race put the
+    // posting in the new epoch with StreamInL0() false and the stream's
+    // component count short by one). Lock order term-shard -> seen-shard
+    // matches FreezeL0, which clears the seen sets while still holding
+    // all term-shard locks.
+    StreamSeenShard& seen =
+        *stream_seen_[posting.stream % stream_seen_.size()];
+    std::lock_guard<std::mutex> seen_lock(seen.mu);
+    first_in_epoch = seen.seen.insert(posting.stream).second;
+    // Counter bump inside the lock too: a freeze zeroes it under all
+    // shard locks, so every bump lands on the same side as its posting.
+    l0_postings_.fetch_add(1, std::memory_order_relaxed);
   }
-  l0_postings_.fetch_add(1, std::memory_order_relaxed);
+  return first_in_epoch;
 }
 
 bool LsmTree::MarkStreamInL0(StreamId stream) {
@@ -71,9 +87,8 @@ void LsmTree::PublishLocked() {
   const IndexViewPtr old_view = view_.Load();
   auto next = std::make_unique<IndexView>();
   next->epoch = old_view->epoch + 1;
-  next->components.reserve(levels_.size() + pending_.size());
   for (const auto& level : levels_) {
-    if (level != nullptr) next->components.push_back(level);
+    for (const auto& run : level) next->components.push_back(run);
   }
   for (const auto& component : pending_) {
     next->components.push_back(component);
@@ -101,6 +116,25 @@ void LsmTree::PublishLocked() {
   }));
 }
 
+void LsmTree::DetachRunLocked(
+    const std::shared_ptr<const InvertedIndex>& run) {
+  for (auto& level : levels_) {
+    auto it = std::find(level.begin(), level.end(), run);
+    if (it != level.end()) {
+      level.erase(it);
+      pending_.push_back(run);
+      return;
+    }
+  }
+}
+
+void LsmTree::InstallRunLocked(std::shared_ptr<const InvertedIndex> run,
+                               int level) {
+  const auto slot = static_cast<std::size_t>(level < 0 ? 0 : level);
+  if (levels_.size() <= slot) levels_.resize(slot + 1);
+  levels_[slot].push_back(std::move(run));
+}
+
 void LsmTree::ErasePendingLocked(const InvertedIndex* component) {
   pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
                                 [&](const auto& c) {
@@ -122,9 +156,29 @@ std::shared_ptr<InvertedIndex> LsmTree::FreezeL0(const MergeHooks& hooks) {
       frozen->Put(term, std::move(postings));
     }
   }
-  frozen->SealAll();
-  // Rotate the ingest arenas while the shard locks are still held:
-  // SealAll() migrated every frozen posting vector to the heap, but the
+  if (frozen->empty()) {
+    // Nothing to freeze: the l0_postings_ counter drifted above delta with
+    // no actual postings behind it. Reset the epoch state and publish
+    // NOTHING — the historical path pushed the empty component into the
+    // view and re-published to erase it, so readers pinning the
+    // intermediate epoch saw a permanently empty component and the epoch
+    // advanced twice for a no-op.
+    for (auto& seen_shard : stream_seen_) {
+      std::lock_guard<std::mutex> lock(seen_shard->mu);
+      seen_shard->seen.clear();
+    }
+    l0_postings_.store(0, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Consolidate + seal: a stream that emitted several windows of one
+  // term inside this epoch folds to one aggregated posting, so the
+  // frozen component satisfies the same one-posting-per-stream invariant
+  // as merge outputs — the pruning bounds (Bounds(), Threshold()) are
+  // only sound under it. Matters doubly under tiered compaction, where
+  // frozen runs stay query-visible for many epochs.
+  frozen->ConsolidateAndSealAll();
+  // Rotate the ingest arenas while the shard locks are still held: the
+  // consolidation migrated every frozen posting vector to the heap, but the
   // retired arenas are quarantined on the frozen component anyway — they
   // die with it, after the last pinned view drops, so no code path
   // (present or future) can ever observe freed slabs. Fresh arenas take
@@ -135,7 +189,7 @@ std::shared_ptr<InvertedIndex> LsmTree::FreezeL0(const MergeHooks& hooks) {
       // Fold the retiring arena's counters into the rotation accumulator
       // so ArenaStats() stays monotone across freezes (benches compute
       // per-insert deltas from it). Gauges are excluded: allocated_bytes
-      // is zero after the SealAll() migration above, and owned_bytes
+      // is zero after the consolidate-and-seal migration above, and owned_bytes
       // belongs to the quarantined arena until it dies with the
       // component — ArenaStats() gauges track the *current* arenas only.
       WindowArena::Stats retiring = shard->arena->GetStats();
@@ -164,9 +218,11 @@ std::shared_ptr<InvertedIndex> LsmTree::FreezeL0(const MergeHooks& hooks) {
   l0_postings_.store(0, std::memory_order_relaxed);
   {
     // Publish the frozen component before the shard locks drop, so no
-    // posting is ever outside both L0 and the view.
+    // posting is ever outside both L0 and the view. It enters the level-0
+    // run list: an unmerged frozen run is a first-class level resident,
+    // so a snapshot cut here restores cleanly.
     std::lock_guard<std::mutex> lock(components_mu_);
-    pending_.push_back(frozen);
+    InstallRunLocked(frozen, 0);
     PublishLocked();
   }
   return frozen;
@@ -184,149 +240,69 @@ void LsmTree::MergeCascade(const MergeHooks& hooks) {
   // tracker: the kLiveArena gauge reports live-data arenas only.
   std::unique_ptr<WindowArena> scratch;
   if (config_.use_arena) scratch = std::make_unique<WindowArena>();
-  std::shared_ptr<const InvertedIndex> cur = FreezeL0(hooks);
-  if (cur->empty()) {
-    std::lock_guard<std::mutex> lock(components_mu_);
-    ErasePendingLocked(cur.get());
-    PublishLocked();
-    return;
-  }
+  const std::shared_ptr<const InvertedIndex> frozen = FreezeL0(hooks);
+  if (frozen == nullptr) return;  // Drifted counter, nothing frozen.
+  if (hooks.on_cascade_step) hooks.on_cascade_step();
 
-  if (config_.policy == MergePolicy::kFullCompaction) {
-    // Fold the frozen component and every level into one component.
-    while (true) {
-      std::shared_ptr<const InvertedIndex> existing;
-      std::size_t slot = 0;
-      {
-        // Detach the next occupied level into pending_. The visible set
-        // is unchanged (slot resident -> pending), so no publish: the
-        // current view keeps serving the input until the swap below.
-        std::lock_guard<std::mutex> lock(components_mu_);
-        for (; slot < levels_.size(); ++slot) {
-          if (levels_[slot] != nullptr) {
-            existing = levels_[slot];
-            pending_.push_back(existing);
-            levels_[slot] = nullptr;
-            break;
-          }
-        }
-      }
-      std::vector<StreamId> surviving;
-      const auto merged =
-          CombineComponents(*cur, existing.get(), 1, config_.compress,
-                            hooks, &stats, AllocateComponentId(),
-                            std::make_shared<index::FreshnessCeiling>(),
-                            hooks.on_retired ? &surviving : nullptr,
-                            scratch.get());
-      merged->AttachSkipHeaderGauge(mem_tracker_);
-      {
-        // One swap: inputs out, output in. Readers see either the old
-        // view (inputs alive via their pin) or the new one, never a
-        // partial set.
-        std::lock_guard<std::mutex> lock(components_mu_);
-        ErasePendingLocked(cur.get());
-        if (existing != nullptr) ErasePendingLocked(existing.get());
-        if (existing == nullptr) {
-          // Nothing left to fold: install as the single component.
-          if (levels_.empty()) levels_.resize(1);
-          levels_[0] = merged;
-        } else {
-          pending_.push_back(merged);
-        }
-        PublishLocked();
-      }
-      // The inputs just left the published view: retire their residencies
-      // so inserts stop bumping dead ceiling cells. Ordering (only after
-      // the swap) is what keeps queries pinned to the old view sound.
-      if (hooks.on_retired) {
-        const ComponentId from_b = existing != nullptr
-                                       ? existing->component_id()
-                                       : kInvalidComponentId;
-        for (const StreamId stream : surviving) {
-          hooks.on_retired(stream, cur->component_id(), from_b);
-        }
-      }
-      if (existing == nullptr) break;
-      cur = merged;
-    }
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
-    merge_stats_.merges += stats.merges;
-    merge_stats_.postings_in += stats.postings_in;
-    merge_stats_.postings_out += stats.postings_out;
-    merge_stats_.purged_postings += stats.purged_postings;
-    merge_stats_.consolidated_postings += stats.consolidated_postings;
-    merge_stats_.total_micros += stats.total_micros;
-    return;
-  }
-
-  std::size_t level_index = 0;
-  double capacity = config_.delta * config_.rho;
+  const CompactionConfig policy_config{config_.delta, config_.rho,
+                                       config_.tier_runs};
+  const auto plan = MakeCompactionPolicy(policy(), policy_config);
   while (true) {
-    // Detach the resident component of this level (if any) into pending_,
-    // keeping it query-visible: the published view is untouched until the
-    // merge output is ready to replace both inputs in one swap.
-    std::shared_ptr<const InvertedIndex> existing;
+    CompactionStep step;
     {
+      // Plan against the current run lists, then detach the chosen
+      // inputs into pending_. The visible set is unchanged (run-list
+      // entry -> pending), so no publish: the current view keeps serving
+      // the inputs until the swap below.
       std::lock_guard<std::mutex> lock(components_mu_);
-      if (levels_.size() <= level_index) levels_.resize(level_index + 1);
-      existing = levels_[level_index];
-      if (existing != nullptr) {
-        pending_.push_back(existing);
-        levels_[level_index] = nullptr;
-      }
+      if (!plan->PlanStep(levels_, &step) || step.inputs.empty()) break;
+      for (const auto& input : step.inputs) DetachRunLocked(input);
     }
 
+    std::vector<const InvertedIndex*> raw_inputs;
+    raw_inputs.reserve(step.inputs.size());
+    for (const auto& input : step.inputs) raw_inputs.push_back(input.get());
     std::vector<StreamId> surviving;
     const std::shared_ptr<InvertedIndex> merged = CombineComponents(
-        *cur, existing.get(), static_cast<int>(level_index) + 1,
-        config_.compress, hooks, &stats, AllocateComponentId(),
-        std::make_shared<index::FreshnessCeiling>(),
+        raw_inputs, step.out_level, config_.compress, hooks, &stats,
+        AllocateComponentId(), std::make_shared<index::FreshnessCeiling>(),
         hooks.on_retired ? &surviving : nullptr, scratch.get());
     merged->AttachSkipHeaderGauge(mem_tracker_);
 
-    const bool over_capacity = merged->num_postings() > capacity;
     {
+      // One swap: inputs out, output in. Readers see either the old view
+      // (inputs alive via their pin) or the new one, never a partial set.
+      // A fully-purged (empty) output is simply dropped rather than
+      // installed, so no view ever carries a permanently empty component.
       std::lock_guard<std::mutex> lock(components_mu_);
-      ErasePendingLocked(cur.get());
-      if (existing != nullptr) ErasePendingLocked(existing.get());
-      if (over_capacity) {
-        // Keep pushing down; stay visible via pending_ meanwhile.
-        pending_.push_back(merged);
-      } else {
-        levels_[level_index] = merged;
-      }
+      for (const auto& input : step.inputs) ErasePendingLocked(input.get());
+      if (!merged->empty()) InstallRunLocked(merged, step.out_level);
       PublishLocked();
     }
     // The inputs just left the published view: retire their residencies
     // so inserts stop bumping dead ceiling cells. Ordering (only after
     // the swap) is what keeps queries pinned to the old view sound.
     if (hooks.on_retired) {
-      const ComponentId from_b = existing != nullptr
-                                     ? existing->component_id()
-                                     : kInvalidComponentId;
+      std::vector<ComponentId> from;
+      from.reserve(step.inputs.size());
+      for (const auto& input : step.inputs) {
+        from.push_back(input->component_id());
+      }
       for (const StreamId stream : surviving) {
-        hooks.on_retired(stream, cur->component_id(), from_b);
+        hooks.on_retired(stream, from);
       }
     }
-    if (!over_capacity) break;
-    cur = merged;
-    ++level_index;
-    capacity *= config_.rho;
+    if (hooks.on_cascade_step) hooks.on_cascade_step();
   }
 
   std::lock_guard<std::mutex> stats_lock(stats_mu_);
-  merge_stats_.merges += stats.merges;
-  merge_stats_.postings_in += stats.postings_in;
-  merge_stats_.postings_out += stats.postings_out;
-  merge_stats_.purged_postings += stats.purged_postings;
-  merge_stats_.consolidated_postings += stats.consolidated_postings;
-  merge_stats_.total_micros += stats.total_micros;
+  merge_stats_ += stats;
 }
 
 Status LsmTree::RestoreSealedComponent(
     std::shared_ptr<index::InvertedIndex> component) {
-  if (component == nullptr || component->level() < 1) {
-    return Status::InvalidArgument("restored component must have level >= 1");
+  if (component == nullptr || component->level() < 0) {
+    return Status::InvalidArgument("restored component must have level >= 0");
   }
   if (component->component_id() == kInvalidComponentId) {
     component->AdoptCeiling(AllocateComponentId(),
@@ -336,13 +312,9 @@ Status LsmTree::RestoreSealedComponent(
   // result is byte-identical to what a v4 file would have persisted).
   if (component->skip_header() == nullptr) component->BuildSkipHeader();
   component->AttachSkipHeaderGauge(mem_tracker_);
-  const auto slot = static_cast<std::size_t>(component->level()) - 1;
+  const int level = component->level();
   std::lock_guard<std::mutex> lock(components_mu_);
-  if (levels_.size() <= slot) levels_.resize(slot + 1);
-  if (levels_[slot] != nullptr) {
-    return Status::AlreadyExists("level slot occupied");
-  }
-  levels_[slot] = std::move(component);
+  InstallRunLocked(std::move(component), level);
   PublishLocked();
   return Status::Ok();
 }
@@ -351,8 +323,9 @@ std::size_t LsmTree::total_postings() const {
   std::size_t total = l0_postings();
   std::lock_guard<std::mutex> lock(components_mu_);
   for (const auto& level : levels_) {
-    if (level != nullptr) total += level->num_postings();
+    for (const auto& run : level) total += run->num_postings();
   }
+  for (const auto& component : pending_) total += component->num_postings();
   return total;
 }
 
@@ -360,9 +333,25 @@ std::size_t LsmTree::num_levels() const {
   std::lock_guard<std::mutex> lock(components_mu_);
   std::size_t count = 0;
   for (const auto& level : levels_) {
-    if (level != nullptr) ++count;
+    if (!level.empty()) ++count;
   }
   return count;
+}
+
+std::size_t LsmTree::num_runs() const {
+  std::lock_guard<std::mutex> lock(components_mu_);
+  std::size_t count = 0;
+  for (const auto& level : levels_) count += level.size();
+  return count;
+}
+
+std::vector<std::size_t> LsmTree::RunsPerLevel() const {
+  std::lock_guard<std::mutex> lock(components_mu_);
+  std::vector<std::size_t> runs;
+  runs.reserve(levels_.size());
+  for (const auto& level : levels_) runs.push_back(level.size());
+  while (!runs.empty() && runs.back() == 0) runs.pop_back();
+  return runs;
 }
 
 std::size_t LsmTree::MemoryBytes() const {

@@ -5,18 +5,27 @@
 // the shard's shared lock for the duration of one term scan. Levels >= 1
 // are immutable components produced by merges.
 //
+// Every sealed level holds a *list* of runs, not a single resident: a
+// just-frozen L0 lives at levels_[0], a tiered policy accumulates several
+// runs per level by design, and a snapshot restored mid-cascade may land
+// a detached input next to an over-capacity intermediate on the same
+// level. Any such state is valid — the compaction policy re-plans from
+// whatever run lists it finds, so every pinned view is a restorable
+// snapshot (the snapshot-anywhere invariant, DESIGN.md §6h).
+//
 // The sealed structure is epoch-published: every structural change builds
 // an immutable IndexView and swaps it in with one atomic shared_ptr
 // store. Queries pin the current view and traverse it lock-free;
 // pre-merge components stay alive because the views that reference them
 // do, which subsumes Algorithm 2's mirror set (the refcount is the
-// mirror). Writer-side bookkeeping (level slots, the in-flight merge's
-// detached inputs) is serialized by components_mu_, which no reader ever
-// takes.
+// mirror). Writer-side bookkeeping (per-level run lists, the in-flight
+// merge's detached inputs) is serialized by components_mu_, which no
+// reader ever takes.
 //
-// The merge cascade follows Algorithm 1: when |I0| exceeds delta, I0 is
-// frozen and merged into I1; while level i exceeds delta * rho^i the merge
-// continues downward.
+// Merging is delegated to a pluggable CompactionPolicy (Algorithm 1's
+// geometric cascade by default; see compaction_policy.h): after an L0
+// freeze the tree executes policy-planned N-way merge steps until the
+// policy reports a settled shape.
 
 #ifndef RTSI_LSM_LSM_TREE_H_
 #define RTSI_LSM_LSM_TREE_H_
@@ -33,20 +42,11 @@
 #include "common/status.h"
 #include "common/window_arena.h"
 #include "index/inverted_index.h"
+#include "lsm/compaction_policy.h"
 #include "lsm/index_view.h"
 #include "lsm/merge.h"
 
 namespace rtsi::lsm {
-
-/// How freezes of I0 are folded into the sealed levels.
-enum class MergePolicy {
-  /// The paper's Algorithm 1: level i overflows into level i+1 when it
-  /// exceeds delta * rho^i. Amortized O(log) rewrites per posting.
-  kGeometric,
-  /// Ablation baseline: every freeze merges *everything* into a single
-  /// component. Cheapest possible queries, O(n) rewrite per freeze.
-  kFullCompaction,
-};
 
 class LsmTree {
  public:
@@ -56,6 +56,8 @@ class LsmTree {
     bool compress = false;          // Huffman-compress merged components.
     std::size_t num_l0_shards = 16;
     MergePolicy policy = MergePolicy::kGeometric;
+    std::size_t tier_runs = 4;      // kTiered: runs accumulated per level
+                                    // before the tier merges one level down.
     // Back unsealed L0 posting vectors with per-shard WindowArenas,
     // rotated at FreezeL0 (retired arenas are quarantined on the frozen
     // component until the last pinned view drops). Off = global heap.
@@ -67,12 +69,20 @@ class LsmTree {
   LsmTree(const LsmTree&) = delete;
   LsmTree& operator=(const LsmTree&) = delete;
 
-  /// Appends one posting to the term's level-0 list. Thread-safe.
-  void AddPosting(TermId term, const index::Posting& posting);
+  /// Appends one posting to the term's level-0 list and records the
+  /// posting's stream as present in the current L0 epoch; returns true on
+  /// the stream's first posting since the last freeze (the caller uses
+  /// this to maintain per-stream component counts). Marking happens under
+  /// the term-shard lock, so mark+add is atomic w.r.t. FreezeL0 (which
+  /// holds every shard lock): the posting and its epoch mark always land
+  /// on the same side of a freeze. Thread-safe.
+  bool AddPosting(TermId term, const index::Posting& posting);
 
-  /// Records that `stream` has postings in the current L0 epoch; returns
-  /// true on the first call for this stream since the last freeze (the
-  /// caller uses this to maintain per-stream component counts).
+  /// Records that `stream` has postings in the current L0 epoch without
+  /// adding a posting; returns true on the first call for this stream
+  /// since the last freeze. Prefer the AddPosting return value — a freeze
+  /// between this call and a later AddPosting splits mark and posting
+  /// across epochs. Kept for tests.
   bool MarkStreamInL0(StreamId stream);
 
   /// True when `stream` has postings in the current L0 epoch.
@@ -82,9 +92,12 @@ class LsmTree {
     return l0_postings_.load(std::memory_order_relaxed) > config_.delta;
   }
 
-  /// Runs the merge cascade if I0 is over capacity. Safe to call from any
-  /// thread; merges are serialized. Queries proceed concurrently against
-  /// whatever view they pinned.
+  /// Runs the merge cascade if I0 is over capacity: freezes L0, then
+  /// executes merge steps planned by the configured CompactionPolicy
+  /// until the structure settles. Safe to call from any thread; merges
+  /// are serialized. Queries proceed concurrently against whatever view
+  /// they pinned. `hooks.on_cascade_step` (if set) fires after every
+  /// published step with no tree locks held.
   void MergeCascade(const MergeHooks& hooks);
 
   /// Runs `fn(const index::TermPostings*)` for the term's L0 postings
@@ -109,8 +122,12 @@ class LsmTree {
     }
   }
 
-  /// Installs a sealed component at the level slot implied by its level()
-  /// (snapshot restore path). Fails if the slot is occupied. Assigns the
+  /// Appends a sealed component to the run list of the level implied by
+  /// its level() (snapshot restore path). Any level >= 0 is accepted and
+  /// levels may receive several runs: a snapshot can be taken at any
+  /// point of a merge cascade — frozen L0 at level 0, detached inputs
+  /// and over-capacity intermediates sharing a level — and the next
+  /// cascade re-plans from whatever shape was restored. Assigns the
   /// component a fresh id and live-freshness ceiling cell if it has none.
   Status RestoreSealedComponent(
       std::shared_ptr<index::InvertedIndex> component);
@@ -136,10 +153,32 @@ class LsmTree {
   }
 
   std::size_t total_postings() const;
+
+  /// Number of levels holding at least one run.
   std::size_t num_levels() const;
+
+  /// Total sealed runs across all levels (a level can hold several).
+  std::size_t num_runs() const;
+
+  /// Run count per level, indexed by level (index 0 = frozen-L0 runs).
+  /// Trailing empty levels are trimmed.
+  std::vector<std::size_t> RunsPerLevel() const;
+
   std::size_t MemoryBytes() const;
   MergeStats GetMergeStats() const;
   const Config& config() const { return config_; }
+
+  /// The active compaction policy. Defaults to Config::policy.
+  MergePolicy policy() const {
+    return policy_.load(std::memory_order_relaxed);
+  }
+
+  /// Switches the compaction policy. Takes effect at the next cascade
+  /// (policies are stateless — each cascade re-plans from the current
+  /// run lists, so switching never invalidates existing structure).
+  void SetPolicy(MergePolicy policy) {
+    policy_.store(policy, std::memory_order_relaxed);
+  }
 
   // Lifecycle observability (rtsi_cli stats, leak assertions in tests).
 
@@ -172,6 +211,8 @@ class LsmTree {
   WindowArena::Stats ArenaStats() const;
 
  private:
+  friend struct LsmTreeTestPeer;
+
   struct L0Shard {
     mutable std::shared_mutex mu;
     // Ingest arena for this shard's unsealed posting vectors; declared
@@ -186,15 +227,27 @@ class LsmTree {
     std::unordered_set<StreamId> seen;
   };
 
-  /// Freezes L0 into a sealed component appended to pending_ and
+  /// Freezes L0 into a sealed component appended to levels_[0] and
   /// published. The component receives a fresh id and ceiling cell, and
-  /// `hooks.on_frozen` runs before it becomes query-visible.
+  /// `hooks.on_frozen` runs before it becomes query-visible. Returns
+  /// nullptr — publishing nothing and bumping no epoch — when L0 holds no
+  /// postings (a drifted l0_postings_ counter; the counter is reset so
+  /// NeedsMerge() stops firing).
   std::shared_ptr<index::InvertedIndex> FreezeL0(const MergeHooks& hooks);
 
   /// Builds the view implied by levels_ + pending_, bumps the epoch, and
   /// publishes it; components that just left the view are recorded in the
   /// retired registry. Requires components_mu_.
   void PublishLocked();
+
+  /// Moves one run from its level list into pending_ (detaching a merge
+  /// input: still query-visible, no longer plannable). Requires
+  /// components_mu_.
+  void DetachRunLocked(const std::shared_ptr<const index::InvertedIndex>& run);
+
+  /// Appends a run to its level's list. Requires components_mu_.
+  void InstallRunLocked(std::shared_ptr<const index::InvertedIndex> run,
+                        int level);
 
   /// Removes one component from pending_ by identity. Requires
   /// components_mu_.
@@ -206,16 +259,18 @@ class LsmTree {
   }
 
   Config config_;
+  std::atomic<MergePolicy> policy_;
   std::vector<std::unique_ptr<L0Shard>> l0_shards_;
   std::vector<std::unique_ptr<StreamSeenShard>> stream_seen_;
   std::atomic<std::size_t> l0_postings_{0};
 
   // Writer-side structural state; readers go through view_ only.
   mutable std::mutex components_mu_;  // Guards levels_/pending_/publish.
-  std::vector<std::shared_ptr<const index::InvertedIndex>> levels_;
-  // Query-visible components without a level slot: the frozen L0 of an
-  // in-flight cascade, its over-capacity intermediate outputs, and merge
-  // inputs detached from their slots while the output is built.
+  // levels_[l] holds the sealed runs at level l, oldest first; index 0 is
+  // the home of frozen-L0 runs no merge has touched yet.
+  LevelRuns levels_;
+  // Query-visible components without a level-list entry: merge inputs
+  // detached from their run lists while the output is built.
   std::vector<std::shared_ptr<const index::InvertedIndex>> pending_;
   AtomicSharedPtr<const IndexView> view_;
   // Counts IndexView objects alive (each view's deleter decrements); the

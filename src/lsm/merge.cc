@@ -25,9 +25,9 @@ template <typename T>
 using ArenaSet =
     std::unordered_set<T, std::hash<T>, std::equal_to<T>, ArenaAllocator<T>>;
 
-// Folds `entries` of one term from one or both inputs into consolidated
-// per-stream postings. Deletion is resolved per consolidated stream by
-// the caller (one predicate call per stream, not per posting).
+// Folds `entries` of one term from one input into consolidated per-stream
+// postings. Deletion is resolved per consolidated stream by the caller
+// (one predicate call per stream, not per posting).
 void Accumulate(const TermPostings& postings, ConsolidatedMap& consolidated,
                 MergeStats* stats) {
   for (const Posting& p : postings.entries()) {
@@ -44,12 +44,13 @@ void Accumulate(const TermPostings& postings, ConsolidatedMap& consolidated,
 
 // Memoizes the lazy-deletion predicate: one call per distinct stream per
 // merge, no matter how many terms the stream spans. Fires `on_purged` on
-// the first deleted verdict for a stream.
+// the first deleted verdict for a stream. Owns copies of the functions:
+// a cache may outlive the temporary MergeHooks it was built from.
 class DeletionCache {
  public:
-  DeletionCache(const std::function<bool(StreamId)>& is_deleted,
-                const std::function<void(StreamId)>& on_purged)
-      : is_deleted_(is_deleted), on_purged_(on_purged) {}
+  DeletionCache(std::function<bool(StreamId)> is_deleted,
+                std::function<void(StreamId)> on_purged)
+      : is_deleted_(std::move(is_deleted)), on_purged_(std::move(on_purged)) {}
 
   bool operator()(StreamId stream) {
     if (!is_deleted_) return false;
@@ -62,15 +63,15 @@ class DeletionCache {
   }
 
  private:
-  const std::function<bool(StreamId)>& is_deleted_;
-  const std::function<void(StreamId)>& on_purged_;
+  std::function<bool(StreamId)> is_deleted_;
+  std::function<void(StreamId)> on_purged_;
   std::unordered_map<StreamId, bool> verdicts_;
 };
 
 }  // namespace
 
 std::shared_ptr<InvertedIndex> CombineComponents(
-    const InvertedIndex& a, const InvertedIndex* b, int out_level,
+    const std::vector<const InvertedIndex*>& inputs, int out_level,
     bool compress, const MergeHooks& hooks, MergeStats* stats,
     ComponentId out_id, index::FreshnessCeilingPtr out_cell,
     std::vector<StreamId>* surviving, WindowArena* scratch) {
@@ -78,9 +79,15 @@ std::shared_ptr<InvertedIndex> CombineComponents(
   auto merged = std::make_shared<InvertedIndex>(out_level);
   merged->AdoptCeiling(out_id, std::move(out_cell));
 
-  ArenaSet<StreamId> streams_a{ArenaAllocator<StreamId>(scratch)};
-  ArenaSet<StreamId> streams_b{ArenaAllocator<StreamId>(scratch)};
-  ArenaSet<TermId> terms_a{ArenaAllocator<TermId>(scratch)};
+  // Per-input surviving-stream sets; input_streams[i] collects every
+  // stream input i holds a posting for. A stream's `copies` is how many
+  // of these sets contain it.
+  std::vector<ArenaSet<StreamId>> input_streams;
+  input_streams.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    input_streams.emplace_back(ArenaAllocator<StreamId>(scratch));
+  }
+  ArenaSet<TermId> seen_terms{ArenaAllocator<TermId>(scratch)};
   DeletionCache deleted(hooks.is_deleted, hooks.on_purged);
   const bool track_streams = static_cast<bool>(hooks.on_stream);
 
@@ -110,45 +117,38 @@ std::shared_ptr<InvertedIndex> CombineComponents(
     merged->Put(term, std::move(out));
   };
 
-  // Pass 1: every term of `a`, combined with `b`'s postings if present.
-  a.ForEachTerm([&](TermId term, const TermPostings& postings_a) {
-    terms_a.insert(term);
-    ConsolidatedMap consolidated{ConsolidatedMap::allocator_type(scratch)};
-    if (track_streams) {
-      for (const Posting& p : postings_a.entries()) {
-        streams_a.insert(p.stream);
-      }
-    }
-    Accumulate(postings_a, consolidated, stats);
-    if (stats != nullptr) stats->postings_in += postings_a.size();
-
-    if (b != nullptr) {
-      const index::TermPostingsView view_b = b->View(term);
-      if (view_b) {
-        if (track_streams) {
-          for (const Posting& p : view_b->entries()) {
-            streams_b.insert(p.stream);
-          }
-        }
-        Accumulate(*view_b, consolidated, stats);
-        if (stats != nullptr) stats->postings_in += view_b->size();
-      }
-    }
-    emit(term, consolidated);
-  });
-
-  // Pass 2: terms only present in `b`.
-  if (b != nullptr) {
-    b->ForEachTerm([&](TermId term, const TermPostings& postings_b) {
-      if (terms_a.count(term) > 0) return;
+  // One pass per input i, in order: every term first seen at input i is
+  // folded with the matching postings of every later input (looked up by
+  // View); terms already consolidated by an earlier pass are skipped.
+  // With two inputs this is exactly the historical merge — pass 1 walks
+  // input 0's terms joining input 1, pass 2 walks input 1's leftovers —
+  // so the same call sequence hits the same containers and the output is
+  // bit-identical.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    inputs[i]->ForEachTerm([&](TermId term, const TermPostings& postings_i) {
+      if (i > 0 && seen_terms.count(term) > 0) return;
+      seen_terms.insert(term);
       ConsolidatedMap consolidated{ConsolidatedMap::allocator_type(scratch)};
       if (track_streams) {
-        for (const Posting& p : postings_b.entries()) {
-          streams_b.insert(p.stream);
+        for (const Posting& p : postings_i.entries()) {
+          input_streams[i].insert(p.stream);
         }
       }
-      Accumulate(postings_b, consolidated, stats);
-      if (stats != nullptr) stats->postings_in += postings_b.size();
+      Accumulate(postings_i, consolidated, stats);
+      if (stats != nullptr) stats->postings_in += postings_i.size();
+
+      for (std::size_t j = i + 1; j < inputs.size(); ++j) {
+        const index::TermPostingsView view_j = inputs[j]->View(term);
+        if (view_j) {
+          if (track_streams) {
+            for (const Posting& p : view_j->entries()) {
+              input_streams[j].insert(p.stream);
+            }
+          }
+          Accumulate(*view_j, consolidated, stats);
+          if (stats != nullptr) stats->postings_in += view_j->size();
+        }
+      }
       emit(term, consolidated);
     });
   }
@@ -164,25 +164,34 @@ std::shared_ptr<InvertedIndex> CombineComponents(
   // stream's live freshness.
   // The owner retires them via `on_retired` after the swap, using the
   // `surviving` list collected here.
-  const ComponentId from_a = a.component_id();
-  const ComponentId from_b = b != nullptr ? b->component_id()
-                                          : kInvalidComponentId;
   if (track_streams) {
-    const auto survive = [&](StreamId stream, bool in_both) {
-      hooks.on_stream(stream, in_both, from_a, from_b, *merged);
+    const auto survive = [&](StreamId stream, std::uint32_t copies) {
+      hooks.on_stream(stream, copies, *merged);
       if (surviving != nullptr) surviving->push_back(stream);
     };
-    for (const StreamId stream : streams_a) {
-      if (deleted(stream)) continue;  // on_purged already fired.
-      survive(stream, streams_b.count(stream) > 0);
-    }
-    for (const StreamId stream : streams_b) {
-      if (streams_a.count(stream) > 0 || deleted(stream)) continue;
-      survive(stream, /*in_both=*/false);
+    // Each stream is reported once, from the first input holding it; the
+    // later sets only contribute to its copy count.
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      for (const StreamId stream : input_streams[i]) {
+        bool reported = false;
+        for (std::size_t k = 0; k < i; ++k) {
+          if (input_streams[k].count(stream) > 0) {
+            reported = true;
+            break;
+          }
+        }
+        if (reported || deleted(stream)) continue;  // on_purged already fired.
+        std::uint32_t copies = 1;
+        for (std::size_t j = i + 1; j < inputs.size(); ++j) {
+          if (input_streams[j].count(stream) > 0) ++copies;
+        }
+        survive(stream, copies);
+      }
     }
   }
-  merged->BumpCeiling(a.LiveFrshCeiling());
-  if (b != nullptr) merged->BumpCeiling(b->LiveFrshCeiling());
+  for (const InvertedIndex* input : inputs) {
+    merged->BumpCeiling(input->LiveFrshCeiling());
+  }
 
   // Built before compression so the summaries read the plain per-stream
   // aggregates; merge output is consolidated, so the compressed maxima
@@ -194,6 +203,18 @@ std::shared_ptr<InvertedIndex> CombineComponents(
     stats->total_micros += watch.ElapsedMicros();
   }
   return merged;
+}
+
+std::shared_ptr<InvertedIndex> CombineComponents(
+    const InvertedIndex& a, const InvertedIndex* b, int out_level,
+    bool compress, const MergeHooks& hooks, MergeStats* stats,
+    ComponentId out_id, index::FreshnessCeilingPtr out_cell,
+    std::vector<StreamId>* surviving, WindowArena* scratch) {
+  std::vector<const InvertedIndex*> inputs;
+  inputs.push_back(&a);
+  if (b != nullptr) inputs.push_back(b);
+  return CombineComponents(inputs, out_level, compress, hooks, stats, out_id,
+                           std::move(out_cell), surviving, scratch);
 }
 
 }  // namespace rtsi::lsm

@@ -148,7 +148,9 @@ void RegisterSearchRoutes(HttpServer& http, service::SearchService& service,
     out << "{\"text_postings\":" << text.tree().total_postings()
         << ",\"sound_postings\":" << sound.tree().total_postings()
         << ",\"text_levels\":" << text.tree().num_levels()
-        << ",\"merges\":" << text.GetMergeStats().merges
+        << ",\"text_runs\":" << text.tree().num_runs()
+        << ",\"policy\":\"" << lsm::MergePolicyName(text.tree().policy())
+        << "\",\"merges\":" << text.GetMergeStats().merges
         << ",\"streams\":" << text.stream_table().size()
         << ",\"live_streams\":" << text.live_table().num_streams()
         << ",\"words\":" << service.text_dictionary().size()

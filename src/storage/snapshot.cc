@@ -31,6 +31,10 @@ void WriteConfig(SnapshotWriter& writer, const RtsiConfig& config) {
   writer.WriteU32(config.use_bound ? 1 : 0);
   writer.WriteU32(static_cast<std::uint32_t>(config.bound_mode));
   writer.WriteU32(static_cast<std::uint32_t>(config.default_k));
+  // v5: the compaction policy and its tiering knob, so the restored tree
+  // keeps folding runs the way the saved one did.
+  writer.WriteU32(static_cast<std::uint32_t>(config.lsm.policy));
+  writer.WriteU64(config.lsm.tier_runs);
 }
 
 bool ReadConfig(SnapshotReader& reader, RtsiConfig& config) {
@@ -52,6 +56,18 @@ bool ReadConfig(SnapshotReader& reader, RtsiConfig& config) {
   config.use_bound = use_bound != 0;
   config.bound_mode = static_cast<core::BoundMode>(bound_mode);
   config.default_k = static_cast<int>(k);
+  if (reader.version() >= 5) {
+    std::uint32_t policy = 0;
+    std::uint64_t tier_runs = 0;
+    if (!reader.ReadU32(policy) || !reader.ReadU64(tier_runs)) return false;
+    if (policy > static_cast<std::uint32_t>(lsm::MergePolicy::kTiered)) {
+      return false;
+    }
+    config.lsm.policy = static_cast<lsm::MergePolicy>(policy);
+    config.lsm.tier_runs = tier_runs;
+  }
+  // <= v4 files predate the policy field; their writers ran the geometric
+  // cascade, which config defaults already select.
   return true;
 }
 
@@ -352,10 +368,10 @@ Result<std::unique_ptr<RtsiIndex>> LoadIndexSnapshot(
         std::memcpy(&posting.pop, &pop_bits, sizeof(pop_bits));
         posting.frsh = static_cast<Timestamp>(frsh);
         posting.tf = static_cast<TermFreq>(tf);
+        // AddPosting repopulates the L0 stream-seen set as a side effect;
+        // the first-in-epoch return is ignored because residency counts
+        // were already restored with the stream table.
         index->mutable_tree().AddPosting(static_cast<TermId>(term), posting);
-        // Repopulate the L0 stream-seen set (residency counts were
-        // restored with the stream table, so the return value is ignored).
-        index->mutable_tree().MarkStreamInL0(posting.stream);
       }
     }
   }

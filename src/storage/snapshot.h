@@ -41,7 +41,15 @@ namespace rtsi::storage {
 /// with headers rebuilt from the decoded postings — SkipHeader::Build is
 /// deterministic, so the rebuilt header is byte-identical to what a v4
 /// save of the same component would have carried.
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+/// v5 added the compaction policy (u32) and tier_runs (u64) to the
+/// config section, so a restored tree keeps compacting the way it was
+/// configured to. Component entries are unchanged, but v5 snapshots may
+/// legitimately carry several components per level and components at
+/// level 0 (a frozen, not-yet-merged L0): any pinned view — including
+/// one cut mid-cascade — is a valid snapshot, and the next cascade
+/// re-plans from whatever run lists were restored. Files <= v4 load with
+/// the default policy (geometric, matching their writer's behavior).
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
 /// Writes the full index state to `path`. The write is atomic: data goes

@@ -10,6 +10,15 @@
 #include "lsm/index_view.h"
 
 namespace rtsi::lsm {
+
+// Test back door: forces internal states that are hard to reach through
+// the public API (e.g. a drifted L0 posting counter).
+struct LsmTreeTestPeer {
+  static void SetL0Counter(LsmTree& tree, std::size_t value) {
+    tree.l0_postings_.store(value, std::memory_order_relaxed);
+  }
+};
+
 namespace {
 
 using index::InvertedIndex;
@@ -204,6 +213,115 @@ TEST(LsmTreeTest, HuffmanCompressionShrinksSealedComponents) {
   }
   EXPECT_LT(compressed_tree.MemoryBytes(), plain_tree.MemoryBytes());
   EXPECT_EQ(compressed_tree.total_postings(), plain_tree.total_postings());
+}
+
+TEST(LsmTreeTest, FreezeBetweenMarkAndAddCannotSplitEpoch) {
+  // Regression for the historical InsertWindow race: the stream was
+  // marked in L0 first, a freeze cleared the seen set, and only then did
+  // the postings land — in the *new* epoch, with StreamInL0() false and
+  // the per-stream component count short by one. The mark now travels
+  // with each posting under the term-shard lock (AddPosting's return),
+  // so a freeze can never separate them; a stale stand-alone mark is
+  // simply superseded.
+  LsmTree tree(SmallConfig(10, 2.0));
+  EXPECT_TRUE(tree.MarkStreamInL0(7));  // The doomed pre-freeze mark.
+  Timestamp t = 0;
+  for (int i = 0; i < 20; ++i) tree.AddPosting(1, P(3, ++t, 1));
+  tree.MergeCascade(MergeHooks{});  // Freeze: clears the seen set.
+  ASSERT_FALSE(tree.StreamInL0(7));
+  // Stream 7's posting lands after the freeze: it must report
+  // first-in-epoch so the caller increments the component count for the
+  // new epoch, and the seen set must agree.
+  EXPECT_TRUE(tree.AddPosting(2, P(7, ++t, 1)));
+  EXPECT_TRUE(tree.StreamInL0(7));
+  EXPECT_FALSE(tree.AddPosting(2, P(7, ++t, 1)));  // Not first anymore.
+}
+
+TEST(LsmTreeTest, DriftedCounterCascadePublishesNothing) {
+  // Regression for the double epoch bump: when a cascade fired with no
+  // actual L0 postings behind the counter, FreezeL0 published a
+  // permanently empty component and the early-return erased it with a
+  // *second* publish — readers pinning the intermediate epoch saw the
+  // empty component. Now nothing is published at all.
+  LsmTree tree(SmallConfig(10, 2.0));
+  LsmTreeTestPeer::SetL0Counter(tree, 1000);  // Shards are empty.
+  ASSERT_TRUE(tree.NeedsMerge());
+  const std::uint64_t epoch = tree.epoch();
+  tree.MergeCascade(MergeHooks{});
+  EXPECT_EQ(tree.epoch(), epoch);  // No transient view was published.
+  EXPECT_TRUE(tree.PinView()->components.empty());
+  EXPECT_EQ(tree.num_levels(), 0u);
+  EXPECT_FALSE(tree.NeedsMerge());  // Counter was reset regardless.
+  // The tree keeps working normally afterwards (distinct streams, so
+  // merge consolidation folds nothing).
+  Timestamp t = 0;
+  for (StreamId s = 0; s < 20; ++s) tree.AddPosting(1, P(s, ++t, 1));
+  tree.MergeCascade(MergeHooks{});
+  EXPECT_EQ(tree.total_postings(), 20u);
+  for (const auto& component : tree.SealedSnapshot()) {
+    EXPECT_FALSE(component->empty());
+  }
+}
+
+TEST(LsmTreeTest, RestoreAcceptsLevelZeroAndSharedLevels) {
+  // Mid-cascade snapshots legitimately contain a frozen L0 component
+  // (level 0) and several components on one level; restore must accept
+  // all of them and the next cascade re-plans from that shape.
+  LsmTree tree(SmallConfig(10, 2.0));
+  auto frozen = std::make_shared<InvertedIndex>(0);
+  frozen->Add(1, P(1, 100, 1));
+  frozen->SealAll();
+  auto run_a = std::make_shared<InvertedIndex>(1);
+  run_a->Add(1, P(2, 200, 1));
+  run_a->SealAll();
+  auto run_b = std::make_shared<InvertedIndex>(1);
+  run_b->Add(1, P(3, 300, 1));
+  run_b->SealAll();
+
+  ASSERT_TRUE(tree.RestoreSealedComponent(frozen).ok());
+  ASSERT_TRUE(tree.RestoreSealedComponent(run_a).ok());
+  ASSERT_TRUE(tree.RestoreSealedComponent(run_b).ok());
+  EXPECT_EQ(tree.num_runs(), 3u);
+  EXPECT_EQ(tree.num_levels(), 2u);
+  EXPECT_EQ(tree.RunsPerLevel(), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(tree.total_postings(), 3u);
+  EXPECT_EQ(tree.PinView()->components.size(), 3u);
+
+  // The next cascade folds the restored shape back to steady state
+  // (distinct streams, so consolidation folds nothing).
+  Timestamp t = 1000;
+  for (StreamId s = 100; s < 120; ++s) tree.AddPosting(1, P(s, ++t, 1));
+  tree.MergeCascade(MergeHooks{});
+  EXPECT_EQ(tree.total_postings(), 23u);
+  // Geometric steady state: at most one run per level, no level-0 run.
+  const auto runs = tree.RunsPerLevel();
+  EXPECT_TRUE(runs.empty() || runs[0] == 0u);
+  for (const std::size_t count : runs) EXPECT_LE(count, 1u);
+}
+
+TEST(LsmTreeTest, TieredPolicyAccumulatesRunsThenFoldsTier) {
+  auto config = SmallConfig(10, 2.0);
+  config.policy = MergePolicy::kTiered;
+  config.tier_runs = 3;
+  LsmTree tree(config);
+  Timestamp t = 0;
+  StreamId s = 0;
+
+  // Two freezes: below the tier fan-out, runs just accumulate at level 0
+  // with zero merge work.
+  for (int wave = 0; wave < 2; ++wave) {
+    for (int i = 0; i < 12; ++i) tree.AddPosting(i % 3, P(++s, ++t, 1));
+    tree.MergeCascade(MergeHooks{});
+  }
+  EXPECT_EQ(tree.RunsPerLevel(), (std::vector<std::size_t>{2}));
+  EXPECT_EQ(tree.GetMergeStats().merges, 0u);
+
+  // Third freeze reaches tier_runs: the whole tier folds one level down.
+  for (int i = 0; i < 12; ++i) tree.AddPosting(i % 3, P(++s, ++t, 1));
+  tree.MergeCascade(MergeHooks{});
+  EXPECT_EQ(tree.RunsPerLevel(), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(tree.GetMergeStats().merges, 1u);
+  EXPECT_EQ(tree.total_postings(), 36u);
 }
 
 TEST(LsmTreeTest, ConcurrentInsertAndQueryDuringMerges) {

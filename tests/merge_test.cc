@@ -115,9 +115,9 @@ TEST(MergeTest, OnStreamHookSeesMembership) {
 
   std::set<StreamId> only_a, both, only_b;
   MergeHooks hooks;
-  hooks.on_stream = [&](StreamId s, bool in_both, ComponentId,
-                        ComponentId, const InvertedIndex&) {
-    if (in_both) {
+  hooks.on_stream = [&](StreamId s, std::uint32_t copies,
+                        const InvertedIndex&) {
+    if (copies == 2) {
       both.insert(s);
     } else if (s == 12) {
       only_b.insert(s);
@@ -131,7 +131,7 @@ TEST(MergeTest, OnStreamHookSeesMembership) {
   EXPECT_EQ(only_b, std::set<StreamId>{12});
 }
 
-TEST(MergeTest, OnStreamHookSeesInputIdsAndOutput) {
+TEST(MergeTest, OnStreamHookSeesCopyCountAndOutput) {
   InvertedIndex a(0);
   a.Add(1, P(10, 1.0f, 100, 2));
   a.SealAll();
@@ -141,18 +141,19 @@ TEST(MergeTest, OnStreamHookSeesInputIdsAndOutput) {
   b.SealAll();
   b.AdoptCeiling(8, std::make_shared<index::FreshnessCeiling>());
 
+  int calls = 0;
   MergeHooks hooks;
-  hooks.on_stream = [&](StreamId s, bool in_both, ComponentId from_a,
-                        ComponentId from_b, const InvertedIndex& merged) {
+  hooks.on_stream = [&](StreamId s, std::uint32_t copies,
+                        const InvertedIndex& merged) {
+    ++calls;
     EXPECT_EQ(s, 10u);
-    EXPECT_TRUE(in_both);
-    EXPECT_EQ(from_a, 7u);
-    EXPECT_EQ(from_b, 8u);
+    EXPECT_EQ(copies, 2u);  // Present in both inputs.
     EXPECT_EQ(merged.component_id(), 9u);
   };
   const auto merged = CombineComponents(
       a, &b, 2, false, hooks, nullptr, 9,
       std::make_shared<index::FreshnessCeiling>());
+  EXPECT_EQ(calls, 1);
   EXPECT_EQ(merged->component_id(), 9u);
 }
 
@@ -235,8 +236,7 @@ TEST(MergeTest, SurvivingStreamsReportedForRetirePass) {
 
   MergeHooks hooks;
   hooks.is_deleted = [](StreamId s) { return s == 12; };
-  hooks.on_stream = [](StreamId, bool, ComponentId, ComponentId,
-                       const InvertedIndex&) {};
+  hooks.on_stream = [](StreamId, std::uint32_t, const InvertedIndex&) {};
   std::vector<StreamId> surviving;
   CombineComponents(a, &b, 2, false, hooks, nullptr, 3,
                     std::make_shared<index::FreshnessCeiling>(), &surviving);
@@ -267,9 +267,9 @@ TEST(MergeTest, InsertDuringMergeWindowKeepsInputCeilingsSound) {
 
   MergeHooks hooks;
   hooks.is_deleted = [&](StreamId s) { return table.IsDeleted(s); };
-  hooks.on_stream = [&](StreamId s, bool in_both, ComponentId,
-                        ComponentId, const InvertedIndex& merged) {
-    table.MergeResidency(s, in_both, merged.component_id(),
+  hooks.on_stream = [&](StreamId s, std::uint32_t copies,
+                        const InvertedIndex& merged) {
+    table.MergeResidency(s, copies, merged.component_id(),
                          merged.ceiling_cell());
     // Simulate the racing insert inside the merge window, while the
     // inputs are still query-visible.
@@ -287,7 +287,7 @@ TEST(MergeTest, InsertDuringMergeWindowKeepsInputCeilingsSound) {
 
   // Post-swap retire pass, as LsmTree runs it.
   for (const StreamId s : surviving) {
-    table.DropResidency(s, a.component_id(), b.component_id());
+    table.DropResidency(s, {a.component_id(), b.component_id()});
   }
   EXPECT_EQ(table.GetResidency(10), std::vector<ComponentId>{3});
 }

@@ -149,6 +149,23 @@ int CmdStats(int argc, char** argv) {
   std::printf("  postings:     %zu (L0: %zu, levels: %zu)\n",
               index.tree().total_postings(), index.tree().l0_postings(),
               index.tree().num_levels());
+  // Compaction shape: the policy the restored tree will keep compacting
+  // with, and how many sealed runs each level currently holds (tiered
+  // levels hold several; a level-0 entry is a frozen, not-yet-folded
+  // run — a mid-cascade snapshot).
+  {
+    const auto runs = index.tree().RunsPerLevel();
+    std::string shape;
+    for (std::size_t level = 0; level < runs.size(); ++level) {
+      if (!shape.empty()) shape += ", ";
+      shape += "L" + std::to_string(level) + "=" +
+               std::to_string(runs[level]);
+    }
+    std::printf("  compaction:   %s policy, %zu runs%s%s%s\n",
+                lsm::MergePolicyName(index.tree().policy()),
+                index.tree().num_runs(), shape.empty() ? "" : " (",
+                shape.c_str(), shape.empty() ? "" : ")");
+  }
   // Published-view observability: the epoch counts structural changes
   // since birth; components are grouped by level slot; pinned views and
   // retired bytes expose what the refcount-as-mirror scheme holds alive.

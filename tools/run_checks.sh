@@ -5,8 +5,11 @@
 #   2. tier-1 test suite        (ctest, the correctness gate)
 #   3. bench smoke              (ctest -L bench-smoke: every bench binary
 #                                at RTSI_BENCH_SCALE=0.01 — catches bench
-#                                bit-rot and the fig10 skip on/off
-#                                checksum divergence exit)
+#                                bit-rot plus the correctness exits: the
+#                                fig10 skip on/off checksum divergence and
+#                                the ablation_policy optimized-vs-walk
+#                                audit across all three compaction
+#                                policies)
 #   4. sanitizer gate           (tools/run_sanitizers.sh: full suite under
 #                                ASan, `-L sanitizer` under TSan)
 #
