@@ -10,6 +10,12 @@ void DocumentFrequencyTable::AddOccurrence(TermId term) {
   ++shard.df[term];
 }
 
+void DocumentFrequencyTable::AddCount(TermId term, std::uint64_t delta) {
+  Shard& shard = shards_[term % kNumShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.df[term] += delta;
+}
+
 void DocumentFrequencyTable::RestoreEntry(TermId term, std::uint64_t df) {
   Shard& shard = shards_[term % kNumShards];
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -23,6 +23,11 @@ class DocumentFrequencyTable {
   /// One more stream contains `term`.
   void AddOccurrence(TermId term);
 
+  /// Adds `delta` streams containing `term` in one step. Shard-aggregate
+  /// rebuild path (shard::IndexShardSet sums per-shard tables into the
+  /// shared scoring state after a restore).
+  void AddCount(TermId term, std::uint64_t delta);
+
   /// One more stream exists (IDF denominator).
   void AddDocument() {
     num_documents_.fetch_add(1, std::memory_order_relaxed);

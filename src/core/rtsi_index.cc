@@ -83,6 +83,17 @@ void RtsiIndex::SetCascadeObserver(std::function<void()> observer) {
   cascade_observer_ = std::move(observer);
 }
 
+void RtsiIndex::BindSharedScoring(
+    std::shared_ptr<SharedScoringState> shared) {
+  shared_scoring_ = std::move(shared);
+  if (shared_scoring_ != nullptr) {
+    // A shard that already holds state (snapshot restore, journal replay)
+    // contributes its current maximum; the df aggregate is rebuilt by the
+    // shard set, which sums every shard's table.
+    shared_scoring_->BumpMaxPop(streams_.max_pop_count());
+  }
+}
+
 void RtsiIndex::WaitForMerges() {
   if (merge_executor_ != nullptr) merge_executor_->Wait();
 }
@@ -155,14 +166,22 @@ void RtsiIndex::InsertWindow(StreamId stream, Timestamp now,
   // Algorithm 1. Lines 1-3: append to I0's lists and update hash tables.
   std::uint64_t pop_count = 0;
   const bool new_stream = streams_.OnInsert(stream, now, live, &pop_count);
-  if (new_stream) df_.AddDocument();
+  if (new_stream) {
+    df_.AddDocument();
+    if (shared_scoring_ != nullptr) shared_scoring_->df.AddDocument();
+  }
   const float pop_snapshot = static_cast<float>(pop_count);
 
   const std::vector<TermFreq> totals = live_terms_.AddWindow(stream, terms);
   for (std::size_t i = 0; i < terms.size(); ++i) {
     const TermCount& tc = terms[i];
     if (tc.tf == 0) continue;
-    if (totals[i] == tc.tf) df_.AddOccurrence(tc.term);  // First window.
+    if (totals[i] == tc.tf) {  // First window holding this term.
+      df_.AddOccurrence(tc.term);
+      if (shared_scoring_ != nullptr) {
+        shared_scoring_->df.AddOccurrence(tc.term);
+      }
+    }
     // AddPosting marks the stream's L0-epoch presence atomically with the
     // posting (under the term-shard lock), returning true on the stream's
     // first posting of the epoch. Incrementing per true return — instead
@@ -217,7 +236,8 @@ void RtsiIndex::UpdatePopularity(StreamId stream, std::uint64_t delta) {
   // The RTSI update path touches only the small per-stream table; the
   // popularity snapshots inside sealed lists stay as-is (the bound mode
   // decides how to stay conservative).
-  streams_.AddPopularity(stream, delta);
+  const std::uint64_t count = streams_.AddPopularity(stream, delta);
+  if (shared_scoring_ != nullptr) shared_scoring_->BumpMaxPop(count);
 }
 
 std::vector<ScoredStream> RtsiIndex::Query(const std::vector<TermId>& terms,
@@ -277,11 +297,22 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
   const std::size_t nq = q.size();
   const int num_terms = static_cast<int>(nq);
 
+  // Sharded deployments score with the corpus-global statistics so every
+  // shard computes exactly the score a single unsharded index would; the
+  // shard-local tables are a subset (df) / lower bound (max pop) of the
+  // aggregate, so the max() only ever picks the shared value — it guards
+  // against an aggregate that was bound but not yet refreshed.
+  const DocumentFrequencyTable& df =
+      shared_scoring_ != nullptr ? shared_scoring_->df : df_;
   std::vector<double>& idfs = scratch.idfs;
   idfs.assign(nq, 0.0);
-  for (std::size_t i = 0; i < nq; ++i) idfs[i] = df_.Idf(q[i]);
+  for (std::size_t i = 0; i < nq; ++i) idfs[i] = df.Idf(q[i]);
   if (explain != nullptr) explain->idfs = idfs;
-  const std::uint64_t max_pop = streams_.max_pop_count();
+  const std::uint64_t max_pop =
+      shared_scoring_ != nullptr
+          ? std::max(shared_scoring_->max_pop.load(std::memory_order_relaxed),
+                     streams_.max_pop_count())
+          : streams_.max_pop_count();
 
   // The parallel executor handles every query when query_threads >= 1,
   // except explanations, which keep the sequential walk's deterministic

@@ -1,0 +1,155 @@
+// AsyncHttpServer: the epoll front-end (DESIGN.md §6i).
+//
+// Threading model — one network thread owns ALL socket I/O:
+//
+//   * The network thread runs the epoll loop (edge-triggered), accepts,
+//     reads, parses, writes, and is the only thread that ever touches a
+//     connection's state. Workers never see a file descriptor.
+//   * Parsed requests are handed to a worker pool through a bounded
+//     pending queue; finished responses come back through a completion
+//     queue + eventfd wakeup, and the network thread serializes them onto
+//     the wire.
+//   * Completions are keyed by (fd, generation): if the client vanished
+//     and the fd was recycled for a new connection while its request was
+//     still computing, the stale completion is dropped instead of being
+//     written to a stranger (the classic fd-reuse ABA).
+//
+// Admission control: when `max_pending` requests are already queued, new
+// requests are answered 503 + Retry-After directly by the network thread
+// — the queue can't grow without bound and overload degrades into fast,
+// explicit shedding instead of collapse. Batch routes (RouteBatch) let a
+// worker drain up to `max_batch` queued same-path requests in one handler
+// call (insert batching: one RNG acquisition + one pinned index pair per
+// batch instead of per request).
+//
+// Keep-alive: HTTP/1.1 connections persist (one request in flight per
+// connection; pipelined bytes wait buffered until the response is out).
+// Stop() drains: the listener closes first, queued and in-flight requests
+// finish, their responses flush, then threads join.
+
+#ifndef RTSI_SERVER_ASYNC_HTTP_SERVER_H_
+#define RTSI_SERVER_ASYNC_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/http_server.h"
+
+namespace rtsi::server {
+
+class AsyncHttpServer : public HttpServerBase {
+ public:
+  explicit AsyncHttpServer(const ServerConfig& config);
+  ~AsyncHttpServer() override;
+
+  AsyncHttpServer(const AsyncHttpServer&) = delete;
+  AsyncHttpServer& operator=(const AsyncHttpServer&) = delete;
+
+  void Route(const std::string& path, HttpHandler handler) override;
+  void RouteBatch(const std::string& path, HttpBatchHandler handler) override;
+  Status Start(int port) override;
+  void Stop() override;
+  int port() const override { return port_; }
+  std::uint64_t requests_served() const override {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  ServerQueueStats QueueStats() const override;
+
+ private:
+  /// Per-connection state machine; owned and mutated only by the network
+  /// thread.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t gen = 0;
+    internal::RequestParser parser;
+    std::string out;            // Bytes not yet written.
+    std::size_t out_off = 0;
+    bool in_flight = false;     // A request of this conn is queued/computing.
+    bool close_after_write = false;
+    bool want_write = false;    // EPOLLOUT currently armed.
+    bool read_closed = false;   // Peer EOF'd (may still be owed a response).
+
+    Conn(int fd_in, std::uint64_t gen_in, std::size_t max_head,
+         std::size_t max_body)
+        : fd(fd_in), gen(gen_in), parser(max_head, max_body) {}
+  };
+
+  struct Work {
+    int fd = -1;
+    std::uint64_t gen = 0;
+    HttpRequest request;
+    bool keep_alive = false;
+  };
+
+  struct Done {
+    int fd = -1;
+    std::uint64_t gen = 0;
+    HttpResponse response;
+    bool keep_alive = false;
+  };
+
+  void NetLoop();
+  void WorkerLoop();
+  void AcceptNew();
+  void OnReadable(Conn& conn);
+  /// Drives the connection until it blocks on I/O, on a worker, or
+  /// closes. Invalidates `conn` if it closes. Network thread only.
+  void Pump(Conn& conn);
+  /// Parses buffered bytes; admits to the worker queue or sheds (503).
+  /// Returns false when no complete request is buffered.
+  bool MaybeDispatch(Conn& conn);
+  /// Serializes `response` onto the connection's output buffer.
+  void SendResponse(Conn& conn, const HttpResponse& response,
+                    bool keep_alive);
+  /// Returns false on a hard write error (peer gone; close the conn).
+  bool FlushWrites(Conn& conn);
+  void CloseConn(int fd);
+  void DrainCompletions();
+  void ArmWrite(Conn& conn, bool enable);
+
+  ServerConfig config_;
+  std::map<std::string, HttpHandler> routes_;
+  std::map<std::string, HttpBatchHandler> batch_routes_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread net_thread_;
+  std::vector<std::thread> workers_;
+
+  // Worker handoff.
+  mutable std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Work> pending_;
+  std::size_t in_worker_ = 0;  // Requests currently inside handlers.
+
+  // Completions back to the network thread.
+  std::mutex done_mu_;
+  std::vector<Done> done_;
+
+  // Network-thread-owned connection table.
+  std::unordered_map<int, Conn> conns_;
+  std::uint64_t next_gen_ = 1;
+  std::atomic<std::size_t> conn_count_{0};
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+};
+
+}  // namespace rtsi::server
+
+#endif  // RTSI_SERVER_ASYNC_HTTP_SERVER_H_

@@ -5,32 +5,43 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 
+#include "server/async_http_server.h"
+
 namespace rtsi::server {
 namespace {
-
-const char* StatusText(int status) {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 400:
-      return "Bad Request";
-    case 404:
-      return "Not Found";
-    case 500:
-      return "Internal Server Error";
-    default:
-      return "Unknown";
-  }
-}
 
 int HexValue(char c) {
   if (c >= '0' && c <= '9') return c - '0';
   if (c >= 'a' && c <= 'f') return c - 'a' + 10;
   if (c >= 'A' && c <= 'F') return c - 'A' + 10;
   return -1;
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+/// Parses "a=1&b=hello+there" into decoded pairs.
+void ParseQueryString(const std::string& query_string,
+                      std::map<std::string, std::string>& out) {
+  std::size_t pos = 0;
+  while (pos < query_string.size()) {
+    std::size_t amp = query_string.find('&', pos);
+    if (amp == std::string::npos) amp = query_string.size();
+    const std::string pair = query_string.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      out[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    } else if (!pair.empty()) {
+      out[UrlDecode(pair)] = "";
+    }
+    pos = amp + 1;
+  }
 }
 
 }  // namespace
@@ -90,10 +101,156 @@ std::string JsonEscape(const std::string& in) {
   return out;
 }
 
+namespace internal {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool http11,
+                              bool keep_alive) {
+  std::string out = http11 ? "HTTP/1.1 " : "HTTP/1.0 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += StatusText(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                    : "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+RequestParser::Result RequestParser::Parse() {
+  if (error_ != 0) return Result::kError;
+  if (!have_head_) {
+    const std::size_t head_end = buf_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      // Nothing to bound an attacker but the cap: a head that has not
+      // terminated within max_head_ bytes is rejected outright.
+      if (buf_.size() > max_head_) {
+        error_ = 400;
+        return Result::kError;
+      }
+      return Result::kNeedMore;
+    }
+    if (head_end > max_head_) {
+      error_ = 400;
+      return Result::kError;
+    }
+
+    // "METHOD /path?query HTTP/1.x"
+    const std::size_t line_end = buf_.find("\r\n");
+    const std::string line = buf_.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      error_ = 400;
+      return Result::kError;
+    }
+    request_.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = line.substr(sp2 + 1);
+    keep_alive_ = version == "HTTP/1.1";
+
+    const std::size_t question = target.find('?');
+    if (question != std::string::npos) {
+      ParseQueryString(target.substr(question + 1), request_.query);
+      target.resize(question);
+    }
+    request_.path = UrlDecode(target);
+
+    // Headers: only Content-Length and Connection matter to us.
+    std::uint64_t content_length = 0;
+    std::size_t pos = line_end + 2;
+    while (pos < head_end) {
+      std::size_t eol = buf_.find("\r\n", pos);
+      if (eol == std::string::npos || eol > head_end) eol = head_end;
+      const std::size_t colon = buf_.find(':', pos);
+      if (colon != std::string::npos && colon < eol) {
+        std::string name = ToLower(buf_.substr(pos, colon - pos));
+        std::size_t vstart = colon + 1;
+        while (vstart < eol && buf_[vstart] == ' ') ++vstart;
+        const std::string value = buf_.substr(vstart, eol - vstart);
+        if (name == "content-length") {
+          content_length = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (name == "connection") {
+          const std::string lowered = ToLower(value);
+          if (lowered == "close") keep_alive_ = false;
+          if (lowered == "keep-alive") keep_alive_ = true;
+        }
+      }
+      pos = eol + 2;
+    }
+    if (content_length > max_body_) {
+      error_ = 413;
+      return Result::kError;
+    }
+    have_head_ = true;
+    body_start_ = head_end + 4;
+    body_len_ = static_cast<std::size_t>(content_length);
+  }
+  if (buf_.size() < body_start_ + body_len_) return Result::kNeedMore;
+  request_.body = buf_.substr(body_start_, body_len_);
+  return Result::kDone;
+}
+
+void RequestParser::Reset() {
+  buf_.erase(0, body_start_ + body_len_);
+  have_head_ = false;
+  body_start_ = 0;
+  body_len_ = 0;
+  keep_alive_ = false;
+  error_ = 0;
+  request_ = HttpRequest{};
+}
+
+}  // namespace internal
+
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Route(const std::string& path, HttpHandler handler) {
   routes_[path] = std::move(handler);
+}
+
+void HttpServer::RouteBatch(const std::string& path,
+                            HttpBatchHandler handler) {
+  // The blocking server handles one request at a time; a batch route is
+  // just a route that always sees single-element batches.
+  routes_[path] = [handler = std::move(handler)](const HttpRequest& request) {
+    const auto responses = handler({request});
+    return responses.empty() ? HttpResponse{500, "text/plain", "no response\n"}
+                             : responses.front();
+  };
+}
+
+ServerQueueStats HttpServer::QueueStats() const {
+  ServerQueueStats stats;
+  stats.accepted = requests_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 Status HttpServer::Start(int port) {
@@ -129,12 +286,15 @@ Status HttpServer::Start(int port) {
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
+  // Wake the blocked accept() but keep the fd alive until the thread has
+  // joined: a connection being handled right now finishes its response
+  // (drain), and the fd number can't be recycled under the loop.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
   if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
 }
 
 void HttpServer::AcceptLoop() {
@@ -150,70 +310,46 @@ void HttpServer::AcceptLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
-  // Read until the end of the headers (requests are small GETs).
-  std::string raw;
+  internal::RequestParser parser(config_.max_head_bytes,
+                                 config_.max_body_bytes);
   char buf[4096];
-  while (raw.find("\r\n\r\n") == std::string::npos &&
-         raw.size() < 64 * 1024) {
+  internal::RequestParser::Result result =
+      internal::RequestParser::Result::kNeedMore;
+  bool got_bytes = false;
+  while (result == internal::RequestParser::Result::kNeedMore) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n <= 0) break;
-    raw.append(buf, static_cast<std::size_t>(n));
+    got_bytes = true;
+    parser.Append(buf, static_cast<std::size_t>(n));
+    result = parser.Parse();
   }
+  if (!got_bytes) return;  // Connected and left without a byte.
 
   HttpResponse response;
-  HttpRequest request;
-  const std::size_t line_end = raw.find("\r\n");
-  if (line_end == std::string::npos) {
-    response = {400, "text/plain", "bad request\n"};
+  if (result == internal::RequestParser::Result::kError) {
+    response = {parser.error_status(), "text/plain", "bad request\n"};
+  } else if (result == internal::RequestParser::Result::kNeedMore) {
+    response = {400, "text/plain", "truncated request\n"};
   } else {
-    // "METHOD /path?query HTTP/1.x"
-    const std::string line = raw.substr(0, line_end);
-    const std::size_t sp1 = line.find(' ');
-    const std::size_t sp2 = line.find(' ', sp1 + 1);
-    if (sp1 == std::string::npos || sp2 == std::string::npos) {
-      response = {400, "text/plain", "bad request line\n"};
+    const HttpRequest& request = parser.request();
+    auto it = routes_.find(request.path);
+    if (it == routes_.end()) {
+      response = {404, "text/plain", "not found\n"};
     } else {
-      request.method = line.substr(0, sp1);
-      std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-      const std::size_t question = target.find('?');
-      if (question != std::string::npos) {
-        std::string query_string = target.substr(question + 1);
-        target.resize(question);
-        std::size_t pos = 0;
-        while (pos < query_string.size()) {
-          std::size_t amp = query_string.find('&', pos);
-          if (amp == std::string::npos) amp = query_string.size();
-          const std::string pair = query_string.substr(pos, amp - pos);
-          const std::size_t eq = pair.find('=');
-          if (eq != std::string::npos) {
-            request.query[UrlDecode(pair.substr(0, eq))] =
-                UrlDecode(pair.substr(eq + 1));
-          } else if (!pair.empty()) {
-            request.query[UrlDecode(pair)] = "";
-          }
-          pos = amp + 1;
-        }
-      }
-      request.path = UrlDecode(target);
-
-      auto it = routes_.find(request.path);
-      if (it == routes_.end()) {
-        response = {404, "text/plain", "not found\n"};
-      } else {
-        response = it->second(request);
-      }
+      response = it->second(request);
     }
   }
 
-  char header[256];
-  std::snprintf(header, sizeof(header),
-                "HTTP/1.0 %d %s\r\nContent-Type: %s\r\n"
-                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
-                response.status, StatusText(response.status),
-                response.content_type.c_str(), response.body.size());
-  (void)!::write(fd, header, std::strlen(header));
-  (void)!::write(fd, response.body.data(), response.body.size());
+  const std::string wire =
+      internal::SerializeResponse(response, /*http11=*/false,
+                                  /*keep_alive=*/false);
+  (void)!::write(fd, wire.data(), wire.size());
   requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::unique_ptr<HttpServerBase> MakeHttpServer(const ServerConfig& config) {
+  if (config.async) return std::make_unique<AsyncHttpServer>(config);
+  return std::make_unique<HttpServer>(config);
 }
 
 }  // namespace rtsi::server

@@ -3,12 +3,17 @@
 //   GET /                 — tiny HTML search page
 //   GET /search?q=...&k=N — fused multi-modal keyword search, JSON
 //   GET /live?q=...&k=N   — text-tree search restricted to live streams
-//   GET /ingest?stream=ID&words=a+b+c[&live=0|1] — index one window
+//   GET /ingest?stream=ID&words=a+b+c[&live=0|1] — index one window;
+//       also accepts a POST body of lines "STREAM word word ..." (one
+//       window per line). Registered as a batch route: the async server
+//       coalesces queued /ingest requests into one IngestBatch call.
 //   GET /finish?stream=ID — end a broadcast
 //   GET /pop?stream=ID&delta=N — popularity update
-//   GET /stats            — index statistics, JSON
+//   GET /stats            — index + shard + server-queue statistics, JSON
 //
-// Everything is GET for demo simplicity (drive it from a browser bar).
+// Works on either front-end (blocking or epoll; see
+// server/http_server.h). Handlers pin the published index pair per
+// request, so they are safe under the async server's worker pool.
 
 #ifndef RTSI_SERVER_SEARCH_HANDLER_H_
 #define RTSI_SERVER_SEARCH_HANDLER_H_
@@ -18,10 +23,10 @@
 
 namespace rtsi::server {
 
-/// Registers all routes on `http`. `service` and `clock` must outlive the
-/// server. Single-threaded access model (the demo server handles requests
-/// sequentially).
-void RegisterSearchRoutes(HttpServer& http, service::SearchService& service,
+/// Registers all routes on `http`. `service`, `clock` and `http` must
+/// outlive the server's run.
+void RegisterSearchRoutes(HttpServerBase& http,
+                          service::SearchService& service,
                           SimulatedClock& clock);
 
 }  // namespace rtsi::server

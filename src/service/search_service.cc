@@ -8,6 +8,17 @@
 #include "audio/synthesizer.h"
 
 namespace rtsi::service {
+namespace {
+
+shard::ShardSetConfig ShardConfig(const SearchServiceConfig& config) {
+  shard::ShardSetConfig shard_config;
+  shard_config.index = config.index;
+  shard_config.num_shards = std::max(1, config.shards);
+  shard_config.scatter_threads = config.scatter_threads;
+  return shard_config;
+}
+
+}  // namespace
 
 SearchService::SearchService(const SearchServiceConfig& config, Clock* clock)
     : config_(config), clock_(clock), rng_(config.seed) {
@@ -18,8 +29,8 @@ SearchService::SearchService(const SearchServiceConfig& config, Clock* clock)
       config.ingestion.lattice_ngram,
       config.ingestion.lattice_alt_threshold, config.ingestion.stem_text);
   auto initial = std::make_shared<IndexPair>();
-  initial->text = std::make_shared<core::RtsiIndex>(config.index);
-  initial->sound = std::make_shared<core::RtsiIndex>(config.index);
+  initial->text = std::make_shared<shard::IndexShardSet>(ShardConfig(config));
+  initial->sound = std::make_shared<shard::IndexShardSet>(ShardConfig(config));
   indices_.Store(std::move(initial));
   if (config.index.query_threads > 0) {
     // Two threads: enough to overlap the offloaded modality of two
@@ -31,9 +42,19 @@ SearchService::SearchService(const SearchServiceConfig& config, Clock* clock)
 
 void SearchService::ReplaceIndices(std::unique_ptr<core::RtsiIndex> text,
                                    std::unique_ptr<core::RtsiIndex> sound) {
+  // Adopt each restored index as a single-shard set; the adopt path
+  // rebuilds the shared scoring aggregate from the restored tables.
+  auto wrap = [this](std::unique_ptr<core::RtsiIndex> index) {
+    shard::ShardSetConfig shard_config = ShardConfig(config_);
+    shard_config.num_shards = 1;
+    std::vector<std::unique_ptr<core::RtsiIndex>> shards;
+    shards.push_back(std::move(index));
+    return std::make_shared<shard::IndexShardSet>(shard_config,
+                                                  std::move(shards));
+  };
   auto next = std::make_shared<IndexPair>();
-  next->text = std::shared_ptr<core::RtsiIndex>(std::move(text));
-  next->sound = std::shared_ptr<core::RtsiIndex>(std::move(sound));
+  next->text = wrap(std::move(text));
+  next->sound = wrap(std::move(sound));
   restores_in_flight_.fetch_add(1, std::memory_order_release);
   indices_.Store(std::move(next));
   restores_in_flight_.fetch_sub(1, std::memory_order_release);
@@ -51,6 +72,27 @@ void SearchService::IngestWindow(StreamId stream,
   const auto indices = PinIndices();
   indices->text->InsertWindow(stream, now, artifacts.text_terms, live);
   indices->sound->InsertWindow(stream, now, artifacts.sound_terms, live);
+}
+
+void SearchService::IngestBatch(const std::vector<IngestOp>& ops) {
+  std::vector<WindowArtifacts> artifacts(ops.size());
+  {
+    // One RNG acquisition for the whole batch: the draw sequence matches
+    // the same ops issued individually, keeping seeded runs comparable
+    // between the batched and unbatched front-ends.
+    std::lock_guard<std::mutex> rng_lock(rng_mu_);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      artifacts[i] = pipeline_->ProcessWindow(ops[i].words, rng_);
+    }
+  }
+  const Timestamp now = clock_->Now();
+  const auto indices = PinIndices();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    indices->text->InsertWindow(ops[i].stream, now, artifacts[i].text_terms,
+                                ops[i].live);
+    indices->sound->InsertWindow(ops[i].stream, now, artifacts[i].sound_terms,
+                                 ops[i].live);
+  }
 }
 
 void SearchService::FinishStream(StreamId stream) {

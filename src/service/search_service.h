@@ -4,6 +4,7 @@
 #ifndef RTSI_SERVICE_SEARCH_SERVICE_H_
 #define RTSI_SERVICE_SEARCH_SERVICE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <memory>
@@ -18,16 +19,31 @@
 #include "core/rtsi_index.h"
 #include "service/ingestion.h"
 #include "service/query_processor.h"
+#include "shard/shard_set.h"
 #include "text/term_dictionary.h"
 
 namespace rtsi::service {
 
 struct SearchServiceConfig {
-  core::RtsiConfig index;       // Shared by both trees.
+  core::RtsiConfig index;       // Shared by both trees (per shard).
   IngestionConfig ingestion;
   double text_weight = 0.6;     // Fusion: text vs sound modality.
   int default_k = 10;
   std::uint64_t seed = 42;
+  /// Partitions each modality across this many independent shards
+  /// (DESIGN.md §6i). 1 = the classic single-index layout.
+  int shards = 1;
+  /// Pool workers for the scatter phase of sharded queries (0 = scatter
+  /// on the calling thread; right for small machines and shards == 1).
+  int scatter_threads = 0;
+};
+
+/// One window of one stream, for batched ingestion (the async server
+/// coalesces queued /ingest requests into one IngestBatch call).
+struct IngestOp {
+  StreamId stream = 0;
+  std::vector<std::string> words;
+  bool live = true;
 };
 
 /// A fused multi-modal result.
@@ -43,9 +59,11 @@ class SearchService {
   /// Both modality indices, pinned as one unit: a query or ingestion call
   /// loads the pair once and works against a consistent (text, sound)
   /// generation even if a snapshot restore publishes a new pair mid-call.
+  /// Each modality is an IndexShardSet — one shard by default, N when
+  /// `SearchServiceConfig::shards` asks for a partitioned service.
   struct IndexPair {
-    std::shared_ptr<core::RtsiIndex> text;
-    std::shared_ptr<core::RtsiIndex> sound;
+    std::shared_ptr<shard::IndexShardSet> text;
+    std::shared_ptr<shard::IndexShardSet> sound;
   };
 
   SearchService(const SearchServiceConfig& config, Clock* clock);
@@ -55,6 +73,12 @@ class SearchService {
   /// modalities.
   void IngestWindow(StreamId stream, const std::vector<std::string>& words,
                     bool live = true);
+
+  /// Ingests a batch of windows in order against one pinned pair. ASR
+  /// simulation for the whole batch runs under a single RNG acquisition,
+  /// so a batched run draws the same sequence as the same ops issued
+  /// one by one — batching changes throughput, not results.
+  void IngestBatch(const std::vector<IngestOp>& ops);
 
   void FinishStream(StreamId stream);
   void DeleteStream(StreamId stream);
@@ -86,16 +110,24 @@ class SearchService {
   // a restore publishing mid-use would free the index under the caller.
   // Concurrent readers must use PinIndices() instead; the assertion
   // catches the one racy overlap we can observe cheaply.
-  core::RtsiIndex& text_index() {
+  shard::IndexShardSet& text_shards() {
     assert(restores_in_flight_.load(std::memory_order_acquire) == 0 &&
-           "text_index(): use PinIndices() when a restore can race");
+           "text_shards(): use PinIndices() when a restore can race");
     return *indices_.Load()->text;
   }
-  core::RtsiIndex& sound_index() {
+  shard::IndexShardSet& sound_shards() {
     assert(restores_in_flight_.load(std::memory_order_acquire) == 0 &&
-           "sound_index(): use PinIndices() when a restore can race");
+           "sound_shards(): use PinIndices() when a restore can race");
     return *indices_.Load()->sound;
   }
+
+  // Legacy single-index accessors: the underlying RtsiIndex of shard 0.
+  // Only meaningful when the service runs unsharded (shards == 1) — the
+  // snapshot path and the pre-shard tests use these.
+  core::RtsiIndex& text_index() { return text_shards().shard_index(0); }
+  core::RtsiIndex& sound_index() { return sound_shards().shard_index(0); }
+
+  int num_shards() const { return std::max(1, config_.shards); }
 
   /// Replaces both indices (snapshot restore path; see
   /// service/service_snapshot.h) by publishing a new pair with one atomic
@@ -103,6 +135,8 @@ class SearchService {
   /// old indices are freed when the last pin drops. No query fleet stall.
   /// Operations that raced the swap were applied to the replaced pair and
   /// vanish with it, exactly as if they had completed before the restore.
+  /// Each restored index is adopted as a single-shard set (restores are a
+  /// single-shard operation; see service/service_snapshot.h).
   void ReplaceIndices(std::unique_ptr<core::RtsiIndex> text,
                       std::unique_ptr<core::RtsiIndex> sound);
 

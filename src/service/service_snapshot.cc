@@ -54,6 +54,11 @@ Status LoadDictionary(storage::SnapshotReader& reader,
 
 Status SaveServiceSnapshot(SearchService& service,
                            const std::string& path_prefix) {
+  if (service.num_shards() != 1) {
+    return Status::FailedPrecondition(
+        "service snapshots are single-shard; sharded deployments persist "
+        "per shard (shard::IndexShardSet::Open + Checkpoint)");
+  }
   // Both per-modality index files use the storage snapshot format, which
   // (since v2) persists each sealed component's live-freshness ceiling and
   // every stream's finished flag — a reloaded service prunes with the same
@@ -85,6 +90,11 @@ Status SaveServiceSnapshot(SearchService& service,
 
 Status LoadServiceSnapshot(SearchService& service,
                            const std::string& path_prefix) {
+  if (service.num_shards() != 1) {
+    return Status::FailedPrecondition(
+        "service snapshots are single-shard; sharded deployments recover "
+        "per shard (shard::IndexShardSet::Open)");
+  }
   storage::SnapshotReader reader;
   Status status = reader.Open(path_prefix + ".dicts", kDictFormatVersion);
   if (!status.ok()) return status;

@@ -1,0 +1,263 @@
+#include "shard/shard_set.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+
+#include "core/top_k.h"
+
+namespace rtsi::shard {
+
+int ShardForStream(StreamId stream, int num_shards) {
+  if (num_shards <= 1) return 0;
+  // splitmix64 finalizer: full-avalanche, so consecutive stream ids land
+  // on independent shards.
+  std::uint64_t x = stream;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<std::uint64_t>(num_shards));
+}
+
+namespace {
+
+std::string ShardDir(const std::string& root, int s) {
+  return root + "/shard-" + std::to_string(s);
+}
+
+void MakeScatterPool(const ShardSetConfig& config,
+                     std::unique_ptr<ThreadPool>& pool) {
+  if (config.scatter_threads > 0 && config.num_shards > 1) {
+    pool = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(config.scatter_threads));
+  }
+}
+
+}  // namespace
+
+IndexShardSet::IndexShardSet(const ShardSetConfig& config)
+    : config_(config),
+      shared_scoring_(std::make_shared<core::SharedScoringState>()) {
+  const int n = std::max(1, config.num_shards);
+  config_.num_shards = n;
+  for (int s = 0; s < n; ++s) {
+    plain_.push_back(std::make_unique<core::RtsiIndex>(config.index));
+    shards_.push_back(plain_.back().get());
+    raw_.push_back(plain_.back().get());
+  }
+  for (core::RtsiIndex* index : raw_) {
+    index->BindSharedScoring(shared_scoring_);
+  }
+  MakeScatterPool(config_, scatter_pool_);
+}
+
+IndexShardSet::IndexShardSet(
+    const ShardSetConfig& config,
+    std::vector<std::unique_ptr<core::RtsiIndex>> shards)
+    : config_(config),
+      plain_(std::move(shards)),
+      shared_scoring_(std::make_shared<core::SharedScoringState>()) {
+  config_.num_shards = static_cast<int>(plain_.size());
+  for (auto& index : plain_) {
+    shards_.push_back(index.get());
+    raw_.push_back(index.get());
+  }
+  RefreshSharedScoring();
+  MakeScatterPool(config_, scatter_pool_);
+}
+
+Result<std::unique_ptr<IndexShardSet>> IndexShardSet::Open(
+    const ShardSetConfig& config,
+    std::vector<storage::RecoveryStats>* recovery) {
+  if (config.durable_dir.empty()) {
+    return Status::InvalidArgument(
+        "IndexShardSet::Open needs durable_dir (use the constructor for "
+        "in-memory shards)");
+  }
+  auto set = std::unique_ptr<IndexShardSet>(new IndexShardSet());
+  set->config_ = config;
+  const int n = std::max(1, config.num_shards);
+  set->config_.num_shards = n;
+  ::mkdir(config.durable_dir.c_str(), 0755);
+  if (recovery != nullptr) recovery->clear();
+  for (int s = 0; s < n; ++s) {
+    const std::string dir = ShardDir(config.durable_dir, s);
+    ::mkdir(dir.c_str(), 0755);
+    storage::RecoveryStats stats;
+    auto opened = storage::DurableIndex::Open(
+        config.index, dir + "/index.snap", dir + "/index.journal",
+        config.journal, &stats);
+    if (!opened.ok()) {
+      return Status::Internal("shard " + std::to_string(s) +
+                              " failed to open: " +
+                              opened.status().ToString());
+    }
+    if (recovery != nullptr) recovery->push_back(stats);
+    set->durables_.push_back(std::move(opened.value()));
+    set->shards_.push_back(set->durables_.back().get());
+    set->raw_.push_back(&set->durables_.back()->index());
+  }
+  set->RefreshSharedScoring();
+  MakeScatterPool(set->config_, set->scatter_pool_);
+  return set;
+}
+
+IndexShardSet::~IndexShardSet() { WaitForMerges(); }
+
+void IndexShardSet::RefreshSharedScoring() {
+  // Rebind a fresh aggregate rather than clearing the old one in place:
+  // the old state may still be referenced by a query that pinned it.
+  auto next = std::make_shared<core::SharedScoringState>();
+  std::uint64_t documents = 0;
+  for (core::RtsiIndex* index : raw_) {
+    index->doc_freq().ForEach([&next](TermId term, std::uint64_t df) {
+      next->df.AddCount(term, df);
+    });
+    documents += index->doc_freq().num_documents();
+    next->BumpMaxPop(index->stream_table().max_pop_count());
+  }
+  next->df.SetNumDocuments(documents);
+  shared_scoring_ = next;
+  for (core::RtsiIndex* index : raw_) {
+    index->BindSharedScoring(shared_scoring_);
+  }
+}
+
+void IndexShardSet::InsertWindow(StreamId stream, Timestamp now,
+                                 const std::vector<core::TermCount>& terms,
+                                 bool live) {
+  shards_[ShardOf(stream)]->InsertWindow(stream, now, terms, live);
+}
+
+void IndexShardSet::FinishStream(StreamId stream) {
+  shards_[ShardOf(stream)]->FinishStream(stream);
+}
+
+void IndexShardSet::DeleteStream(StreamId stream) {
+  shards_[ShardOf(stream)]->DeleteStream(stream);
+}
+
+void IndexShardSet::UpdatePopularity(StreamId stream, std::uint64_t delta) {
+  shards_[ShardOf(stream)]->UpdatePopularity(stream, delta);
+}
+
+std::vector<core::ScoredStream> IndexShardSet::Query(
+    const std::vector<TermId>& terms, int k, Timestamp now,
+    core::QueryStats* stats) {
+  return QueryFiltered(terms, k, now, core::QueryFilter{}, stats);
+}
+
+std::vector<core::ScoredStream> IndexShardSet::QueryFiltered(
+    const std::vector<TermId>& terms, int k, Timestamp now,
+    const core::QueryFilter& filter, core::QueryStats* stats) {
+  const int n = num_shards();
+  if (n == 1) {
+    return raw_[0]->QueryFiltered(terms, k, now, filter, stats);
+  }
+  std::vector<std::vector<core::ScoredStream>> partials(n);
+  std::vector<core::QueryStats> partial_stats(n);
+  if (scatter_pool_ != nullptr) {
+    // Fan out: pool workers take shards [1, n), the gathering thread runs
+    // shard 0. Every shard pins its own IndexView wait-free on entry.
+    TaskGroup group(scatter_pool_.get());
+    for (int s = 1; s < n; ++s) {
+      group.Submit([&, s] {
+        partials[s] =
+            raw_[s]->QueryFiltered(terms, k, now, filter, &partial_stats[s]);
+      });
+    }
+    partials[0] =
+        raw_[0]->QueryFiltered(terms, k, now, filter, &partial_stats[0]);
+    group.Wait();
+  } else {
+    for (int s = 0; s < n; ++s) {
+      partials[s] =
+          raw_[s]->QueryFiltered(terms, k, now, filter, &partial_stats[s]);
+    }
+  }
+  // Gather: each stream lives in exactly one shard, so offering every
+  // per-shard top-k to one deterministic heap yields exactly the top-k a
+  // single index over the union would return.
+  core::TopKHeap heap(k);
+  for (const auto& partial : partials) {
+    for (const core::ScoredStream& r : partial) heap.Offer(r.stream, r.score);
+  }
+  if (stats != nullptr) {
+    core::QueryStats total;
+    for (const core::QueryStats& ps : partial_stats) {
+      total.components_visited += ps.components_visited;
+      total.components_pruned += ps.components_pruned;
+      total.components_skipped += ps.components_skipped;
+      total.bloom_false_positives += ps.bloom_false_positives;
+      total.postings_scanned += ps.postings_scanned;
+      total.candidates_scored += ps.candidates_scored;
+      total.candidates_screened += ps.candidates_screened;
+      total.terminated_early = total.terminated_early || ps.terminated_early;
+    }
+    *stats = total;
+  }
+  return heap.SortedResults();
+}
+
+std::size_t IndexShardSet::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (core::SearchIndex* index : shards_) bytes += index->MemoryBytes();
+  return bytes;
+}
+
+std::string IndexShardSet::name() const {
+  return "RTSI[" + std::to_string(num_shards()) +
+         (durable() ? " durable shards]" : " shards]");
+}
+
+core::RtsiIndex& IndexShardSet::shard_index(int s) { return *raw_[s]; }
+
+const core::RtsiIndex& IndexShardSet::shard_index(int s) const {
+  return *raw_[s];
+}
+
+storage::DurableIndex* IndexShardSet::durable_shard(int s) {
+  return durables_.empty() ? nullptr : durables_[s].get();
+}
+
+Status IndexShardSet::Checkpoint() {
+  Status first = Status::Ok();
+  for (int s = 0; s < num_shards(); ++s) {
+    const Status status = CheckpointShard(s);
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+Status IndexShardSet::CheckpointShard(int s) {
+  if (durables_.empty()) {
+    return Status::InvalidArgument("in-memory shard set: no checkpoints");
+  }
+  return durables_[s]->Checkpoint();
+}
+
+void IndexShardSet::WaitForMerges() {
+  for (core::RtsiIndex* index : raw_) index->WaitForMerges();
+}
+
+void IndexShardSet::SetMergePolicy(int s, lsm::MergePolicy policy) {
+  raw_[s]->SetMergePolicy(policy);
+}
+
+IndexShardSet::ShardStats IndexShardSet::GetShardStats(int s) const {
+  ShardStats stats;
+  stats.shard = s;
+  const core::RtsiIndex& index = *raw_[s];
+  stats.view_epoch = index.tree().epoch();
+  stats.runs_per_level = index.tree().RunsPerLevel();
+  stats.postings = index.tree().total_postings();
+  stats.streams = index.stream_table().size();
+  stats.arena_bytes = index.LiveArenaStats().allocated_bytes;
+  stats.memory_bytes = index.MemoryBytes();
+  if (!durables_.empty()) stats.degraded = durables_[s]->degraded();
+  return stats;
+}
+
+}  // namespace rtsi::shard

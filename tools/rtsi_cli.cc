@@ -6,8 +6,10 @@
 //       Replay a trace against an index and report latency statistics.
 //   rtsi_cli build <trace> <out.snap>
 //       Replay a trace into an RTSI index and save a snapshot.
-//   rtsi_cli stats <snapshot>
-//       Print the statistics of a saved index.
+//   rtsi_cli stats <snapshot|shard-set-dir>
+//       Print the statistics of a saved index, or — pointed at a shard
+//       set's durable root — recover every shard and print per-shard
+//       view epochs, run shapes, arenas and recovery stats.
 //   rtsi_cli query <snapshot> <k> <term> [term...]
 //       Load a snapshot and run one query (terms are numeric ids).
 //   rtsi_cli explain <snapshot> <k> <term> [term...]
@@ -19,6 +21,8 @@
 //       Validate a journal's record CRCs; report epoch, record counts,
 //       torn tails and the first corrupt offset (exit 1 on corruption).
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "asr/lexicon.h"
+#include "shard/shard_set.h"
 #include "audio/synthesizer.h"
 #include "audio/wav.h"
 #include "baseline/lsii_index.h"
@@ -50,7 +55,7 @@ int Usage() {
                "<out.trace>\n"
                "  rtsi_cli replay <trace> [rtsi|lsii]\n"
                "  rtsi_cli build <trace> <out.snap>\n"
-               "  rtsi_cli stats <snapshot>\n"
+               "  rtsi_cli stats <snapshot|shard-set-dir>\n"
                "  rtsi_cli query <snapshot> <k> <term> [term...]\n"
                "  rtsi_cli explain <snapshot> <k> <term> [term...]\n"
                "  rtsi_cli synth <out.wav> <word> [word...]\n"
@@ -137,8 +142,74 @@ int CmdBuild(int argc, char** argv) {
   return 0;
 }
 
+/// `rtsi_cli stats` pointed at a shard-set root (the durable_dir of a
+/// shard::IndexShardSet, holding shard-0/, shard-1/, ...): recover every
+/// shard and print the per-shard view epochs, run shapes and arenas.
+int CmdShardStats(const char* dir) {
+  int num_shards = 0;
+  while (true) {
+    struct stat st{};
+    const std::string shard_dir =
+        std::string(dir) + "/shard-" + std::to_string(num_shards);
+    if (::stat(shard_dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) break;
+    ++num_shards;
+  }
+  if (num_shards == 0) {
+    std::fprintf(stderr, "error: %s has no shard-0/ directory\n", dir);
+    return 1;
+  }
+  shard::ShardSetConfig config;
+  config.index = DefaultConfig();
+  config.num_shards = num_shards;
+  config.durable_dir = dir;
+  std::vector<storage::RecoveryStats> recovery;
+  auto opened = shard::IndexShardSet::Open(config, &recovery);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const shard::IndexShardSet& set = *opened.value();
+  std::printf("shard set %s: %d shards\n", dir, num_shards);
+  std::size_t total_postings = 0, total_streams = 0, total_memory = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    const auto stats = set.GetShardStats(s);
+    std::string shape;
+    for (std::size_t level = 0; level < stats.runs_per_level.size();
+         ++level) {
+      if (!shape.empty()) shape += ", ";
+      shape +=
+          "L" + std::to_string(level) + "=" +
+          std::to_string(stats.runs_per_level[level]);
+    }
+    std::printf(
+        "  shard %d: epoch %llu, %zu postings, %zu streams, "
+        "arena %zu B, %.2f MB%s%s%s%s\n",
+        s, static_cast<unsigned long long>(stats.view_epoch), stats.postings,
+        stats.streams, stats.arena_bytes,
+        stats.memory_bytes / (1024.0 * 1024.0), shape.empty() ? "" : " (",
+        shape.c_str(), shape.empty() ? "" : ")",
+        stats.degraded ? " DEGRADED" : "");
+    std::printf(
+        "           recovery: %llu ops replayed, %s snapshot\n",
+        static_cast<unsigned long long>(recovery[s].ops_replayed),
+        recovery[s].snapshot_loaded ? "from" : "no");
+    total_postings += stats.postings;
+    total_streams += stats.streams;
+    total_memory += stats.memory_bytes;
+  }
+  std::printf("  total: %zu postings, %zu streams, %.2f MB\n", total_postings,
+              total_streams, total_memory / (1024.0 * 1024.0));
+  return 0;
+}
+
 int CmdStats(int argc, char** argv) {
   if (argc != 1) return Usage();
+  {
+    struct stat st{};
+    if (::stat(argv[0], &st) == 0 && S_ISDIR(st.st_mode)) {
+      return CmdShardStats(argv[0]);
+    }
+  }
   auto loaded = storage::LoadIndexSnapshot(argv[0]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());

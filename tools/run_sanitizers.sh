@@ -33,6 +33,9 @@ TSAN_TARGETS=(
   live_term_table_stress_test
   live_arena_test
   window_arena_test
+  shard_determinism_test
+  shard_crash_recovery_test
+  async_server_test
 )
 
 run_asan() {
