@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -102,9 +103,22 @@ int main() {
 
   workload::ReportTable table(
       "Figure 10: query cost vs #queries (" + std::to_string(init_streams) +
-          " streams, k=10; skip = Bloom+summary headers)",
-      {"mix/#queries", "RTSI skip", "RTSI noskip", "gain", "tiered",
-       "LSII mean", "skipped/visited", "screened", "match"});
+          " streams, k=10; skip = Bloom+summary headers; pre = committed "
+          "pre-pipeline baseline)",
+      {"mix/#queries", "RTSI skip", "pre", "drift", "RTSI noskip", "gain",
+       "tiered", "LSII mean", "skipped/visited", "screened", "match"});
+
+  // Before/after the exec:: pipeline refactor: the committed baseline
+  // (bench/baselines/) was recorded just before the unified pipeline
+  // landed. Comparable only when this run's scale and corpus match the
+  // recording; then the per-row checksums must be identical (the
+  // refactor is required to be bit-preserving — a mismatch is fatal) and
+  // the sealed-phase mean must hold within the 5% no-regression budget.
+  const bench::BaselineReport baseline =
+      bench::LoadBaseline("BENCH_fig10_query.json");
+  const bool baseline_comparable =
+      baseline.loaded && baseline.MetaNum("scale") == bench::Scale() &&
+      baseline.MetaNum("streams") == static_cast<double>(init_streams);
 
   // Build the indices once; sweep the query count. The same RTSI index
   // serves both sides of the skip A/B (queries are read-only; the toggle
@@ -144,6 +158,9 @@ int main() {
   constexpr Mix kMixes[] = {{"in_vocab", 1.0}, {"oov", 2.0}};
 
   bool all_match = true;
+  bool baseline_checksums_match = true;
+  double baseline_total_us = 0.0;  // Summed over rows the baseline covers.
+  double current_total_us = 0.0;
   for (const Mix& mix : kMixes)
   for (const std::size_t base : {500, 1000, 2000, 4000}) {
     const std::size_t n = bench::Scaled(base);
@@ -187,9 +204,45 @@ int main() {
     char checksum_hex[32];
     std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
                   static_cast<unsigned long long>(skip_on.checksum));
+
+    // The pre-pipeline column: this (mix, queries) row in the baseline.
+    const std::map<std::string, std::string>* base_row = nullptr;
+    if (baseline_comparable) {
+      for (const auto& row : baseline.rows) {
+        if (bench::BaselineReport::Str(row, "mix") == mix.name &&
+            bench::BaselineReport::Num(row, "queries") ==
+                static_cast<double>(n)) {
+          base_row = &row;
+          break;
+        }
+      }
+    }
+    double base_mean = 0.0, drift = 0.0;
+    if (base_row != nullptr) {
+      base_mean = bench::BaselineReport::Num(*base_row, "mean_us_skip");
+      drift = base_mean > 0.0 ? (skip_on.mean_us - base_mean) / base_mean
+                              : 0.0;
+      baseline_total_us +=
+          bench::BaselineReport::Num(*base_row, "total_us_skip");
+      current_total_us += skip_on.total_us;
+      const std::string base_checksum =
+          bench::BaselineReport::Str(*base_row, "checksum");
+      if (!base_checksum.empty() && base_checksum != checksum_hex) {
+        std::fprintf(stderr,
+                     "DIVERGENCE vs pre-pipeline baseline mix=%s "
+                     "queries=%zu (baseline=%s current=%s)\n",
+                     mix.name, n, base_checksum.c_str(), checksum_hex);
+        baseline_checksums_match = false;
+      }
+    }
+
     table.AddRow(
         {std::string(mix.name) + "/" + std::to_string(n),
          workload::FormatMicros(skip_on.mean_us),
+         base_row != nullptr ? workload::FormatMicros(base_mean) : "-",
+         base_row != nullptr
+             ? workload::FormatDouble(drift * 100.0, 1) + "%"
+             : "-",
          workload::FormatMicros(skip_off.mean_us),
          workload::FormatDouble(gain * 100.0, 1) + "%",
          workload::FormatMicros(tiered.mean_us),
@@ -226,11 +279,45 @@ int main() {
                static_cast<double>(skip_on.stats.candidates_scored))
         .Field("checksum", checksum_hex)
         .Field("results_match", match ? "yes" : "NO");
+    if (base_row != nullptr) {
+      row.Field("baseline_mean_us_skip", base_mean)
+          .Field("baseline_drift", drift);
+    }
   }
   table.Print();
+
+  // Before/after-pipeline summary and the no-regression gate, over the
+  // rows the committed baseline covers (see bench/baselines/README.md).
+  if (baseline_comparable && baseline_total_us > 0.0) {
+    const double regression = current_total_us / baseline_total_us - 1.0;
+    report.Field("baseline_total_us_skip", baseline_total_us);
+    report.Field("total_us_skip_vs_baseline", regression);
+    std::printf(
+        "pipeline before/after: pre=%.0fus post=%.0fus (%+.1f%%), "
+        "checksums %s\n",
+        baseline_total_us, current_total_us, regression * 100.0,
+        baseline_checksums_match ? "identical" : "DIVERGED");
+    if (regression > 0.05) {
+      std::fprintf(stderr,
+                   "%s: sealed-phase query time regressed %.1f%% vs the "
+                   "pre-pipeline baseline (budget 5%%)\n",
+                   bench::LatencyGateEnforced() ? "error" : "warning",
+                   regression * 100.0);
+      if (bench::LatencyGateEnforced()) {
+        report.Write("BENCH_fig10_query.json");
+        return 1;
+      }
+    }
+  }
   report.Write("BENCH_fig10_query.json");
   if (!all_match) {
     std::fprintf(stderr, "error: skip on/off results diverged\n");
+    return 1;
+  }
+  if (!baseline_checksums_match) {
+    std::fprintf(stderr,
+                 "error: results diverged from the committed pre-pipeline "
+                 "baseline (bench/baselines/BENCH_fig10_query.json)\n");
     return 1;
   }
   return 0;

@@ -5,7 +5,9 @@
 //
 // A result checksum is computed per setting and must be identical across
 // all thread counts of one corpus: the executor is required to be
-// bit-identical to the sequential path.
+// bit-identical to the sequential path. Any divergence — between thread
+// settings, or against the committed pre-pipeline baseline
+// (bench/baselines/) when the run is comparable — exits nonzero.
 
 #include <cstdint>
 #include <cstdio>
@@ -64,6 +66,8 @@ int main() {
   const std::size_t num_queries = bench::Scaled(400);
   const int k = 100;
   const std::vector<int> thread_settings = {0, 1, 2, 4, 8};
+  bool diverged = false;
+  bool baseline_checksums_match = true;
 
   // Wall-clock speedup requires actual cores: on a single-CPU host every
   // thread setting time-slices one core, so the sweep measures executor
@@ -79,6 +83,16 @@ int main() {
                  "(latency and checksum columns remain valid)\n");
   }
 
+  // The committed pre-pipeline baseline: comparable when scale, k and
+  // delta match the recording; then per-row checksums must be identical
+  // and the mean-latency drift is reported per (streams, threads) row.
+  const bench::BaselineReport baseline =
+      bench::LoadBaseline("BENCH_parallel_query.json");
+  const bool baseline_comparable =
+      baseline.loaded && baseline.MetaNum("scale") == bench::Scale() &&
+      baseline.MetaNum("k") == static_cast<double>(k) &&
+      baseline.MetaNum("delta") == static_cast<double>(base.lsm.delta);
+
   bench::JsonReport report("parallel_query");
   report.Field("scale", bench::Scale());
   report.Field("cpus", cpus);
@@ -89,8 +103,8 @@ int main() {
   workload::ReportTable table(
       "Parallel query executor: latency vs query_threads (k=" +
           std::to_string(k) + ")",
-      {"streams", "components", "threads", "mean", "p50", "p99", "speedup",
-       "checksum"});
+      {"streams", "components", "threads", "mean", "pre", "drift", "p50",
+       "p99", "speedup", "checksum"});
 
   for (const std::size_t base_streams : {4000, 12000}) {
     const std::size_t num_streams = bench::Scaled(base_streams);
@@ -143,6 +157,7 @@ int main() {
                        static_cast<unsigned long long>(
                            per_query_checksums[i]),
                        static_cast<unsigned long long>(qsum));
+          diverged = true;
         }
       }
 
@@ -154,9 +169,40 @@ int main() {
       char checksum_hex[32];
       std::snprintf(checksum_hex, sizeof(checksum_hex), "%016llx",
                     static_cast<unsigned long long>(checksum));
+
+      // The pre-pipeline column for this (streams, threads) row.
+      const auto* base_row =
+          baseline_comparable
+              ? baseline.FindRow(
+                    {{"streams", static_cast<double>(num_streams)},
+                     {"query_threads", static_cast<double>(threads)}})
+              : nullptr;
+      double base_mean = 0.0, drift = 0.0;
+      if (base_row != nullptr) {
+        base_mean = bench::BaselineReport::Num(*base_row, "mean_us");
+        drift = base_mean > 0.0
+                    ? (stats.mean_micros() - base_mean) / base_mean
+                    : 0.0;
+        const std::string base_checksum =
+            bench::BaselineReport::Str(*base_row, "checksum");
+        if (!base_checksum.empty() && base_checksum != checksum_hex) {
+          std::fprintf(stderr,
+                       "DIVERGENCE vs pre-pipeline baseline streams=%zu "
+                       "threads=%d (baseline=%s current=%s)\n",
+                       num_streams, threads, base_checksum.c_str(),
+                       checksum_hex);
+          baseline_checksums_match = false;
+        }
+      }
+
       table.AddRow({std::to_string(num_streams),
                     std::to_string(components), std::to_string(threads),
                     workload::FormatMicros(stats.mean_micros()),
+                    base_row != nullptr ? workload::FormatMicros(base_mean)
+                                        : "-",
+                    base_row != nullptr
+                        ? workload::FormatDouble(drift * 100.0, 1) + "%"
+                        : "-",
                     workload::FormatMicros(stats.PercentileMicros(0.5)),
                     workload::FormatMicros(stats.PercentileMicros(0.99)),
                     parallelism ? std::to_string(speedup) : "n/a",
@@ -179,10 +225,26 @@ int main() {
         row.Field("parallelism", "unavailable");
       }
       row.Field("checksum", checksum_hex);
+      if (base_row != nullptr) {
+        row.Field("baseline_mean_us", base_mean)
+            .Field("baseline_drift", drift);
+      }
     }
   }
 
   table.Print();
   report.Write("BENCH_parallel_query.json");
+  if (diverged) {
+    std::fprintf(stderr,
+                 "error: parallel results diverged from the sequential "
+                 "pass\n");
+    return 1;
+  }
+  if (!baseline_checksums_match) {
+    std::fprintf(stderr,
+                 "error: results diverged from the committed pre-pipeline "
+                 "baseline (bench/baselines/BENCH_parallel_query.json)\n");
+    return 1;
+  }
   return 0;
 }

@@ -9,8 +9,10 @@
 #ifndef RTSI_BENCH_BENCH_UTIL_H_
 #define RTSI_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -157,6 +159,134 @@ class JsonReport {
   std::vector<std::string> meta_;
   std::vector<Row> rows_;
 };
+
+/// A committed BENCH_*.json (bench/baselines/) read back for the
+/// before/after-pipeline comparison. Only parses the flat two-level
+/// shape JsonReport writes: scalar meta fields plus one "rows" array of
+/// flat objects. All values come back as strings; use Num/Str.
+struct BaselineReport {
+  bool loaded = false;
+  std::map<std::string, std::string> meta;
+  std::vector<std::map<std::string, std::string>> rows;
+
+  static double Num(const std::map<std::string, std::string>& object,
+                    const std::string& key, double fallback = 0.0) {
+    const auto it = object.find(key);
+    return it == object.end() ? fallback : std::atof(it->second.c_str());
+  }
+  static std::string Str(const std::map<std::string, std::string>& object,
+                         const std::string& key) {
+    const auto it = object.find(key);
+    return it == object.end() ? std::string() : it->second;
+  }
+  double MetaNum(const std::string& key, double fallback = 0.0) const {
+    return Num(meta, key, fallback);
+  }
+
+  /// The first row where every (key, numeric value) of `match` agrees,
+  /// or null. Benches key rows on their sweep variables (mix, queries,
+  /// streams, query_threads, ...).
+  const std::map<std::string, std::string>* FindRow(
+      const std::vector<std::pair<std::string, double>>& match) const {
+    for (const auto& row : rows) {
+      bool ok = true;
+      for (const auto& [key, value] : match) {
+        if (Num(row, key, value - 1.0) != value) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return &row;
+    }
+    return nullptr;
+  }
+};
+
+namespace internal {
+
+/// Key/value pairs of one flat JSON object body (no nested objects).
+inline std::map<std::string, std::string> ParseFlatObject(
+    const std::string& text) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t key_open = text.find('"', i);
+    if (key_open == std::string::npos) break;
+    const std::size_t key_close = text.find('"', key_open + 1);
+    if (key_close == std::string::npos) break;
+    const std::string key =
+        text.substr(key_open + 1, key_close - key_open - 1);
+    std::size_t v = text.find(':', key_close);
+    if (v == std::string::npos) break;
+    ++v;
+    while (v < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[v]))) {
+      ++v;
+    }
+    if (v >= text.size()) break;
+    if (text[v] == '"') {
+      const std::size_t value_close = text.find('"', v + 1);
+      if (value_close == std::string::npos) break;
+      out[key] = text.substr(v + 1, value_close - v - 1);
+      i = value_close + 1;
+    } else {
+      std::size_t value_end = v;
+      while (value_end < text.size() && text[value_end] != ',' &&
+             text[value_end] != '}' && text[value_end] != '\n') {
+        ++value_end;
+      }
+      std::string value = text.substr(v, value_end - v);
+      while (!value.empty() &&
+             std::isspace(static_cast<unsigned char>(value.back()))) {
+        value.pop_back();
+      }
+      out[key] = value;
+      i = value_end;
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+/// Loads bench/baselines/<name>; `loaded` stays false when the file is
+/// absent (benches then skip the comparison columns, they never fail).
+inline BaselineReport LoadBaseline(const std::string& name) {
+  BaselineReport report;
+#ifdef RTSI_BENCH_BASELINE_DIR
+  std::ifstream in(std::string(RTSI_BENCH_BASELINE_DIR) + "/" + name);
+  if (!in) return report;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::size_t rows_at = text.find("\"rows\"");
+  if (rows_at == std::string::npos) return report;
+  report.meta = internal::ParseFlatObject(text.substr(0, rows_at));
+  const std::size_t array_end = text.rfind(']');
+  std::size_t i = text.find('[', rows_at);
+  while (i != std::string::npos && array_end != std::string::npos) {
+    const std::size_t open = text.find('{', i);
+    if (open == std::string::npos || open > array_end) break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) break;
+    report.rows.push_back(
+        internal::ParseFlatObject(text.substr(open + 1, close - open - 1)));
+    i = close + 1;
+  }
+  report.loaded = true;
+#else
+  (void)name;
+#endif
+  return report;
+}
+
+/// The committed-baseline latency gate (see bench/baselines/README.md):
+/// drift is always printed; the exit-nonzero enforcement is opt-in
+/// because wall-clock baselines only transfer within one machine class.
+inline bool LatencyGateEnforced() {
+  const char* env = std::getenv("RTSI_BENCH_GATE_LATENCY");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 }  // namespace rtsi::bench
 

@@ -1,18 +1,21 @@
 #include "baseline/lsii_index.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_set>
+#include <vector>
 
-#include "core/query_util.h"
-#include "core/top_k.h"
+#include "exec/pipeline.h"
+#include "exec/query_plan.h"
+#include "exec/selector.h"
+#include "exec/sink.h"
+#include "exec/traversal.h"
 
 namespace rtsi::baseline {
 
-using core::PerTermBound;
 using core::QueryStats;
 using core::ScoredStream;
 using core::TermCount;
-using core::TopKHeap;
 using index::Posting;
 using index::TermPostings;
 
@@ -69,18 +72,23 @@ std::vector<ScoredStream> LsiiIndex::Query(const std::vector<TermId>& terms,
   QueryStats& qs = stats != nullptr ? *stats : local_stats;
   qs = QueryStats{};
 
-  std::vector<TermId> q;
-  for (const TermId term : terms) {
-    if (std::find(q.begin(), q.end(), term) == q.end()) q.push_back(term);
-  }
-  if (q.empty() || k <= 0) return {};
-  const int num_terms = static_cast<int>(q.size());
+  // The baseline executes through the same pipeline operators as RTSI
+  // (plan -> selector -> traversal -> sink) with its own soundness knobs:
+  // the >= prune cut, no skip headers, no component freshness ceilings,
+  // and the global per-term tf headroom (its streams may span components
+  // with no consolidation invariant to tighten that).
+  exec::QueryPlan plan;
+  std::vector<TermId> term_set;
+  exec::BuildQueryPlan(terms, df_, k, now, core::QueryFilter{},
+                       big_.max_pop_count(), config_.bound_mode,
+                       config_.use_bound, /*prune_if_equal=*/true, term_set,
+                       plan);
+  if (plan.empty()) return {};
+  const std::vector<TermId>& q = plan.terms;
+  const std::size_t nq = plan.num_terms();
+  const int num_terms = static_cast<int>(nq);
 
-  std::vector<double> idfs(q.size());
-  for (std::size_t i = 0; i < q.size(); ++i) idfs[i] = df_.Idf(q[i]);
-  const std::uint64_t max_pop = big_.max_pop_count();
-
-  TopKHeap heap(k);
+  exec::TopKSink sink(k);
   std::unordered_set<StreamId> scored;
 
   // All score information comes from the big hash table — the measured
@@ -90,18 +98,21 @@ std::vector<ScoredStream> LsiiIndex::Query(const std::vector<TermId>& terms,
     Timestamp frsh = 0;
     if (!big_.GetMeta(stream, pop_count, frsh)) return;  // Deleted.
     double tfidf_sum = 0.0;
-    for (std::size_t i = 0; i < q.size(); ++i) {
-      tfidf_sum += scorer_.TermTfIdf(big_.GetTf(stream, q[i]), idfs[i]);
+    for (std::size_t i = 0; i < nq; ++i) {
+      tfidf_sum += scorer_.TermTfIdf(big_.GetTf(stream, q[i]), plan.idfs[i]);
     }
     const double score =
-        scorer_.Combine(scorer_.PopScore(pop_count, max_pop),
+        scorer_.Combine(scorer_.PopScore(pop_count, plan.max_pop),
                         scorer_.RelScore(tfidf_sum, num_terms),
-                        scorer_.FrshScore(frsh, now));
-    heap.Offer(stream, score);
+                        scorer_.FrshScore(frsh, plan.now));
+    sink.Offer(stream, score);
     ++qs.candidates_scored;
   };
 
-  // I0: single freshness-ordered list per term; scan it.
+  // I0: single freshness-ordered list per term; scan it. (Not the
+  // pipeline's L0 phase: LSII totals come from the big table, not from
+  // accumulated L0 tfs, and this unordered-set iteration order is part of
+  // the baseline's historical behavior.)
   std::unordered_set<StreamId> l0_streams;
   for (const TermId term : q) {
     tree_.WithL0Term(term, [&](const TermPostings* postings) {
@@ -117,66 +128,52 @@ std::vector<ScoredStream> LsiiIndex::Query(const std::vector<TermId>& terms,
     score_candidate(stream);
   }
 
-  // Sealed components, best bound first. The tf headroom uses the global
-  // per-term maximum total (a stream's postings may span components and
-  // LSII has no consolidation invariant to tighten this).
+  // Sealed components through the shared selector + traversal driver.
   const auto snapshot = tree_.SealedSnapshot();
-  struct RankedComponent {
-    const index::InvertedIndex* component;
-    double bound;
+  std::vector<TermFreq> tf_corrections(nq, 0);
+  for (std::size_t i = 0; i < nq; ++i) {
+    tf_corrections[i] = big_.GetMaxTotal(q[i]);
+  }
+  std::vector<exec::PerTermBound> per_term;
+  std::vector<double> screen_own;
+  std::vector<double> screen_tfidf;
+  exec::SelectorOptions options;
+  options.consult_headers = false;
+  // LSII components carry no residency bookkeeping, so only the fallback
+  // ceiling is sound; `now` is valid because the workload clock is
+  // monotone — no stream's freshness can exceed the query timestamp.
+  options.use_component_ceiling = false;
+  options.fallback_ceiling = now;
+  options.require_positive_bound = false;
+  options.order_tie_break = false;
+  options.tf_corrections = &tf_corrections;
+  const std::vector<exec::SelectedComponent> selected =
+      exec::SelectComponents(plan, scorer_, snapshot, options,
+                             {per_term, screen_own, screen_tfidf}, qs,
+                             nullptr);
+
+  struct Policy {
+    std::vector<Posting>& round_buf;
+    std::vector<std::uint32_t>& round_terms_buf;
+    std::unordered_set<StreamId>& scored;
+    decltype(score_candidate)& score;
+
+    std::vector<Posting>& round() { return round_buf; }
+    std::vector<std::uint32_t>& round_terms() { return round_terms_buf; }
+    void BeginComponent(const exec::SelectedComponent&) {}
+    bool Admit(StreamId stream) { return scored.insert(stream).second; }
+    void Candidate(const exec::Traversal&, StreamId stream, std::size_t,
+                   QueryStats&) {
+      score(stream);
+    }
   };
-  std::vector<RankedComponent> ranked;
-  ranked.reserve(snapshot.size());
-  for (const auto& component : snapshot) {
-    std::vector<PerTermBound> per_term(q.size());
-    bool any = false;
-    for (std::size_t i = 0; i < q.size(); ++i) {
-      per_term[i].bounds = component->Bounds(q[i]);
-      per_term[i].idf = idfs[i];
-      per_term[i].tf_correction = big_.GetMaxTotal(q[i]);
-      any = any || per_term[i].bounds.present;
-    }
-    if (!any) continue;
-    // `now` is a valid live-freshness ceiling here: the workload clock is
-    // monotone, so no stream's freshness can exceed the query timestamp.
-    const double bound = core::ComponentBound(
-        scorer_, per_term, now, max_pop, now, config_.bound_mode);
-    ranked.push_back({component.get(), bound});
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedComponent& a, const RankedComponent& b) {
-              return a.bound > b.bound;
-            });
-
   std::vector<Posting> round;
-  for (std::size_t c = 0; c < ranked.size(); ++c) {
-    if (config_.use_bound && heap.full() &&
-        heap.KthScore() >= ranked[c].bound) {
-      qs.components_pruned += ranked.size() - c;
-      qs.terminated_early = true;
-      break;
-    }
-    ++qs.components_visited;
-    core::ComponentTraversal traversal(*ranked[c].component, q);
-    while (traversal.NextRound(round)) {
-      for (const Posting& p : round) {
-        if (!scored.insert(p.stream).second) continue;
-        score_candidate(p.stream);
-      }
-      qs.postings_scanned += round.size();
-      round.clear();
-      if (config_.use_bound && heap.full()) {
-        const double tau = traversal.Threshold(scorer_, idfs, now, max_pop,
-                                               now, config_.bound_mode);
-        if (heap.KthScore() >= tau) {
-          qs.terminated_early = true;
-          break;
-        }
-      }
-    }
-  }
+  std::vector<std::uint32_t> round_terms;
+  Policy policy{round, round_terms, scored, score_candidate};
+  exec::RunSealedSequential(plan, scorer_, selected, policy, sink, qs,
+                            nullptr);
 
-  return heap.SortedResults();
+  return sink.SortedResults();
 }
 
 std::size_t LsiiIndex::MemoryBytes() const {

@@ -22,7 +22,8 @@
 #include <vector>
 
 #include "common/types.h"
-#include "core/query_util.h"
+#include "exec/query_plan.h"
+#include "exec/traversal.h"
 #include "index/posting.h"
 
 namespace rtsi::core {
@@ -31,11 +32,11 @@ namespace rtsi::core {
 /// capacity across Clear(), so a recycled scratch serves the next query
 /// allocation-free.
 struct QueryScratch {
-  // Deduplicated query terms (first-seen order) and the sorted flat set
-  // used for O(log n) dedup membership.
-  std::vector<TermId> q;
+  // The query's execution plan (deduplicated terms + idfs live in its
+  // vectors, recycled across queries) and the sorted flat set used for
+  // O(log n) dedup membership during the build.
+  exec::QueryPlan plan;
   std::vector<TermId> term_set;
-  std::vector<double> idfs;
 
   // Per-candidate tf buffer (stride = q.size()), reused across candidates.
   std::vector<TermFreq> tfs;
@@ -64,7 +65,7 @@ struct QueryScratch {
   std::uint32_t seen_epoch = 0;
 
   // Per-component bound inputs.
-  std::vector<PerTermBound> per_term;
+  std::vector<exec::PerTermBound> per_term;
 
   // Admission-screen ingredients from the skip-header summaries:
   // screen_tfidf is component-major with stride q.size(); entry
@@ -75,9 +76,9 @@ struct QueryScratch {
   std::vector<double> screen_own;
 
   void Clear() {
-    q.clear();
+    plan.terms.clear();
+    plan.idfs.clear();
     term_set.clear();
-    idfs.clear();
     tfs.clear();
     l0_slot.clear();
     l0_tf.clear();

@@ -1,21 +1,21 @@
 #include "core/rtsi_index.h"
 
 #include <algorithm>
-#include <cstdint>
 #include <atomic>
-#include <cmath>
-#include <limits>
-#include <tuple>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
-#include "core/query_util.h"
 #include "core/top_k.h"
+#include "exec/accumulator.h"
+#include "exec/pipeline.h"
+#include "exec/selector.h"
 
 namespace rtsi::core {
 
 using index::Posting;
-using index::StreamInfo;
 using index::TermPostings;
 
 namespace {
@@ -26,6 +26,118 @@ RtsiConfig Normalized(RtsiConfig config) {
   config.lsm.use_arena = config.use_arena;
   return config;
 }
+
+// Exact-phase candidate policy for explanations: scores exactly like
+// exec::ExactScorer and additionally records per-candidate breakdowns
+// (keep-best-per-stream under the heap's total order, so the retained
+// breakdown is the one whose score the result carries).
+class ExplainRecorder {
+ public:
+  ExplainRecorder(const exec::QueryPlan& plan, const Scorer& scorer,
+                  const index::StreamInfoTable& streams,
+                  exec::ResultSink& sink, QueryStats& qs,
+                  std::unordered_map<StreamId, ScoreBreakdown>& breakdowns)
+      : plan_(plan),
+        scorer_(scorer),
+        streams_(streams),
+        sink_(sink),
+        qs_(qs),
+        breakdowns_(breakdowns) {}
+
+  void Candidate(StreamId stream, double tfidf_sum, const TermFreq* tfs,
+                 ScoreBreakdown::Source source) {
+    exec::PartScores parts;
+    if (!exec::ComputeScore(plan_, scorer_, streams_, stream, tfidf_sum,
+                            parts)) {
+      return;
+    }
+    sink_.Offer(stream, parts.total);
+    ++qs_.candidates_scored;
+    // A stream scored in several components keeps the breakdown of its
+    // better-ranked (retained) scoring.
+    const auto it = breakdowns_.find(stream);
+    if (it != breakdowns_.end() &&
+        !TopKHeap::RanksAbove({stream, parts.total},
+                              {stream, it->second.total})) {
+      return;
+    }
+    ScoreBreakdown breakdown;
+    breakdown.stream = stream;
+    breakdown.pop_score = parts.pop;
+    breakdown.rel_score = parts.rel;
+    breakdown.frsh_score = parts.frsh;
+    breakdown.total = parts.total;
+    breakdown.source = source;
+    if (tfs != nullptr) {
+      breakdown.term_tfs.assign(tfs, tfs + plan_.num_terms());
+    }
+    breakdowns_[stream] = std::move(breakdown);
+  }
+
+ private:
+  const exec::QueryPlan& plan_;
+  const Scorer& scorer_;
+  const index::StreamInfoTable& streams_;
+  exec::ResultSink& sink_;
+  QueryStats& qs_;
+  std::unordered_map<StreamId, ScoreBreakdown>& breakdowns_;
+};
+
+// Sealed-component candidate policy for explanations: full scoring with
+// per-term tf capture, same discovering-term-first accumulation order as
+// the fast path so explained totals match Query() bit-for-bit. No
+// admission screen (the explanation reports every scored candidate).
+class ExplainSealedPolicy {
+ public:
+  ExplainSealedPolicy(const exec::QueryPlan& plan, const Scorer& scorer,
+                      QueryScratch& scratch, StreamId max_stream,
+                      const std::unordered_set<StreamId>& scored,
+                      ExplainRecorder& recorder)
+      : plan_(plan),
+        scorer_(scorer),
+        scratch_(scratch),
+        gate_(scratch, max_stream, scored),
+        recorder_(recorder) {}
+
+  std::vector<Posting>& round() { return scratch_.round; }
+  std::vector<std::uint32_t>& round_terms() { return scratch_.round_terms; }
+
+  void BeginComponent(const exec::SelectedComponent&) {
+    gate_.NextComponent();
+  }
+
+  bool Admit(StreamId stream) { return gate_.Admit(stream); }
+
+  void Candidate(const exec::Traversal& traversal, StreamId stream,
+                 std::size_t ti, QueryStats&) {
+    const std::size_t nq = plan_.num_terms();
+    std::vector<TermFreq>& tfs = scratch_.tfs;
+    tfs.assign(nq, 0);
+    double tfidf_sum = 0.0;
+    Posting agg;
+    if (traversal.Find(ti, stream, agg)) {
+      tfs[ti] = agg.tf;
+      tfidf_sum = scorer_.TermTfIdf(agg.tf, plan_.idfs[ti]);
+    }
+    for (std::size_t i = 0; i < nq; ++i) {
+      if (i == ti) continue;
+      Posting found;
+      if (traversal.Find(i, stream, found)) {
+        tfs[i] = found.tf;
+        tfidf_sum += scorer_.TermTfIdf(found.tf, plan_.idfs[i]);
+      }
+    }
+    recorder_.Candidate(stream, tfidf_sum, tfs.data(),
+                        ScoreBreakdown::Source::kSealedComponent);
+  }
+
+ private:
+  const exec::QueryPlan& plan_;
+  const Scorer& scorer_;
+  QueryScratch& scratch_;
+  exec::CandidateGate gate_;
+  ExplainRecorder& recorder_;
+};
 
 }  // namespace
 
@@ -260,6 +372,88 @@ QueryExplanation RtsiIndex::ExplainQuery(const std::vector<TermId>& terms,
   return explanation;
 }
 
+exec::QueryPlan RtsiIndex::BuildPlan(const std::vector<TermId>& terms,
+                                     int k, Timestamp now,
+                                     const QueryFilter& filter) const {
+  // Sharded deployments score with the corpus-global statistics so every
+  // shard computes exactly the score a single unsharded index would; the
+  // shard-local tables are a subset (df) / lower bound (max pop) of the
+  // aggregate, so the max() only ever picks the shared value — it guards
+  // against an aggregate that was bound but not yet refreshed.
+  const DocumentFrequencyTable& df =
+      shared_scoring_ != nullptr ? shared_scoring_->df : df_;
+  const std::uint64_t max_pop =
+      shared_scoring_ != nullptr
+          ? std::max(shared_scoring_->max_pop.load(std::memory_order_relaxed),
+                     streams_.max_pop_count())
+          : streams_.max_pop_count();
+  // Whenever the executor is enabled (including its sequential explain
+  // fallback, which must return the same results), pruning uses the
+  // kGlobalPop ceilings. kSnapshot bounds go stale when popularity or
+  // freshness updates land after a component seals, which makes pruning
+  // decisions depend on traversal timing — sound ceilings are what turn
+  // the executor's bit-identity into a theorem instead of a race.
+  const BoundMode bound_mode = config_.query_threads > 0
+                                   ? BoundMode::kGlobalPop
+                                   : config_.bound_mode;
+  exec::QueryPlan plan;
+  std::vector<TermId> term_set;
+  exec::BuildQueryPlan(terms, df, k, now, filter, max_pop, bound_mode,
+                       config_.use_bound, /*prune_if_equal=*/false,
+                       term_set, plan);
+  return plan;
+}
+
+void RtsiIndex::RunSequential(const exec::QueryPlan& plan,
+                              exec::ResultSink& sink, QueryScratch& scratch,
+                              QueryStats& qs) {
+  std::unordered_set<StreamId> scored;
+  exec::ExactScorer exact(plan, scorer_, streams_, sink, qs);
+  exec::RunLiveTablePhase(plan, scorer_, live_terms_, scratch, scored,
+                          exact);
+  exec::RunL0Phase(plan, scorer_, tree_, scratch, scored, exact, qs);
+
+  // The query pins ONE immutable view here — a single atomic load — and
+  // traverses that view: no locks, no structure re-checks, no mirror
+  // lookups. Merges publishing mid-query cannot perturb the pinned
+  // component set, and pre-merge components stay alive because the pin
+  // references them.
+  const lsm::IndexViewPtr view = tree_.PinView();
+  exec::SelectorOptions options;
+  options.consult_headers = config_.use_skip_header;
+  options.fallback_ceiling = streams_.max_frsh();
+  const std::vector<exec::SelectedComponent> selected =
+      exec::SelectComponents(
+          plan, scorer_, view->components, options,
+          {scratch.per_term, scratch.screen_own, scratch.screen_tfidf}, qs,
+          nullptr);
+  const bool screen_base = plan.use_bound && options.consult_headers;
+  exec::SealedScorer policy(plan, scorer_, streams_, scored,
+                            scratch.screen_tfidf, screen_base, scratch,
+                            streams_.max_stream_id(), sink);
+  exec::RunSealedSequential(plan, scorer_, selected, policy, sink, qs,
+                            nullptr);
+}
+
+std::vector<ScoredStream> RtsiIndex::ExecutePlan(const exec::QueryPlan& plan,
+                                                 exec::ResultSink& sink,
+                                                 QueryStats* stats) {
+  QueryStats qs;
+  if (!plan.empty()) {
+    ScratchLease lease(scratch_pool_);
+    RunSequential(plan, sink, *lease, qs);
+    cum_visited_.fetch_add(qs.components_visited, std::memory_order_relaxed);
+    cum_pruned_.fetch_add(qs.components_pruned, std::memory_order_relaxed);
+    cum_skipped_.fetch_add(qs.components_skipped, std::memory_order_relaxed);
+    cum_bloom_fp_.fetch_add(qs.bloom_false_positives,
+                            std::memory_order_relaxed);
+    cum_screened_.fetch_add(qs.candidates_screened,
+                            std::memory_order_relaxed);
+  }
+  if (stats != nullptr) *stats = qs;
+  return sink.SortedResults();
+}
+
 std::vector<ScoredStream> RtsiIndex::QueryImpl(
     const std::vector<TermId>& terms, int k, Timestamp now,
     const QueryFilter& filter, QueryStats* stats,
@@ -271,644 +465,129 @@ std::vector<ScoredStream> RtsiIndex::QueryImpl(
   ScratchLease lease(scratch_pool_);
   QueryScratch& scratch = *lease;
 
-  // Deduplicate query terms preserving first-seen order. Membership goes
-  // through a sorted flat set: queries hold a handful of terms, so binary
-  // search in a contiguous vector beats both hashing and a quadratic scan.
-  std::vector<TermId>& q = scratch.q;
-  std::vector<TermId>& term_set = scratch.term_set;
-  q.reserve(terms.size());
-  term_set.reserve(terms.size());
-  for (const TermId term : terms) {
-    const auto it =
-        std::lower_bound(term_set.begin(), term_set.end(), term);
-    if (it != term_set.end() && *it == term) continue;
-    term_set.insert(it, term);
-    q.push_back(term);
-  }
-  if (explain != nullptr) {
-    explain->terms = q;
-    explain->k = k;
-    explain->now = now;
-  }
-  if (q.empty() || k <= 0) {
-    if (stats != nullptr) *stats = qs;
-    return {};
-  }
-  const std::size_t nq = q.size();
-  const int num_terms = static_cast<int>(nq);
-
-  // Sharded deployments score with the corpus-global statistics so every
-  // shard computes exactly the score a single unsharded index would; the
-  // shard-local tables are a subset (df) / lower bound (max pop) of the
-  // aggregate, so the max() only ever picks the shared value — it guards
-  // against an aggregate that was bound but not yet refreshed.
+  // Sharded deployments score with the corpus-global statistics (see
+  // BuildPlan); the plan captures them once so every operator and every
+  // executor worker prunes and scores against the same values.
   const DocumentFrequencyTable& df =
       shared_scoring_ != nullptr ? shared_scoring_->df : df_;
-  std::vector<double>& idfs = scratch.idfs;
-  idfs.assign(nq, 0.0);
-  for (std::size_t i = 0; i < nq; ++i) idfs[i] = df.Idf(q[i]);
-  if (explain != nullptr) explain->idfs = idfs;
   const std::uint64_t max_pop =
       shared_scoring_ != nullptr
           ? std::max(shared_scoring_->max_pop.load(std::memory_order_relaxed),
                      streams_.max_pop_count())
           : streams_.max_pop_count();
-
   // The parallel executor handles every query when query_threads >= 1,
   // except explanations, which keep the sequential walk's deterministic
   // per-component bookkeeping. Results are bit-identical either way:
-  // scores are order-independent, the heaps break ties totally, and
+  // scores are order-independent, the sinks break ties totally, and
   // pruning only ever drops candidates strictly below the k-th score.
   const bool use_executor = config_.query_threads > 0 && explain == nullptr;
-  // Whenever the executor is enabled (including its sequential explain
-  // fallback, which must return the same results), pruning uses the
-  // kGlobalPop ceilings. kSnapshot bounds go stale when popularity or
-  // freshness updates land after a component seals, which makes pruning
-  // decisions depend on traversal timing — sound ceilings are what turn
-  // the executor's bit-identity into a theorem instead of a race.
   const BoundMode bound_mode = config_.query_threads > 0
                                    ? BoundMode::kGlobalPop
                                    : config_.bound_mode;
-  TopKHeap heap(k);
-  SharedTopK shared(k);
-  const auto offer = [&](StreamId stream, double score) {
-    if (use_executor) {
-      shared.Offer(stream, score);
-    } else {
-      heap.Offer(stream, score);
-    }
-  };
 
-  std::unordered_set<StreamId> scored;
+  exec::QueryPlan& plan = scratch.plan;
+  exec::BuildQueryPlan(terms, df, k, now, filter, max_pop, bound_mode,
+                       config_.use_bound, /*prune_if_equal=*/false,
+                       scratch.term_set, plan);
+  if (explain != nullptr) {
+    explain->terms = plan.terms;
+    explain->k = k;
+    explain->now = now;
+  }
+  if (plan.empty()) {
+    if (stats != nullptr) *stats = qs;
+    return {};
+  }
+  if (explain != nullptr) explain->idfs = plan.idfs;
+
+  exec::TopKSink heap_sink(k);
+  exec::SharedTopKSink shared_sink(k);
+  exec::ResultSink& sink =
+      use_executor ? static_cast<exec::ResultSink&>(shared_sink)
+                   : static_cast<exec::ResultSink&>(heap_sink);
+
   std::unordered_map<StreamId, ScoreBreakdown> breakdowns;
 
-  // Pure Equation-1 scoring from the tf-idf sum; false when the stream is
-  // deleted/unknown or rejected by the filter. Safe to call from any
-  // worker (sharded-mutex table reads, const scorer).
-  struct PartScores {
-    double pop = 0.0, rel = 0.0, frsh = 0.0, total = 0.0;
-  };
-  const auto compute_score = [&](StreamId stream, double tfidf_sum,
-                                 PartScores& out) {
-    StreamInfo info;
-    if (!streams_.Get(stream, info)) return false;  // Deleted or unknown.
-    if (filter.live_only && !info.live) return false;
-    if (info.frsh < filter.min_frsh) return false;
-    out.pop = scorer_.PopScore(info.pop_count, max_pop);
-    out.rel = scorer_.RelScore(tfidf_sum, num_terms);
-    out.frsh = scorer_.FrshScore(info.frsh, now);
-    out.total = scorer_.Combine(out.pop, out.rel, out.frsh);
-    return true;
-  };
-
-  // Scoring wrapper for the phases that run on the querying thread only
-  // (it touches qs and the explain breakdowns).
-  const auto score_candidate = [&](StreamId stream, double tfidf_sum,
-                                   ScoreBreakdown::Source source,
-                                   const TermFreq* tfs) {
-    PartScores parts;
-    if (!compute_score(stream, tfidf_sum, parts)) return;
-    offer(stream, parts.total);
-    ++qs.candidates_scored;
-    if (explain != nullptr) {
-      // A stream scored in several components keeps the breakdown of its
-      // better-ranked (retained) scoring.
-      const auto it = breakdowns.find(stream);
-      if (it != breakdowns.end() &&
-          !TopKHeap::RanksAbove({stream, parts.total},
-                                {stream, it->second.total})) {
-        return;
-      }
-      ScoreBreakdown breakdown;
-      breakdown.stream = stream;
-      breakdown.pop_score = parts.pop;
-      breakdown.rel_score = parts.rel;
-      breakdown.frsh_score = parts.frsh;
-      breakdown.total = parts.total;
-      breakdown.source = source;
-      if (tfs != nullptr) breakdown.term_tfs.assign(tfs, tfs + nq);
-      breakdowns[stream] = std::move(breakdown);
-    }
-  };
-
-  // Phase 1: score every live-table stream touching a query term (the
-  // table is term-keyed, so only matching streams are visited). Their
-  // totals are exact regardless of how many components hold their
-  // postings; afterwards, any unscored candidate is single-component.
-  std::vector<StreamId>& table_matches = scratch.table_matches;
-  for (const TermId term : q) {
-    live_terms_.ForEachStreamOfTerm(term, [&](StreamId stream, TermFreq) {
-      table_matches.push_back(stream);
-    });
-  }
-  std::vector<TermFreq>& tfs = scratch.tfs;
-  for (const StreamId stream : table_matches) {
-    if (!scored.insert(stream).second) continue;
-    double tfidf_sum = 0.0;
-    tfs.assign(nq, 0);
-    for (std::size_t i = 0; i < nq; ++i) {
-      tfs[i] = live_terms_.GetTotal(stream, q[i]);
-      tfidf_sum += scorer_.TermTfIdf(tfs[i], idfs[i]);
-    }
-    score_candidate(stream, tfidf_sum, ScoreBreakdown::Source::kLiveTable,
-                    tfs.data());
-  }
-  if (explain != nullptr) {
+  if (!use_executor && explain == nullptr) {
+    RunSequential(plan, sink, scratch, qs);
+  } else if (explain != nullptr) {
+    // Sequential explain walk: the same phases and operators, with the
+    // recorder policies capturing per-candidate breakdowns and the
+    // selector/driver filling per-component bookkeeping.
+    std::unordered_set<StreamId> scored;
+    ExplainRecorder recorder(plan, scorer_, streams_, sink, qs, breakdowns);
+    exec::RunLiveTablePhase(plan, scorer_, live_terms_, scratch, scored,
+                            recorder);
     explain->live_table_candidates = scored.size();
-  }
-
-  // Phase 2: full scan of I0 (it is small by construction). Accumulates
-  // per-stream tf sums into a slot-indexed flat matrix (stride nq), exact
-  // for streams whose postings are L0-only.
-  auto& l0_slot = scratch.l0_slot;
-  auto& l0_tf = scratch.l0_tf;
-  auto& l0_streams = scratch.l0_streams;
-  for (std::size_t i = 0; i < nq; ++i) {
-    tree_.WithL0Term(q[i], [&](const TermPostings* postings) {
-      if (postings == nullptr) return;
-      qs.postings_scanned += postings->size();
-      for (const Posting& p : postings->entries()) {
-        auto [it, inserted] = l0_slot.try_emplace(
-            p.stream, static_cast<std::uint32_t>(l0_streams.size()));
-        if (inserted) {
-          l0_streams.push_back(p.stream);
-          l0_tf.resize(l0_tf.size() + nq, 0);
+    explain->l0_candidates =
+        exec::RunL0Phase(plan, scorer_, tree_, scratch, scored, recorder, qs);
+    const lsm::IndexViewPtr view = tree_.PinView();
+    exec::SelectorOptions options;
+    options.consult_headers = config_.use_skip_header;
+    options.fallback_ceiling = streams_.max_frsh();
+    const std::vector<exec::SelectedComponent> selected =
+        exec::SelectComponents(
+            plan, scorer_, view->components, options,
+            {scratch.per_term, scratch.screen_own, scratch.screen_tfidf},
+            qs, explain);
+    ExplainSealedPolicy policy(plan, scorer_, scratch,
+                               streams_.max_stream_id(), scored, recorder);
+    exec::RunSealedSequential(plan, scorer_, selected, policy, sink, qs,
+                              explain);
+  } else {
+    // Parallel executor: the exact phases run on the querying thread, then
+    // workers claim stream-sliced work units off an atomic cursor (so the
+    // best bounds are traversed first), publish their k-th score through
+    // the shared sink, and prune cooperatively against it.
+    std::unordered_set<StreamId> scored;
+    exec::ExactScorer exact(plan, scorer_, streams_, sink, qs);
+    exec::RunLiveTablePhase(plan, scorer_, live_terms_, scratch, scored,
+                            exact);
+    exec::RunL0Phase(plan, scorer_, tree_, scratch, scored, exact, qs);
+    const lsm::IndexViewPtr view = tree_.PinView();
+    exec::SelectorOptions options;
+    options.consult_headers = config_.use_skip_header;
+    options.fallback_ceiling = streams_.max_frsh();
+    const std::vector<exec::SelectedComponent> selected =
+        exec::SelectComponents(
+            plan, scorer_, view->components, options,
+            {scratch.per_term, scratch.screen_own, scratch.screen_tfidf},
+            qs, nullptr);
+    const bool screen_base = plan.use_bound && options.consult_headers;
+    if (!selected.empty()) {
+      const std::vector<exec::WorkUnit> units = exec::MakeWorkUnits(
+          selected, static_cast<std::size_t>(config_.query_threads));
+      std::atomic<std::size_t> next_unit{0};
+      const StreamId max_stream = streams_.max_stream_id();
+      const auto run_worker = [&](QueryScratch& ws, QueryStats& wqs) {
+        exec::SealedScorer policy(plan, scorer_, streams_, scored,
+                                  scratch.screen_tfidf, screen_base, ws,
+                                  max_stream, sink);
+        exec::RunSealedWorker(plan, scorer_, selected, units, next_unit,
+                              sink, policy, wqs);
+      };
+      const std::size_t degree = std::min<std::size_t>(
+          static_cast<std::size_t>(config_.query_threads), units.size());
+      std::vector<QueryStats> worker_stats(
+          std::max<std::size_t>(degree, 1));
+      if (degree > 1 && query_pool_ != nullptr) {
+        TaskGroup group(query_pool_.get());
+        for (std::size_t w = 1; w < degree; ++w) {
+          group.Submit([&, w] {
+            ScratchLease worker_lease(scratch_pool_);
+            run_worker(*worker_lease, worker_stats[w]);
+          });
         }
-        l0_tf[static_cast<std::size_t>(it->second) * nq + i] += p.tf;
+        run_worker(scratch, worker_stats[0]);
+        group.Wait();
+      } else {
+        run_worker(scratch, worker_stats[0]);
       }
-    });
-  }
-  std::size_t l0_candidates = 0;
-  for (std::size_t slot = 0; slot < l0_streams.size(); ++slot) {
-    const StreamId stream = l0_streams[slot];
-    if (!scored.insert(stream).second) continue;
-    const TermFreq* stream_tfs = l0_tf.data() + slot * nq;
-    double tfidf_sum = 0.0;
-    for (std::size_t i = 0; i < nq; ++i) {
-      tfidf_sum += scorer_.TermTfIdf(stream_tfs[i], idfs[i]);
-    }
-    ++l0_candidates;
-    score_candidate(stream, tfidf_sum, ScoreBreakdown::Source::kL0Scan,
-                    stream_tfs);
-  }
-  if (explain != nullptr) explain->l0_candidates = l0_candidates;
-
-  // Phase 3: sealed components, best upper bound first (Algorithm 3's
-  // sc-top pruning, strengthened by processing in bound order). From here
-  // on `scored` is read-only in both paths: it marks the phase-1/2
-  // streams whose totals are already exact. A stream whose postings
-  // transiently span several sealed components (sealed at different
-  // times, not yet consolidated by a merge) is scored once per component
-  // with that component's partial tfs; the keep-best-per-stream heap
-  // retains its highest partial deterministically, so sequential and
-  // parallel traversal agree bit-for-bit.
-  //
-  // The query pins ONE immutable view here — a single atomic load — and
-  // every worker traverses that view: no locks, no structure re-checks,
-  // no mirror lookups. Merges publishing mid-query cannot perturb the
-  // pinned component set, and pre-merge components stay alive because
-  // the pin references them.
-  const lsm::IndexViewPtr view = tree_.PinView();
-  const auto& snapshot = view->components;
-  struct RankedComponent {
-    const index::InvertedIndex* component;
-    double bound;
-    Timestamp frsh_ceiling;  // Live-freshness ceiling captured at ranking
-                             // time (same capture-once semantics as
-                             // max_pop, so all workers agree).
-    double rel_total;   // Screen: bound on this component's rel part.
-    std::size_t order;  // Snapshot position: deterministic sort tie-break
-                        // and the component's screen_tfidf row.
-    std::size_t explain_slot;
-    bool screen;        // Header summaries available for screening.
-  };
-  // Planner over the pinned view. With a skip header the per-term lookups
-  // go through the Bloom filter + summary array instead of the posting
-  // hash maps; a component whose header proves every query term absent is
-  // dropped here without ever constructing a traversal. Summary bounds
-  // are >= the posting-map bounds by construction (the aggregated
-  // per-stream tf maximum), so switching lookups never tightens a bound
-  // — pruning stays lossless.
-  const bool consult_headers = config_.use_skip_header;
-  std::vector<double>& screen_tfidf = scratch.screen_tfidf;
-  screen_tfidf.assign(snapshot.size() * nq, 0.0);
-  std::vector<double>& screen_own = scratch.screen_own;
-  std::vector<RankedComponent> ranked;
-  ranked.reserve(snapshot.size());
-  std::vector<PerTermBound>& per_term = scratch.per_term;
-  for (std::size_t ci = 0; ci < snapshot.size(); ++ci) {
-    const auto& component = snapshot[ci];
-    const index::SkipHeader* header =
-        consult_headers ? component->skip_header() : nullptr;
-    per_term.assign(nq, PerTermBound{});
-    bool any_present = false;
-    if (header != nullptr) {
-      for (std::size_t i = 0; i < nq; ++i) {
-        per_term[i].idf = idfs[i];
-        per_term[i].tf_correction = 0;  // Consolidation invariant.
-        if (!header->MayContain(q[i])) continue;
-        const index::TermSummary* s = header->Find(q[i]);
-        if (s == nullptr) {
-          ++qs.bloom_false_positives;  // Cost: one binary search. Sound.
-          continue;
-        }
-        per_term[i].bounds =
-            index::TermBounds{s->max_pop, s->max_frsh, s->max_tf, true};
-        any_present = true;
-      }
-    } else {
-      for (std::size_t i = 0; i < nq; ++i) {
-        per_term[i].bounds = component->Bounds(q[i]);
-        per_term[i].idf = idfs[i];
-        per_term[i].tf_correction = 0;  // Consolidation invariant.
-        any_present = any_present || per_term[i].bounds.present;
-      }
-    }
-    // Per-component ceiling: only streams resident here can have raised
-    // it, so it is far tighter than the table-global max_frsh() — which
-    // stays the sound fallback for components without a cell (restored
-    // from old snapshots, or built by tests via bare CombineComponents).
-    const Timestamp frsh_ceiling = component->has_ceiling()
-                                       ? component->LiveFrshCeiling()
-                                       : streams_.max_frsh();
-    const double bound = ComponentBound(scorer_, per_term, now, max_pop,
-                                        frsh_ceiling, bound_mode);
-    std::size_t slot = 0;
-    if (explain != nullptr) {
-      ComponentExplanation ce;
-      ce.level = component->level();
-      ce.num_postings = component->num_postings();
-      ce.upper_bound = bound;
-      ce.skipped = header != nullptr && !any_present;
-      slot = explain->components.size();
-      explain->components.push_back(ce);
-    }
-    if (header != nullptr && !any_present) {
-      // The Bloom filter *proved* every query term absent (a summary miss
-      // after a positive filter is counted above, not here): the
-      // component is skipped without touching its posting maps.
-      ++qs.components_skipped;
-      continue;
-    }
-    if (!(bound > 0.0)) continue;
-    double rel_total = 0.0;
-    if (header != nullptr) {
-      // Admission-screen ingredients. own[i] bounds term i's tf-idf
-      // contribution inside this component; the row of screen_tfidf
-      // holds, per term, the mass the *other* terms can add (direct
-      // ascending-order sums, matching the scoring loop's accumulation
-      // order so the bound dominates the actual sum even under floating-
-      // point rounding — a tiny slack at the compare covers the rest).
-      screen_own.assign(nq, 0.0);
-      for (std::size_t i = 0; i < nq; ++i) {
-        if (per_term[i].bounds.present) {
-          screen_own[i] = scorer_.TermTfIdf(per_term[i].bounds.max_tf,
-                                            idfs[i]);
-        }
-      }
-      double sum_own = 0.0;
-      for (std::size_t i = 0; i < nq; ++i) sum_own += screen_own[i];
-      double* other = screen_tfidf.data() + ci * nq;
-      for (std::size_t i = 0; i < nq; ++i) {
-        double o = 0.0;
-        for (std::size_t j = 0; j < nq; ++j) {
-          if (j != i) o += screen_own[j];
-        }
-        other[i] = o;
-      }
-      rel_total = scorer_.RelScore(sum_own, num_terms);
-    }
-    ranked.push_back({component.get(), bound, frsh_ceiling, rel_total, ci,
-                      slot, header != nullptr});
-  }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedComponent& a, const RankedComponent& b) {
-              if (a.bound != b.bound) return a.bound > b.bound;
-              return a.order < b.order;
-            });
-
-  // Admission screen (both paths): before a candidate pays for its
-  // random-access term lookups, compare the current k-th score against a
-  // sound upper bound built from its *live* popularity and freshness
-  // (one stream-table read, needed for scoring anyway) and the header
-  // summaries' relevance ceiling. The bound dominates the candidate's
-  // exact score in every bound mode — live values are exact, the rel
-  // ceiling only over-estimates — so a screened candidate could never
-  // have entered the final top-k: results are bit-identical with the
-  // screen on or off (DESIGN.md §6f). The slack absorbs the different
-  // floating-point summation order of bound vs exact relevance.
-  constexpr double kScreenSlack = 1e-9;
-  const bool screen_base =
-      config_.use_bound && consult_headers && explain == nullptr;
-
-  const StreamId max_stream = streams_.max_stream_id();
-  if (!use_executor) {
-    std::vector<Posting>& round = scratch.round;
-    std::vector<std::uint32_t>& round_terms = scratch.round_terms;
-    StreamSeenFilter seen(scratch, max_stream);
-    for (std::size_t c = 0; c < ranked.size(); ++c) {
-      // Strictly-below pruning: a dropped candidate can never re-enter
-      // via the stream-id tie-break, which keeps the result set identical
-      // under any traversal order (and hence equal to the executor's).
-      if (config_.use_bound && heap.KthScore() > ranked[c].bound) {
-        qs.components_pruned += ranked.size() - c;
-        qs.terminated_early = true;
-        break;
-      }
-      ++qs.components_visited;
-      if (explain != nullptr) {
-        explain->components[ranked[c].explain_slot].visited = true;
-      }
-      const bool screen = screen_base && ranked[c].screen;
-      const double rel_total = ranked[c].rel_total;
-      const double* other_tfidf =
-          screen_tfidf.data() + ranked[c].order * nq;
-      ComponentTraversal traversal(*ranked[c].component, q);
-      seen.NextComponent();
-      while (traversal.NextRound(round, round_terms)) {
-        for (std::size_t ri = 0; ri < round.size(); ++ri) {
-          const Posting& p = round[ri];
-          if (!seen.Insert(p.stream)) continue;
-          if (scored.count(p.stream) > 0) continue;
-          const std::size_t ti = round_terms[ri];
-          if (explain == nullptr) {
-            StreamInfo info;
-            if (!streams_.Get(p.stream, info)) continue;  // Deleted.
-            if (filter.live_only && !info.live) continue;
-            if (info.frsh < filter.min_frsh) continue;
-            const double pop_score =
-                scorer_.PopScore(info.pop_count, max_pop);
-            const double frsh_score = scorer_.FrshScore(info.frsh, now);
-            if (screen &&
-                heap.KthScore() >
-                    scorer_.Combine(pop_score, rel_total, frsh_score) +
-                        kScreenSlack) {
-              ++qs.candidates_screened;  // No term lookup was paid.
-              continue;
-            }
-            // The discovering term's aggregate first (one lookup the old
-            // path repeated), then a tighter screen with its actual tf
-            // before paying for the remaining terms.
-            Posting agg;
-            if (!traversal.Find(ti, p.stream, agg)) continue;
-            double tfidf_sum = scorer_.TermTfIdf(agg.tf, idfs[ti]);
-            if (screen && nq > 1 &&
-                heap.KthScore() >
-                    scorer_.Combine(
-                        pop_score,
-                        scorer_.RelScore(tfidf_sum + other_tfidf[ti],
-                                         num_terms),
-                        frsh_score) +
-                        kScreenSlack) {
-              ++qs.candidates_screened;
-              continue;
-            }
-            for (std::size_t i = 0; i < nq; ++i) {
-              if (i == ti) continue;
-              Posting found;
-              if (traversal.Find(i, p.stream, found)) {
-                tfidf_sum += scorer_.TermTfIdf(found.tf, idfs[i]);
-              }
-            }
-            const double rel_score =
-                scorer_.RelScore(tfidf_sum, num_terms);
-            offer(p.stream,
-                  scorer_.Combine(pop_score, rel_score, frsh_score));
-            ++qs.candidates_scored;
-            continue;
-          }
-          // Explain path: full scoring with per-term breakdowns; same
-          // discovering-term-first accumulation order as the fast path
-          // so explained totals match Query() bit-for-bit.
-          double tfidf_sum = 0.0;
-          tfs.assign(nq, 0);
-          Posting agg;
-          if (traversal.Find(ti, p.stream, agg)) {
-            tfs[ti] = agg.tf;
-            tfidf_sum = scorer_.TermTfIdf(agg.tf, idfs[ti]);
-          }
-          for (std::size_t i = 0; i < nq; ++i) {
-            if (i == ti) continue;
-            Posting found;
-            if (traversal.Find(i, p.stream, found)) {
-              tfs[i] = found.tf;
-              tfidf_sum += scorer_.TermTfIdf(found.tf, idfs[i]);
-            }
-          }
-          score_candidate(p.stream, tfidf_sum,
-                          ScoreBreakdown::Source::kSealedComponent,
-                          tfs.data());
-        }
-        qs.postings_scanned += round.size();
-        round.clear();
-        round_terms.clear();
-        if (config_.use_bound && heap.full()) {
-          const double tau = traversal.Threshold(
-              scorer_, idfs, now, max_pop, ranked[c].frsh_ceiling,
-              bound_mode);
-          if (heap.KthScore() > tau) {
-            qs.terminated_early = true;
-            if (explain != nullptr) {
-              explain->components[ranked[c].explain_slot]
-                  .terminated_early = true;
-            }
-            break;
-          }
-        }
-      }
-      if (explain != nullptr) {
-        explain->components[ranked[c].explain_slot].postings_yielded =
-            traversal.postings_yielded();
-      }
-    }
-  } else if (!ranked.empty()) {
-    // Parallel executor: workers claim work units off an atomic cursor
-    // (so the best bounds are traversed first), publish their k-th score
-    // through the SharedTopK, and prune cooperatively against it.
-    //
-    // A settled LSM concentrates most postings in the bottom component,
-    // so component-granular fan-out alone is bounded by that straggler
-    // (Amdahl at the component level). Large components are therefore
-    // split into stream-sliced units: each slice re-runs the (cheap)
-    // cursor scan of the whole component but only resolves tfs and
-    // scores candidates whose stream id falls in its slice. Slices
-    // partition the stream space, so every candidate is still scored by
-    // exactly one worker and the bit-identity argument is untouched.
-    struct WorkUnit {
-      std::size_t comp;         // Index into `ranked`.
-      std::uint32_t slice;
-      std::uint32_t num_slices;
-    };
-    std::size_t ranked_postings = 0;
-    for (const RankedComponent& rc : ranked) {
-      ranked_postings += rc.component->num_postings();
-    }
-    const auto threads =
-        static_cast<std::size_t>(config_.query_threads);
-    std::vector<WorkUnit> units;
-    units.reserve(ranked.size());
-    for (std::size_t c = 0; c < ranked.size(); ++c) {
-      // Slices proportional to the component's posting share, so the
-      // per-worker critical path tracks total_work / threads instead of
-      // max(component). Deterministic (integer arithmetic on snapshot
-      // sizes), hence identical across runs.
-      std::size_t slices = 1;
-      if (threads > 1 && ranked_postings > 0) {
-        const std::size_t share =
-            (ranked[c].component->num_postings() * threads +
-             ranked_postings / 2) /
-            ranked_postings;
-        slices = std::clamp<std::size_t>(share, 1, threads);
-      }
-      for (std::size_t s = 0; s < slices; ++s) {
-        units.push_back({c, static_cast<std::uint32_t>(s),
-                         static_cast<std::uint32_t>(slices)});
-      }
-    }
-    std::atomic<std::size_t> next_unit{0};
-    const auto run_worker = [&](QueryScratch& ws, QueryStats& wqs) {
-      std::vector<Posting>& round = ws.round;
-      std::vector<std::uint32_t>& round_terms = ws.round_terms;
-      StreamSeenFilter seen(ws, max_stream);
-      while (true) {
-        const std::size_t u =
-            next_unit.fetch_add(1, std::memory_order_relaxed);
-        if (u >= units.size()) break;
-        const WorkUnit unit = units[u];
-        const std::size_t c = unit.comp;
-        if (config_.use_bound &&
-            shared.ThresholdScore() > ranked[c].bound) {
-          if (unit.slice == 0) {
-            ++wqs.components_pruned;
-            wqs.terminated_early = true;
-          }
-          continue;
-        }
-        if (unit.slice == 0) ++wqs.components_visited;
-        const bool screen = screen_base && ranked[c].screen;
-        const double rel_total = ranked[c].rel_total;
-        const double* other_tfidf =
-            screen_tfidf.data() + ranked[c].order * nq;
-        ComponentTraversal traversal(*ranked[c].component, q);
-        seen.NextComponent();
-        round.clear();
-        round_terms.clear();
-        bool cut_off = false;
-        // The per-round Threshold() bound is exp()-heavy and a round
-        // yields only ~3 postings per term, so checking every round
-        // dominates a slice's duplicated scan cost. Checking every
-        // kBoundCheckInterval rounds only scans deeper before cutting
-        // off; with the sound kGlobalPop ceilings that can never change
-        // the result set.
-        constexpr std::uint32_t kBoundCheckInterval = 8;
-        std::uint32_t rounds_since_check = 0;
-        while (!cut_off && traversal.NextRound(round, round_terms)) {
-          for (std::size_t ri = 0; ri < round.size(); ++ri) {
-            const Posting& p = round[ri];
-            if (unit.num_slices > 1 &&
-                p.stream % unit.num_slices != unit.slice) {
-              continue;
-            }
-            if (!seen.Insert(p.stream)) continue;
-            if (scored.count(p.stream) > 0) continue;
-            StreamInfo info;
-            if (!streams_.Get(p.stream, info)) continue;  // Deleted.
-            if (filter.live_only && !info.live) continue;
-            if (info.frsh < filter.min_frsh) continue;
-            const double pop_score =
-                scorer_.PopScore(info.pop_count, max_pop);
-            const double frsh_score = scorer_.FrshScore(info.frsh, now);
-            // The screen prunes against the *published* threshold, which
-            // only ever rises; a screened candidate is strictly below a
-            // lower bound of the final k-th score, so worker timing can
-            // not change the result set (same argument as the bound
-            // pruning above).
-            if (screen &&
-                shared.ThresholdScore() >
-                    scorer_.Combine(pop_score, rel_total, frsh_score) +
-                        kScreenSlack) {
-              ++wqs.candidates_screened;
-              continue;
-            }
-            const std::size_t ti = round_terms[ri];
-            Posting agg;
-            if (!traversal.Find(ti, p.stream, agg)) continue;
-            double tfidf_sum = scorer_.TermTfIdf(agg.tf, idfs[ti]);
-            if (screen && nq > 1 &&
-                shared.ThresholdScore() >
-                    scorer_.Combine(
-                        pop_score,
-                        scorer_.RelScore(tfidf_sum + other_tfidf[ti],
-                                         num_terms),
-                        frsh_score) +
-                        kScreenSlack) {
-              ++wqs.candidates_screened;
-              continue;
-            }
-            for (std::size_t i = 0; i < nq; ++i) {
-              if (i == ti) continue;
-              Posting found;
-              if (traversal.Find(i, p.stream, found)) {
-                tfidf_sum += scorer_.TermTfIdf(found.tf, idfs[i]);
-              }
-            }
-            const double rel_score =
-                scorer_.RelScore(tfidf_sum, num_terms);
-            shared.Offer(p.stream,
-                         scorer_.Combine(pop_score, rel_score,
-                                         frsh_score));
-            ++wqs.candidates_scored;
-          }
-          // Slices > 0 re-scan postings that slice 0 also walks; count
-          // only slice 0 so the stat keeps its sequential meaning
-          // (distinct postings the traversal reached).
-          if (unit.slice == 0) wqs.postings_scanned += round.size();
-          round.clear();
-          round_terms.clear();
-          if (config_.use_bound &&
-              ++rounds_since_check >= kBoundCheckInterval) {
-            rounds_since_check = 0;
-            const double threshold = shared.ThresholdScore();
-            if (std::isfinite(threshold) &&
-                threshold > traversal.Threshold(scorer_, idfs, now, max_pop,
-                                                ranked[c].frsh_ceiling,
-                                                bound_mode)) {
-              wqs.terminated_early = true;
-              cut_off = true;
-            }
-          }
-        }
-      }
-    };
-
-    const std::size_t degree = std::min<std::size_t>(
-        static_cast<std::size_t>(config_.query_threads), units.size());
-    std::vector<QueryStats> worker_stats(std::max<std::size_t>(degree, 1));
-    if (degree > 1 && query_pool_ != nullptr) {
-      TaskGroup group(query_pool_.get());
-      for (std::size_t w = 1; w < degree; ++w) {
-        group.Submit([&, w] {
-          ScratchLease worker_lease(scratch_pool_);
-          run_worker(*worker_lease, worker_stats[w]);
-        });
-      }
-      run_worker(scratch, worker_stats[0]);
-      group.Wait();
-    } else {
-      run_worker(scratch, worker_stats[0]);
-    }
-    for (const QueryStats& ws : worker_stats) {
-      qs.components_visited += ws.components_visited;
-      qs.components_pruned += ws.components_pruned;
-      qs.postings_scanned += ws.postings_scanned;
-      qs.candidates_scored += ws.candidates_scored;
-      qs.candidates_screened += ws.candidates_screened;
-      qs.terminated_early = qs.terminated_early || ws.terminated_early;
+      for (const QueryStats& ws : worker_stats) exec::FoldStats(qs, ws);
     }
   }
 
-  std::vector<ScoredStream> results =
-      use_executor ? shared.SortedResults() : heap.SortedResults();
+  std::vector<ScoredStream> results = sink.SortedResults();
   if (explain != nullptr) {
     explain->results.reserve(results.size());
     for (const auto& r : results) {

@@ -41,21 +41,13 @@
 #include "core/query_scratch.h"
 #include "core/scorer.h"
 #include "core/search_index.h"
+#include "exec/query_plan.h"
+#include "exec/sink.h"
 #include "index/live_term_table.h"
 #include "index/stream_info_table.h"
 #include "lsm/lsm_tree.h"
 
 namespace rtsi::core {
-
-/// Optional result filtering for RTSI queries. Filters drop candidates at
-/// scoring time; pruning bounds stay valid (they only ever overestimate).
-struct QueryFilter {
-  /// Return only streams that are currently broadcasting.
-  bool live_only = false;
-  /// Return only streams whose latest window is at/after this timestamp
-  /// (0 = no constraint).
-  Timestamp min_frsh = 0;
-};
 
 /// Corpus-global scoring inputs shared by every shard of a sharded
 /// deployment (shard::IndexShardSet). Scores depend on two statistics
@@ -158,6 +150,25 @@ class RtsiIndex : public SearchIndex {
   QueryExplanation ExplainQuery(const std::vector<TermId>& terms, int k,
                                 Timestamp now,
                                 const QueryFilter& filter = QueryFilter{});
+
+  /// Builds (but does not run) the execution plan Query would use for
+  /// these inputs: deduplicated terms, idfs from the bound scoring state,
+  /// the capture-once popularity normalizer, and the pruning regime. The
+  /// plan is immutable and re-enterable — standing queries hold one and
+  /// re-execute it as the index advances; fuzzy expansion rewrites the
+  /// term list before building.
+  exec::QueryPlan BuildPlan(const std::vector<TermId>& terms, int k,
+                            Timestamp now,
+                            const QueryFilter& filter = QueryFilter{}) const;
+
+  /// Runs a prepared plan through the sequential pipeline into a
+  /// caller-supplied sink (the standing-query seam; Query/QueryFiltered
+  /// are this with a TopKSink, plus the parallel executor when
+  /// configured). The sink keeps its prior contents — re-executions can
+  /// accumulate — and the returned vector is its current rank order.
+  std::vector<ScoredStream> ExecutePlan(const exec::QueryPlan& plan,
+                                        exec::ResultSink& sink,
+                                        QueryStats* stats = nullptr);
   std::size_t MemoryBytes() const override;
   std::string name() const override { return "RTSI"; }
 
@@ -220,6 +231,11 @@ class RtsiIndex : public SearchIndex {
                                       const QueryFilter& filter,
                                       QueryStats* stats,
                                       QueryExplanation* explain);
+
+  /// The sequential fast-path pipeline (phases 1-3) into `sink`; the
+  /// common body of ExecutePlan and the non-executor Query path.
+  void RunSequential(const exec::QueryPlan& plan, exec::ResultSink& sink,
+                     QueryScratch& scratch, QueryStats& qs);
 
   RtsiConfig config_;
   Scorer scorer_;

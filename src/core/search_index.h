@@ -21,6 +21,17 @@ struct ScoredStream {
   double score = 0.0;
 };
 
+/// Optional result filtering for top-k queries. Filters drop candidates
+/// at scoring time; pruning bounds stay valid (they only ever
+/// overestimate). Part of the exec::QueryPlan every query path executes.
+struct QueryFilter {
+  /// Return only streams that are currently broadcasting.
+  bool live_only = false;
+  /// Return only streams whose latest window is at/after this timestamp
+  /// (0 = no constraint).
+  Timestamp min_frsh = 0;
+};
+
 /// Per-query diagnostics.
 struct QueryStats {
   std::size_t components_visited = 0;

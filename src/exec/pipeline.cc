@@ -1,0 +1,35 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+
+namespace rtsi::exec {
+
+std::vector<WorkUnit> MakeWorkUnits(
+    const std::vector<SelectedComponent>& comps, std::size_t threads) {
+  std::size_t total_postings = 0;
+  for (const SelectedComponent& sc : comps) {
+    total_postings += sc.component->num_postings();
+  }
+  std::vector<WorkUnit> units;
+  units.reserve(comps.size());
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    // Slices proportional to the component's posting share, so the
+    // per-worker critical path tracks total_work / threads instead of
+    // max(component).
+    std::size_t slices = 1;
+    if (threads > 1 && total_postings > 0) {
+      const std::size_t share =
+          (comps[c].component->num_postings() * threads +
+           total_postings / 2) /
+          total_postings;
+      slices = std::clamp<std::size_t>(share, 1, threads);
+    }
+    for (std::size_t s = 0; s < slices; ++s) {
+      units.push_back({c, static_cast<std::uint32_t>(s),
+                       static_cast<std::uint32_t>(slices)});
+    }
+  }
+  return units;
+}
+
+}  // namespace rtsi::exec

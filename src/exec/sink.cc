@@ -1,0 +1,25 @@
+#include "exec/sink.h"
+
+namespace rtsi::exec {
+
+void FoldStats(core::QueryStats& total, const core::QueryStats& part) {
+  total.components_visited += part.components_visited;
+  total.components_pruned += part.components_pruned;
+  total.components_skipped += part.components_skipped;
+  total.bloom_false_positives += part.bloom_false_positives;
+  total.postings_scanned += part.postings_scanned;
+  total.candidates_scored += part.candidates_scored;
+  total.candidates_screened += part.candidates_screened;
+  total.terminated_early = total.terminated_early || part.terminated_early;
+}
+
+std::vector<core::ScoredStream> GatherPartials(
+    const std::vector<std::vector<core::ScoredStream>>& partials, int k) {
+  TopKSink sink(k);
+  for (const auto& partial : partials) {
+    for (const core::ScoredStream& r : partial) sink.Offer(r.stream, r.score);
+  }
+  return sink.SortedResults();
+}
+
+}  // namespace rtsi::exec

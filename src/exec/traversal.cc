@@ -1,9 +1,11 @@
-#include "core/query_util.h"
+#include "exec/traversal.h"
 
 #include <algorithm>
 
-namespace rtsi::core {
+namespace rtsi::exec {
 
+using core::BoundMode;
+using core::Scorer;
 using index::Posting;
 using index::SortKey;
 
@@ -46,8 +48,8 @@ double ComponentBound(const Scorer& scorer,
   return scorer.Combine(pop_score, rel_score, frsh_score);
 }
 
-ComponentTraversal::ComponentTraversal(const index::InvertedIndex& component,
-                                       const std::vector<TermId>& terms) {
+Traversal::Traversal(const index::InvertedIndex& component,
+                     const std::vector<TermId>& terms) {
   cursors_.reserve(terms.size());
   for (const TermId term : terms) {
     TermCursor cursor;
@@ -57,17 +59,17 @@ ComponentTraversal::ComponentTraversal(const index::InvertedIndex& component,
   }
 }
 
-bool ComponentTraversal::NextRound(std::vector<Posting>& out) {
+bool Traversal::NextRound(std::vector<Posting>& out) {
   return NextRoundImpl(out, nullptr);
 }
 
-bool ComponentTraversal::NextRound(std::vector<Posting>& out,
-                                   std::vector<std::uint32_t>& term_of) {
+bool Traversal::NextRound(std::vector<Posting>& out,
+                          std::vector<std::uint32_t>& term_of) {
   return NextRoundImpl(out, &term_of);
 }
 
-bool ComponentTraversal::NextRoundImpl(std::vector<Posting>& out,
-                                       std::vector<std::uint32_t>* term_of) {
+bool Traversal::NextRoundImpl(std::vector<Posting>& out,
+                              std::vector<std::uint32_t>* term_of) {
   bool yielded = false;
   for (std::size_t ti = 0; ti < cursors_.size(); ++ti) {
     TermCursor& cursor = cursors_[ti];
@@ -98,12 +100,10 @@ bool ComponentTraversal::NextRoundImpl(std::vector<Posting>& out,
   return yielded;
 }
 
-double ComponentTraversal::Threshold(const Scorer& scorer,
-                                     const std::vector<double>& idfs,
-                                     Timestamp now,
-                                     std::uint64_t max_pop_count,
-                                     Timestamp frsh_ceiling,
-                                     BoundMode mode) const {
+double Traversal::Threshold(const Scorer& scorer,
+                            const std::vector<double>& idfs, Timestamp now,
+                            std::uint64_t max_pop_count,
+                            Timestamp frsh_ceiling, BoundMode mode) const {
   bool any_active = false;
   std::uint64_t pop_bound_count = 0;
   Timestamp frsh_bound = 0;
@@ -137,11 +137,11 @@ double ComponentTraversal::Threshold(const Scorer& scorer,
   return scorer.Combine(pop_score, rel_score, frsh_score);
 }
 
-bool ComponentTraversal::Find(std::size_t term_index, StreamId stream,
-                              Posting& out) const {
+bool Traversal::Find(std::size_t term_index, StreamId stream,
+                     Posting& out) const {
   const TermCursor& cursor = cursors_[term_index];
   if (!cursor.view || cursor.view->empty()) return false;
   return cursor.view->AggregateForStream(stream, out);
 }
 
-}  // namespace rtsi::core
+}  // namespace rtsi::exec

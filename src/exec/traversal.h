@@ -1,10 +1,11 @@
-// Query-side helpers shared by RTSI and the extended-LSII baseline:
-// component upper bounds (the sc-top of Algorithm 3) and the
-// threshold-algorithm traversal of a sealed component's three sorted
-// inverted lists.
+// The Traversal operator of the query-execution pipeline: component
+// upper bounds (the sc-top of Algorithm 3) and the threshold-algorithm
+// walk of a sealed component's three sorted inverted lists. Shared by
+// every query path (RTSI sequential/parallel/explain and the
+// extended-LSII baseline); moved here from core/query_util.
 
-#ifndef RTSI_CORE_QUERY_UTIL_H_
-#define RTSI_CORE_QUERY_UTIL_H_
+#ifndef RTSI_EXEC_TRAVERSAL_H_
+#define RTSI_EXEC_TRAVERSAL_H_
 
 #include <cstdint>
 #include <memory>
@@ -14,7 +15,7 @@
 #include "core/scorer.h"
 #include "index/inverted_index.h"
 
-namespace rtsi::core {
+namespace rtsi::exec {
 
 /// Per-query-term inputs for a component bound.
 struct PerTermBound {
@@ -34,19 +35,19 @@ struct PerTermBound {
 /// LSII baseline passes `now`); kGlobalPop mode substitutes it for the
 /// component's stored freshness maxima, which go stale once a stream
 /// posts again after the component sealed. kSnapshot ignores it.
-double ComponentBound(const Scorer& scorer,
+double ComponentBound(const core::Scorer& scorer,
                       const std::vector<PerTermBound>& terms, Timestamp now,
                       std::uint64_t max_pop_count, Timestamp frsh_ceiling,
-                      BoundMode mode);
+                      core::BoundMode mode);
 
 /// Round-based sorted access over one sealed component (Algorithm 3 lines
 /// 10-17): each round yields the next unchecked posting from each of the
 /// three sorted lists of every query term ("GetTop3"), and Threshold()
 /// bounds the score of every posting not yet yielded.
-class ComponentTraversal {
+class Traversal {
  public:
-  ComponentTraversal(const index::InvertedIndex& component,
-                     const std::vector<TermId>& terms);
+  Traversal(const index::InvertedIndex& component,
+            const std::vector<TermId>& terms);
 
   /// Appends this round's postings (up to 3 per live term) to `out`.
   /// Returns false when every term is exhausted (nothing appended).
@@ -63,9 +64,10 @@ class ComponentTraversal {
   /// cursor values. `idfs` aligns with the constructor's `terms`;
   /// `frsh_ceiling` is the component's live-freshness ceiling (see
   /// ComponentBound).
-  double Threshold(const Scorer& scorer, const std::vector<double>& idfs,
-                   Timestamp now, std::uint64_t max_pop_count,
-                   Timestamp frsh_ceiling, BoundMode mode) const;
+  double Threshold(const core::Scorer& scorer,
+                   const std::vector<double>& idfs, Timestamp now,
+                   std::uint64_t max_pop_count, Timestamp frsh_ceiling,
+                   core::BoundMode mode) const;
 
   /// Random access used when scoring a candidate discovered via another
   /// term: aggregated posting of `stream` for terms[i], if present.
@@ -88,6 +90,6 @@ class ComponentTraversal {
   std::size_t postings_yielded_ = 0;
 };
 
-}  // namespace rtsi::core
+}  // namespace rtsi::exec
 
-#endif  // RTSI_CORE_QUERY_UTIL_H_
+#endif  // RTSI_EXEC_TRAVERSAL_H_

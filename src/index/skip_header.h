@@ -32,7 +32,7 @@ namespace rtsi::index {
 /// the summary bounds their sum), so it upper-bounds the tf a query
 /// traversal can ever accumulate for one stream in this component.
 /// `max_frsh` is the frozen snapshot maximum; planners must clamp it with
-/// the component's live FreshnessCeiling cell (see core/query_util.h).
+/// the component's live FreshnessCeiling cell (see exec/traversal.h).
 struct TermSummary {
   TermId term = 0;
   float max_pop = 0.0f;     // Max popularity snapshot across postings.

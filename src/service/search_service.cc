@@ -15,6 +15,7 @@ shard::ShardSetConfig ShardConfig(const SearchServiceConfig& config) {
   shard_config.index = config.index;
   shard_config.num_shards = std::max(1, config.shards);
   shard_config.scatter_threads = config.scatter_threads;
+  shard_config.shard_policies = config.shard_merge_policies;
   return shard_config;
 }
 
@@ -60,21 +61,37 @@ void SearchService::ReplaceIndices(std::unique_ptr<core::RtsiIndex> text,
   restores_in_flight_.fetch_sub(1, std::memory_order_release);
 }
 
-void SearchService::IngestWindow(StreamId stream,
-                                 const std::vector<std::string>& words,
-                                 bool live) {
+Status SearchService::IngestWindow(StreamId stream,
+                                   const std::vector<std::string>& words,
+                                   bool live) {
+  const auto indices = PinIndices();
+  // Validate against both modalities before touching either, so a
+  // rejected window leaves the pair consistent. The check precedes the
+  // ASR simulation too: a rejected window must not advance the seeded
+  // RNG, or batched/unbatched runs would diverge after a rejection.
+  Status status = indices->text->CheckInsert(stream);
+  if (status.ok()) status = indices->sound->CheckInsert(stream);
+  if (!status.ok()) return status;
   WindowArtifacts artifacts;
   {
     std::lock_guard<std::mutex> rng_lock(rng_mu_);
     artifacts = pipeline_->ProcessWindow(words, rng_);
   }
   const Timestamp now = clock_->Now();
-  const auto indices = PinIndices();
   indices->text->InsertWindow(stream, now, artifacts.text_terms, live);
   indices->sound->InsertWindow(stream, now, artifacts.sound_terms, live);
+  return Status::Ok();
 }
 
-void SearchService::IngestBatch(const std::vector<IngestOp>& ops) {
+Status SearchService::IngestBatch(const std::vector<IngestOp>& ops) {
+  const auto indices = PinIndices();
+  // All-or-nothing: validate every op's stream id (both modalities)
+  // before any window of the batch is applied or any RNG draw happens.
+  for (const IngestOp& op : ops) {
+    Status status = indices->text->CheckInsert(op.stream);
+    if (status.ok()) status = indices->sound->CheckInsert(op.stream);
+    if (!status.ok()) return status;
+  }
   std::vector<WindowArtifacts> artifacts(ops.size());
   {
     // One RNG acquisition for the whole batch: the draw sequence matches
@@ -86,13 +103,13 @@ void SearchService::IngestBatch(const std::vector<IngestOp>& ops) {
     }
   }
   const Timestamp now = clock_->Now();
-  const auto indices = PinIndices();
   for (std::size_t i = 0; i < ops.size(); ++i) {
     indices->text->InsertWindow(ops[i].stream, now, artifacts[i].text_terms,
                                 ops[i].live);
     indices->sound->InsertWindow(ops[i].stream, now, artifacts[i].sound_terms,
                                  ops[i].live);
   }
+  return Status::Ok();
 }
 
 void SearchService::FinishStream(StreamId stream) {

@@ -36,6 +36,10 @@ struct SearchServiceConfig {
   /// Pool workers for the scatter phase of sharded queries (0 = scatter
   /// on the calling thread; right for small machines and shards == 1).
   int scatter_threads = 0;
+  /// Per-shard compaction-policy overrides, applied to both modality
+  /// trees: entry i overrides shard i's LSM policy; shards beyond the
+  /// vector (and all shards when it is empty) keep `index.lsm.policy`.
+  std::vector<lsm::MergePolicy> shard_merge_policies;
 };
 
 /// One window of one stream, for batched ingestion (the async server
@@ -70,15 +74,21 @@ class SearchService {
 
   /// Ingests one ~60 s window of a live stream, given its ground-truth
   /// words (what the broadcaster said). Runs ASR simulation, indexes both
-  /// modalities.
-  void IngestWindow(StreamId stream, const std::vector<std::string>& words,
-                    bool live = true);
+  /// modalities. On a sharded service (shards > 1) a stream id that was
+  /// already retired by FinishStream/DeleteStream is rejected with
+  /// FailedPrecondition before either modality is touched (the sharded
+  /// deployment's documented no-id-reuse precondition); nothing is
+  /// indexed for a rejected window.
+  Status IngestWindow(StreamId stream, const std::vector<std::string>& words,
+                      bool live = true);
 
   /// Ingests a batch of windows in order against one pinned pair. ASR
   /// simulation for the whole batch runs under a single RNG acquisition,
   /// so a batched run draws the same sequence as the same ops issued
-  /// one by one — batching changes throughput, not results.
-  void IngestBatch(const std::vector<IngestOp>& ops);
+  /// one by one — batching changes throughput, not results. The sharded
+  /// id-reuse guard validates every op before any window of the batch is
+  /// applied; a rejected batch indexes nothing.
+  Status IngestBatch(const std::vector<IngestOp>& ops);
 
   void FinishStream(StreamId stream);
   void DeleteStream(StreamId stream);

@@ -3,8 +3,9 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <mutex>
 
-#include "core/top_k.h"
+#include "exec/sink.h"
 
 namespace rtsi::shard {
 
@@ -50,6 +51,7 @@ IndexShardSet::IndexShardSet(const ShardSetConfig& config)
   for (core::RtsiIndex* index : raw_) {
     index->BindSharedScoring(shared_scoring_);
   }
+  ApplyShardPolicies();
   MakeScatterPool(config_, scatter_pool_);
 }
 
@@ -65,6 +67,7 @@ IndexShardSet::IndexShardSet(
     raw_.push_back(index.get());
   }
   RefreshSharedScoring();
+  ApplyShardPolicies();
   MakeScatterPool(config_, scatter_pool_);
 }
 
@@ -100,11 +103,19 @@ Result<std::unique_ptr<IndexShardSet>> IndexShardSet::Open(
     set->raw_.push_back(&set->durables_.back()->index());
   }
   set->RefreshSharedScoring();
+  set->ApplyShardPolicies();
   MakeScatterPool(set->config_, set->scatter_pool_);
   return set;
 }
 
 IndexShardSet::~IndexShardSet() { WaitForMerges(); }
+
+void IndexShardSet::ApplyShardPolicies() {
+  const std::size_t n = std::min(config_.shard_policies.size(), raw_.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    raw_[s]->SetMergePolicy(config_.shard_policies[s]);
+  }
+}
 
 void IndexShardSet::RefreshSharedScoring() {
   // Rebind a fresh aggregate rather than clearing the old one in place:
@@ -128,15 +139,47 @@ void IndexShardSet::RefreshSharedScoring() {
 void IndexShardSet::InsertWindow(StreamId stream, Timestamp now,
                                  const std::vector<core::TermCount>& terms,
                                  bool live) {
+  // The void interface cannot report the reuse guard; a rejected window
+  // is dropped (on a sharded set it was undefined behavior before).
+  (void)InsertWindowChecked(stream, now, terms, live);
+}
+
+Status IndexShardSet::InsertWindowChecked(
+    StreamId stream, Timestamp now,
+    const std::vector<core::TermCount>& terms, bool live) {
+  const Status status = CheckInsert(stream);
+  if (!status.ok()) return status;
   shards_[ShardOf(stream)]->InsertWindow(stream, now, terms, live);
+  return Status::Ok();
+}
+
+Status IndexShardSet::CheckInsert(StreamId stream) const {
+  if (num_shards() > 1) {
+    std::shared_lock<std::shared_mutex> lock(retired_mu_);
+    if (retired_.count(stream) > 0) {
+      return Status::FailedPrecondition(
+          "stream id " + std::to_string(stream) +
+          " was retired by FinishStream/DeleteStream; sharded deployments "
+          "must not reuse stream ids");
+    }
+  }
+  return Status::Ok();
+}
+
+void IndexShardSet::RecordRetired(StreamId stream) {
+  if (num_shards() <= 1) return;
+  std::unique_lock<std::shared_mutex> lock(retired_mu_);
+  retired_.insert(stream);
 }
 
 void IndexShardSet::FinishStream(StreamId stream) {
   shards_[ShardOf(stream)]->FinishStream(stream);
+  RecordRetired(stream);
 }
 
 void IndexShardSet::DeleteStream(StreamId stream) {
   shards_[ShardOf(stream)]->DeleteStream(stream);
+  RecordRetired(stream);
 }
 
 void IndexShardSet::UpdatePopularity(StreamId stream, std::uint64_t delta) {
@@ -177,28 +220,17 @@ std::vector<core::ScoredStream> IndexShardSet::QueryFiltered(
           raw_[s]->QueryFiltered(terms, k, now, filter, &partial_stats[s]);
     }
   }
-  // Gather: each stream lives in exactly one shard, so offering every
-  // per-shard top-k to one deterministic heap yields exactly the top-k a
-  // single index over the union would return.
-  core::TopKHeap heap(k);
-  for (const auto& partial : partials) {
-    for (const core::ScoredStream& r : partial) heap.Offer(r.stream, r.score);
-  }
   if (stats != nullptr) {
     core::QueryStats total;
     for (const core::QueryStats& ps : partial_stats) {
-      total.components_visited += ps.components_visited;
-      total.components_pruned += ps.components_pruned;
-      total.components_skipped += ps.components_skipped;
-      total.bloom_false_positives += ps.bloom_false_positives;
-      total.postings_scanned += ps.postings_scanned;
-      total.candidates_scored += ps.candidates_scored;
-      total.candidates_screened += ps.candidates_screened;
-      total.terminated_early = total.terminated_early || ps.terminated_early;
+      exec::FoldStats(total, ps);
     }
     *stats = total;
   }
-  return heap.SortedResults();
+  // Gather through the pipeline's sink: each stream lives in exactly one
+  // shard, so offering every per-shard top-k to one deterministic sink
+  // yields exactly the top-k a single index over the union would return.
+  return exec::GatherPartials(partials, k);
 }
 
 std::size_t IndexShardSet::MemoryBytes() const {

@@ -31,7 +31,9 @@
 #define RTSI_SHARD_SHARD_SET_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -56,6 +58,11 @@ struct ShardSetConfig {
   /// thread gathers). 0 = scatter sequentially on the caller — the right
   /// default on small machines; per-shard query_threads still applies.
   int scatter_threads = 0;
+  /// Per-shard compaction-policy overrides: entry i applies to shard i.
+  /// Shards beyond the vector's length (and all shards when it is empty)
+  /// keep `index.lsm.policy`. Lets a deployment run, say, leveled
+  /// compaction on a hot shard and lazy-leveled everywhere else.
+  std::vector<lsm::MergePolicy> shard_policies;
 };
 
 /// The shard a stream routes to: splitmix64 finalizer over the id, mod N.
@@ -83,10 +90,32 @@ class IndexShardSet : public core::SearchIndex {
 
   ~IndexShardSet() override;
 
-  // SearchIndex: mutations route to the owning shard.
+  // SearchIndex: mutations route to the owning shard. On a sharded set
+  // (num_shards > 1) InsertWindow silently drops a window for a retired
+  // stream id (see CheckInsert); callers that need the error use
+  // InsertWindowChecked.
   void InsertWindow(StreamId stream, Timestamp now,
                     const std::vector<core::TermCount>& terms,
                     bool live) override;
+
+  /// Documented precondition of the sharded deployment: a stream id must
+  /// never be reused after FinishStream/DeleteStream (the scatter-gather
+  /// bit-identity argument assumes each stream's history lives and dies in
+  /// one shard epoch). On a sharded set this returns FailedPrecondition —
+  /// instead of undefined behavior — for such an id; a single-shard set
+  /// accepts everything (the classic single-index semantics, where
+  /// re-insertion after finish is the documented "stream resumes" path).
+  Status InsertWindowChecked(StreamId stream, Timestamp now,
+                             const std::vector<core::TermCount>& terms,
+                             bool live);
+
+  /// The precondition check of InsertWindowChecked alone: Ok when
+  /// inserting `stream` is allowed right now. Callers coordinating
+  /// several sets (e.g. the service's two modalities) validate all of
+  /// them before applying to any. Advisory under concurrency: a racing
+  /// FinishStream can retire the id between check and insert.
+  Status CheckInsert(StreamId stream) const;
+
   void FinishStream(StreamId stream) override;
   void DeleteStream(StreamId stream) override;
   void UpdatePopularity(StreamId stream, std::uint64_t delta) override;
@@ -160,6 +189,13 @@ class IndexShardSet : public core::SearchIndex {
  private:
   IndexShardSet() = default;  // Open() fills the members itself.
 
+  /// Applies config_.shard_policies to the constructed shards.
+  void ApplyShardPolicies();
+
+  /// Records a finished/deleted id for the reuse guard (sharded sets
+  /// only; a single shard keeps single-index semantics).
+  void RecordRetired(StreamId stream);
+
   ShardSetConfig config_;
   // Exactly one of the two per slot: plain shards own the index, durable
   // shards own it through the journaling wrapper.
@@ -171,6 +207,11 @@ class IndexShardSet : public core::SearchIndex {
   std::vector<core::RtsiIndex*> raw_;
   std::shared_ptr<core::SharedScoringState> shared_scoring_;
   std::unique_ptr<ThreadPool> scatter_pool_;
+  // Stream ids retired by FinishStream/DeleteStream (populated only when
+  // num_shards > 1): the insert-time reuse guard. Reader-heavy — every
+  // checked insert takes the shared lock, retirements the exclusive one.
+  mutable std::shared_mutex retired_mu_;
+  std::unordered_set<StreamId> retired_;
 };
 
 }  // namespace rtsi::shard

@@ -9,7 +9,7 @@
 
 #include "baseline/lsii_index.h"
 #include "common/rng.h"
-#include "core/query_util.h"
+#include "exec/traversal.h"
 #include "core/rtsi_index.h"
 
 namespace rtsi {
@@ -177,14 +177,14 @@ TEST_P(BoundSafetyProperty, ComponentBoundDominatesRandomContents) {
   }
   component.SealAll();
 
-  std::vector<core::PerTermBound> per_term(terms.size());
+  std::vector<exec::PerTermBound> per_term(terms.size());
   std::vector<double> idfs(terms.size());
   for (std::size_t i = 0; i < terms.size(); ++i) {
     per_term[i].bounds = component.Bounds(terms[i]);
     per_term[i].idf = idfs[i] = 0.5 + rng.NextDouble() * 3.0;
   }
   const Timestamp now = 1000;
-  const double bound = core::ComponentBound(
+  const double bound = exec::ComponentBound(
       scorer, per_term, now, max_pop, 0, core::BoundMode::kSnapshot);
 
   // Any stream scored purely from this component's postings must fall

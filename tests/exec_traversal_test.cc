@@ -1,10 +1,14 @@
-#include "core/query_util.h"
+#include "exec/traversal.h"
 
 #include <gtest/gtest.h>
 
 #include <set>
 
-namespace rtsi::core {
+namespace rtsi::exec {
+
+using core::BoundMode;
+using core::Scorer;
+using core::ScoreWeights;
 namespace {
 
 using index::InvertedIndex;
@@ -101,14 +105,14 @@ TEST(ComponentBoundTest, TfCorrectionRaisesBound) {
   EXPECT_GT(corrected, base);
 }
 
-TEST(ComponentTraversalTest, YieldsEveryStreamAtLeastOnce) {
+TEST(TraversalTest, YieldsEveryStreamAtLeastOnce) {
   InvertedIndex idx(1);
   for (int i = 0; i < 20; ++i) {
     idx.Add(1, P(i, static_cast<float>(i * 7 % 20), 100 + i, 1 + i % 5));
   }
   idx.SealAll();
 
-  ComponentTraversal traversal(idx, {1});
+  Traversal traversal(idx, {1});
   std::set<StreamId> seen;
   std::vector<Posting> round;
   while (traversal.NextRound(round)) {
@@ -118,17 +122,17 @@ TEST(ComponentTraversalTest, YieldsEveryStreamAtLeastOnce) {
   EXPECT_EQ(seen.size(), 20u);
 }
 
-TEST(ComponentTraversalTest, AbsentTermYieldsNothing) {
+TEST(TraversalTest, AbsentTermYieldsNothing) {
   InvertedIndex idx(1);
   idx.Add(1, P(1, 1.0f, 1, 1));
   idx.SealAll();
-  ComponentTraversal traversal(idx, {99});
+  Traversal traversal(idx, {99});
   std::vector<Posting> round;
   EXPECT_FALSE(traversal.NextRound(round));
   EXPECT_TRUE(round.empty());
 }
 
-TEST(ComponentTraversalTest, ThresholdDecreasesMonotonically) {
+TEST(TraversalTest, ThresholdDecreasesMonotonically) {
   const Scorer scorer = DefaultScorer();
   InvertedIndex idx(1);
   for (int i = 0; i < 30; ++i) {
@@ -137,7 +141,7 @@ TEST(ComponentTraversalTest, ThresholdDecreasesMonotonically) {
   }
   idx.SealAll();
 
-  ComponentTraversal traversal(idx, {1});
+  Traversal traversal(idx, {1});
   const std::vector<double> idfs = {1.0};
   std::vector<Posting> round;
   double prev = 1e300;
@@ -150,7 +154,7 @@ TEST(ComponentTraversalTest, ThresholdDecreasesMonotonically) {
   }
 }
 
-TEST(ComponentTraversalTest, ThresholdBoundsUnseenPostings) {
+TEST(TraversalTest, ThresholdBoundsUnseenPostings) {
   const Scorer scorer = DefaultScorer();
   InvertedIndex idx(1);
   for (int i = 0; i < 40; ++i) {
@@ -163,7 +167,7 @@ TEST(ComponentTraversalTest, ThresholdBoundsUnseenPostings) {
   const std::uint64_t max_pop = 40;
   const std::vector<double> idfs = {1.5};
 
-  ComponentTraversal traversal(idx, {1});
+  Traversal traversal(idx, {1});
   std::set<StreamId> seen;
   std::vector<Posting> round;
   while (traversal.NextRound(round)) {
@@ -184,12 +188,12 @@ TEST(ComponentTraversalTest, ThresholdBoundsUnseenPostings) {
   }
 }
 
-TEST(ComponentTraversalTest, FindAggregates) {
+TEST(TraversalTest, FindAggregates) {
   InvertedIndex idx(1);
   idx.Add(1, P(5, 1.0f, 10, 2));
   idx.Add(2, P(5, 1.0f, 10, 9));
   idx.SealAll();
-  ComponentTraversal traversal(idx, {1, 2});
+  Traversal traversal(idx, {1, 2});
   Posting out;
   ASSERT_TRUE(traversal.Find(0, 5, out));
   EXPECT_EQ(out.tf, 2u);
@@ -198,11 +202,11 @@ TEST(ComponentTraversalTest, FindAggregates) {
   EXPECT_FALSE(traversal.Find(0, 6, out));
 }
 
-TEST(ComponentTraversalTest, CountsPostingsYielded) {
+TEST(TraversalTest, CountsPostingsYielded) {
   InvertedIndex idx(1);
   for (int i = 0; i < 4; ++i) idx.Add(1, P(i, 0, 10 + i, 1));
   idx.SealAll();
-  ComponentTraversal traversal(idx, {1});
+  Traversal traversal(idx, {1});
   std::vector<Posting> round;
   while (traversal.NextRound(round)) round.clear();
   // Round-based sorted access yields 3 postings per round until a list is
@@ -212,4 +216,4 @@ TEST(ComponentTraversalTest, CountsPostingsYielded) {
 }
 
 }  // namespace
-}  // namespace rtsi::core
+}  // namespace rtsi::exec

@@ -11,7 +11,11 @@
 #                                audit across all three compaction
 #                                policies)
 #   4. sanitizer gate           (tools/run_sanitizers.sh: full suite under
-#                                ASan, `-L sanitizer` under TSan)
+#                                ASan, `-L sanitizer` under TSan — the
+#                                label includes query_pipeline_test, so
+#                                the shared exec:: pipeline that every
+#                                query path drives, src/exec/, is
+#                                exercised under both sanitizers)
 #
 # Usage: tools/run_checks.sh [fast|full] [build-dir]
 #   fast — steps 1-3 (the pre-push loop).

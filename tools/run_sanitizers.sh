@@ -36,6 +36,7 @@ TSAN_TARGETS=(
   shard_determinism_test
   shard_crash_recovery_test
   async_server_test
+  query_pipeline_test
 )
 
 run_asan() {
